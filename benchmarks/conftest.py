@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one experiment from EXPERIMENTS.md
+(E1-E10 plus the A1-A3 ablations).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.sql import build_dialect, dialect_names
+
+
+@pytest.fixture(scope="session")
+def dialect_products():
+    """All preset dialects, composed once per session."""
+    return {name: build_dialect(name) for name in dialect_names()}
+
+
+@pytest.fixture(scope="session")
+def dialect_parsers(dialect_products):
+    return {name: product.parser() for name, product in dialect_products.items()}

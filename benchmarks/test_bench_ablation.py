@@ -1,0 +1,132 @@
+"""A1-A3 — ablations of the design choices DESIGN.md calls out.
+
+A1: containment-based merge vs always-append composition.
+A2: table-driven LL(1) prediction vs the recursive-descent interpreter's
+    FIRST-directed dispatch (proxy: analysis cost vs parse cost).
+A3: per-feature token files vs one global keyword table (reserved-word
+    pollution).
+"""
+
+from repro.core import GrammarComposer
+from repro.errors import CompositionOrderError
+from repro.grammar import Grammar
+from repro.parsing import GrammarAnalysis, LLTable, Parser
+from repro.sql import build_dialect, build_sql_product_line, dialect_features
+from repro.workloads import generate_workload
+
+
+class AppendOnlyComposer(GrammarComposer):
+    """A1 ablation: disable containment; every alternative is appended."""
+
+    def _merge_alternative(self, rule, new_alt, trace):
+        if any(old == new_alt for old in rule.alternatives):
+            return
+        trace.appended.append((rule.name, str(new_alt)))
+        rule.add_alternative(new_alt)
+
+
+def _compose_with(composer_cls, features):
+    line = build_sql_product_line()
+    product = line.configure(features, strict_order=False)
+    # recompose the same sequence with the ablated composer
+    composer = composer_cls(strict_order=False)
+    grammar = Grammar("ablated")
+    for feature in product.sequence:
+        u = line.unit_for(feature)
+        if u is not None and u.grammar is not None:
+            grammar = composer.compose(grammar, u.grammar)
+        if u is not None and u.removes:
+            grammar = composer.remove_rules(grammar, u.removes)
+    grammar.start = "sql_script"
+    return product.grammar, grammar
+
+
+def test_a1_containment_vs_append(benchmark):
+    features = dialect_features("core")
+    paper_grammar, ablated = benchmark(
+        lambda: _compose_with(AppendOnlyComposer, features)
+    )
+    paper_size = paper_grammar.size()
+    ablated_size = ablated.size()
+    paper_conflicts = LLTable(paper_grammar).metrics()["conflicts"]
+    ablated_conflicts = LLTable(ablated).metrics()["conflicts"]
+
+    print("\n[A1] containment merge vs always-append (core dialect):")
+    print(
+        f"  paper rules={paper_size['alternatives']} alternatives, "
+        f"{paper_conflicts} LL conflicts"
+    )
+    print(
+        f"  append-only={ablated_size['alternatives']} alternatives, "
+        f"{ablated_conflicts} LL conflicts"
+    )
+    assert ablated_size["alternatives"] > paper_size["alternatives"]
+    assert ablated_conflicts > paper_conflicts
+
+
+def test_a2_analysis_vs_parse_cost(benchmark):
+    """Table construction is one-off; parsing dominates steady-state."""
+    product = build_dialect("core")
+    grammar = product.grammar
+    queries = generate_workload("core", 60, seed=5)
+    parser = Parser(grammar)
+
+    def analysis_then_parse():
+        analysis = GrammarAnalysis(grammar)
+        table = LLTable(grammar, analysis)
+        parsed = sum(1 for q in queries if parser.accepts(q))
+        return table.metrics()["entries"], parsed
+
+    entries, parsed = benchmark(analysis_then_parse)
+    print(f"\n[A2] core dialect: {entries} LL-table entries, {parsed} queries parsed")
+    assert parsed == len(queries)
+
+
+def test_a3_keyword_pollution(benchmark, dialect_products):
+    """Tailored token files free unused keywords for use as identifiers."""
+
+    def measure():
+        rows = {}
+        for name in ("scql", "tinysql", "core", "full"):
+            product = dialect_products[name]
+            keywords = set(product.grammar.tokens.keywords)
+            parser = product.parser()
+            # FLOOR is a numeric-function keyword in larger dialects only
+            usable = parser.accepts("SELECT floor FROM sensors") or parser.accepts(
+                "SELECT floor FROM sensors SAMPLE PERIOD 1024"
+            )
+            rows[name] = (len(keywords), usable)
+        return rows
+
+    rows = benchmark(measure)
+    print("\n[A3] reserved words per dialect ('floor' usable as identifier?):")
+    for name, (count, usable) in rows.items():
+        print(f"  {name:10} {count:4} keywords   floor-as-identifier: {usable}")
+    assert rows["scql"][0] < rows["core"][0] < rows["full"][0]
+    assert rows["tinysql"][1] is True
+    assert rows["full"][1] is False
+
+
+def test_a1b_strict_order_catches_misordering(benchmark):
+    """Strict composition order (the paper's rule) rejects extension-first."""
+    from repro.grammar import read_grammar
+
+    base = read_grammar("a : b [c] ;", name="ext-first")
+    ext = read_grammar("a : b ;", name="base-late")
+
+    def attempt():
+        strict = GrammarComposer(strict_order=True)
+        lenient = GrammarComposer(strict_order=False)
+        try:
+            strict.compose(base, ext)
+            caught = False
+        except CompositionOrderError:
+            caught = True
+        lenient_result = lenient.compose(base, ext)
+        return caught, len(lenient_result.rule("a").alternatives)
+
+    caught, lenient_alts = benchmark(attempt)
+    print(f"\n[A1b] strict order caught misordering: {caught}; "
+          f"lenient keeps {lenient_alts} alternative(s)")
+    assert caught
+    assert lenient_alts == 1

@@ -1,0 +1,40 @@
+"""E3 — the paper's decomposition scale: 40 feature diagrams, 500+ features.
+
+Prints the per-diagram table and asserts our decomposition meets the
+paper's reported numbers.
+"""
+
+from repro.features import model_statistics
+from repro.sql import sql_registry
+
+
+def test_decomposition_counts(benchmark):
+    registry = benchmark(sql_registry)
+    stats = registry.statistics()
+
+    print("\n[E3] decomposition scale (paper: 40 diagrams, 500+ features)")
+    print(
+        f"  foundation diagrams: {stats['diagrams']}  "
+        f"(+{stats['extension_diagrams']} extension packages)"
+    )
+    print(f"  features:            {stats['features']}")
+    print(f"  features with units: {stats['features_with_units']}")
+    print(f"  cross-tree constraints: {stats['constraints']}")
+
+    assert stats["diagrams"] >= 40, "paper reports 40 diagrams for SQL Foundation"
+    assert stats["features"] >= 500, "paper reports more than 500 features"
+
+    model_stats = model_statistics(registry.build_model())
+    print(
+        f"  model: depth={model_stats['depth']}, "
+        f"optional={model_stats['optional']}, "
+        f"or-groups={model_stats['or_groups']}, "
+        f"alt-groups={model_stats['alternative_groups']}"
+    )
+
+
+def test_per_diagram_report(benchmark):
+    registry = sql_registry()
+    report = benchmark(registry.report)
+    print("\n[E3] per-diagram feature counts:")
+    print(report)

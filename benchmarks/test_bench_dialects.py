@@ -1,0 +1,60 @@
+"""E9 — the scaled-down dialects the paper cites: TinySQL and SCQL.
+
+TinySQL's documented restrictions (single table in FROM, no column alias)
+and extensions (SAMPLE PERIOD, EPOCH DURATION) are grammar-level facts of
+the composed dialect; SCQL is the smartcard subset.
+"""
+
+TINY_ACCEPT = [
+    "SELECT nodeid, light FROM sensors SAMPLE PERIOD 2048",
+    "SELECT AVG(temp) FROM sensors WHERE roomno = 6 EPOCH DURATION 1024",
+    "SELECT COUNT(*) FROM sensors GROUP BY roomno HAVING MAX(temp) > 55",
+    "SELECT nodeid FROM sensors SAMPLE PERIOD 512 LIFETIME 30",
+]
+TINY_REJECT = [
+    "SELECT nodeid AS n FROM sensors",  # TinySQL: no column alias
+    "SELECT a FROM sensors, buffer",  # TinySQL: single table in FROM
+    "SELECT a FROM sensors ORDER BY a",
+    "CREATE VIEW v AS SELECT a FROM sensors",
+]
+SCQL_ACCEPT = [
+    "SELECT * FROM purse",
+    "UPDATE purse SET balance = 10 WHERE id = 1",
+    "INSERT INTO journal VALUES (1, 'debit')",
+    "DELETE FROM journal WHERE amount = 0",
+]
+SCQL_REJECT = [
+    "SELECT SUM(balance) FROM purse",
+    "SELECT a FROM purse UNION SELECT b FROM journal",
+    "GRANT SELECT ON purse TO PUBLIC",
+]
+
+
+def test_tinysql_dialect(benchmark, dialect_parsers):
+    tiny = dialect_parsers["tinysql"]
+
+    def check():
+        accepted = sum(1 for q in TINY_ACCEPT if tiny.accepts(q))
+        rejected = sum(1 for q in TINY_REJECT if not tiny.accepts(q))
+        return accepted, rejected
+
+    accepted, rejected = benchmark(check)
+    print(f"\n[E9] TinySQL: {accepted}/{len(TINY_ACCEPT)} accepted, "
+          f"{rejected}/{len(TINY_REJECT)} restrictions enforced")
+    assert accepted == len(TINY_ACCEPT)
+    assert rejected == len(TINY_REJECT)
+
+
+def test_scql_dialect(benchmark, dialect_parsers):
+    scql = dialect_parsers["scql"]
+
+    def check():
+        accepted = sum(1 for q in SCQL_ACCEPT if scql.accepts(q))
+        rejected = sum(1 for q in SCQL_REJECT if not scql.accepts(q))
+        return accepted, rejected
+
+    accepted, rejected = benchmark(check)
+    print(f"\n[E9] SCQL: {accepted}/{len(SCQL_ACCEPT)} accepted, "
+          f"{rejected}/{len(SCQL_REJECT)} restrictions enforced")
+    assert accepted == len(SCQL_ACCEPT)
+    assert rejected == len(SCQL_REJECT)

@@ -1,0 +1,75 @@
+"""E10 — extension grammars compose post hoc (the Bali inheritance).
+
+The row-limiting extension package (LIMIT / OFFSET / FETCH FIRST) is not
+part of SQL Foundation; composing it onto CORE must add exactly the new
+syntax and nothing else.
+"""
+
+from repro.sql import build_sql_product_line, configure_sql, dialect_features
+
+
+def test_extension_composes_onto_core(benchmark):
+    base_features = dialect_features("core")
+
+    def build_both():
+        plain = configure_sql(base_features, product_name="core")
+        extended = configure_sql(
+            base_features + ["Limit", "Offset", "FetchFirst"],
+            product_name="core+limit",
+        )
+        return plain, extended
+
+    plain, extended = benchmark(build_both)
+    plain_parser = plain.parser()
+    extended_parser = extended.parser()
+
+    new_syntax = [
+        "SELECT a FROM t LIMIT 10",
+        "SELECT a FROM t ORDER BY a DESC LIMIT 10 OFFSET 5",
+        "SELECT a FROM t FETCH FIRST 3 ROWS ONLY",
+    ]
+    base_syntax = [
+        "SELECT a FROM t WHERE b = 1",
+        "SELECT COUNT(*) FROM t GROUP BY a",
+    ]
+
+    for query in new_syntax:
+        assert not plain_parser.accepts(query), query
+        assert extended_parser.accepts(query), query
+    for query in base_syntax:
+        assert plain_parser.accepts(query) and extended_parser.accepts(query)
+
+    delta_rules = extended.size()["rules"] - plain.size()["rules"]
+    delta_tokens = extended.size()["tokens"] - plain.size()["tokens"]
+    print(
+        f"\n[E10] row-limiting extension: +{delta_rules} rules, "
+        f"+{delta_tokens} tokens on top of core"
+    )
+    assert 0 < delta_rules <= 5
+    assert 0 < delta_tokens <= 8
+
+
+def test_sensor_extension_composes_onto_tinysql_base(benchmark):
+    """The TinySQL preset is itself base + sensor extension features."""
+    line = build_sql_product_line()
+    tiny_features = dialect_features("tinysql")
+    without_sensor = [
+        f
+        for f in tiny_features
+        if f not in ("SamplePeriod", "EpochDuration", "QueryLifetime")
+    ]
+
+    def build():
+        return (
+            line.configure(without_sensor, product_name="tiny-base"),
+            line.configure(tiny_features, product_name="tiny+sensor"),
+        )
+
+    base, extended = benchmark(build)
+    query = "SELECT nodeid FROM sensors SAMPLE PERIOD 1024"
+    assert not base.parser().accepts(query)
+    assert extended.parser().accepts(query)
+    print(
+        f"\n[E10] sensor extension: "
+        f"{base.size()['rules']} -> {extended.size()['rules']} rules"
+    )

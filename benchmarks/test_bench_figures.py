@@ -1,0 +1,40 @@
+"""E1/E2 — reproduce Figures 1 and 2 (feature diagram structure).
+
+The benchmark times a full feature-model build; the assertions verify the
+diagram structure matches the paper's figures.
+"""
+
+from repro.features import GroupType, render_feature
+from repro.sql import build_sql_product_line
+
+
+def test_figure1_query_specification(benchmark):
+    model = benchmark(lambda: build_sql_product_line().model)
+
+    quantifier = model.feature("SetQuantifier")
+    assert quantifier.optional
+    assert {c.name for c in quantifier.children} == {
+        "SetQuantifier.ALL",
+        "SetQuantifier.DISTINCT",
+    }
+    assert model.feature("SelectList").mandatory
+    sublist = model.feature("SelectSublist")
+    assert sublist.cardinality.min == 1 and sublist.cardinality.max is None
+    assert model.feature("DerivedColumn.As").optional
+    assert model.feature("TableExpression").mandatory
+
+    print("\n[E1] Figure 1 — Query Specification feature diagram:")
+    print(render_feature(model.feature("QuerySpecification")))
+
+
+def test_figure2_table_expression(benchmark):
+    model = benchmark(lambda: build_sql_product_line().model)
+
+    assert model.feature("From").mandatory
+    for clause in ("Where", "GroupBy", "Having", "Window"):
+        feature = model.feature(clause)
+        assert feature.optional
+        assert "TableExpression" in [a.name for a in feature.ancestors()]
+
+    print("\n[E2] Figure 2 — Table Expression feature diagram:")
+    print(render_feature(model.feature("TableExpression")))

@@ -1,0 +1,64 @@
+"""E7 — parser generation cost as a function of feature-set size.
+
+Sweeps growing feature selections and measures compose+analyse time and
+generated-source size.  The claim under test: building a tailor-made
+parser on feature selection is cheap enough to do interactively (the
+paper envisions a UI that regenerates the parser whenever the user picks
+features).
+"""
+
+import time
+
+import pytest
+
+from repro.core import ParserBuilder
+from repro.sql import build_sql_product_line, dialect_features
+
+SWEEP = {
+    "minimal": ["QuerySpecification", "SelectSublist"],
+    "worked-example": [
+        "QuerySpecification",
+        "SelectSublist",
+        "SetQuantifier.DISTINCT",
+        "Where",
+        "ComparisonPredicate",
+        "Literals",
+    ],
+    "tinysql": None,  # resolved from presets below
+    "core": None,
+    "full": None,
+}
+
+
+@pytest.mark.parametrize("selection_name", list(SWEEP))
+def test_build_time_scaling(benchmark, selection_name):
+    features = SWEEP[selection_name] or dialect_features(selection_name)
+    line = build_sql_product_line()
+    builder = ParserBuilder(line)
+
+    built = benchmark(lambda: builder.build(features))
+    metrics = built.metrics
+    print(
+        f"\n[E7] {selection_name:15} features={metrics.selected_features:3} "
+        f"rules={metrics.grammar_rules:3} "
+        f"compose={metrics.compose_seconds * 1000:6.1f}ms "
+        f"analyse={metrics.analyse_seconds * 1000:6.1f}ms"
+    )
+    # interactive-use claim: even FULL composes in well under a second
+    assert metrics.compose_seconds + metrics.analyse_seconds < 2.0
+
+
+def test_codegen_scaling(benchmark, dialect_products):
+    """Generated-parser source size grows with the dialect."""
+
+    def generate_all():
+        return {
+            name: len(product.generate_source().splitlines())
+            for name, product in dialect_products.items()
+        }
+
+    lines = benchmark(generate_all)
+    print("\n[E7] generated parser size (source lines):")
+    for name, count in lines.items():
+        print(f"  {name:10} {count:6} lines")
+    assert lines["scql"] < lines["core"] < lines["full"]

@@ -1,0 +1,53 @@
+"""E6 — tailored parsers are smaller: grammar/token/table size per dialect.
+
+The paper's qualitative claim ("a scaled down version of SQL appropriate
+for such applications") quantified: SCQL < TinySQL < Core < Full on every
+footprint metric.
+"""
+
+from repro.sql import dialect_names
+
+
+def test_grammar_size_per_dialect(benchmark, dialect_products):
+    def measure():
+        rows = []
+        for name in dialect_names():
+            product = dialect_products[name]
+            size = product.size()
+            table = product.parser().table.metrics()
+            keywords = len(product.grammar.tokens.keywords)
+            rows.append(
+                (
+                    name,
+                    len(product.configuration),
+                    size["rules"],
+                    size["alternatives"],
+                    size["tokens"],
+                    keywords,
+                    table["entries"],
+                )
+            )
+        return rows
+
+    rows = benchmark(measure)
+
+    print("\n[E6] dialect footprint (paper claim: tailoring shrinks the parser)")
+    header = (
+        f"{'dialect':10} {'features':>8} {'rules':>6} {'alts':>6} "
+        f"{'tokens':>7} {'keywords':>9} {'LL entries':>10}"
+    )
+    print(header)
+    for row in rows:
+        print(
+            f"{row[0]:10} {row[1]:>8} {row[2]:>6} {row[3]:>6} "
+            f"{row[4]:>7} {row[5]:>9} {row[6]:>10}"
+        )
+
+    by_name = {r[0]: r for r in rows}
+    for small, large in [("scql", "core"), ("tinysql", "core"), ("core", "full")]:
+        for metric in range(2, 7):
+            assert by_name[small][metric] < by_name[large][metric], (
+                small,
+                large,
+                metric,
+            )

@@ -1,0 +1,55 @@
+"""E8 — every dialect parses its own workload; smaller dialects reject
+bigger workloads.
+
+Parse throughput (queries/second) per dialect over seeded workloads, for
+both the interpreting parser and the generated standalone parser.
+"""
+
+import pytest
+
+from repro.parsing import load_generated_parser
+from repro.sql import dialect_names
+from repro.workloads import generate_workload
+
+WORKLOAD_SIZE = 150
+
+
+@pytest.mark.parametrize("dialect", dialect_names())
+def test_parse_throughput_interpreter(benchmark, dialect, dialect_parsers):
+    parser = dialect_parsers[dialect]
+    queries = generate_workload(dialect, WORKLOAD_SIZE, seed=11)
+
+    def parse_all():
+        return sum(1 for q in queries if parser.accepts(q))
+
+    parsed = benchmark(parse_all)
+    assert parsed == len(queries), "dialect must accept 100% of its own workload"
+    print(f"\n[E8] {dialect}: {parsed}/{len(queries)} queries parsed (interpreter)")
+
+
+@pytest.mark.parametrize("dialect", ["scql", "tinysql", "core"])
+def test_parse_throughput_generated(benchmark, dialect, dialect_products):
+    module = load_generated_parser(
+        dialect_products[dialect].generate_source(), f"gen_{dialect}"
+    )
+    queries = generate_workload(dialect, WORKLOAD_SIZE, seed=11)
+
+    def parse_all():
+        return sum(1 for q in queries if module.accepts(q))
+
+    parsed = benchmark(parse_all)
+    assert parsed == len(queries)
+    print(f"\n[E8] {dialect}: {parsed}/{len(queries)} queries parsed (generated)")
+
+
+def test_small_dialect_rejects_large_workload(benchmark, dialect_parsers):
+    scql = dialect_parsers["scql"]
+    core_queries = generate_workload("core", WORKLOAD_SIZE, seed=11)
+
+    rejected = benchmark(
+        lambda: sum(1 for q in core_queries if not scql.accepts(q))
+    )
+    ratio = rejected / len(core_queries)
+    print(f"\n[E8] SCQL rejects {rejected}/{len(core_queries)} "
+          f"({ratio:.0%}) of the core workload")
+    assert ratio > 0.5

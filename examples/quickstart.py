@@ -1,0 +1,73 @@
+"""Quickstart: compose a tailor-made SQL parser from features.
+
+Walks the paper's pipeline end to end:
+
+1. pick features from the SQL:2003 feature model,
+2. compose their sub-grammars into one LL(k) grammar,
+3. build a parser (or generate standalone parser source),
+4. parse queries — and watch unselected features get rejected.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import configure_sql, load_generated_parser
+from repro.errors import ParseError
+
+
+def main() -> None:
+    # 1. the paper's worked example (Section 3.2): SELECT with one column,
+    #    one table, optional set quantifier and optional WHERE clause
+    product = configure_sql(
+        [
+            "QuerySpecification",
+            "SelectSublist",
+            "SetQuantifier.ALL",
+            "SetQuantifier.DISTINCT",
+            "Where",
+            "ComparisonPredicate",
+            "Literals",
+        ],
+        counts={"SelectSublist": 1},
+        product_name="worked-example",
+    )
+
+    print("composed product:", product.name)
+    print("composition sequence:", " -> ".join(product.sequence))
+    print("composer trace:", product.trace.summary())
+    print("grammar size:", product.size())
+    print()
+
+    # 2. parse with the composed grammar
+    parser = product.parser()
+    tree = parser.parse("SELECT DISTINCT balance FROM accounts WHERE id = 42")
+    print("parse tree (abridged):")
+    print("  " + tree.to_sexpr()[:110] + " ...")
+    print()
+
+    # 3. precisely the selected features parse — nothing else
+    for query in [
+        "SELECT a FROM t",
+        "SELECT ALL a FROM t WHERE x = 'y'",
+        "SELECT a, b FROM t",        # two columns: cardinality is 1
+        "SELECT a FROM t ORDER BY a",  # OrderBy not selected
+    ]:
+        try:
+            parser.parse(query)
+            verdict = "accepted"
+        except ParseError as error:
+            verdict = f"rejected ({error})"
+        print(f"  {query!r}: {verdict}")
+    print()
+
+    # 4. generate a standalone parser module (the ANTLR analogue)
+    source = product.generate_source()
+    module = load_generated_parser(source, module_name="worked_example_parser")
+    print(f"generated parser source: {len(source.splitlines())} lines")
+    print(
+        "generated parser agrees:",
+        module.accepts("SELECT a FROM t WHERE b = 1"),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Warehouse scenario: the analytics dialect producing an OLAP report.
+
+A data-warehouse appliance needs ROLLUP/CUBE grouping, window functions
+and CTEs — but no DML or DDL surface an analyst could abuse.  The
+analytics preset is exactly that language; this demo loads a small star
+schema and prints a regional sales report with subtotals and rankings.
+
+Run:  python examples/warehouse_report.py
+"""
+
+from repro import Database
+from repro.errors import ParseError
+from repro.sql import dialect_features
+
+# the warehouse itself is loaded through a separate, privileged dialect;
+# the analyst session gets the read-only analytics surface on the same data
+_LOADER_FEATURES = dialect_features("analytics") + [
+    "CreateTable",
+    "Type.Integer",
+    "Type.Numeric",
+    "VaryingCharType",
+    "Insert",
+    "InsertFromConstructor",
+]
+
+FACTS = [
+    ("EU", 2007, "disk", 120.0),
+    ("EU", 2007, "cpu", 80.0),
+    ("EU", 2008, "disk", 150.0),
+    ("EU", 2008, "cpu", 90.0),
+    ("US", 2007, "disk", 200.0),
+    ("US", 2008, "disk", 210.0),
+    ("US", 2008, "cpu", 130.0),
+    ("APAC", 2008, "cpu", 60.0),
+]
+
+
+def main() -> None:
+    db = Database(features=_LOADER_FEATURES)
+    db.execute(
+        "CREATE TABLE sales (region VARCHAR (8), year INTEGER, "
+        "product VARCHAR (8), amount NUMERIC)"
+    )
+    for region, year, product, amount in FACTS:
+        db.execute(
+            f"INSERT INTO sales VALUES ('{region}', {year}, '{product}', {amount})"
+        )
+
+    print("rollup report (region, year) with subtotals:")
+    report = db.query(
+        "SELECT region, year, SUM(amount) AS total FROM sales "
+        "GROUP BY ROLLUP (region, year) "
+        "ORDER BY region ASC NULLS LAST, year ASC NULLS LAST"
+    )
+    print(report.to_text())
+    print()
+
+    print("regional ranking by total sales (window functions):")
+    ranking = db.query(
+        "WITH totals (region, total) AS "
+        "(SELECT region, SUM(amount) FROM sales GROUP BY region) "
+        "SELECT region, total, RANK() OVER w AS pos FROM totals "
+        "WINDOW w AS (ORDER BY total DESC)"
+    )
+    print(ranking.to_text())
+    print()
+
+    # the analyst surface cannot mutate the warehouse — grammatically
+    for rejected in [
+        "DELETE FROM sales",
+        "UPDATE sales SET amount = 0",
+        "DROP TABLE sales",
+    ]:
+        analyst = Database(features=dialect_features("analytics"))
+        assert not analyst.accepts(rejected)
+        print(f"not in the analyst's SQL: {rejected}")
+
+
+if __name__ == "__main__":
+    main()

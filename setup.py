@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps `pip install -e .` working in offline
+environments where the PEP 517 build chain cannot fetch `wheel`."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,208 @@
+"""Command-line configurator for the SQL parser product line.
+
+The paper's "current work" is "an implementation model and a user
+interface presenting various SQL statements and their features.  When a
+user selects different features, the required parser is created by
+composing these features."  This CLI is that interface, terminal-flavoured::
+
+    python -m repro.cli diagrams                 # list the feature diagrams
+    python -m repro.cli show QuerySpecification  # render a diagram (Figure 1)
+    python -m repro.cli dialects                 # compare preset dialects
+    python -m repro.cli features tinysql         # features behind a preset
+    python -m repro.cli compose Where GroupBy -q "SELECT a FROM t WHERE b = 1"
+    python -m repro.cli compose --dialect core --emit core_parser.py
+    python -m repro.cli shell core               # interactive SQL shell
+    python -m repro.cli sample tinysql -n 5      # random sentences
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import Database
+from .errors import ReproError
+from .features import render_feature
+from .parsing import SentenceGenerator
+from .sql import (
+    build_dialect,
+    build_sql_product_line,
+    configure_sql,
+    dialect_features,
+    dialect_names,
+    sql_registry,
+)
+
+_WORKED_EXAMPLE_BASE = ["QuerySpecification", "SelectSublist"]
+
+
+def _cmd_diagrams(args: argparse.Namespace) -> int:
+    print(sql_registry().report())
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    model = build_sql_product_line().model
+    if not model.has_feature(args.feature):
+        print(f"no such feature: {args.feature!r}", file=sys.stderr)
+        return 1
+    print(render_feature(model.feature(args.feature)))
+    return 0
+
+
+def _cmd_dialects(args: argparse.Namespace) -> int:
+    header = (
+        f"{'dialect':10} {'features':>8} {'rules':>6} {'tokens':>7} "
+        f"{'keywords':>9} {'LL entries':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in dialect_names():
+        product = build_dialect(name)
+        size = product.size()
+        table = product.parser().table.metrics()
+        print(
+            f"{name:10} {len(product.configuration):>8} {size['rules']:>6} "
+            f"{size['tokens']:>7} {len(product.grammar.tokens.keywords):>9} "
+            f"{table['entries']:>10}"
+        )
+    return 0
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    for feature in dialect_features(args.dialect):
+        print(feature)
+    return 0
+
+
+def _resolve_product(args: argparse.Namespace):
+    if getattr(args, "dialect", None):
+        return build_dialect(args.dialect)
+    features = list(getattr(args, "features", []) or [])
+    if not features:
+        raise ReproError("select features or pass --dialect")
+    # convenience: bare clause features imply the worked-example base
+    selection = set(features)
+    if not selection & {"QuerySpecification", "Insert", "CreateTable"}:
+        selection.update(_WORKED_EXAMPLE_BASE)
+    return configure_sql(selection)
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    product = _resolve_product(args)
+    print(f"composed {product.name}: {product.size()}")
+    print(f"sequence: {' -> '.join(product.sequence)}")
+    print(f"trace: {product.trace.summary()}")
+    if args.emit:
+        source = product.generate_source()
+        with open(args.emit, "w") as handle:
+            handle.write(source)
+        print(f"wrote generated parser: {args.emit} "
+              f"({len(source.splitlines())} lines)")
+    if args.query:
+        parser = product.parser()
+        try:
+            tree = parser.parse(args.query)
+            print("accepted:")
+            print(tree.pretty())
+        except ReproError as error:
+            print(f"rejected: {error}")
+            return 1
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    product = build_dialect(args.dialect)
+    generator = SentenceGenerator(product.grammar, seed=args.seed)
+    for sentence in generator.sentences(args.count):
+        print(sentence)
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    db = Database(args.dialect)
+    print(f"repro SQL shell — dialect {args.dialect!r} "
+          f"({db.product.size()['rules']} grammar rules). "
+          "Type SQL, or .quit to exit.")
+    while True:
+        try:
+            line = input("sql> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not line:
+            continue
+        if line in (".quit", ".exit"):
+            return 0
+        if line == ".tables":
+            print(", ".join(db.table_names()) or "(no tables)")
+            continue
+        try:
+            outcome = db.execute(line)
+        except ReproError as error:
+            print(f"error: {error}")
+            continue
+        if outcome is None:
+            print("ok")
+        elif isinstance(outcome, int):
+            print(f"{outcome} row(s) affected")
+        else:
+            print(outcome.to_text())
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Configure and explore tailor-made SQL parsers.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("diagrams", help="list the feature diagrams").set_defaults(
+        fn=_cmd_diagrams
+    )
+
+    show = sub.add_parser("show", help="render a feature diagram")
+    show.add_argument("feature")
+    show.set_defaults(fn=_cmd_show)
+
+    sub.add_parser("dialects", help="compare preset dialects").set_defaults(
+        fn=_cmd_dialects
+    )
+
+    features = sub.add_parser("features", help="features behind a preset")
+    features.add_argument("dialect", choices=dialect_names())
+    features.set_defaults(fn=_cmd_features)
+
+    compose = sub.add_parser("compose", help="compose features into a parser")
+    compose.add_argument("features", nargs="*", help="feature names to select")
+    compose.add_argument("--dialect", choices=dialect_names())
+    compose.add_argument("--emit", metavar="FILE",
+                         help="write generated parser source")
+    compose.add_argument("-q", "--query", help="try parsing this query")
+    compose.set_defaults(fn=_cmd_compose)
+
+    sample = sub.add_parser("sample", help="random sentences of a dialect")
+    sample.add_argument("dialect", choices=dialect_names())
+    sample.add_argument("-n", "--count", type=int, default=10)
+    sample.add_argument("--seed", type=int, default=0)
+    sample.set_defaults(fn=_cmd_sample)
+
+    shell = sub.add_parser("shell", help="interactive SQL shell")
+    shell.add_argument("dialect", choices=dialect_names(), nargs="?",
+                       default="core")
+    shell.set_defaults(fn=_cmd_shell)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Core contribution: feature-based grammar composition and parser building.
+
+Public API::
+
+    from repro.core import (
+        FeatureUnit, unit,
+        GrammarComposer, CompositionTrace, covers,
+        order_units, check_unit_constraints,
+        GrammarProductLine, ComposedProduct,
+        ParserBuilder, BuiltParser, BuildMetrics,
+    )
+"""
+
+from .builder import BuildMetrics, BuiltParser, ParserBuilder
+from .composer import CompositionTrace, GrammarComposer, covering_match, covers
+from .product_line import ComposedProduct, GrammarProductLine
+from .sequence import check_unit_constraints, order_units
+from .unit import FeatureUnit, unit
+
+__all__ = [
+    "BuildMetrics",
+    "BuiltParser",
+    "ComposedProduct",
+    "CompositionTrace",
+    "FeatureUnit",
+    "GrammarComposer",
+    "GrammarProductLine",
+    "ParserBuilder",
+    "check_unit_constraints",
+    "covering_match",
+    "covers",
+    "order_units",
+    "unit",
+]

@@ -1,0 +1,116 @@
+"""Parser builder: feature selection in, measured parser out.
+
+:class:`ParserBuilder` is the top of the pipeline — the piece a downstream
+user calls.  It wraps :class:`~repro.core.product_line.GrammarProductLine`
+and :class:`~repro.parsing.parser.Parser`, and records build-time metrics
+(composition time, analysis time, grammar and table sizes) that the
+benchmark harness (experiments E6/E7) reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..parsing.parser import Parser
+from .product_line import ComposedProduct, GrammarProductLine
+
+
+@dataclass(frozen=True)
+class BuildMetrics:
+    """Timings and sizes collected while building one parser."""
+
+    compose_seconds: float
+    analyse_seconds: float
+    grammar_rules: int
+    grammar_alternatives: int
+    grammar_elements: int
+    tokens: int
+    table_entries: int
+    table_conflicts: int
+    selected_features: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "compose_seconds": self.compose_seconds,
+            "analyse_seconds": self.analyse_seconds,
+            "grammar_rules": self.grammar_rules,
+            "grammar_alternatives": self.grammar_alternatives,
+            "grammar_elements": self.grammar_elements,
+            "tokens": self.tokens,
+            "table_entries": self.table_entries,
+            "table_conflicts": self.table_conflicts,
+            "selected_features": self.selected_features,
+        }
+
+
+@dataclass(frozen=True)
+class BuiltParser:
+    """A ready parser plus the product and metrics behind it."""
+
+    product: ComposedProduct
+    parser: Parser
+    metrics: BuildMetrics
+
+    def parse(self, text: str, start: str | None = None):
+        return self.parser.parse(text, start=start)
+
+    def accepts(self, text: str, start: str | None = None) -> bool:
+        return self.parser.accepts(text, start=start)
+
+    def generate_source(self) -> str:
+        return self.product.generate_source()
+
+
+class ParserBuilder:
+    """Builds tailor-made parsers from feature selections."""
+
+    def __init__(self, product_line: GrammarProductLine) -> None:
+        self.product_line = product_line
+
+    def build(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        expand: bool = True,
+        strict: bool = False,
+        strict_order: bool = True,
+        product_name: str | None = None,
+    ) -> BuiltParser:
+        """Compose the selected features and construct a parser.
+
+        Args:
+            features: Selected feature names.
+            counts: Clone counts for cardinality features.
+            expand: Auto-complete the selection to a valid configuration.
+            strict: Refuse non-LL(1) composed grammars.
+            strict_order: Enforce the paper's composition-order rules.
+            product_name: Name for the composed grammar.
+        """
+        t0 = time.perf_counter()
+        product = self.product_line.configure(
+            features,
+            counts=counts,
+            expand=expand,
+            strict_order=strict_order,
+            product_name=product_name,
+        )
+        t1 = time.perf_counter()
+        parser = Parser(product.grammar, strict=strict)
+        t2 = time.perf_counter()
+
+        size = product.grammar.size()
+        table = parser.table.metrics()
+        metrics = BuildMetrics(
+            compose_seconds=t1 - t0,
+            analyse_seconds=t2 - t1,
+            grammar_rules=size["rules"],
+            grammar_alternatives=size["alternatives"],
+            grammar_elements=size["elements"],
+            tokens=size["tokens"],
+            table_entries=table["entries"],
+            table_conflicts=table["conflicts"],
+            selected_features=len(product.configuration),
+        )
+        return BuiltParser(product=product, parser=parser, metrics=metrics)

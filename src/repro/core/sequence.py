@@ -1,0 +1,85 @@
+"""Composition sequences: ordering and constraint checking for units.
+
+"We use the notion of composition sequence that indicates how various
+features are included or excluded."  Given the selected features and their
+units, :func:`order_units` checks unit-level requires/excludes against the
+selection and produces a deterministic order: the original (feature-model
+pre-order) sequence, minimally reordered so every unit comes after its
+``requires`` and ``after`` targets.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompositionError, ConstraintViolationError
+from .unit import FeatureUnit
+
+
+def check_unit_constraints(
+    units: list[FeatureUnit], selection: frozenset[str]
+) -> None:
+    """Raise when a selected unit's requires/excludes are violated."""
+    violations: list[str] = []
+    for u in units:
+        for required in u.requires:
+            if required not in selection:
+                violations.append(
+                    f"feature {u.feature!r} requires {required!r}, "
+                    "which is not selected"
+                )
+        for excluded in u.excludes:
+            if excluded in selection:
+                violations.append(
+                    f"feature {u.feature!r} excludes {excluded!r}, "
+                    "which is also selected"
+                )
+    if violations:
+        raise ConstraintViolationError("; ".join(violations))
+
+
+def order_units(
+    units: list[FeatureUnit], selection: frozenset[str]
+) -> list[FeatureUnit]:
+    """Return the composition sequence for the selected units.
+
+    Stable topological sort (Kahn's algorithm with original-position
+    tie-breaking): dependencies come from ``requires`` and ``after``; only
+    edges between *selected* units matter.  A dependency cycle is a
+    :class:`~repro.errors.CompositionError`.
+    """
+    check_unit_constraints(units, selection)
+
+    position = {u.feature: index for index, u in enumerate(units)}
+    indegree = {u.feature: 0 for u in units}
+    dependents: dict[str, list[str]] = {u.feature: [] for u in units}
+
+    for u in units:
+        for dep in tuple(u.requires) + tuple(u.after):
+            if dep in position and dep != u.feature:
+                dependents[dep].append(u.feature)
+                indegree[u.feature] += 1
+
+    by_name = {u.feature: u for u in units}
+    ready = sorted(
+        (name for name, degree in indegree.items() if degree == 0),
+        key=position.__getitem__,
+    )
+    ordered: list[FeatureUnit] = []
+    while ready:
+        name = ready.pop(0)
+        ordered.append(by_name[name])
+        newly_ready = []
+        for dependent in dependents[name]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                newly_ready.append(dependent)
+        if newly_ready:
+            ready = sorted(
+                ready + newly_ready, key=position.__getitem__
+            )
+    if len(ordered) != len(units):
+        stuck = sorted(name for name, degree in indegree.items() if degree > 0)
+        raise CompositionError(
+            "composition sequence has a dependency cycle involving: "
+            + ", ".join(stuck)
+        )
+    return ordered

@@ -1,0 +1,89 @@
+"""Feature units: the implementation a feature contributes to the product line.
+
+In the paper every feature carries a sub-grammar and a token file created
+during decomposition; composition combines exactly the units of the
+selected features.  A :class:`FeatureUnit` bundles:
+
+* the feature name it implements,
+* its sub-grammar (with the token set attached),
+* unit-level ``requires``/``excludes`` constraints,
+* ``after`` ordering hints for the composition sequence,
+* ``removes`` — rule names this unit deletes from the composed grammar
+  (the paper's "removing production rules" mechanism, used by restricting
+  features such as TinySQL's single-table FROM clause).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..grammar.grammar import Grammar
+from ..grammar.reader import read_grammar
+from ..lexer.spec import TokenDef, TokenSet
+
+
+@dataclass(frozen=True)
+class FeatureUnit:
+    """One feature's contribution to the grammar product line."""
+
+    feature: str
+    grammar: Grammar | None = None
+    requires: tuple[str, ...] = ()
+    excludes: tuple[str, ...] = ()
+    after: tuple[str, ...] = ()
+    removes: tuple[str, ...] = ()
+    description: str = ""
+
+    @property
+    def tokens(self) -> TokenSet:
+        """The unit's token file (empty when the unit has no grammar)."""
+        if self.grammar is None:
+            return TokenSet(self.feature)
+        return self.grammar.tokens
+
+    def __repr__(self) -> str:
+        rules = 0 if self.grammar is None else len(self.grammar)
+        return f"<FeatureUnit {self.feature!r}: {rules} rules>"
+
+
+def unit(
+    feature: str,
+    grammar_text: str | None = None,
+    tokens: Iterable[TokenDef] = (),
+    requires: Iterable[str] = (),
+    excludes: Iterable[str] = (),
+    after: Iterable[str] = (),
+    removes: Iterable[str] = (),
+    start: str | None = None,
+    description: str = "",
+) -> FeatureUnit:
+    """Build a feature unit from grammar DSL text and token definitions.
+
+    Args:
+        feature: Feature name this unit implements.
+        grammar_text: Sub-grammar in the DSL of
+            :func:`repro.grammar.read_grammar`; ``None`` for marker
+            features that only exist in the feature model.
+        tokens: Token definitions the sub-grammar introduces.
+        requires / excludes / after / removes: See :class:`FeatureUnit`.
+        start: Explicit start rule of the sub-grammar.
+        description: Human-readable summary for documentation tools.
+    """
+    grammar: Grammar | None = None
+    token_set = TokenSet(feature, tokens)
+    if grammar_text is not None:
+        grammar = read_grammar(grammar_text, name=feature, tokens=token_set)
+        if start is not None:
+            grammar.start = start
+    elif tokens:
+        grammar = Grammar(feature, tokens=token_set)
+    return FeatureUnit(
+        feature=feature,
+        grammar=grammar,
+        requires=tuple(requires),
+        excludes=tuple(excludes),
+        after=tuple(after),
+        removes=tuple(removes),
+        description=description,
+    )

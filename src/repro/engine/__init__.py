@@ -1,0 +1,26 @@
+"""Relational engine substrate: a tailor-made in-memory SQL engine.
+
+Public API::
+
+    from repro.engine import Database, Result, Catalog, Table, Column
+"""
+
+from .catalog import Catalog, Sequence, View
+from .database import Database
+from .evaluator import Evaluator, RowEnv
+from .executor import Executor, Result
+from .table import Column, ForeignKey, Table
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "Database",
+    "Evaluator",
+    "Executor",
+    "ForeignKey",
+    "Result",
+    "RowEnv",
+    "Sequence",
+    "Table",
+    "View",
+]

@@ -1,0 +1,124 @@
+"""Aggregate computation and expression introspection helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..errors import ExecutionError, TypeMismatchError
+from ..sql import ast
+from .evaluator import Evaluator, RowEnv, compare
+
+
+def walk_expression(expr) -> Iterator[ast.Expression]:
+    """Yield ``expr`` and all scalar sub-expressions.
+
+    Does *not* descend into subqueries (:class:`ast.Query` values) — the
+    executor evaluates those separately with their own scopes.
+    """
+    if not isinstance(expr, ast.Expression):
+        return
+    yield expr
+    if not dataclasses.is_dataclass(expr):
+        return
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, ast.Expression):
+            yield from walk_expression(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, ast.Expression):
+                    yield from walk_expression(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        yield from walk_expression(sub)
+
+
+def find_aggregates(expressions) -> list[ast.AggregateCall]:
+    """Distinct aggregate calls appearing in the given expressions.
+
+    Aggregates nested inside window calls are excluded — they are computed
+    per window partition, not per group.
+    """
+    inside_windows: set[int] = set()
+    for expr in expressions:
+        for node in walk_expression(expr):
+            if isinstance(node, ast.WindowCall):
+                for sub in walk_expression(node.function):
+                    inside_windows.add(id(sub))
+    found: list[ast.AggregateCall] = []
+    for expr in expressions:
+        for node in walk_expression(expr):
+            if isinstance(node, ast.AggregateCall) and id(node) not in inside_windows:
+                if node not in found:
+                    found.append(node)
+    return found
+
+
+def find_windows(expressions) -> list[ast.WindowCall]:
+    """Distinct window calls appearing in the given expressions."""
+    found: list[ast.WindowCall] = []
+    for expr in expressions:
+        for node in walk_expression(expr):
+            if isinstance(node, ast.WindowCall) and node not in found:
+                found.append(node)
+    return found
+
+
+def compute_aggregate(
+    call: ast.AggregateCall,
+    group_envs: list[RowEnv],
+    evaluator: Evaluator,
+):
+    """Evaluate one aggregate call over the rows of one group."""
+    envs = group_envs
+    if call.filter_condition is not None:
+        envs = [e for e in envs if evaluator.truth(call.filter_condition, e)]
+    if call.argument is None:  # COUNT(*)
+        return len(envs)
+
+    values = [evaluator.eval(call.argument, e) for e in envs]
+    values = [v for v in values if v is not None]
+    if call.quantifier == "DISTINCT":
+        seen = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+
+    function = call.function
+    if function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if function == "SUM":
+        return _numeric_fold(values, sum)
+    if function == "AVG":
+        return _numeric_fold(values, lambda v: sum(v) / len(v))
+    if function == "MIN":
+        return _extreme(values, smallest=True)
+    if function == "MAX":
+        return _extreme(values, smallest=False)
+    if function in ("EVERY", "ANY", "SOME"):
+        if not all(isinstance(v, bool) for v in values):
+            raise TypeMismatchError(f"{function} needs boolean values")
+        return all(values) if function == "EVERY" else any(values)
+    raise ExecutionError(f"unknown aggregate function {function!r}")
+
+
+def _numeric_fold(values, fold):
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"numeric aggregate over {value!r}")
+    return fold(values)
+
+
+def _extreme(values, smallest: bool):
+    best = values[0]
+    for value in values[1:]:
+        cmp_result = compare(value, best)
+        if cmp_result is None:
+            continue
+        if (smallest and cmp_result < 0) or (not smallest and cmp_result > 0):
+            best = value
+    return best

@@ -1,0 +1,125 @@
+"""The catalog: named tables, views and sequences.
+
+Names are case-insensitive (folded to lower case), matching SQL's regular
+identifier semantics.  Views are stored as their defining query and
+expanded on reference by the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+from ..sql import ast
+from .table import Table
+
+
+@dataclass
+class View:
+    name: str
+    columns: tuple[str, ...]
+    query: ast.Query
+
+
+@dataclass
+class Sequence:
+    name: str
+    next_value: int = 1
+    increment: int = 1
+
+
+def _fold(name: str) -> str:
+    return name.lower()
+
+
+class Catalog:
+    """Named database objects with snapshot/restore for transactions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+        self._sequences: dict[str, Sequence] = {}
+
+    # -- tables ----------------------------------------------------------------
+
+    def create_table(self, table: Table) -> None:
+        key = _fold(table.name)
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"object {table.name!r} already exists")
+        self._tables[key] = table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[_fold(name)]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return _fold(name) in self._tables
+
+    def drop_table(self, name: str) -> None:
+        if _fold(name) not in self._tables:
+            raise CatalogError(f"no such table: {name!r}")
+        del self._tables[_fold(name)]
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # -- views --------------------------------------------------------------------
+
+    def create_view(self, view: View) -> None:
+        key = _fold(view.name)
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"object {view.name!r} already exists")
+        self._views[key] = view
+
+    def view(self, name: str) -> View:
+        try:
+            return self._views[_fold(name)]
+        except KeyError:
+            raise CatalogError(f"no such view: {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return _fold(name) in self._views
+
+    def drop_view(self, name: str) -> None:
+        if _fold(name) not in self._views:
+            raise CatalogError(f"no such view: {name!r}")
+        del self._views[_fold(name)]
+
+    # -- sequences ----------------------------------------------------------------
+
+    def create_sequence(self, sequence: Sequence) -> None:
+        key = _fold(sequence.name)
+        if key in self._sequences:
+            raise CatalogError(f"sequence {sequence.name!r} already exists")
+        self._sequences[key] = sequence
+
+    def sequence(self, name: str) -> Sequence:
+        try:
+            return self._sequences[_fold(name)]
+        except KeyError:
+            raise CatalogError(f"no such sequence: {name!r}") from None
+
+    def drop_sequence(self, name: str) -> None:
+        if _fold(name) not in self._sequences:
+            raise CatalogError(f"no such sequence: {name!r}")
+        del self._sequences[_fold(name)]
+
+    # -- transactions ----------------------------------------------------------------
+
+    def snapshot(self) -> "Catalog":
+        """Copy the catalog; table rows are copied, definitions shared."""
+        clone = Catalog()
+        clone._tables = {k: t.copy() for k, t in self._tables.items()}
+        clone._views = dict(self._views)
+        clone._sequences = {
+            k: Sequence(s.name, s.next_value, s.increment)
+            for k, s in self._sequences.items()
+        }
+        return clone
+
+    def restore(self, snapshot: "Catalog") -> None:
+        self._tables = snapshot._tables
+        self._views = snapshot._views
+        self._sequences = snapshot._sequences

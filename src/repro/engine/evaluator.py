@@ -1,0 +1,552 @@
+"""Scalar expression evaluation with SQL three-valued logic.
+
+``None`` is SQL NULL throughout.  Boolean expressions evaluate to
+``True`` / ``False`` / ``None`` (UNKNOWN) under Kleene logic; a WHERE
+clause keeps a row only when its condition is exactly ``True``.
+
+Aggregates and window functions are *not* computed here — the executor
+pre-computes them per group/row and binds the results in the
+:class:`RowEnv`, keyed by the AST node itself (nodes are frozen
+dataclasses, hence hashable).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import re
+from typing import Callable, Mapping
+
+from ..errors import ExecutionError, TypeMismatchError
+from ..sql import ast
+
+# -- environment ------------------------------------------------------------
+
+
+class RowEnv:
+    """Column bindings for one row, chained to an outer environment.
+
+    ``columns`` is a list of ``(qualifier, name)`` pairs aligned with the
+    value tuple.  Lookups by bare name must be unambiguous; qualified
+    lookups match the qualifier exactly.  Missing names fall through to
+    the outer environment (correlated subqueries).
+    """
+
+    __slots__ = ("columns", "values", "outer", "aggregates", "windows", "overrides")
+
+    def __init__(
+        self,
+        columns: list[tuple[str | None, str]],
+        values: tuple,
+        outer: "RowEnv | None" = None,
+        aggregates: Mapping | None = None,
+        windows: Mapping | None = None,
+        overrides: Mapping | None = None,
+    ) -> None:
+        self.columns = columns
+        self.values = values
+        self.outer = outer
+        self.aggregates = aggregates or {}
+        self.windows = windows or {}
+        #: expression-level substitutions (e.g. grouped keys nulled by a
+        #: ROLLUP grouping set); checked before normal evaluation
+        self.overrides = overrides or {}
+
+    def lookup(self, qualifier: str | None, name: str):
+        name_l = name.lower()
+        qual_l = qualifier.lower() if qualifier is not None else None
+        hits = [
+            index
+            for index, (col_qual, col_name) in enumerate(self.columns)
+            if col_name.lower() == name_l
+            and (qual_l is None or (col_qual or "").lower() == qual_l)
+        ]
+        if len(hits) == 1:
+            return self.values[hits[0]]
+        if len(hits) > 1:
+            raise ExecutionError(f"ambiguous column reference {name!r}")
+        if self.outer is not None:
+            return self.outer.lookup(qualifier, name)
+        target = f"{qualifier}.{name}" if qualifier else name
+        raise ExecutionError(f"unknown column {target!r}")
+
+
+# -- three-valued logic -------------------------------------------------------
+
+
+def and3(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def or3(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def not3(a):
+    if a is None:
+        return None
+    return not a
+
+
+def compare(a, b) -> int | None:
+    """SQL comparison: returns -1/0/1, or None when either side is NULL."""
+    if a is None or b is None:
+        return None
+    if isinstance(a, bool) or isinstance(b, bool):
+        if isinstance(a, bool) and isinstance(b, bool):
+            return (a > b) - (a < b)
+        raise TypeMismatchError(f"cannot compare {a!r} with {b!r}")
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return (a > b) - (a < b)
+    if isinstance(a, str) and isinstance(b, str):
+        return (a > b) - (a < b)
+    raise TypeMismatchError(f"cannot compare {a!r} with {b!r}")
+
+
+_COMPARISON_OPS: dict[str, Callable[[int], bool]] = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    ">": lambda c: c > 0,
+    "<=": lambda c: c <= 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+def like_match(value: str, pattern: str, escape: str | None = None) -> bool:
+    """SQL LIKE: ``%`` any run, ``_`` one character, optional escape char."""
+    parts: list[str] = []
+    index = 0
+    while index < len(pattern):
+        ch = pattern[index]
+        if escape and ch == escape and index + 1 < len(pattern):
+            parts.append(re.escape(pattern[index + 1]))
+            index += 2
+            continue
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+        index += 1
+    return re.fullmatch("".join(parts), value, flags=re.DOTALL) is not None
+
+
+# -- evaluator --------------------------------------------------------------------
+
+
+class Evaluator:
+    """Evaluates expression ASTs against row environments.
+
+    ``subquery_executor(query, env)`` is supplied by the executor and
+    returns the list of result rows for a (possibly correlated) subquery.
+    """
+
+    def __init__(
+        self,
+        subquery_executor: Callable[[ast.Query, RowEnv | None], list[tuple]] | None = None,
+        sequence_next: Callable[[str], int] | None = None,
+    ) -> None:
+        self._subquery = subquery_executor
+        self._sequence_next = sequence_next
+
+    # -- entry point ---------------------------------------------------------
+
+    def eval(self, expr: ast.Expression, env: RowEnv):
+        if env.overrides and expr in env.overrides:
+            return env.overrides[expr]
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, env)
+
+    def truth(self, expr: ast.Expression, env: RowEnv) -> bool:
+        """WHERE/HAVING semantics: NULL counts as not-satisfied."""
+        return self.eval(expr, env) is True
+
+    # -- leaves ----------------------------------------------------------------
+
+    def _eval_Literal(self, expr: ast.Literal, env: RowEnv):
+        return expr.value
+
+    def _eval_Default(self, expr: ast.Default, env: RowEnv):
+        raise ExecutionError("DEFAULT is only allowed in INSERT/UPDATE sources")
+
+    def _eval_ColumnRef(self, expr: ast.ColumnRef, env: RowEnv):
+        return env.lookup(expr.qualifier, expr.name)
+
+    # -- operators ----------------------------------------------------------------
+
+    def _eval_BinaryOp(self, expr: ast.BinaryOp, env: RowEnv):
+        op = expr.op
+        if op == "AND":
+            left = self.eval(expr.left, env)
+            if left is False:
+                return False
+            return and3(left, self.eval(expr.right, env))
+        if op == "OR":
+            left = self.eval(expr.left, env)
+            if left is True:
+                return True
+            return or3(left, self.eval(expr.right, env))
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if op in _COMPARISON_OPS:
+            cmp_result = compare(left, right)
+            if cmp_result is None:
+                return None
+            return _COMPARISON_OPS[op](cmp_result)
+        if left is None or right is None:
+            return None
+        if op == "||":
+            if not isinstance(left, str) or not isinstance(right, str):
+                raise TypeMismatchError("|| needs string operands")
+            return left + right
+        if op in ("+", "-", "*", "/"):
+            if isinstance(left, bool) or isinstance(right, bool):
+                raise TypeMismatchError("arithmetic on boolean")
+            if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+                raise TypeMismatchError(
+                    f"arithmetic needs numbers, got {left!r} and {right!r}"
+                )
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise ExecutionError("division by zero")
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) and result == int(result):
+                return int(result)
+            return result
+        raise ExecutionError(f"unsupported operator {op!r}")
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        if expr.op == "NOT":
+            return not3(value)
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeMismatchError(f"unary {expr.op} needs a number")
+        return -value if expr.op == "-" else value
+
+    # -- predicates ----------------------------------------------------------------
+
+    def _eval_IsNull(self, expr: ast.IsNull, env: RowEnv):
+        result = self.eval(expr.operand, env) is None
+        return not result if expr.negated else result
+
+    def _eval_Between(self, expr: ast.Between, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        low = self.eval(expr.low, env)
+        high = self.eval(expr.high, env)
+        low_cmp = compare(value, low)
+        high_cmp = compare(value, high)
+        ge_low = None if low_cmp is None else low_cmp >= 0
+        le_high = None if high_cmp is None else high_cmp <= 0
+        result = and3(ge_low, le_high)
+        return not3(result) if expr.negated else result
+
+    def _eval_InList(self, expr: ast.InList, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        result = self._in_values(value, [self.eval(i, env) for i in expr.items])
+        return not3(result) if expr.negated else result
+
+    @staticmethod
+    def _in_values(value, candidates):
+        saw_null = value is None
+        for candidate in candidates:
+            cmp_result = compare(value, candidate)
+            if cmp_result is None:
+                saw_null = True
+            elif cmp_result == 0:
+                return True
+        return None if saw_null else False
+
+    def _eval_Like(self, expr: ast.Like, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        pattern = self.eval(expr.pattern, env)
+        escape = self.eval(expr.escape, env) if expr.escape is not None else None
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise TypeMismatchError("LIKE needs string operands")
+        result = like_match(value, pattern, escape)
+        return not result if expr.negated else result
+
+    def _eval_BooleanIs(self, expr: ast.BooleanIs, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        result = value is None if expr.truth is None else value is expr.truth
+        return not result if expr.negated else result
+
+    def _eval_IsDistinctFrom(self, expr: ast.IsDistinctFrom, env: RowEnv):
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        if left is None and right is None:
+            distinct = False
+        elif left is None or right is None:
+            distinct = True
+        else:
+            distinct = compare(left, right) != 0
+        return not distinct if expr.negated else distinct
+
+    # -- subquery predicates -------------------------------------------------------
+
+    def _rows(self, query: ast.Query, env: RowEnv) -> list[tuple]:
+        if self._subquery is None:
+            raise ExecutionError("subqueries are not available in this context")
+        return self._subquery(query, env)
+
+    def _eval_ScalarSubquery(self, expr: ast.ScalarSubquery, env: RowEnv):
+        rows = self._rows(expr.query, env)
+        if not rows:
+            return None
+        if len(rows) > 1 or len(rows[0]) != 1:
+            raise ExecutionError("scalar subquery must return one value")
+        return rows[0][0]
+
+    def _eval_Exists(self, expr: ast.Exists, env: RowEnv):
+        return bool(self._rows(expr.query, env))
+
+    def _eval_UniqueSubquery(self, expr: ast.UniqueSubquery, env: RowEnv):
+        rows = [r for r in self._rows(expr.query, env) if None not in r]
+        return len(rows) == len(set(rows))
+
+    def _eval_InSubquery(self, expr: ast.InSubquery, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        rows = self._rows(expr.query, env)
+        if rows and len(rows[0]) != 1:
+            raise ExecutionError("IN subquery must return one column")
+        result = self._in_values(value, [r[0] for r in rows])
+        return not3(result) if expr.negated else result
+
+    def _eval_Quantified(self, expr: ast.Quantified, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        rows = self._rows(expr.query, env)
+        if rows and len(rows[0]) != 1:
+            raise ExecutionError("quantified subquery must return one column")
+        op = _COMPARISON_OPS[expr.op]
+        results = []
+        for row in rows:
+            cmp_result = compare(value, row[0])
+            results.append(None if cmp_result is None else op(cmp_result))
+        if expr.quantifier == "ALL":
+            folded: bool | None = True
+            for r in results:
+                folded = and3(folded, r)
+            return folded
+        folded = False
+        for r in results:
+            folded = or3(folded, r)
+        return folded
+
+    # -- aggregates / windows (precomputed) ----------------------------------------
+
+    def _eval_AggregateCall(self, expr: ast.AggregateCall, env: RowEnv):
+        if expr in env.aggregates:
+            return env.aggregates[expr]
+        if env.outer is not None:
+            return self._eval_AggregateCall(expr, env.outer)
+        raise ExecutionError(
+            f"aggregate {expr.function} used outside an aggregated query"
+        )
+
+    def _eval_WindowCall(self, expr: ast.WindowCall, env: RowEnv):
+        if expr in env.windows:
+            return env.windows[expr]
+        raise ExecutionError("window function used where no window is computed")
+
+    # -- other expression forms -----------------------------------------------------
+
+    def _eval_CaseExpr(self, expr: ast.CaseExpr, env: RowEnv):
+        if expr.operand is not None:
+            operand = self.eval(expr.operand, env)
+            for when, result in expr.whens:
+                cmp_result = compare(operand, self.eval(when, env))
+                if cmp_result == 0:
+                    return self.eval(result, env)
+        else:
+            for when, result in expr.whens:
+                if self.eval(when, env) is True:
+                    return self.eval(result, env)
+        if expr.else_result is not None:
+            return self.eval(expr.else_result, env)
+        return None
+
+    _CAST_TARGETS = {
+        "integer": int,
+        "numeric": float,
+        "real": float,
+        "char": str,
+        "varchar": str,
+        "boolean": bool,
+    }
+
+    def _eval_Cast(self, expr: ast.Cast, env: RowEnv):
+        value = self.eval(expr.operand, env)
+        if value is None:
+            return None
+        target = expr.type_name
+        try:
+            if target == "integer":
+                if isinstance(value, str):
+                    return int(value.strip())
+                if isinstance(value, bool):
+                    raise TypeMismatchError("cannot cast boolean to integer")
+                return int(value)
+            if target in ("numeric", "real"):
+                if isinstance(value, bool):
+                    raise TypeMismatchError("cannot cast boolean to numeric")
+                return float(value)
+            if target in ("char", "varchar", "clob"):
+                if isinstance(value, bool):
+                    return "TRUE" if value else "FALSE"
+                return str(value)
+            if target == "boolean":
+                if isinstance(value, bool):
+                    return value
+                if isinstance(value, str):
+                    folded = value.strip().upper()
+                    if folded == "TRUE":
+                        return True
+                    if folded == "FALSE":
+                        return False
+                raise TypeMismatchError(f"cannot cast {value!r} to boolean")
+            if target in ("date", "time", "timestamp", "interval"):
+                return str(value)
+        except ValueError:
+            raise ExecutionError(f"cannot cast {value!r} to {target}") from None
+        raise ExecutionError(f"unsupported cast target {target!r}")
+
+    def _eval_FunctionCall(self, expr: ast.FunctionCall, env: RowEnv):
+        name = expr.name.upper()
+        if name == "NEXT VALUE FOR":
+            if self._sequence_next is None:
+                raise ExecutionError("sequences are not available in this context")
+            return self._sequence_next(expr.args[0].name)
+        handler = _SCALAR_FUNCTIONS.get(name)
+        if handler is None:
+            raise ExecutionError(f"unknown function {expr.name!r}")
+        args = [self.eval(a, env) for a in expr.args]
+        return handler(args)
+
+
+# -- scalar function implementations ------------------------------------------------
+
+
+def _null_if_any_null(fn):
+    def wrapper(args):
+        if any(a is None for a in args):
+            return None
+        return fn(args)
+
+    return wrapper
+
+
+def _num(args, index=0):
+    value = args[index]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"expected a number, got {value!r}")
+    return value
+
+
+def _text(args, index=0):
+    value = args[index]
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"expected a string, got {value!r}")
+    return value
+
+
+def _substring(args):
+    s = _text(args)
+    start = int(_num(args, 1))
+    begin = max(start - 1, 0)
+    if len(args) > 2:
+        length = int(_num(args, 2))
+        return s[begin : begin + max(length, 0)]
+    return s[begin:]
+
+
+def _trim(args):
+    if len(args) == 1:
+        return _text(args).strip()
+    chars = _text(args, 0)
+    return _text(args, 1).strip(chars or None)
+
+
+def _extract(args):
+    field = _text(args, 0)
+    value = _text(args, 1)
+    date_part, _, time_part = value.partition(" ")
+    pieces = date_part.split("-")
+    time_pieces = time_part.split(":") if time_part else []
+    mapping = {
+        "YEAR": pieces[0] if pieces else None,
+        "MONTH": pieces[1] if len(pieces) > 1 else None,
+        "DAY": pieces[2] if len(pieces) > 2 else None,
+        "HOUR": time_pieces[0] if time_pieces else None,
+        "MINUTE": time_pieces[1] if len(time_pieces) > 1 else None,
+        "SECOND": time_pieces[2] if len(time_pieces) > 2 else None,
+    }
+    raw = mapping.get(field)
+    if raw is None:
+        raise ExecutionError(f"cannot EXTRACT {field} from {value!r}")
+    return float(raw) if field == "SECOND" else int(raw)
+
+
+def _coalesce(args):
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _nullif(args):
+    if args[0] is not None and args[1] is not None and compare(args[0], args[1]) == 0:
+        return None
+    return args[0]
+
+
+def _position(args):
+    needle = _text(args, 0)
+    haystack = _text(args, 1)
+    return haystack.find(needle) + 1
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[[list], object]] = {
+    "ABS": _null_if_any_null(lambda a: abs(_num(a))),
+    "MOD": _null_if_any_null(lambda a: _num(a) % _num(a, 1)),
+    "LN": _null_if_any_null(lambda a: math.log(_num(a))),
+    "EXP": _null_if_any_null(lambda a: math.exp(_num(a))),
+    "POWER": _null_if_any_null(lambda a: _num(a) ** _num(a, 1)),
+    "SQRT": _null_if_any_null(lambda a: math.sqrt(_num(a))),
+    "FLOOR": _null_if_any_null(lambda a: math.floor(_num(a))),
+    "CEILING": _null_if_any_null(lambda a: math.ceil(_num(a))),
+    "UPPER": _null_if_any_null(lambda a: _text(a).upper()),
+    "LOWER": _null_if_any_null(lambda a: _text(a).lower()),
+    "CHAR_LENGTH": _null_if_any_null(lambda a: len(_text(a))),
+    "OCTET_LENGTH": _null_if_any_null(lambda a: len(_text(a).encode())),
+    "SUBSTRING": _null_if_any_null(_substring),
+    "TRIM": _null_if_any_null(_trim),
+    "POSITION": _null_if_any_null(_position),
+    "EXTRACT": _null_if_any_null(_extract),
+    "COALESCE": _coalesce,
+    "NULLIF": _nullif,
+    "CURRENT_DATE": lambda a: datetime.date.today().isoformat(),
+    "CURRENT_TIME": lambda a: datetime.datetime.now().time().isoformat("seconds"),
+    "CURRENT_TIMESTAMP": lambda a: datetime.datetime.now().isoformat(" ", "seconds"),
+    "LOCALTIME": lambda a: datetime.datetime.now().time().isoformat("seconds"),
+    "LOCALTIMESTAMP": lambda a: datetime.datetime.now().isoformat(" ", "seconds"),
+}

@@ -1,0 +1,941 @@
+"""Statement and query execution over the catalog.
+
+A deliberately plan-less engine: queries are evaluated directly from the
+AST with nested-loop joins and materialized subqueries.  It exists to
+demonstrate the paper's point — a *tailored* SQL engine whose language
+surface equals the selected grammar features — not to win benchmarks.
+
+Known simplifications (documented in DESIGN.md): GROUPING SETS is treated
+as a list of single-column grouping sets, window frames are ignored
+(whole-partition aggregation), and ORDER BY may reference select aliases
+or underlying columns but not arbitrary non-projected expressions in set
+operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError, ExecutionError
+from ..sql import ast
+from .aggregates import (
+    compute_aggregate,
+    find_aggregates,
+    find_windows,
+    walk_expression,
+)
+from .catalog import Catalog, Sequence, View
+from .evaluator import Evaluator, RowEnv, compare
+from .table import Column, ForeignKey, Table, make_unique_marker
+
+ColumnId = tuple  # (qualifier | None, name)
+
+
+@dataclass
+class Result:
+    """A query result: column names plus rows in order."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self):
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError("result is not a single scalar")
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Simple aligned-text rendering for examples and demos."""
+        widths = [len(c) for c in self.columns]
+        rendered = [
+            ["NULL" if v is None else str(v) for v in row] for row in self.rows
+        ]
+        for row in rendered:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rendered:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _Relation:
+    """An intermediate relation: qualified columns plus rows."""
+
+    columns: list[ColumnId]
+    rows: list[tuple]
+
+
+class Executor:
+    """Executes statements against one catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.evaluator = Evaluator(
+            subquery_executor=self._execute_subquery,
+            sequence_next=self._sequence_next,
+        )
+        self._cte_scopes: list[dict[str, Result]] = []
+
+    # ==== statements =========================================================
+
+    def execute(self, statement: ast.Statement):
+        """Execute one statement.
+
+        Returns a :class:`Result` for queries, an affected-row count for
+        DML, and ``None`` for DDL and generic statements.
+        """
+        if isinstance(statement, ast.QueryStatement):
+            return self.execute_query(statement.query)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement)
+        if isinstance(statement, ast.Merge):
+            return self._execute_merge(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateView):
+            self.catalog.create_view(
+                View(statement.name[-1], statement.columns, statement.query)
+            )
+            return None
+        if isinstance(statement, ast.DropStatement):
+            return self._execute_drop(statement)
+        if isinstance(statement, ast.GenericStatement):
+            if statement.kind == "sequence_definition":
+                return self._execute_create_sequence(statement)
+            return None  # parsed, no engine semantics (GRANT, SET ...)
+        raise ExecutionError(f"cannot execute {type(statement).__name__}")
+
+    # ==== queries =================================================================
+
+    def execute_query(self, query: ast.Query, outer: RowEnv | None = None) -> Result:
+        scope: dict[str, Result] = {}
+        self._cte_scopes.append(scope)
+        try:
+            for cte in query.ctes:
+                scope[cte.name.lower()] = self._materialize_cte(cte, query.recursive, outer)
+            result, row_envs = self._execute_body(query.body, outer)
+            if query.order_by:
+                result, row_envs = self._order_result(
+                    result, row_envs, query.order_by, outer
+                )
+            rows = result.rows
+            if query.offset:
+                rows = rows[query.offset :]
+            if query.limit is not None:
+                rows = rows[: query.limit]
+            return Result(result.columns, rows)
+        finally:
+            self._cte_scopes.pop()
+
+    def _execute_subquery(self, query: ast.Query, outer: RowEnv | None) -> list[tuple]:
+        return self.execute_query(query, outer=outer).rows
+
+    def _materialize_cte(
+        self, cte: ast.CommonTableExpr, recursive: bool, outer: RowEnv | None
+    ) -> Result:
+        name = cte.name.lower()
+        if not recursive:
+            result = self.execute_query(cte.query, outer=outer)
+        else:
+            # fixpoint iteration: the CTE's own name resolves to the rows
+            # accumulated so far
+            scope = self._cte_scopes[-1]
+            accumulated = Result(list(cte.columns) or [], [])
+            scope[name] = accumulated
+            for _ in range(10_000):
+                result = self.execute_query(cte.query, outer=outer)
+                new_rows = [r for r in result.rows if r not in accumulated.rows]
+                if accumulated.columns == []:
+                    accumulated.columns = result.columns
+                if not new_rows:
+                    break
+                accumulated.rows.extend(new_rows)
+                scope[name] = accumulated
+            else:
+                raise ExecutionError(f"recursive CTE {cte.name!r} did not converge")
+            result = accumulated
+        if cte.columns:
+            if len(cte.columns) != len(result.columns):
+                raise ExecutionError(
+                    f"CTE {cte.name!r} declares {len(cte.columns)} columns, "
+                    f"query returns {len(result.columns)}"
+                )
+            result = Result(list(cte.columns), result.rows)
+        return result
+
+    def _execute_body(
+        self, body: ast.QueryBody, outer: RowEnv | None
+    ) -> tuple[Result, list[RowEnv | None]]:
+        if isinstance(body, ast.Select):
+            return self._execute_select(body, outer)
+        if isinstance(body, ast.SetOperation):
+            return self._execute_set_operation(body, outer)
+        if isinstance(body, ast.Values):
+            env = RowEnv([], (), outer=outer)
+            rows = [
+                tuple(self.evaluator.eval(e, env) for e in row) for row in body.rows
+            ]
+            columns = [f"column{i + 1}" for i in range(len(rows[0]) if rows else 0)]
+            return Result(columns, rows), [None] * len(rows)
+        if isinstance(body, ast.ExplicitTable):
+            relation = self._named_relation(body.parts[-1], None)
+            return (
+                Result([name for __, name in relation.columns], relation.rows),
+                [None] * len(relation.rows),
+            )
+        raise ExecutionError(f"cannot execute query body {type(body).__name__}")
+
+    def _execute_set_operation(
+        self, op: ast.SetOperation, outer: RowEnv | None
+    ) -> tuple[Result, list[None]]:
+        left, __ = self._execute_body(op.left, outer)
+        right, __ = self._execute_body(op.right, outer)
+        if len(left.columns) != len(right.columns):
+            raise ExecutionError(
+                f"{op.kind.upper()} operands have different column counts"
+            )
+        keep_duplicates = op.quantifier == "ALL"
+        if op.kind == "union":
+            rows = list(left.rows) + list(right.rows)
+            if not keep_duplicates:
+                rows = _dedupe(rows)
+        elif op.kind == "intersect":
+            right_pool = list(right.rows)
+            rows = []
+            for row in left.rows:
+                if row in right_pool:
+                    rows.append(row)
+                    if keep_duplicates:
+                        right_pool.remove(row)
+            if not keep_duplicates:
+                rows = _dedupe(rows)
+        elif op.kind == "except":
+            right_pool = list(right.rows)
+            rows = []
+            for row in left.rows:
+                if row in right_pool:
+                    if keep_duplicates:
+                        right_pool.remove(row)
+                    continue
+                rows.append(row)
+            if not keep_duplicates:
+                rows = _dedupe(rows)
+        else:
+            raise ExecutionError(f"unknown set operation {op.kind!r}")
+        return Result(left.columns, rows), [None] * len(rows)
+
+    # ==== SELECT ====================================================================
+
+    def _execute_select(
+        self, select: ast.Select, outer: RowEnv | None
+    ) -> tuple[Result, list[RowEnv | None]]:
+        relation = self._resolve_from(select.from_tables, outer)
+        envs = [
+            RowEnv(relation.columns, row, outer=outer) for row in relation.rows
+        ]
+        if select.where is not None:
+            envs = [e for e in envs if self.evaluator.truth(select.where, e)]
+
+        item_exprs = [
+            i.expression for i in select.items if isinstance(i, ast.SelectItem)
+        ]
+        probe = list(item_exprs)
+        if select.having is not None:
+            probe.append(select.having)
+        aggregates = find_aggregates(probe)
+        windows = find_windows(item_exprs)
+
+        if select.group_by or aggregates:
+            envs = self._group(select, envs, aggregates, outer)
+        if select.having is not None:
+            envs = [e for e in envs if self.evaluator.truth(select.having, e)]
+        if windows:
+            self._bind_windows(select, envs, windows)
+
+        columns, rows = self._project(select, relation, envs)
+        row_envs: list[RowEnv | None] = list(envs)
+        if select.quantifier == "DISTINCT":
+            rows, row_envs = _dedupe_with(rows, row_envs)
+        return Result(columns, rows), row_envs
+
+    def _group(
+        self,
+        select: ast.Select,
+        envs: list[RowEnv],
+        aggregates: list[ast.AggregateCall],
+        outer: RowEnv | None,
+    ) -> list[RowEnv]:
+        keys = list(select.group_by)
+        grouping_sets = self._grouping_sets(select, keys)
+        grouped: list[RowEnv] = []
+        for active in grouping_sets:
+            buckets: dict[tuple, list[RowEnv]] = {}
+            order: list[tuple] = []
+            for env in envs:
+                key = tuple(
+                    _hashable(self.evaluator.eval(k, env)) for k in active
+                )
+                if key not in buckets:
+                    buckets[key] = []
+                    order.append(key)
+                buckets[key].append(env)
+            if not keys and not buckets:
+                # aggregate over an empty relation still yields one group
+                buckets[()] = []
+                order.append(())
+            for key in order:
+                group = buckets[key]
+                agg_values = {
+                    call: compute_aggregate(call, group, self.evaluator)
+                    for call in aggregates
+                }
+                overrides = {
+                    k: None for k in keys if k not in active
+                }
+                representative = group[0] if group else RowEnv([], (), outer=outer)
+                grouped.append(
+                    RowEnv(
+                        representative.columns,
+                        representative.values,
+                        outer=outer,
+                        aggregates=agg_values,
+                        overrides=overrides,
+                    )
+                )
+        return grouped
+
+    @staticmethod
+    def _grouping_sets(select: ast.Select, keys: list) -> list[list]:
+        if select.grouping_kind == "rollup":
+            return [keys[:n] for n in range(len(keys), -1, -1)]
+        if select.grouping_kind == "cube":
+            sets: list[list] = []
+            for mask in range(2 ** len(keys) - 1, -1, -1):
+                sets.append([k for i, k in enumerate(keys) if mask & (1 << i)])
+            return sets
+        if select.grouping_kind == "grouping sets":
+            return [[k] for k in keys] or [[]]
+        return [keys]
+
+    def _bind_windows(
+        self,
+        select: ast.Select,
+        envs: list[RowEnv],
+        windows: list[ast.WindowCall],
+    ) -> None:
+        named = {d.name.lower(): d.spec for d in select.windows}
+        for call in windows:
+            spec = call.window
+            if isinstance(spec, str):
+                try:
+                    spec = named[spec.lower()]
+                except KeyError:
+                    raise ExecutionError(f"unknown window {call.window!r}") from None
+            self._compute_window(call, spec, envs)
+
+    def _compute_window(
+        self, call: ast.WindowCall, spec: ast.WindowSpec, envs: list[RowEnv]
+    ) -> None:
+        partitions: dict[tuple, list[RowEnv]] = {}
+        for env in envs:
+            key = tuple(
+                _hashable(self.evaluator.eval(p, env)) for p in spec.partition_by
+            )
+            partitions.setdefault(key, []).append(env)
+        for partition in partitions.values():
+            ordered = partition
+            if spec.order_by:
+                ordered = sorted(
+                    partition,
+                    key=lambda e: _sort_key(
+                        [self.evaluator.eval(s.expression, e) for s in spec.order_by],
+                        spec.order_by,
+                    ),
+                )
+            function = call.function
+            if isinstance(function, ast.AggregateCall):
+                value = compute_aggregate(function, partition, self.evaluator)
+                for env in partition:
+                    env.windows = {**env.windows, call: value}
+                continue
+            name = function.name.upper()
+            rank = 0
+            last_key = object()
+            dense = 0
+            for position, env in enumerate(ordered, start=1):
+                key = tuple(
+                    _hashable(self.evaluator.eval(s.expression, env))
+                    for s in spec.order_by
+                )
+                if key != last_key:
+                    rank = position
+                    dense += 1
+                    last_key = key
+                if name == "ROW_NUMBER":
+                    value = position
+                elif name == "RANK":
+                    value = rank
+                elif name == "DENSE_RANK":
+                    value = dense
+                else:
+                    raise ExecutionError(f"unknown window function {name!r}")
+                env.windows = {**env.windows, call: value}
+
+    def _project(
+        self, select: ast.Select, relation: _Relation, envs: list[RowEnv]
+    ) -> tuple[list[str], list[tuple]]:
+        columns: list[str] = []
+        extractors: list = []
+        for item in select.items:
+            if isinstance(item, ast.Star):
+                for index, (qualifier, name) in enumerate(relation.columns):
+                    if item.table is not None and (
+                        qualifier is None
+                        or qualifier.lower() != item.table.lower()
+                    ):
+                        continue
+                    columns.append(name)
+                    extractors.append(("col", index))
+            else:
+                columns.append(item.alias or _derive_name(item.expression, len(columns)))
+                extractors.append(("expr", item.expression))
+        rows = []
+        for env in envs:
+            row = []
+            for kind, payload in extractors:
+                if kind == "col":
+                    value = env.values[payload] if payload < len(env.values) else None
+                    if env.overrides:
+                        value = self._grouped_column_value(env, payload, value)
+                    row.append(value)
+                else:
+                    row.append(self.evaluator.eval(payload, env))
+            rows.append(tuple(row))
+        return columns, rows
+
+    def _grouped_column_value(self, env: RowEnv, index: int, value):
+        """Apply grouping-set overrides to starred columns."""
+        qualifier, name = env.columns[index]
+        for expr, override in env.overrides.items():
+            if isinstance(expr, ast.ColumnRef) and expr.name.lower() == name.lower():
+                return override
+        return value
+
+    def _order_result(
+        self,
+        result: Result,
+        row_envs: list[RowEnv | None],
+        order_by: tuple[ast.SortSpec, ...],
+        outer: RowEnv | None,
+    ) -> tuple[Result, list[RowEnv | None]]:
+        result_columns: list[ColumnId] = [(None, c) for c in result.columns]
+
+        def key_for(index: int):
+            env = RowEnv(
+                result_columns,
+                result.rows[index],
+                outer=row_envs[index] if row_envs[index] is not None else outer,
+            )
+            values = [self.evaluator.eval(s.expression, env) for s in order_by]
+            return _sort_key(values, order_by)
+
+        order = sorted(range(len(result.rows)), key=key_for)
+        return (
+            Result(result.columns, [result.rows[i] for i in order]),
+            [row_envs[i] for i in order],
+        )
+
+    # ==== FROM resolution ===========================================================
+
+    def _resolve_from(
+        self, tables: tuple[ast.TableRef, ...], outer: RowEnv | None
+    ) -> _Relation:
+        if not tables:
+            return _Relation([], [()])
+        relation = self._table_ref(tables[0], outer)
+        for table_ref in tables[1:]:
+            other = self._table_ref(table_ref, outer)
+            relation = _cross(relation, other)
+        return relation
+
+    def _table_ref(self, ref: ast.TableRef, outer: RowEnv | None) -> _Relation:
+        if isinstance(ref, ast.NamedTable):
+            return self._named_relation(ref.name, ref.alias)
+        if isinstance(ref, ast.DerivedTable):
+            result = self.execute_query(ref.query, outer=outer)
+            columns = [(ref.alias, c) for c in result.columns]
+            return _Relation(columns, result.rows)
+        if isinstance(ref, ast.Join):
+            return self._join(ref, outer)
+        raise ExecutionError(f"unknown table reference {type(ref).__name__}")
+
+    def _named_relation(self, name: str, alias: str | None) -> _Relation:
+        qualifier = alias or name
+        for scope in reversed(self._cte_scopes):
+            if name.lower() in scope:
+                result = scope[name.lower()]
+                return _Relation(
+                    [(qualifier, c) for c in result.columns], list(result.rows)
+                )
+        if self.catalog.has_view(name):
+            view = self.catalog.view(name)
+            result = self.execute_query(view.query)
+            columns = list(view.columns) or result.columns
+            return _Relation([(qualifier, c) for c in columns], result.rows)
+        table = self.catalog.table(name)
+        return _Relation(
+            [(qualifier, c) for c in table.column_names()], list(table.rows)
+        )
+
+    def _join(self, join: ast.Join, outer: RowEnv | None) -> _Relation:
+        left = self._table_ref(join.left, outer)
+        right = self._table_ref(join.right, outer)
+        if join.kind == "cross":
+            return _cross(left, right)
+        if join.kind == "union":
+            columns = left.columns + right.columns
+            rows = [r + (None,) * len(right.columns) for r in left.rows]
+            rows += [(None,) * len(left.columns) + r for r in right.rows]
+            return _Relation(columns, rows)
+
+        if join.kind == "natural" or join.using:
+            common = (
+                list(join.using)
+                if join.using
+                else [
+                    n
+                    for __, n in left.columns
+                    if any(n.lower() == rn.lower() for __, rn in right.columns)
+                ]
+            )
+            predicate = self._columns_equal_predicate(left, right, common)
+        elif join.on is not None:
+            predicate = self._on_predicate(left, right, join.on, outer)
+        else:
+            raise ExecutionError("join needs an ON or USING specification")
+
+        columns = left.columns + right.columns
+        rows: list[tuple] = []
+        matched_right: set[int] = set()
+        for left_row in left.rows:
+            matched = False
+            for right_index, right_row in enumerate(right.rows):
+                if predicate(left_row, right_row):
+                    rows.append(left_row + right_row)
+                    matched = True
+                    matched_right.add(right_index)
+            if not matched and join.kind in ("left", "full"):
+                rows.append(left_row + (None,) * len(right.columns))
+        if join.kind in ("right", "full"):
+            for right_index, right_row in enumerate(right.rows):
+                if right_index not in matched_right:
+                    rows.append((None,) * len(left.columns) + right_row)
+        return _Relation(columns, rows)
+
+    def _columns_equal_predicate(self, left, right, names):
+        pairs = []
+        for name in names:
+            left_index = _find_column(left.columns, name)
+            right_index = _find_column(right.columns, name)
+            pairs.append((left_index, right_index))
+
+        def predicate(left_row, right_row):
+            for li, ri in pairs:
+                if compare(left_row[li], right_row[ri]) != 0:
+                    return False
+            return True
+
+        return predicate
+
+    def _on_predicate(self, left, right, condition, outer):
+        columns = left.columns + right.columns
+
+        def predicate(left_row, right_row):
+            env = RowEnv(columns, left_row + right_row, outer=outer)
+            return self.evaluator.truth(condition, env)
+
+        return predicate
+
+    # ==== DML ====================================================================
+
+    def _execute_insert(self, statement: ast.Insert) -> int:
+        table = self.catalog.table(statement.table[-1])
+        target_columns = list(statement.columns) or table.column_names()
+        if statement.source is None:  # DEFAULT VALUES
+            source_rows = [tuple(ast.Default() for __ in target_columns)]
+            return self._insert_rows(table, target_columns, source_rows, evaluate=True)
+        if isinstance(statement.source, ast.Values):
+            return self._insert_rows(
+                table, target_columns, list(statement.source.rows), evaluate=True
+            )
+        result = self.execute_query(statement.source)
+        return self._insert_rows(table, target_columns, result.rows, evaluate=False)
+
+    def _insert_rows(self, table, target_columns, source_rows, evaluate: bool) -> int:
+        env = RowEnv([], ())
+        count = 0
+        for source_row in source_rows:
+            if len(source_row) != len(target_columns):
+                raise ExecutionError(
+                    f"INSERT expects {len(target_columns)} values, "
+                    f"got {len(source_row)}"
+                )
+            provided = {}
+            for name, value in zip(target_columns, source_row):
+                column = table.column(name)
+                if evaluate:
+                    if isinstance(value, ast.Default):
+                        provided[column.name] = self._default_for(column)
+                    else:
+                        provided[column.name] = self.evaluator.eval(value, env)
+                else:
+                    provided[column.name] = value
+            row = tuple(
+                provided.get(c.name, self._default_for(c)) for c in table.columns
+            )
+            self._check_constraints(table, row)
+            table.insert(row)
+            count += 1
+        return count
+
+    @staticmethod
+    def _default_for(column: Column):
+        return column.default if column.has_default else None
+
+    def _check_constraints(self, table: Table, row: tuple, skip_index=None) -> None:
+        env = RowEnv([(table.name, c) for c in table.column_names()], row)
+        for check in table.checks:
+            if self.evaluator.eval(check, env) is False:
+                raise ExecutionError(
+                    f"CHECK constraint violated on table {table.name!r}"
+                )
+        for fk in table.foreign_keys:
+            values = tuple(row[table.column_index(c)] for c in fk.columns)
+            if any(v is None for v in values):
+                continue
+            referenced = self.catalog.table(fk.referenced_table)
+            ref_columns = list(fk.referenced_columns) or referenced.key_columns
+            indices = [referenced.column_index(c) for c in ref_columns]
+            if not any(
+                tuple(r[i] for i in indices) == values for r in referenced.rows
+            ):
+                raise ExecutionError(
+                    f"foreign key violation: {values!r} not present in "
+                    f"{fk.referenced_table!r}"
+                )
+
+    def _execute_update(self, statement: ast.Update) -> int:
+        table = self.catalog.table(statement.table[-1])
+        columns = [(table.name, c) for c in table.column_names()]
+        count = 0
+        for index, row in enumerate(list(table.rows)):
+            env = RowEnv(columns, row)
+            if statement.where is not None and not self.evaluator.truth(
+                statement.where, env
+            ):
+                continue
+            updated = list(row)
+            for name, source in statement.assignments:
+                column_index = table.column_index(name)
+                if isinstance(source, ast.Default):
+                    updated[column_index] = self._default_for(table.columns[column_index])
+                else:
+                    updated[column_index] = self.evaluator.eval(source, env)
+            checked = table.check_row(tuple(updated), skip_index=index)
+            self._check_constraints(table, checked, skip_index=index)
+            table.rows[index] = checked
+            count += 1
+        return count
+
+    def _execute_delete(self, statement: ast.Delete) -> int:
+        table = self.catalog.table(statement.table[-1])
+        columns = [(table.name, c) for c in table.column_names()]
+        keep: list[tuple] = []
+        removed: list[tuple] = []
+        for row in table.rows:
+            env = RowEnv(columns, row)
+            if statement.where is None or self.evaluator.truth(statement.where, env):
+                removed.append(row)
+            else:
+                keep.append(row)
+        for row in removed:
+            self._apply_referential_actions(table, row)
+        table.rows = keep
+        return len(removed)
+
+    def _apply_referential_actions(self, table: Table, row: tuple) -> None:
+        for other in self.catalog.tables():
+            for fk in other.foreign_keys:
+                if fk.referenced_table.lower() != table.name.lower():
+                    continue
+                ref_columns = list(fk.referenced_columns) or table.key_columns
+                key = tuple(row[table.column_index(c)] for c in ref_columns)
+                fk_indices = [other.column_index(c) for c in fk.columns]
+                dependents = [
+                    r
+                    for r in other.rows
+                    if tuple(r[i] for i in fk_indices) == key
+                ]
+                if not dependents:
+                    continue
+                action = (fk.on_delete or "restrict").lower()
+                if action == "cascade":
+                    other.rows = [r for r in other.rows if r not in dependents]
+                elif action == "set null":
+                    other.rows = [
+                        (
+                            tuple(
+                                None if i in fk_indices else v
+                                for i, v in enumerate(r)
+                            )
+                            if r in dependents
+                            else r
+                        )
+                        for r in other.rows
+                    ]
+                else:
+                    raise ExecutionError(
+                        f"cannot delete from {table.name!r}: referenced by "
+                        f"{other.name!r}"
+                    )
+
+    def _execute_merge(self, statement: ast.Merge) -> int:
+        target = self.catalog.table(statement.target[-1])
+        target_qualifier = statement.target_alias or target.name
+        target_columns = [(target_qualifier, c) for c in target.column_names()]
+        source = self._table_ref(statement.source, None)
+        count = 0
+        for source_row in source.rows:
+            matched_index = None
+            for index, target_row in enumerate(target.rows):
+                env = RowEnv(
+                    target_columns + source.columns, target_row + source_row
+                )
+                if self.evaluator.truth(statement.condition, env):
+                    matched_index = index
+                    break
+            if matched_index is not None and statement.matched_assignments:
+                env = RowEnv(
+                    target_columns + source.columns,
+                    target.rows[matched_index] + source_row,
+                )
+                updated = list(target.rows[matched_index])
+                for name, expr in statement.matched_assignments:
+                    updated[target.column_index(name)] = self.evaluator.eval(expr, env)
+                target.rows[matched_index] = table_checked = target.check_row(
+                    tuple(updated), skip_index=matched_index
+                )
+                self._check_constraints(target, table_checked, skip_index=matched_index)
+                count += 1
+            elif matched_index is None and statement.not_matched_values is not None:
+                env = RowEnv(source.columns, source_row)
+                insert_columns = (
+                    list(statement.not_matched_columns) or target.column_names()
+                )
+                values_row = statement.not_matched_values.rows[0]
+                provided = {
+                    name: self.evaluator.eval(expr, env)
+                    for name, expr in zip(insert_columns, values_row)
+                }
+                row = tuple(
+                    provided.get(c.name, self._default_for(c)) for c in target.columns
+                )
+                self._check_constraints(target, row)
+                target.insert(row)
+                count += 1
+        return count
+
+    # ==== DDL =======================================================================
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> None:
+        columns: list[Column] = []
+        env = RowEnv([], ())
+        for col in statement.columns:
+            default = None
+            has_default = False
+            if col.default is not None:
+                default = self.evaluator.eval(col.default, env)
+                has_default = True
+            columns.append(
+                Column(
+                    name=col.name,
+                    type_name=col.type.name,
+                    not_null=col.not_null or col.primary_key,
+                    default=default,
+                    has_default=has_default,
+                    primary_key=col.primary_key,
+                    unique=col.unique,
+                )
+            )
+        foreign_keys: list[ForeignKey] = []
+        checks = [c.check for c in statement.columns if c.check is not None]
+        for col in statement.columns:
+            if col.references is not None:
+                foreign_keys.append(
+                    ForeignKey(
+                        columns=(col.name,),
+                        referenced_table=col.references[-1],
+                        referenced_columns=(),
+                    )
+                )
+        for constraint in statement.constraints:
+            if constraint.kind in ("primary key", "unique"):
+                primary = constraint.kind == "primary key"
+                for name in constraint.columns:
+                    index = next(
+                        i for i, c in enumerate(columns) if c.name == name
+                    )
+                    columns[index] = make_unique_marker(columns[index], primary)
+            elif constraint.kind == "foreign key":
+                foreign_keys.append(
+                    ForeignKey(
+                        columns=constraint.columns,
+                        referenced_table=constraint.references_table[-1],
+                        referenced_columns=constraint.references_columns,
+                        on_delete=constraint.on_delete,
+                    )
+                )
+            elif constraint.kind == "check":
+                checks.append(constraint.check)
+        self.catalog.create_table(
+            Table(statement.name[-1], columns, foreign_keys, checks)
+        )
+        return None
+
+    def _execute_create_sequence(self, statement: ast.GenericStatement) -> None:
+        # GenericStatement text: "CREATE SEQUENCE name [options]"
+        words = statement.text.split()
+        name = words[2]
+        increment = 1
+        start = 1
+        upper = [w.upper() for w in words]
+        if "START" in upper:
+            start = int(words[upper.index("START") + 2])
+        if "INCREMENT" in upper:
+            increment = int(words[upper.index("INCREMENT") + 2])
+        self.catalog.create_sequence(Sequence(name, start, increment))
+        return None
+
+    def _sequence_next(self, name: str) -> int:
+        sequence = self.catalog.sequence(name)
+        value = sequence.next_value
+        sequence.next_value += sequence.increment
+        return value
+
+    def _execute_drop(self, statement: ast.DropStatement) -> None:
+        name = statement.name[-1]
+        if statement.kind == "table":
+            self.catalog.drop_table(name)
+        elif statement.kind == "view":
+            self.catalog.drop_view(name)
+        elif statement.kind == "sequence":
+            self.catalog.drop_sequence(name)
+        else:
+            raise CatalogError(f"cannot drop object of kind {statement.kind!r}")
+        return None
+
+
+# ==== helpers =======================================================================
+
+
+def _cross(left: _Relation, right: _Relation) -> _Relation:
+    return _Relation(
+        left.columns + right.columns,
+        [l + r for l, r in itertools.product(left.rows, right.rows)],
+    )
+
+
+def _find_column(columns: list[ColumnId], name: str) -> int:
+    hits = [
+        index
+        for index, (__, col_name) in enumerate(columns)
+        if col_name.lower() == name.lower()
+    ]
+    if len(hits) != 1:
+        raise ExecutionError(f"column {name!r} is missing or ambiguous in join")
+    return hits[0]
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen = set()
+    result = []
+    for row in rows:
+        key = tuple(_hashable(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result
+
+
+def _dedupe_with(rows: list[tuple], companions: list) -> tuple[list[tuple], list]:
+    seen = set()
+    out_rows, out_companions = [], []
+    for row, companion in zip(rows, companions):
+        key = tuple(_hashable(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            out_rows.append(row)
+            out_companions.append(companion)
+    return out_rows, out_companions
+
+
+def _hashable(value):
+    return ("\0null",) if value is None else value
+
+
+def _sort_key(values: list, specs) -> tuple:
+    key = []
+    for value, spec in zip(values, specs):
+        descending = getattr(spec, "descending", False)
+        nulls_last = getattr(spec, "nulls_last", None)
+        if nulls_last is None:
+            nulls_last = not descending  # SQL default: NULLs sort high
+        null_rank = 1 if nulls_last else -1
+        if value is None:
+            key.append((null_rank, 0, ""))
+            continue
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, (int, float)):
+            sort_value = (-value if descending else value)
+            key.append((0, 0, sort_value))
+        else:
+            text = str(value)
+            if descending:
+                text = tuple(-ord(c) for c in text)
+            key.append((0, 1, text))
+    return tuple(key)
+
+
+def _derive_name(expression: ast.Expression, index: int) -> str:
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name
+    if isinstance(expression, ast.AggregateCall):
+        return expression.function.lower()
+    if isinstance(expression, ast.FunctionCall):
+        return expression.name.lower()
+    return f"expr{index + 1}"

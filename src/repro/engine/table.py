@@ -1,0 +1,177 @@
+"""Schemas, columns and in-memory tables.
+
+Values are plain Python objects (``int``, ``float``, ``str``, ``bool``,
+``None`` for SQL NULL; dates/times are ISO strings, which order
+correctly).  Rows are tuples aligned with the table's column list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from ..errors import ExecutionError, TypeMismatchError
+
+#: Python types acceptable for each engine type name.
+_PYTHON_TYPES: dict[str, tuple[type, ...]] = {
+    "integer": (int,),
+    "numeric": (int, float),
+    "real": (int, float),
+    "char": (str,),
+    "varchar": (str,),
+    "clob": (str,),
+    "blob": (bytes, str),
+    "boolean": (bool,),
+    "date": (str,),
+    "time": (str,),
+    "timestamp": (str,),
+    "interval": (str,),
+    "unknown": (object,),
+}
+
+
+def check_value(type_name: str, value: object) -> object:
+    """Validate/coerce one value against an engine type; NULL always passes."""
+    if value is None:
+        return None
+    expected = _PYTHON_TYPES.get(type_name, (object,))
+    if type_name == "boolean" and not isinstance(value, bool):
+        raise TypeMismatchError(f"expected boolean, got {value!r}")
+    if isinstance(value, bool) and type_name in ("integer", "numeric", "real"):
+        raise TypeMismatchError(f"expected {type_name}, got boolean {value!r}")
+    if not isinstance(value, expected):
+        if type_name in ("numeric", "real") and isinstance(value, int):
+            return float(value)
+        raise TypeMismatchError(
+            f"expected {type_name}, got {type(value).__name__} {value!r}"
+        )
+    if type_name in ("numeric", "real") and isinstance(value, int):
+        return float(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type_name: str = "unknown"
+    not_null: bool = False
+    default: object = None
+    has_default: bool = False
+    primary_key: bool = False
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint on a table."""
+
+    columns: tuple[str, ...]
+    referenced_table: str
+    referenced_columns: tuple[str, ...]
+    on_delete: str | None = None  # "cascade", "set null", "restrict", ...
+
+
+class Table:
+    """An in-memory table with rows and constraint metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        foreign_keys: Iterable[ForeignKey] = (),
+        checks: Iterable = (),
+    ) -> None:
+        self.name = name
+        self.columns: list[Column] = list(columns)
+        if not self.columns:
+            raise ExecutionError(f"table {name!r} needs at least one column")
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise ExecutionError(f"duplicate column names in table {name!r}")
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys)
+        #: CHECK constraint expressions (AST nodes), enforced by the executor.
+        self.checks: list = list(checks)
+        self.rows: list[tuple] = []
+
+    # -- schema ------------------------------------------------------------
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise ExecutionError(f"table {self.name!r} has no column {name!r}")
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.column_index(name)]
+
+    @property
+    def key_columns(self) -> list[str]:
+        return [c.name for c in self.columns if c.primary_key]
+
+    # -- data -------------------------------------------------------------------
+
+    def check_row(self, row: tuple, skip_index: int | None = None) -> tuple:
+        """Validate types, NOT NULL and uniqueness for a candidate row.
+
+        ``skip_index`` excludes one existing row from uniqueness checks
+        (the row being updated).
+        """
+        if len(row) != len(self.columns):
+            raise ExecutionError(
+                f"table {self.name!r} expects {len(self.columns)} values, "
+                f"got {len(row)}"
+            )
+        checked = []
+        for column, value in zip(self.columns, row):
+            if value is None and column.not_null:
+                raise ExecutionError(
+                    f"column {column.name!r} of {self.name!r} is NOT NULL"
+                )
+            checked.append(check_value(column.type_name, value))
+        result = tuple(checked)
+        for index, column in enumerate(self.columns):
+            if not (column.primary_key or column.unique):
+                continue
+            value = result[index]
+            if value is None:
+                if column.primary_key:
+                    raise ExecutionError(
+                        f"primary key column {column.name!r} cannot be NULL"
+                    )
+                continue
+            for row_index, existing in enumerate(self.rows):
+                if row_index == skip_index:
+                    continue
+                if existing[index] == value:
+                    raise ExecutionError(
+                        f"duplicate value {value!r} for unique column "
+                        f"{column.name!r} of {self.name!r}"
+                    )
+        return result
+
+    def insert(self, row: tuple) -> None:
+        self.rows.append(self.check_row(row))
+
+    def copy(self) -> "Table":
+        """Deep-enough copy for transaction snapshots (rows are immutable)."""
+        clone = Table(self.name, self.columns, self.foreign_keys, self.checks)
+        clone.rows = list(self.rows)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name!r}: {len(self.columns)} columns, {len(self.rows)} rows>"
+
+
+def make_unique_marker(column: Column, primary: bool) -> Column:
+    """Return the column marked as primary-key/unique (table-level constraints)."""
+    if primary:
+        return replace(column, primary_key=True, not_null=True)
+    return replace(column, unique=True)

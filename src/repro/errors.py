@@ -1,0 +1,136 @@
+"""Shared exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch one base class.  Sub-hierarchies mirror the subsystems:
+lexing, grammar handling, parser generation, feature modeling, and feature
+composition.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LexerError(ReproError):
+    """Base class for tokenization errors."""
+
+
+class TokenConflictError(LexerError):
+    """Two token definitions with the same name but different patterns."""
+
+
+class ScanError(LexerError):
+    """Input text contains a character sequence no token matches."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class GrammarError(ReproError):
+    """Base class for grammar construction and validation errors."""
+
+
+class GrammarSyntaxError(GrammarError):
+    """The textual grammar DSL could not be parsed."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class UndefinedNonterminalError(GrammarError):
+    """A production references a nonterminal that has no rule."""
+
+
+class LeftRecursionError(GrammarError):
+    """The grammar contains left recursion, which LL parsers cannot handle."""
+
+
+class ParserGenerationError(ReproError):
+    """Base class for errors while building a parser from a grammar."""
+
+
+class LLConflictError(ParserGenerationError):
+    """The grammar is not LL(1) and strict mode was requested."""
+
+    def __init__(self, message: str, conflicts: list | None = None) -> None:
+        super().__init__(message)
+        self.conflicts = conflicts or []
+
+
+class ParseError(ReproError):
+    """Input text does not conform to the composed grammar."""
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        expected: frozenset[str] = frozenset(),
+        found: str | None = None,
+    ) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+        self.expected = expected
+        self.found = found
+
+
+class FeatureModelError(ReproError):
+    """Base class for feature-model construction errors."""
+
+
+class UnknownFeatureError(FeatureModelError):
+    """A configuration or constraint references a feature that is not in the model."""
+
+
+class InvalidConfigurationError(FeatureModelError):
+    """A feature selection violates the feature model.
+
+    Carries the full list of violation messages so tools can show all of
+    them at once rather than one at a time.
+    """
+
+    def __init__(self, violations: list[str]) -> None:
+        super().__init__(
+            "invalid feature configuration:\n  - " + "\n  - ".join(violations)
+        )
+        self.violations = list(violations)
+
+
+class CompositionError(ReproError):
+    """Base class for feature-composition errors."""
+
+
+class CompositionOrderError(CompositionError):
+    """Units were composed in an order the paper's rules forbid.
+
+    For example an optional extension ``A : B [C]`` arriving before its
+    non-optional base ``A : B``, or a complex list arriving before its
+    sublist.
+    """
+
+
+class ConstraintViolationError(CompositionError):
+    """A requires/excludes constraint between features is violated."""
+
+
+class EngineError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class CatalogError(EngineError):
+    """Unknown or duplicate table/column/schema."""
+
+
+class TypeMismatchError(EngineError):
+    """An expression or assignment combined incompatible types."""
+
+
+class ExecutionError(EngineError):
+    """A statement failed during execution (constraint violation, etc.)."""

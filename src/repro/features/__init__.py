@@ -1,0 +1,72 @@
+"""Feature-modeling substrate: diagrams, configurations, and analyses.
+
+Public API::
+
+    from repro.features import (
+        Feature, FeatureModel, GroupType, Cardinality, MANY,
+        mandatory, optional, alternative, or_group,
+        Requires, Excludes,
+        Configuration, validate_configuration, check_configuration,
+        expand_selection,
+        count_products, enumerate_products, dead_features, core_features,
+        model_statistics,
+        render_feature, render_model, read_feature_model,
+    )
+"""
+
+from .analysis import (
+    core_features,
+    count_products,
+    dead_features,
+    enumerate_products,
+    model_statistics,
+)
+from .configuration import (
+    Configuration,
+    check_configuration,
+    expand_selection,
+    validate_configuration,
+)
+from .constraints import Constraint, Excludes, Requires
+from .diagram import render_feature, render_model
+from .dsl import read_feature_model
+from .writer import write_feature_model
+from .model import (
+    MANY,
+    Cardinality,
+    Feature,
+    FeatureModel,
+    GroupType,
+    alternative,
+    mandatory,
+    optional,
+    or_group,
+)
+
+__all__ = [
+    "MANY",
+    "Cardinality",
+    "Configuration",
+    "Constraint",
+    "Excludes",
+    "Feature",
+    "FeatureModel",
+    "GroupType",
+    "Requires",
+    "alternative",
+    "check_configuration",
+    "core_features",
+    "count_products",
+    "dead_features",
+    "enumerate_products",
+    "expand_selection",
+    "mandatory",
+    "model_statistics",
+    "optional",
+    "or_group",
+    "read_feature_model",
+    "render_feature",
+    "render_model",
+    "validate_configuration",
+    "write_feature_model",
+]

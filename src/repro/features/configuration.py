@@ -1,0 +1,177 @@
+"""Configurations — the paper's "feature instance descriptions".
+
+A configuration selects a subset of a model's features (optionally with a
+clone count for ``[1..*]`` features).  :func:`validate_configuration`
+checks every feature-diagram rule; :func:`expand_selection` turns a sparse
+user selection (just the interesting leaves) into a full, valid
+configuration by pulling in ancestors, mandatory children and required
+features — this is what the paper's envisioned configuration UI would do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..errors import InvalidConfigurationError, UnknownFeatureError
+from .constraints import Requires
+from .model import Feature, FeatureModel, GroupType
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An immutable feature selection.
+
+    Attributes:
+        selected: Names of the selected features.
+        counts: Clone counts for cardinality features (defaults to 1 for
+            any selected feature not listed).
+    """
+
+    selected: frozenset[str]
+    counts: Mapping[str, int] = field(default_factory=dict)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.selected
+
+    def count(self, name: str) -> int:
+        if name not in self.selected:
+            return 0
+        return self.counts.get(name, 1)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    @staticmethod
+    def of(names: Iterable[str], counts: Mapping[str, int] | None = None) -> "Configuration":
+        return Configuration(frozenset(names), dict(counts or {}))
+
+
+def validate_configuration(
+    model: FeatureModel, config: Configuration
+) -> list[str]:
+    """Return all violations (empty list when the configuration is valid)."""
+    violations: list[str] = []
+    for name in sorted(config.selected):
+        if not model.has_feature(name):
+            violations.append(f"unknown feature {name!r}")
+    if violations:
+        return violations
+
+    if model.root.name not in config:
+        violations.append(f"root feature {model.root.name!r} must be selected")
+
+    for name in sorted(config.selected):
+        feature = model.feature(name)
+        if feature.parent is not None and feature.parent.name not in config:
+            violations.append(
+                f"feature {name!r} selected without its parent "
+                f"{feature.parent.name!r}"
+            )
+
+    for feature in model:
+        if feature.name not in config or not feature.children:
+            continue
+        selected_children = [c for c in feature.children if c.name in config]
+        if feature.group is GroupType.AND:
+            for child in feature.children:
+                if child.mandatory and child.name not in config:
+                    violations.append(
+                        f"mandatory feature {child.name!r} of {feature.name!r} "
+                        "not selected"
+                    )
+        elif feature.group is GroupType.OR:
+            if not selected_children:
+                violations.append(
+                    f"OR group under {feature.name!r} needs at least one of: "
+                    + ", ".join(c.name for c in feature.children)
+                )
+        elif feature.group is GroupType.ALTERNATIVE:
+            if len(selected_children) != 1:
+                violations.append(
+                    f"alternative group under {feature.name!r} needs exactly "
+                    f"one of: {', '.join(c.name for c in feature.children)} "
+                    f"(got {len(selected_children)})"
+                )
+
+    for name in sorted(config.selected):
+        feature = model.feature(name)
+        count = config.count(name)
+        card = feature.cardinality
+        if count < card.min or (card.max is not None and count > card.max):
+            violations.append(
+                f"feature {name!r} has count {count}, outside its "
+                f"cardinality {card}"
+            )
+
+    for constraint in model.constraints:
+        if constraint.violated_by(config.selected):
+            violations.append(constraint.message())
+
+    return violations
+
+
+def check_configuration(model: FeatureModel, config: Configuration) -> None:
+    """Raise :class:`InvalidConfigurationError` when the config is invalid."""
+    violations = validate_configuration(model, config)
+    if violations:
+        raise InvalidConfigurationError(violations)
+
+
+def expand_selection(
+    model: FeatureModel,
+    names: Iterable[str],
+    counts: Mapping[str, int] | None = None,
+) -> Configuration:
+    """Grow a sparse selection into a full configuration.
+
+    The closure adds, repeatedly until stable:
+
+    * the root and all ancestors of selected features,
+    * mandatory children of selected AND-group features,
+    * the first child of a selected ALTERNATIVE/OR-group feature with no
+      selected child (deterministic default),
+    * targets of ``requires`` constraints.
+
+    The result is validated before being returned.
+    """
+    selected: set[str] = set(names)
+    for name in list(selected):
+        if not model.has_feature(name):
+            raise UnknownFeatureError(f"model has no feature named {name!r}")
+    selected.add(model.root.name)
+
+    changed = True
+    while changed:
+        changed = False
+        for name in list(selected):
+            feature = model.feature(name)
+            for ancestor in feature.ancestors():
+                if ancestor.name not in selected:
+                    selected.add(ancestor.name)
+                    changed = True
+        for name in list(selected):
+            feature = model.feature(name)
+            if not feature.children:
+                continue
+            if feature.group is GroupType.AND:
+                for child in feature.children:
+                    if child.mandatory and child.name not in selected:
+                        selected.add(child.name)
+                        changed = True
+            elif feature.group in (GroupType.OR, GroupType.ALTERNATIVE):
+                if not any(c.name in selected for c in feature.children):
+                    selected.add(feature.children[0].name)
+                    changed = True
+        for constraint in model.constraints:
+            if isinstance(constraint, Requires):
+                if (
+                    constraint.feature in selected
+                    and constraint.required not in selected
+                ):
+                    selected.add(constraint.required)
+                    changed = True
+
+    config = Configuration.of(selected, counts)
+    check_configuration(model, config)
+    return config

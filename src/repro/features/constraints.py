@@ -1,0 +1,57 @@
+"""Cross-tree constraints between features.
+
+The paper: "A feature may require other features for correct composition.
+Such features constraints are expressed as requires or excludes conditions
+on features."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Constraint:
+    """Base class; subclasses implement :meth:`violated_by`."""
+
+    def feature_names(self) -> tuple[str, ...]:
+        raise NotImplementedError
+
+    def violated_by(self, selection: frozenset[str]) -> bool:
+        raise NotImplementedError
+
+    def message(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Requires(Constraint):
+    """Selecting ``feature`` demands that ``required`` is also selected."""
+
+    feature: str
+    required: str
+
+    def feature_names(self) -> tuple[str, ...]:
+        return (self.feature, self.required)
+
+    def violated_by(self, selection: frozenset[str]) -> bool:
+        return self.feature in selection and self.required not in selection
+
+    def message(self) -> str:
+        return f"feature {self.feature!r} requires feature {self.required!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class Excludes(Constraint):
+    """``feature`` and ``excluded`` may never be selected together."""
+
+    feature: str
+    excluded: str
+
+    def feature_names(self) -> tuple[str, ...]:
+        return (self.feature, self.excluded)
+
+    def violated_by(self, selection: frozenset[str]) -> bool:
+        return self.feature in selection and self.excluded in selection
+
+    def message(self) -> str:
+        return f"feature {self.feature!r} excludes feature {self.excluded!r}"

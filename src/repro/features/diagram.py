@@ -1,0 +1,68 @@
+"""ASCII rendering of feature diagrams.
+
+Reproduces the paper's Figures 1 and 2 in text form.  Notation follows the
+usual feature-diagram conventions:
+
+* ``[name]`` — optional feature, ``name`` — mandatory feature,
+* ``<or>`` / ``<alt>`` after a feature — its children form an OR /
+  alternative group,
+* clone cardinalities are printed verbatim, e.g. ``Select Sublist [1..*]``.
+"""
+
+from __future__ import annotations
+
+from .model import Feature, FeatureModel, GroupType
+
+
+def render_feature(feature: Feature) -> str:
+    """Render one feature subtree as an indented ASCII diagram."""
+    lines: list[str] = []
+    _render(feature, prefix="", is_last=True, is_root=True, lines=lines)
+    return "\n".join(lines)
+
+
+def render_model(model: FeatureModel) -> str:
+    """Render a full model, appending its cross-tree constraints."""
+    text = render_feature(model.root)
+    if model.constraints:
+        text += "\n\nconstraints:"
+        for constraint in model.constraints:
+            text += f"\n  {constraint.message()}"
+    return text
+
+
+def _label(feature: Feature, is_root: bool) -> str:
+    name = feature.name
+    if feature.cardinality.is_clone:
+        name = f"{name} {feature.cardinality}"
+    if not is_root and feature.optional:
+        name = f"[{name}]"
+    if feature.children and feature.group is GroupType.OR:
+        name = f"{name} <or>"
+    elif feature.children and feature.group is GroupType.ALTERNATIVE:
+        name = f"{name} <alt>"
+    return name
+
+
+def _render(
+    feature: Feature,
+    prefix: str,
+    is_last: bool,
+    is_root: bool,
+    lines: list[str],
+) -> None:
+    if is_root:
+        lines.append(_label(feature, is_root=True))
+        child_prefix = ""
+    else:
+        connector = "`-- " if is_last else "|-- "
+        lines.append(f"{prefix}{connector}{_label(feature, is_root=False)}")
+        child_prefix = prefix + ("    " if is_last else "|   ")
+    for index, child in enumerate(feature.children):
+        _render(
+            child,
+            prefix=child_prefix,
+            is_last=index == len(feature.children) - 1,
+            is_root=False,
+            lines=lines,
+        )

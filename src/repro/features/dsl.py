@@ -1,0 +1,182 @@
+"""Textual feature-model DSL.
+
+A compact notation for feature diagrams, used in tests and examples::
+
+    model QuerySpecification {
+        optional SetQuantifier alt { All Distinct }
+        mandatory SelectList or {
+            Asterisk
+            SelectSublist [1..*] { DerivedColumn { optional As } }
+        }
+        mandatory TableExpression
+        SetQuantifier requires SelectList ;
+    }
+
+Rules:
+
+* features default to ``mandatory``; write ``optional`` to override,
+* ``or`` / ``alt`` / ``and`` after the name sets the child group type,
+* ``[m..n]`` / ``[m..*]`` sets clone cardinality,
+* ``A requires B ;`` and ``A excludes B ;`` add cross-tree constraints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import FeatureModelError
+from .constraints import Constraint, Excludes, Requires
+from .model import Cardinality, Feature, FeatureModel, GroupType
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*|\#[^\n]*)
+  | (?P<DOTS>\.\.)
+  | (?P<INT>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[{}\[\];*])
+    """,
+    re.VERBOSE,
+)
+
+_GROUP_WORDS = {
+    "or": GroupType.OR,
+    "alt": GroupType.ALTERNATIVE,
+    "xor": GroupType.ALTERNATIVE,
+    "and": GroupType.AND,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class _Tok:
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(text: str) -> list[_Tok]:
+    tokens: list[_Tok] = []
+    pos, line = 0, 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise FeatureModelError(
+                f"unexpected character {text[pos]!r} in feature model (line {line})"
+            )
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        if kind == "IDENT":
+            tokens.append(_Tok("IDENT", lexeme, line))
+        elif kind == "INT":
+            tokens.append(_Tok("INT", lexeme, line))
+        elif kind == "DOTS":
+            tokens.append(_Tok("..", lexeme, line))
+        elif kind == "PUNCT":
+            tokens.append(_Tok(lexeme, lexeme, line))
+        line += lexeme.count("\n")
+        pos = match.end()
+    tokens.append(_Tok("EOF", "", line))
+    return tokens
+
+
+class _ModelReader:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._constraints: list[Constraint] = []
+
+    @property
+    def _current(self) -> _Tok:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Tok:
+        token = self._current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Tok:
+        token = self._current
+        if token.kind != kind:
+            raise FeatureModelError(
+                f"expected {kind!r} but found {token.text or 'end of input'!r} "
+                f"(line {token.line})"
+            )
+        return self._advance()
+
+    def read(self) -> FeatureModel:
+        self._expect_word("model")
+        name = self._expect("IDENT").text
+        root = Feature(name)
+        self._expect("{")
+        self._read_body(root)
+        self._expect("}")
+        return FeatureModel(root, self._constraints)
+
+    def _expect_word(self, word: str) -> None:
+        token = self._expect("IDENT")
+        if token.text != word:
+            raise FeatureModelError(
+                f"expected {word!r} but found {token.text!r} (line {token.line})"
+            )
+
+    def _read_body(self, parent: Feature) -> None:
+        while self._current.kind == "IDENT":
+            # lookahead: `A requires B ;` vs a feature declaration
+            if self._is_constraint():
+                self._read_constraint()
+            else:
+                parent.add_child(self._read_feature())
+
+    def _is_constraint(self) -> bool:
+        nxt = self._tokens[self._index + 1]
+        return nxt.kind == "IDENT" and nxt.text in ("requires", "excludes")
+
+    def _read_constraint(self) -> None:
+        left = self._expect("IDENT").text
+        kind = self._expect("IDENT").text
+        right = self._expect("IDENT").text
+        self._expect(";")
+        if kind == "requires":
+            self._constraints.append(Requires(left, right))
+        else:
+            self._constraints.append(Excludes(left, right))
+
+    def _read_feature(self) -> Feature:
+        is_optional = False
+        token = self._current
+        if token.text in ("optional", "mandatory"):
+            self._advance()
+            is_optional = token.text == "optional"
+        name = self._expect("IDENT").text
+        cardinality = Cardinality()
+        if self._current.kind == "[":
+            cardinality = self._read_cardinality()
+        group = GroupType.AND
+        if self._current.kind == "IDENT" and self._current.text in _GROUP_WORDS:
+            group = _GROUP_WORDS[self._advance().text]
+        feature = Feature(name, optional=is_optional, group=group, cardinality=cardinality)
+        if self._current.kind == "{":
+            self._advance()
+            self._read_body(feature)
+            self._expect("}")
+        return feature
+
+    def _read_cardinality(self) -> Cardinality:
+        self._expect("[")
+        low = int(self._expect("INT").text)
+        self._expect("..")
+        if self._current.kind == "*":
+            self._advance()
+            high: int | None = None
+        else:
+            high = int(self._expect("INT").text)
+        self._expect("]")
+        return Cardinality(low, high)
+
+
+def read_feature_model(text: str) -> FeatureModel:
+    """Parse feature-model DSL text into a :class:`FeatureModel`."""
+    return _ModelReader(text).read()

@@ -1,0 +1,50 @@
+"""Feature-model writer — the inverse of :mod:`repro.features.dsl`.
+
+``read_feature_model(write_feature_model(m))`` reproduces ``m`` up to
+formatting; checked by the test suite.  Useful for exporting tailored
+sub-models of the SQL decomposition.
+"""
+
+from __future__ import annotations
+
+from .constraints import Excludes, Requires
+from .model import Cardinality, Feature, FeatureModel, GroupType
+
+_GROUP_WORDS = {
+    GroupType.OR: "or",
+    GroupType.ALTERNATIVE: "alt",
+    GroupType.AND: None,
+}
+
+
+def write_feature_model(model: FeatureModel) -> str:
+    """Render a model in the feature-model DSL."""
+    lines: list[str] = [f"model {model.root.name} {{"]
+    for child in model.root.children:
+        _write_feature(child, lines, indent=1)
+    for constraint in model.constraints:
+        if isinstance(constraint, Requires):
+            lines.append(f"    {constraint.feature} requires {constraint.required} ;")
+        elif isinstance(constraint, Excludes):
+            lines.append(f"    {constraint.feature} excludes {constraint.excluded} ;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _write_feature(feature: Feature, lines: list[str], indent: int) -> None:
+    pad = "    " * indent
+    parts = ["optional" if feature.optional else "mandatory", feature.name]
+    if feature.cardinality != Cardinality():
+        upper = "*" if feature.cardinality.max is None else str(feature.cardinality.max)
+        parts.append(f"[{feature.cardinality.min}..{upper}]")
+    group_word = _GROUP_WORDS[feature.group] if feature.children else None
+    if group_word:
+        parts.append(group_word)
+    header = " ".join(parts)
+    if feature.children:
+        lines.append(f"{pad}{header} {{")
+        for child in feature.children:
+            _write_feature(child, lines, indent + 1)
+        lines.append(f"{pad}}}")
+    else:
+        lines.append(f"{pad}{header}")

@@ -1,0 +1,60 @@
+"""Grammar substrate: EBNF expression algebra, rules, DSL, and validation.
+
+Public API::
+
+    from repro.grammar import (
+        Grammar, Rule, rule,
+        Tok, Ref, Seq, Choice, Opt, Rep,
+        seq, choice, opt, star, plus,
+        read_grammar, write_grammar, validate,
+    )
+"""
+
+from .expr import (
+    Choice,
+    Element,
+    Opt,
+    Ref,
+    Rep,
+    Seq,
+    Tok,
+    choice,
+    flatten,
+    is_optional_element,
+    opt,
+    plus,
+    required_core,
+    seq,
+    star,
+)
+from .grammar import Grammar, Rule, rule
+from .reader import normalize_lists, read_grammar
+from .validate import ValidationReport, validate
+from .writer import write_element, write_grammar
+
+__all__ = [
+    "Choice",
+    "Element",
+    "Grammar",
+    "Opt",
+    "Ref",
+    "Rep",
+    "Rule",
+    "Seq",
+    "Tok",
+    "ValidationReport",
+    "choice",
+    "flatten",
+    "is_optional_element",
+    "normalize_lists",
+    "opt",
+    "plus",
+    "read_grammar",
+    "required_core",
+    "rule",
+    "seq",
+    "star",
+    "validate",
+    "write_element",
+    "write_grammar",
+]

@@ -1,0 +1,232 @@
+"""EBNF grammar expression algebra.
+
+Grammar right-hand sides are trees of immutable expression nodes:
+
+* :class:`Tok` — a terminal reference (``SELECT``),
+* :class:`Ref` — a nonterminal reference (``select_list``),
+* :class:`Seq` — a sequence of elements,
+* :class:`Choice` — ordered alternatives,
+* :class:`Opt` — an optional element (``[x]`` / ``x?``),
+* :class:`Rep` — a repetition, optionally separated (``x*``, ``x+``,
+  ``x (COMMA x)*`` as ``Rep(x, min=1, separator=COMMA)``).
+
+Structural equality on these nodes is what the paper's composition rules
+("the new production *contains* the old one") are defined over, so all
+node classes are frozen dataclasses with value semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class Element:
+    """Base class for all grammar expression nodes."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Element"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+
+    def terminals(self) -> Iterator[str]:
+        """Yield the names of all terminals referenced below this node."""
+        for node in self.walk():
+            if isinstance(node, Tok):
+                yield node.name
+
+    def nonterminals(self) -> Iterator[str]:
+        """Yield the names of all nonterminals referenced below this node."""
+        for node in self.walk():
+            if isinstance(node, Ref):
+                yield node.name
+
+
+@dataclass(frozen=True, slots=True)
+class Tok(Element):
+    """Reference to a terminal symbol by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Ref(Element):
+    """Reference to a nonterminal symbol by name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Seq(Element):
+    """A sequence of elements, matched in order."""
+
+    items: tuple[Element, ...]
+
+    def __str__(self) -> str:
+        return " ".join(_paren(i, inside="seq") for i in self.items)
+
+    def walk(self) -> Iterator[Element]:
+        yield self
+        for item in self.items:
+            yield from item.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Choice(Element):
+    """Ordered alternatives."""
+
+    alternatives: tuple[Element, ...]
+
+    def __str__(self) -> str:
+        return " | ".join(str(a) for a in self.alternatives)
+
+    def walk(self) -> Iterator[Element]:
+        yield self
+        for alt in self.alternatives:
+            yield from alt.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Opt(Element):
+    """An optional element: matches its inner element or nothing."""
+
+    inner: Element
+
+    def __str__(self) -> str:
+        return f"{_paren(self.inner, inside='post')}?"
+
+    def walk(self) -> Iterator[Element]:
+        yield self
+        yield from self.inner.walk()
+
+
+@dataclass(frozen=True, slots=True)
+class Rep(Element):
+    """A repetition of an element.
+
+    ``min`` is 0 (``*``) or 1 (``+``).  ``separator`` models SQL's
+    pervasive comma-separated "complex lists": ``Rep(x, min=1,
+    separator=Tok("COMMA"))`` matches ``x (COMMA x)*``.
+    """
+
+    inner: Element
+    min: int = 0
+    separator: Element | None = None
+
+    def __post_init__(self) -> None:
+        if self.min not in (0, 1):
+            raise ValueError("Rep.min must be 0 or 1")
+
+    def __str__(self) -> str:
+        inner = _paren(self.inner, inside="post")
+        if self.separator is not None:
+            body = f"{inner} ({self.separator} {inner})*"
+            return body if self.min == 1 else f"({body})?"
+        suffix = "+" if self.min == 1 else "*"
+        return f"{inner}{suffix}"
+
+    def walk(self) -> Iterator[Element]:
+        yield self
+        yield from self.inner.walk()
+        if self.separator is not None:
+            yield from self.separator.walk()
+
+
+def _paren(element: Element, inside: str) -> str:
+    """Parenthesize child expressions where precedence requires it."""
+    if isinstance(element, Choice):
+        return f"({element})"
+    if inside == "post" and isinstance(element, Seq) and len(element.items) > 1:
+        return f"({element})"
+    return str(element)
+
+
+def seq(*items: Element) -> Element:
+    """Build a sequence, collapsing the one-element case."""
+    flat: list[Element] = []
+    for item in items:
+        if isinstance(item, Seq):
+            flat.extend(item.items)
+        else:
+            flat.append(item)
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def choice(*alternatives: Element) -> Element:
+    """Build a choice, collapsing nested choices and the one-alt case."""
+    flat: list[Element] = []
+    for alt in alternatives:
+        if isinstance(alt, Choice):
+            flat.extend(alt.alternatives)
+        else:
+            flat.append(alt)
+    if len(flat) == 1:
+        return flat[0]
+    return Choice(tuple(flat))
+
+
+def opt(inner: Element) -> Element:
+    """Build an optional element (idempotent: ``opt(opt(x)) == opt(x)``)."""
+    if isinstance(inner, Opt):
+        return inner
+    return Opt(inner)
+
+
+def star(inner: Element, separator: Element | None = None) -> Rep:
+    """Zero-or-more repetition."""
+    return Rep(inner, min=0, separator=separator)
+
+
+def plus(inner: Element, separator: Element | None = None) -> Rep:
+    """One-or-more repetition; with a separator this is SQL's complex list."""
+    return Rep(inner, min=1, separator=separator)
+
+
+def flatten(element: Element) -> list[Element]:
+    """Flatten an alternative into its top-level element sequence.
+
+    A bare element becomes a one-item list; nested sequences are expanded.
+    Composition containment checks (see ``repro.core.composer``) operate on
+    these flattened forms.
+    """
+    if isinstance(element, Seq):
+        result: list[Element] = []
+        for item in element.items:
+            result.extend(flatten(item))
+        return result
+    return [element]
+
+
+def is_optional_element(element: Element) -> bool:
+    """True when the element can match the empty string on its own."""
+    if isinstance(element, Opt):
+        return True
+    if isinstance(element, Rep):
+        return element.min == 0
+    if isinstance(element, Seq):
+        return all(is_optional_element(i) for i in element.items)
+    if isinstance(element, Choice):
+        return any(is_optional_element(a) for a in element.alternatives)
+    return False
+
+
+def required_core(element: Element) -> Element | None:
+    """The mandatory element wrapped by an optional/repetition, if any.
+
+    Used by containment checks: in ``A : B [C]`` the element ``[C]`` has
+    required core ``C``, so the alternative covers ``A : B C``'s shape.
+    """
+    if isinstance(element, Opt):
+        return element.inner
+    if isinstance(element, Rep):
+        return element.inner
+    return None

@@ -1,0 +1,278 @@
+"""Textual grammar DSL, our stand-in for the paper's Bali/ANTLR notation.
+
+Feature sub-grammars are written in a compact EBNF dialect::
+
+    grammar query_specification ;
+    start query_specification ;
+
+    query_specification : SELECT set_quantifier? select_list table_expression ;
+    set_quantifier : DISTINCT | ALL ;
+    select_list : ASTERISK | select_sublist (COMMA select_sublist)* ;
+
+Conventions:
+
+* UPPER_CASE identifiers are terminal references, anything else is a
+  nonterminal reference (the common parser-generator convention).
+* ``x?`` and ``[x]`` both mean optional, ``x*`` / ``x+`` are repetitions.
+* ``//`` and ``#`` start line comments.
+* An empty alternative (``a : B | ;``) denotes epsilon.
+* ``x (SEP x)*`` is normalized into a separated-list node so the composer
+  can apply the paper's sublist/complex-list rule structurally.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import GrammarSyntaxError
+from ..lexer.spec import TokenSet
+from .expr import (
+    Choice,
+    Element,
+    Opt,
+    Ref,
+    Rep,
+    Seq,
+    Tok,
+    choice,
+    opt,
+    seq,
+)
+from .grammar import Grammar, Rule
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*|\#[^\n]*)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<PUNCT>[:;|?*+()\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _DslToken:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> list[_DslToken]:
+    tokens: list[_DslToken] = []
+    pos, line, col = 0, 1, 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise GrammarSyntaxError(
+                f"unexpected character {text[pos]!r} in grammar", line, col
+            )
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        if kind == "IDENT":
+            tokens.append(_DslToken("IDENT", lexeme, line, col))
+        elif kind == "PUNCT":
+            tokens.append(_DslToken(lexeme, lexeme, line, col))
+        newlines = lexeme.count("\n")
+        if newlines:
+            line += newlines
+            col = len(lexeme) - lexeme.rfind("\n")
+        else:
+            col += len(lexeme)
+        pos = match.end()
+    tokens.append(_DslToken("EOF", "", line, col))
+    return tokens
+
+
+def _is_terminal_name(name: str) -> bool:
+    """UPPER_CASE names are terminals; everything else is a nonterminal."""
+    return name == name.upper() and any(c.isalpha() for c in name)
+
+
+class _GrammarReader:
+    """Recursive-descent parser for the grammar DSL."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> _DslToken:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _DslToken:
+        token = self._current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _DslToken:
+        token = self._current
+        if token.kind != kind:
+            raise GrammarSyntaxError(
+                f"expected {kind!r} but found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str) -> bool:
+        if self._current.kind == kind:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar structure -------------------------------------------------
+
+    def read(self, default_name: str, tokens: TokenSet | None) -> Grammar:
+        name = default_name
+        start: str | None = None
+        if self._current.kind == "IDENT" and self._current.text == "grammar":
+            self._advance()
+            name = self._expect("IDENT").text
+            self._expect(";")
+        if self._current.kind == "IDENT" and self._current.text == "start":
+            self._advance()
+            start = self._expect("IDENT").text
+            self._expect(";")
+        grammar = Grammar(name, start=start, tokens=tokens)
+        while self._current.kind != "EOF":
+            grammar.add_rule(self._read_rule())
+        if grammar.start is None and len(grammar):
+            grammar.start = grammar.rule_names()[0]
+        return grammar
+
+    def _read_rule(self) -> Rule:
+        lhs = self._expect("IDENT").text
+        self._expect(":")
+        body = self._read_choice()
+        self._expect(";")
+        alternatives = (
+            list(body.alternatives) if isinstance(body, Choice) else [body]
+        )
+        return Rule(lhs, [normalize_lists(a) for a in alternatives])
+
+    def _read_choice(self) -> Element:
+        alternatives = [self._read_sequence()]
+        while self._accept("|"):
+            alternatives.append(self._read_sequence())
+        if len(alternatives) == 1:
+            return alternatives[0]
+        return Choice(tuple(alternatives))
+
+    def _read_sequence(self) -> Element:
+        items: list[Element] = []
+        while self._current.kind in ("IDENT", "(", "["):
+            if self._current.kind == "IDENT" and self._current.text in (
+                "grammar",
+                "start",
+            ):
+                break
+            items.append(self._read_postfix())
+        if not items:
+            return Seq(())  # epsilon
+        return seq(*items)
+
+    def _read_postfix(self) -> Element:
+        element = self._read_primary()
+        while self._current.kind in ("?", "*", "+"):
+            mark = self._advance().kind
+            if mark == "?":
+                element = opt(element)
+            elif mark == "*":
+                element = Rep(element, min=0)
+            else:
+                element = Rep(element, min=1)
+        return element
+
+    def _read_primary(self) -> Element:
+        token = self._current
+        if token.kind == "IDENT":
+            self._advance()
+            if _is_terminal_name(token.text):
+                return Tok(token.text)
+            return Ref(token.text)
+        if self._accept("("):
+            inner = self._read_choice()
+            self._expect(")")
+            return inner
+        if self._accept("["):
+            inner = self._read_choice()
+            self._expect("]")
+            return opt(inner)
+        raise GrammarSyntaxError(
+            f"expected a symbol, '(' or '[' but found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+
+def normalize_lists(element: Element) -> Element:
+    """Rewrite ``x (SEP x)*`` patterns into separated-list :class:`Rep` nodes.
+
+    Applied recursively.  This gives composition a structural handle on the
+    paper's "complex list" form ``<NT> [ <comma> <NT> ... ]``.
+    """
+    if isinstance(element, Seq):
+        items = [normalize_lists(i) for i in element.items]
+        result: list[Element] = []
+        index = 0
+        while index < len(items):
+            current = items[index]
+            nxt = items[index + 1] if index + 1 < len(items) else None
+            merged = _try_merge_list(current, nxt)
+            if merged is not None:
+                result.append(merged)
+                index += 2
+            else:
+                result.append(current)
+                index += 1
+        return seq(*result) if len(result) != 1 else result[0]
+    if isinstance(element, Choice):
+        return choice(*[normalize_lists(a) for a in element.alternatives])
+    if isinstance(element, Opt):
+        return opt(normalize_lists(element.inner))
+    if isinstance(element, Rep):
+        sep = (
+            normalize_lists(element.separator)
+            if element.separator is not None
+            else None
+        )
+        return Rep(normalize_lists(element.inner), element.min, sep)
+    return element
+
+
+def _try_merge_list(head: Element, tail: Element | None) -> Rep | None:
+    """Merge ``head`` + ``(SEP head)*`` into ``Rep(head, 1, SEP)``."""
+    if tail is None or not isinstance(tail, Rep) or tail.min != 0:
+        return None
+    if tail.separator is not None:
+        return None
+    inner = tail.inner
+    if not isinstance(inner, Seq) or len(inner.items) != 2:
+        return None
+    sep, repeated = inner.items
+    if not isinstance(sep, (Tok, Ref)):
+        return None
+    if repeated != head:
+        return None
+    return Rep(head, min=1, separator=sep)
+
+
+def read_grammar(
+    text: str,
+    name: str = "grammar",
+    tokens: TokenSet | None = None,
+) -> Grammar:
+    """Parse grammar DSL text into a :class:`Grammar`.
+
+    Args:
+        text: The DSL source.
+        name: Fallback grammar name when the text has no ``grammar`` header.
+        tokens: Token set to attach (terminals the grammar may reference).
+    """
+    return _GrammarReader(text).read(name, tokens)

@@ -1,0 +1,138 @@
+"""Whole-grammar validation for *composed* grammars.
+
+Per-feature sub-grammars legitimately reference nonterminals they do not
+define (the definition arrives from another feature).  After composition,
+though, the result must be closed and LL-parsable, so we check:
+
+* every referenced nonterminal has a rule,
+* every referenced terminal has a token definition,
+* the start symbol exists and every rule is reachable from it,
+* there is no (direct or indirect) left recursion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import LeftRecursionError, UndefinedNonterminalError
+from .expr import Choice, Element, Opt, Ref, Rep, Seq, is_optional_element
+from .grammar import Grammar
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate`; empty lists mean the grammar is clean."""
+
+    undefined_nonterminals: list[str] = field(default_factory=list)
+    undefined_terminals: list[str] = field(default_factory=list)
+    unreachable_rules: list[str] = field(default_factory=list)
+    left_recursive: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.undefined_nonterminals
+            or self.undefined_terminals
+            or self.left_recursive
+        )
+
+    def raise_if_failed(self) -> None:
+        if self.undefined_nonterminals:
+            raise UndefinedNonterminalError(
+                "undefined nonterminals: "
+                + ", ".join(sorted(self.undefined_nonterminals))
+            )
+        if self.undefined_terminals:
+            raise UndefinedNonterminalError(
+                "terminals without token definitions: "
+                + ", ".join(sorted(self.undefined_terminals))
+            )
+        if self.left_recursive:
+            raise LeftRecursionError(
+                "left-recursive nonterminals: "
+                + ", ".join(sorted(self.left_recursive))
+            )
+
+
+def validate(grammar: Grammar) -> ValidationReport:
+    """Run all checks and return a report (does not raise)."""
+    report = ValidationReport()
+    defined = set(grammar.rule_names())
+    report.undefined_nonterminals = sorted(
+        grammar.referenced_nonterminals() - defined
+    )
+    report.undefined_terminals = sorted(
+        grammar.referenced_terminals() - grammar.tokens.names()
+    )
+    report.unreachable_rules = sorted(_unreachable(grammar))
+    report.left_recursive = sorted(_left_recursive(grammar))
+    return report
+
+
+def _unreachable(grammar: Grammar) -> set[str]:
+    if grammar.start is None or not grammar.has_rule(grammar.start):
+        return set(grammar.rule_names())
+    seen: set[str] = set()
+    queue: deque[str] = deque([grammar.start])
+    while queue:
+        name = queue.popleft()
+        if name in seen or not grammar.has_rule(name):
+            continue
+        seen.add(name)
+        for alt in grammar.rule(name).alternatives:
+            for ref in alt.nonterminals():
+                if ref not in seen:
+                    queue.append(ref)
+    return set(grammar.rule_names()) - seen
+
+
+def _left_recursive(grammar: Grammar) -> set[str]:
+    """Nonterminals on a leftmost-derivation cycle.
+
+    Builds the "can appear leftmost, possibly after nullable prefixes"
+    relation and finds nonterminals that can reach themselves through it.
+    """
+    left_edges: dict[str, set[str]] = {name: set() for name in grammar.rule_names()}
+    for rule in grammar:
+        for alt in rule.alternatives:
+            left_edges[rule.name].update(_leftmost_refs(alt))
+
+    recursive: set[str] = set()
+    for origin in left_edges:
+        seen: set[str] = set()
+        stack = list(left_edges[origin])
+        while stack:
+            name = stack.pop()
+            if name == origin:
+                recursive.add(origin)
+                break
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(left_edges.get(name, ()))
+    return recursive
+
+
+def _leftmost_refs(element: Element) -> set[str]:
+    """Nonterminals derivable at the left edge of ``element``."""
+    if isinstance(element, Ref):
+        return {element.name}
+    if isinstance(element, Opt):
+        return _leftmost_refs(element.inner)
+    if isinstance(element, Rep):
+        refs = _leftmost_refs(element.inner)
+        return refs
+    if isinstance(element, Choice):
+        refs: set[str] = set()
+        for alt in element.alternatives:
+            refs |= _leftmost_refs(alt)
+        return refs
+    if isinstance(element, Seq):
+        refs = set()
+        for item in element.items:
+            refs |= _leftmost_refs(item)
+            if not is_optional_element(item):
+                break
+        return refs
+    return set()

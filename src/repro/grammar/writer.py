@@ -1,0 +1,64 @@
+"""Pretty-printer for grammars — the inverse of :mod:`repro.grammar.reader`.
+
+``read_grammar(write_grammar(g))`` reproduces ``g`` up to formatting; the
+round-trip property is checked by the test suite.
+"""
+
+from __future__ import annotations
+
+from .expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
+from .grammar import Grammar
+
+
+def write_element(element: Element) -> str:
+    """Render one grammar expression in DSL syntax."""
+    if isinstance(element, (Tok, Ref)):
+        return element.name
+    if isinstance(element, Seq):
+        if not element.items:
+            return "()"
+        return " ".join(_child(i) for i in element.items)
+    if isinstance(element, Choice):
+        return " | ".join(write_element(a) for a in element.alternatives)
+    if isinstance(element, Opt):
+        return f"{_child(element.inner)}?"
+    if isinstance(element, Rep):
+        inner = _child(element.inner)
+        if element.separator is not None:
+            sep = write_element(element.separator)
+            body = f"{inner} ({sep} {inner})*"
+            return body if element.min == 1 else f"({body})?"
+        return f"{inner}{'+' if element.min == 1 else '*'}"
+    raise TypeError(f"unknown grammar element: {element!r}")
+
+
+def _child(element: Element) -> str:
+    """Render a child, parenthesizing anything that spans multiple tokens."""
+    text = write_element(element)
+    needs_parens = (
+        isinstance(element, Choice)
+        or (isinstance(element, Seq) and len(element.items) > 1)
+        or (isinstance(element, Rep) and element.separator is not None)
+    )
+    return f"({text})" if needs_parens else text
+
+
+def write_grammar(grammar: Grammar, header: bool = True) -> str:
+    """Render a full grammar in DSL syntax."""
+    lines: list[str] = []
+    if header:
+        lines.append(f"grammar {grammar.name} ;")
+        if grammar.start is not None:
+            lines.append(f"start {grammar.start} ;")
+        lines.append("")
+    for rule in grammar:
+        alts = [write_element(a) for a in rule.alternatives]
+        if len(alts) == 1:
+            lines.append(f"{rule.name} : {alts[0]} ;")
+        else:
+            lines.append(f"{rule.name}")
+            lines.append(f"    : {alts[0]}")
+            for alt in alts[1:]:
+                lines.append(f"    | {alt}")
+            lines.append("    ;")
+    return "\n".join(lines) + "\n"

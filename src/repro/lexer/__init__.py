@@ -1,0 +1,31 @@
+"""Lexer substrate: composable token sets and a longest-match scanner.
+
+Public API::
+
+    from repro.lexer import TokenSet, TokenDef, Scanner, Token
+    from repro.lexer import keyword, literal, pattern, standard_skip_tokens
+"""
+
+from .scanner import Scanner
+from .spec import (
+    TokenDef,
+    TokenSet,
+    keyword,
+    literal,
+    pattern,
+    standard_skip_tokens,
+)
+from .token import EOF, Token, eof_token
+
+__all__ = [
+    "EOF",
+    "Scanner",
+    "Token",
+    "TokenDef",
+    "TokenSet",
+    "eof_token",
+    "keyword",
+    "literal",
+    "pattern",
+    "standard_skip_tokens",
+]

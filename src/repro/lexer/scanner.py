@@ -1,0 +1,75 @@
+"""Longest-match scanner driven by a composable :class:`TokenSet`.
+
+The scanner is the "separate scanner" the paper argues is sufficient for
+decomposing a single language (in contrast to MetaBorg's scannerless
+approach): every composed dialect gets its own scanner whose keyword table
+contains exactly the keywords its features contributed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import ScanError
+from .spec import TokenSet, compile_master_pattern
+from .token import Token, eof_token
+
+
+class Scanner:
+    """Tokenizes source text according to one token set.
+
+    Keywords are recognized case-insensitively: any token whose matching
+    rule is named ``IDENTIFIER`` (or any rule listed in
+    ``identifier_rules``) is promoted to its keyword terminal when its
+    upper-cased text is in the token set's keyword table.
+    """
+
+    def __init__(
+        self,
+        token_set: TokenSet,
+        identifier_rules: tuple[str, ...] = ("IDENTIFIER",),
+    ) -> None:
+        self.token_set = token_set
+        self.identifier_rules = identifier_rules
+        self._master = compile_master_pattern(token_set)
+        self._keywords = token_set.keywords
+        self._skip_names = frozenset(d.name for d in token_set if d.skip)
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Yield tokens for ``text``, ending with a single EOF token.
+
+        Raises:
+            ScanError: when no token matches at the current position.
+        """
+        pos = 0
+        line = 1
+        col = 1
+        n = len(text)
+        while pos < n:
+            match = self._master.match(text, pos)
+            if match is None or match.end() == pos:
+                raise ScanError(
+                    f"unexpected character {text[pos]!r}", line=line, column=col
+                )
+            name = match.lastgroup or ""
+            lexeme = match.group()
+            if name not in self._skip_names:
+                token_type = name
+                if name in self.identifier_rules:
+                    token_type = self._keywords.get(lexeme.upper(), name)
+                yield Token(token_type, lexeme, line, col, pos)
+            line, col = _advance(lexeme, line, col)
+            pos = match.end()
+        yield eof_token(line, col, pos)
+
+    def scan(self, text: str) -> list[Token]:
+        """Tokenize the full input eagerly (EOF token included)."""
+        return list(self.tokens(text))
+
+
+def _advance(lexeme: str, line: int, col: int) -> tuple[int, int]:
+    """Advance a (line, column) position over the matched text."""
+    newlines = lexeme.count("\n")
+    if newlines:
+        return line + newlines, len(lexeme) - lexeme.rfind("\n")
+    return line, col + len(lexeme)

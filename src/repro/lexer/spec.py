@@ -1,0 +1,194 @@
+"""Token definitions and composable token sets.
+
+The paper keeps "a file containing various tokens used in the grammar" next
+to every sub-grammar and composes those files into a single token file when
+features are composed.  :class:`TokenSet` is our in-memory equivalent of
+such a file, and :meth:`TokenSet.merge` is the composition operation.
+
+Three kinds of token definitions exist:
+
+* **keywords** — case-insensitive reserved words (``SELECT``, ``WHERE``).
+  They are matched as identifiers first and then promoted, so composing a
+  *smaller* dialect genuinely frees the unused words for use as
+  identifiers (ablation A3 in DESIGN.md).
+* **operators/punctuation** — fixed literal text such as ``<=`` or ``,``,
+  matched longest-first.
+* **patterns** — regular-expression tokens such as identifiers and
+  literals, tried in priority order.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import TokenConflictError
+
+
+@dataclass(frozen=True, slots=True)
+class TokenDef:
+    """A single token definition.
+
+    Attributes:
+        name: Terminal name used in grammars (conventionally UPPER_CASE).
+        pattern: Regex source for pattern tokens, literal text otherwise.
+        kind: ``"keyword"``, ``"literal"`` (fixed text) or ``"pattern"``.
+        priority: Pattern tokens are tried highest priority first; ties are
+            broken by definition order.
+        skip: Skip tokens (whitespace, comments) are matched and discarded.
+    """
+
+    name: str
+    pattern: str
+    kind: str = "pattern"
+    priority: int = 0
+    skip: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("keyword", "literal", "pattern"):
+            raise ValueError(f"unknown token kind: {self.kind!r}")
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.kind == "keyword"
+
+
+def keyword(word: str, name: str | None = None) -> TokenDef:
+    """Define a case-insensitive keyword token.
+
+    The terminal name defaults to the upper-cased word itself.
+    """
+    return TokenDef(name or word.upper(), word.upper(), kind="keyword")
+
+
+def literal(name: str, text: str) -> TokenDef:
+    """Define a fixed-text operator or punctuation token."""
+    return TokenDef(name, text, kind="literal")
+
+
+def pattern(name: str, regex: str, priority: int = 0, skip: bool = False) -> TokenDef:
+    """Define a regular-expression token."""
+    return TokenDef(name, regex, kind="pattern", priority=priority, skip=skip)
+
+
+class TokenSet:
+    """An ordered, composable collection of token definitions.
+
+    Equivalent to one of the paper's per-feature token files.  Token sets
+    merge by name: re-adding an identical definition is a no-op, while two
+    definitions that share a name but disagree on pattern or kind raise
+    :class:`TokenConflictError` — silent shadowing is how composed grammars
+    acquire baffling scan failures.
+    """
+
+    def __init__(self, name: str = "", defs: Iterable[TokenDef] = ()) -> None:
+        self.name = name
+        self._defs: dict[str, TokenDef] = {}
+        for d in defs:
+            self.add(d)
+
+    def add(self, definition: TokenDef) -> None:
+        """Add one definition, rejecting conflicting redefinitions."""
+        existing = self._defs.get(definition.name)
+        if existing is not None:
+            if existing != definition:
+                raise TokenConflictError(
+                    f"token {definition.name!r} redefined with a different "
+                    f"pattern: {existing.pattern!r} vs {definition.pattern!r}"
+                )
+            return
+        self._defs[definition.name] = definition
+
+    def merge(self, other: "TokenSet") -> "TokenSet":
+        """Compose two token sets into a new one (the paper's token-file merge)."""
+        merged = TokenSet(name=self.name or other.name)
+        for d in self:
+            merged.add(d)
+        for d in other:
+            merged.add(d)
+        return merged
+
+    def get(self, name: str) -> TokenDef | None:
+        return self._defs.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._defs
+
+    def __iter__(self) -> Iterator[TokenDef]:
+        return iter(self._defs.values())
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TokenSet):
+            return NotImplemented
+        return self._defs == other._defs
+
+    def names(self) -> frozenset[str]:
+        """All terminal names defined in this set."""
+        return frozenset(self._defs)
+
+    @property
+    def keywords(self) -> dict[str, str]:
+        """Mapping of upper-cased keyword text to terminal name."""
+        return {d.pattern: d.name for d in self if d.is_keyword}
+
+    @property
+    def literals(self) -> list[TokenDef]:
+        """Fixed-text tokens, longest text first (for maximal munch)."""
+        lits = [d for d in self if d.kind == "literal"]
+        lits.sort(key=lambda d: -len(d.pattern))
+        return lits
+
+    @property
+    def patterns(self) -> list[TokenDef]:
+        """Pattern tokens in priority order (highest first, stable)."""
+        pats = [d for d in self if d.kind == "pattern"]
+        pats.sort(key=lambda d: -d.priority)
+        return pats
+
+    def describe(self) -> str:
+        """Human-readable summary, used by the dialect explorer example."""
+        kws = sorted(self.keywords.values())
+        lines = [f"token set {self.name or '<anonymous>'}: {len(self)} tokens"]
+        if kws:
+            lines.append(f"  keywords ({len(kws)}): {', '.join(kws)}")
+        lits = [d.name for d in self.literals]
+        if lits:
+            lines.append(f"  literals ({len(lits)}): {', '.join(lits)}")
+        pats = [d.name for d in self.patterns]
+        if pats:
+            lines.append(f"  patterns ({len(pats)}): {', '.join(pats)}")
+        return "\n".join(lines)
+
+
+#: Standard skip tokens shared by every SQL dialect: whitespace plus SQL's
+#: ``--`` line comments and ``/* */`` block comments.
+def standard_skip_tokens() -> list[TokenDef]:
+    return [
+        pattern("WHITESPACE", r"[ \t\r\n]+", priority=100, skip=True),
+        pattern("LINE_COMMENT", r"--[^\n]*", priority=99, skip=True),
+        pattern("BLOCK_COMMENT", r"/\*(?:[^*]|\*(?!/))*\*/", priority=98, skip=True),
+    ]
+
+
+def compile_master_pattern(token_set: TokenSet) -> "re.Pattern[str]":
+    """Compile a single alternation regex implementing maximal munch.
+
+    Order inside the alternation encodes precedence: skip tokens and
+    pattern tokens by priority, then literal tokens longest-first.
+    Keywords are intentionally *not* part of the regex — they are promoted
+    from identifier matches by the scanner so that keyword sets stay
+    composable without recompiling identifier rules.
+    """
+    parts: list[str] = []
+    for d in token_set.patterns:
+        parts.append(f"(?P<{d.name}>{d.pattern})")
+    for d in token_set.literals:
+        parts.append(f"(?P<{d.name}>{re.escape(d.pattern)})")
+    if not parts:
+        # A grammar with keywords only still needs *something* to match.
+        parts.append(r"(?P<_NOTHING_>(?!))")
+    return re.compile("|".join(parts))

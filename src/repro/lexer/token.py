@@ -1,0 +1,44 @@
+"""Token value object produced by the scanner.
+
+A :class:`Token` carries its terminal name (``type``), the matched text,
+and its source position.  Positions are 1-based, matching what editors and
+the paper's error-reporting discussion expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Terminal name used for the synthetic end-of-input token.
+EOF = "EOF"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Terminal name, e.g. ``"SELECT"`` or ``"IDENTIFIER"``.
+        text: The exact matched source text.
+        line: 1-based line of the first character.
+        column: 1-based column of the first character.
+        offset: 0-based character offset into the source string.
+    """
+
+    type: str
+    text: str
+    line: int = 1
+    column: int = 1
+    offset: int = 0
+
+    @property
+    def is_eof(self) -> bool:
+        return self.type == EOF
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.type}({self.text!r}@{self.line}:{self.column})"
+
+
+def eof_token(line: int = 1, column: int = 1, offset: int = 0) -> Token:
+    """Build the synthetic end-of-input token at the given position."""
+    return Token(EOF, "", line, column, offset)

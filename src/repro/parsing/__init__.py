@@ -1,0 +1,34 @@
+"""LL(k) parser-generation substrate.
+
+Public API::
+
+    from repro.parsing import (
+        GrammarAnalysis, LLTable, LLConflict,
+        Parser, Node,
+        ParserCodeGenerator, generate_parser_source, load_generated_parser,
+    )
+"""
+
+from .codegen import (
+    ParserCodeGenerator,
+    generate_parser_source,
+    load_generated_parser,
+)
+from .first_follow import GrammarAnalysis
+from .ll1 import LLConflict, LLTable
+from .parser import Parser
+from .sentences import SentenceGenerator, generate_sentences
+from .tree import Node
+
+__all__ = [
+    "GrammarAnalysis",
+    "LLConflict",
+    "LLTable",
+    "Node",
+    "Parser",
+    "ParserCodeGenerator",
+    "SentenceGenerator",
+    "generate_parser_source",
+    "generate_sentences",
+    "load_generated_parser",
+]

@@ -1,0 +1,294 @@
+"""Nullable / FIRST / FOLLOW computation over EBNF grammars.
+
+The analysis works directly on the EBNF expression algebra (no prior
+BNF-expansion pass), which keeps the composed grammars readable in
+diagnostics.  All three sets are computed by standard fixpoint iteration
+(Aho, Lam, Sethi, Ullman — the paper's reference [1]).
+
+``FIRST`` sets contain terminal names.  End-of-input is represented by the
+scanner's EOF terminal name so FOLLOW sets need no special symbol.
+"""
+
+from __future__ import annotations
+
+from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
+from ..grammar.grammar import Grammar
+from ..lexer.token import EOF
+
+
+class GrammarAnalysis:
+    """Computes and caches nullable/FIRST/FOLLOW for one grammar.
+
+    The grammar must not change after analysis; build a new analysis after
+    composition steps.
+    """
+
+    def __init__(self, grammar: Grammar) -> None:
+        self.grammar = grammar
+        self.nullable: dict[str, bool] = {}
+        self.first: dict[str, frozenset[str]] = {}
+        self.follow: dict[str, frozenset[str]] = {}
+        # element-level caches, keyed by id(); the stored element reference
+        # keeps the object alive so ids cannot be recycled.  Only valid once
+        # the fixpoints are done, hence the _frozen flag.
+        self._frozen = False
+        self._first_cache: dict[int, tuple[Element, frozenset[str]]] = {}
+        self._nullable_cache: dict[int, tuple[Element, bool]] = {}
+        self._compute_nullable()
+        self._compute_first()
+        self._compute_follow()
+        self._frozen = True
+
+    # -- public element-level queries --------------------------------------
+
+    def nullable_of(self, element: Element) -> bool:
+        """Can this element derive the empty string?"""
+        if self._frozen:
+            cached = self._nullable_cache.get(id(element))
+            if cached is not None:
+                return cached[1]
+            result = self._nullable_uncached(element)
+            self._nullable_cache[id(element)] = (element, result)
+            return result
+        return self._nullable_uncached(element)
+
+    def _nullable_uncached(self, element: Element) -> bool:
+        if isinstance(element, Tok):
+            return False
+        if isinstance(element, Ref):
+            return self.nullable.get(element.name, False)
+        if isinstance(element, Opt):
+            return True
+        if isinstance(element, Rep):
+            return element.min == 0 or self.nullable_of(element.inner)
+        if isinstance(element, Seq):
+            return all(self.nullable_of(i) for i in element.items)
+        if isinstance(element, Choice):
+            return any(self.nullable_of(a) for a in element.alternatives)
+        raise TypeError(f"unknown element: {element!r}")
+
+    def first_of(self, element: Element) -> frozenset[str]:
+        """Terminals that can begin a string derived from this element."""
+        if self._frozen:
+            cached = self._first_cache.get(id(element))
+            if cached is not None:
+                return cached[1]
+            result = self._first_uncached(element)
+            self._first_cache[id(element)] = (element, result)
+            return result
+        return self._first_uncached(element)
+
+    def _first_uncached(self, element: Element) -> frozenset[str]:
+        if isinstance(element, Tok):
+            return frozenset((element.name,))
+        if isinstance(element, Ref):
+            return self.first.get(element.name, frozenset())
+        if isinstance(element, (Opt, Rep)):
+            inner = self.first_of(element.inner)
+            if isinstance(element, Rep) and element.separator is not None:
+                # after one item, the separator may start the continuation,
+                # but the *first* terminal is still from the item
+                return inner
+            return inner
+        if isinstance(element, Seq):
+            result: set[str] = set()
+            for item in element.items:
+                result |= self.first_of(item)
+                if not self.nullable_of(item):
+                    break
+            return frozenset(result)
+        if isinstance(element, Choice):
+            result = set()
+            for alt in element.alternatives:
+                result |= self.first_of(alt)
+            return frozenset(result)
+        raise TypeError(f"unknown element: {element!r}")
+
+    def first_of_sequence(self, items: list[Element]) -> frozenset[str]:
+        """FIRST of a suffix of a flattened alternative."""
+        result: set[str] = set()
+        for item in items:
+            result |= self.first_of(item)
+            if not self.nullable_of(item):
+                break
+        return frozenset(result)
+
+    # -- fixpoint computations ----------------------------------------------
+
+    def _compute_nullable(self) -> None:
+        self.nullable = {name: False for name in self.grammar.rule_names()}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.grammar:
+                if self.nullable[rule.name]:
+                    continue
+                if any(self.nullable_of(a) for a in rule.alternatives):
+                    self.nullable[rule.name] = True
+                    changed = True
+
+    def _compute_first(self) -> None:
+        self.first = {name: frozenset() for name in self.grammar.rule_names()}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.grammar:
+                combined: set[str] = set(self.first[rule.name])
+                for alt in rule.alternatives:
+                    combined |= self.first_of(alt)
+                frozen = frozenset(combined)
+                if frozen != self.first[rule.name]:
+                    self.first[rule.name] = frozen
+                    changed = True
+
+    def _compute_follow(self) -> None:
+        follow: dict[str, set[str]] = {
+            name: set() for name in self.grammar.rule_names()
+        }
+        if self.grammar.start is not None and self.grammar.start in follow:
+            follow[self.grammar.start].add(EOF)
+
+        # constraints: (a) terminals directly added to FOLLOW(nt),
+        # (b) FOLLOW(lhs) flows into FOLLOW(nt) when nt can end lhs.
+        direct: dict[str, set[str]] = {name: set() for name in follow}
+        flows: dict[str, set[str]] = {name: set() for name in follow}
+
+        for rule in self.grammar:
+            for alt in rule.alternatives:
+                self._collect_follow_constraints(
+                    alt, rule.name, direct, flows
+                )
+
+        for name in follow:
+            follow[name] |= direct.get(name, set())
+
+        changed = True
+        while changed:
+            changed = False
+            for target, sources in flows.items():
+                for source in sources:
+                    added = follow[source] - follow[target]
+                    if added:
+                        follow[target] |= added
+                        changed = True
+        self.follow = {name: frozenset(s) for name, s in follow.items()}
+
+    def _collect_follow_constraints(
+        self,
+        element: Element,
+        lhs: str,
+        direct: dict[str, set[str]],
+        flows: dict[str, set[str]],
+    ) -> None:
+        """Walk one alternative, recording FOLLOW constraints.
+
+        ``direct[nt]`` accumulates terminals that can follow ``nt``;
+        ``flows[nt]`` accumulates nonterminals whose FOLLOW flows into
+        ``nt``'s FOLLOW.
+        """
+
+        def handle(seq_items: list[Element], tail_owner: str | None) -> None:
+            """Process a sequence whose end is followed by FOLLOW(tail_owner)."""
+            for index, item in enumerate(seq_items):
+                rest = seq_items[index + 1 :]
+                rest_first = self.first_of_sequence(rest)
+                rest_nullable = all(self.nullable_of(r) for r in rest)
+                self._constrain_element(
+                    item, rest_first, rest_nullable, tail_owner, direct, flows
+                )
+
+        items = element.items if isinstance(element, Seq) else [element]
+        handle(list(items), lhs)
+
+    def _constrain_element(
+        self,
+        element: Element,
+        rest_first: frozenset[str],
+        rest_nullable: bool,
+        tail_owner: str | None,
+        direct: dict[str, set[str]],
+        flows: dict[str, set[str]],
+    ) -> None:
+        if isinstance(element, Tok):
+            return
+        if isinstance(element, Ref):
+            name = element.name
+            if name not in direct:
+                direct[name] = set()
+                flows[name] = set()
+            direct[name] |= rest_first
+            if rest_nullable and tail_owner is not None:
+                flows[name].add(tail_owner)
+            return
+        if isinstance(element, Opt):
+            self._constrain_element(
+                element.inner, rest_first, rest_nullable, tail_owner, direct, flows
+            )
+            return
+        if isinstance(element, Rep):
+            # the item may be followed by the separator/itself or by the rest
+            inner_follow = set(rest_first) | set(self.first_of(element.inner))
+            if element.separator is not None:
+                inner_follow |= self.first_of(element.separator)
+            self._constrain_element(
+                element.inner,
+                frozenset(inner_follow),
+                rest_nullable,
+                tail_owner,
+                direct,
+                flows,
+            )
+            if element.separator is not None:
+                self._constrain_element(
+                    element.separator,
+                    self.first_of(element.inner),
+                    False,
+                    None,
+                    direct,
+                    flows,
+                )
+            return
+        if isinstance(element, Choice):
+            for alt in element.alternatives:
+                sub_items = list(alt.items) if isinstance(alt, Seq) else [alt]
+                for index, item in enumerate(sub_items):
+                    rest = sub_items[index + 1 :]
+                    sub_rest_first = set(self.first_of_sequence(rest)) | (
+                        set(rest_first)
+                        if all(self.nullable_of(r) for r in rest)
+                        else set()
+                    )
+                    sub_rest_nullable = rest_nullable and all(
+                        self.nullable_of(r) for r in rest
+                    )
+                    self._constrain_element(
+                        item,
+                        frozenset(sub_rest_first),
+                        sub_rest_nullable,
+                        tail_owner,
+                        direct,
+                        flows,
+                    )
+            return
+        if isinstance(element, Seq):
+            sub_items = list(element.items)
+            for index, item in enumerate(sub_items):
+                rest = sub_items[index + 1 :]
+                sub_rest_first = set(self.first_of_sequence(rest)) | (
+                    set(rest_first)
+                    if all(self.nullable_of(r) for r in rest)
+                    else set()
+                )
+                sub_rest_nullable = rest_nullable and all(
+                    self.nullable_of(r) for r in rest
+                )
+                self._constrain_element(
+                    item,
+                    frozenset(sub_rest_first),
+                    sub_rest_nullable,
+                    tail_owner,
+                    direct,
+                    flows,
+                )
+            return
+        raise TypeError(f"unknown element: {element!r}")

@@ -1,0 +1,110 @@
+"""LL(1) parse-table construction and conflict reporting.
+
+The table serves three purposes in the reproduction:
+
+* **conflict reporting** — the diagnostic ANTLR would give the paper's
+  authors when a composed grammar is ambiguous under one-token lookahead;
+* **strict mode** — :class:`~repro.parsing.parser.Parser` can refuse
+  non-LL(1) grammars outright;
+* **size metrics** — experiment E6 reports table entries per dialect as a
+  proxy for parser footprint on embedded targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..grammar.expr import Element
+from ..grammar.grammar import Grammar
+from .first_follow import GrammarAnalysis
+
+
+@dataclass(frozen=True, slots=True)
+class LLConflict:
+    """Two alternatives of one rule competing for the same lookahead."""
+
+    rule: str
+    terminal: str
+    first_alternative: int
+    second_alternative: int
+
+    def __str__(self) -> str:
+        return (
+            f"rule {self.rule!r}: alternatives {self.first_alternative} and "
+            f"{self.second_alternative} both start with {self.terminal!r}"
+        )
+
+
+class LLTable:
+    """The LL(1) prediction table M[nonterminal, terminal] -> alternative.
+
+    Entries are alternative indices into the rule's alternative list.  A
+    cell claimed by two alternatives produces an :class:`LLConflict`; the
+    first claimant keeps the cell (matching the parser's ordered-choice
+    behaviour).
+    """
+
+    def __init__(self, grammar: Grammar, analysis: GrammarAnalysis | None = None) -> None:
+        self.grammar = grammar
+        self.analysis = analysis if analysis is not None else GrammarAnalysis(grammar)
+        self.entries: dict[tuple[str, str], int] = {}
+        self.conflicts: list[LLConflict] = []
+        self._build()
+
+    def _build(self) -> None:
+        for rule in self.grammar:
+            claimed: dict[str, int] = {}
+            nullable_alt: int | None = None
+            for alt_index, alt in enumerate(rule.alternatives):
+                for terminal in self.analysis.first_of(alt):
+                    if terminal in claimed:
+                        self.conflicts.append(
+                            LLConflict(rule.name, terminal, claimed[terminal], alt_index)
+                        )
+                        continue
+                    claimed[terminal] = alt_index
+                    self.entries[(rule.name, terminal)] = alt_index
+                if self.analysis.nullable_of(alt):
+                    if nullable_alt is not None:
+                        self.conflicts.append(
+                            LLConflict(rule.name, "<epsilon>", nullable_alt, alt_index)
+                        )
+                    else:
+                        nullable_alt = alt_index
+            if nullable_alt is not None:
+                for terminal in self.analysis.follow.get(rule.name, frozenset()):
+                    if terminal in claimed:
+                        if claimed[terminal] != nullable_alt:
+                            self.conflicts.append(
+                                LLConflict(
+                                    rule.name, terminal, claimed[terminal], nullable_alt
+                                )
+                            )
+                        continue
+                    claimed[terminal] = nullable_alt
+                    self.entries[(rule.name, terminal)] = nullable_alt
+
+    # -- queries ---------------------------------------------------------------
+
+    def predict(self, rule_name: str, terminal: str) -> int | None:
+        """Alternative index predicted for (rule, lookahead), if any."""
+        return self.entries.get((rule_name, terminal))
+
+    def alternative_for(self, rule_name: str, terminal: str) -> Element | None:
+        index = self.predict(rule_name, terminal)
+        if index is None:
+            return None
+        return self.grammar.rule(rule_name).alternatives[index]
+
+    @property
+    def is_ll1(self) -> bool:
+        return not self.conflicts
+
+    def metrics(self) -> dict[str, int]:
+        """Table-size metrics for experiment E6."""
+        return {
+            "entries": len(self.entries),
+            "conflicts": len(self.conflicts),
+            "nonterminals": len(self.grammar),
+            "terminals": len(self.grammar.tokens),
+        }

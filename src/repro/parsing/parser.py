@@ -1,0 +1,259 @@
+"""Predictive recursive-descent parser interpreter.
+
+Given a composed grammar, :class:`Parser` parses token streams into
+concrete parse trees.  Decisions are FIRST-directed (LL(1)); where the
+grammar is not LL(1) the parser falls back to ordered backtracking among
+the candidate alternatives (disable with ``strict=True``, which instead
+raises :class:`~repro.errors.LLConflictError` at construction time — the
+equivalent of ANTLR refusing a grammar).
+
+Error reporting keeps the *furthest* failure position and the union of
+expected terminals there, which is what a user of a tailored dialect needs
+to see ("expected WHERE or end of input").
+"""
+
+from __future__ import annotations
+
+from ..errors import LLConflictError, ParseError
+from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
+from ..grammar.grammar import Grammar
+from ..grammar.validate import validate
+from ..lexer.scanner import Scanner
+from ..lexer.token import EOF, Token
+from .first_follow import GrammarAnalysis
+from .ll1 import LLTable
+from .tree import Node
+
+
+class _Failure(Exception):
+    """Internal backtracking signal; never escapes :meth:`Parser.parse`."""
+
+    __slots__ = ("index", "expected")
+
+    def __init__(self, index: int, expected: frozenset[str]) -> None:
+        self.index = index
+        self.expected = expected
+
+
+class Parser:
+    """A ready-to-use parser for one composed grammar.
+
+    Args:
+        grammar: A *closed* grammar (validation must pass).
+        scanner: Optional custom scanner; defaults to one built from the
+            grammar's token set.
+        strict: Refuse non-LL(1) grammars instead of backtracking.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        scanner: Scanner | None = None,
+        strict: bool = False,
+    ) -> None:
+        validate(grammar).raise_if_failed()
+        self.grammar = grammar
+        self.scanner = scanner if scanner is not None else Scanner(grammar.tokens)
+        self.analysis = GrammarAnalysis(grammar)
+        self.table = LLTable(grammar, self.analysis)
+        self.strict = strict
+        if strict and self.table.conflicts:
+            raise LLConflictError(
+                f"grammar {grammar.name!r} is not LL(1): "
+                + "; ".join(str(c) for c in self.table.conflicts[:5]),
+                conflicts=self.table.conflicts,
+            )
+        # parse state (reset per parse call)
+        self._tokens: list[Token] = []
+        self._index = 0
+        self._furthest_index = 0
+        self._furthest_expected: set[str] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def parse(self, text: str, start: str | None = None) -> Node:
+        """Parse source text into a parse tree rooted at the start rule.
+
+        Raises:
+            ParseError: with position and expected-terminal information.
+            ScanError: when tokenization fails.
+        """
+        return self.parse_tokens(self.scanner.scan(text), start=start)
+
+    def parse_tokens(self, tokens: list[Token], start: str | None = None) -> Node:
+        """Parse an already-scanned token list (must end with EOF)."""
+        start_rule = start if start is not None else self.grammar.start
+        if start_rule is None:
+            raise ParseError("grammar has no start rule")
+        self._tokens = tokens
+        self._index = 0
+        self._furthest_index = 0
+        self._furthest_expected = set()
+        try:
+            node = self._parse_rule(start_rule)
+            if not self._current.is_eof:
+                self._fail(frozenset((EOF,)))
+            return node
+        except _Failure:
+            raise self._build_error() from None
+
+    def accepts(self, text: str, start: str | None = None) -> bool:
+        """True when the text parses; scan and parse errors both count as no."""
+        from ..errors import ScanError
+
+        try:
+            self.parse(text, start=start)
+        except (ParseError, ScanError):
+            return False
+        return True
+
+    # -- parse machinery --------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _fail(self, expected: frozenset[str]) -> None:
+        if self._index > self._furthest_index:
+            self._furthest_index = self._index
+            self._furthest_expected = set(expected)
+        elif self._index == self._furthest_index:
+            self._furthest_expected |= expected
+        raise _Failure(self._index, expected)
+
+    def _build_error(self) -> ParseError:
+        token = self._tokens[min(self._furthest_index, len(self._tokens) - 1)]
+        found = "end of input" if token.is_eof else repr(token.text)
+        expected = ", ".join(sorted(self._furthest_expected))
+        return ParseError(
+            f"syntax error: found {found}, expected one of: {expected}",
+            line=token.line,
+            column=token.column,
+            expected=frozenset(self._furthest_expected),
+            found=token.type,
+        )
+
+    def _parse_rule(self, name: str) -> Node:
+        rule = self.grammar.rule(name)
+        node = Node(name)
+        self._parse_alternatives(rule.alternatives, node.children, rule_name=name)
+        return node
+
+    def _parse_alternatives(
+        self,
+        alternatives: list[Element] | tuple[Element, ...],
+        children: list,
+        rule_name: str | None = None,
+    ) -> None:
+        lookahead = self._current.type
+        viable: list[Element] = []
+        nullable_fallbacks: list[Element] = []
+        expected: set[str] = set()
+        for alt in alternatives:
+            first = self.analysis.first_of(alt)
+            expected |= first
+            if lookahead in first:
+                viable.append(alt)
+            elif self.analysis.nullable_of(alt):
+                nullable_fallbacks.append(alt)
+
+        # Token-consuming candidates first (in declaration order), then
+        # epsilon-deriving ones: epsilon must only win when nothing else can.
+        candidates = viable + nullable_fallbacks
+        if not candidates:
+            self._fail(frozenset(expected))
+
+        if len(candidates) == 1:
+            self._parse_element(candidates[0], children)
+            return
+
+        saved_index = self._index
+        saved_len = len(children)
+        last_failure: _Failure | None = None
+        for alt in candidates:
+            try:
+                self._parse_element(alt, children)
+                return
+            except _Failure as failure:
+                last_failure = failure
+                self._index = saved_index
+                del children[saved_len:]
+        assert last_failure is not None
+        raise last_failure
+
+    def _parse_element(self, element: Element, children: list) -> None:
+        if isinstance(element, Tok):
+            token = self._current
+            if token.type != element.name:
+                self._fail(frozenset((element.name,)))
+            children.append(token)
+            self._index += 1
+            return
+        if isinstance(element, Ref):
+            children.append(self._parse_rule(element.name))
+            return
+        if isinstance(element, Seq):
+            for item in element.items:
+                self._parse_element(item, children)
+            return
+        if isinstance(element, Opt):
+            self._parse_optional(element.inner, children)
+            return
+        if isinstance(element, Rep):
+            self._parse_repetition(element, children)
+            return
+        if isinstance(element, Choice):
+            self._parse_alternatives(element.alternatives, children)
+            return
+        raise TypeError(f"unknown element: {element!r}")
+
+    def _parse_optional(self, inner: Element, children: list) -> None:
+        first = self.analysis.first_of(inner)
+        if self._current.type not in first:
+            return
+        saved_index = self._index
+        saved_len = len(children)
+        try:
+            self._parse_element(inner, children)
+        except _Failure:
+            # the optional content looked plausible but did not parse;
+            # treat as absent and let the continuation decide
+            self._index = saved_index
+            del children[saved_len:]
+
+    def _parse_repetition(self, rep: Rep, children: list) -> None:
+        first = self.analysis.first_of(rep.inner)
+        if rep.separator is None:
+            count = 0
+            while self._current.type in first:
+                saved_index = self._index
+                saved_len = len(children)
+                try:
+                    self._parse_element(rep.inner, children)
+                except _Failure:
+                    self._index = saved_index
+                    del children[saved_len:]
+                    break
+                if self._index == saved_index:
+                    break  # inner matched empty input; avoid infinite loop
+                count += 1
+            if count < rep.min:
+                self._fail(first)
+            return
+
+        # separated list: item (SEP item)*
+        if rep.min == 0 and self._current.type not in first:
+            return
+        self._parse_element(rep.inner, children)
+        sep_first = self.analysis.first_of(rep.separator)
+        while self._current.type in sep_first:
+            saved_index = self._index
+            saved_len = len(children)
+            try:
+                self._parse_element(rep.separator, children)
+                self._parse_element(rep.inner, children)
+            except _Failure:
+                # the separator belonged to the surrounding context
+                self._index = saved_index
+                del children[saved_len:]
+                break

@@ -1,0 +1,188 @@
+"""Random sentence generation from composed grammars.
+
+Given any composed grammar, :class:`SentenceGenerator` derives random
+strings of the grammar's language.  This powers the property-based
+cross-checks in the test suite: every generated sentence must be accepted
+by both the interpreting parser and the generated standalone parser —
+for every dialect of the product line.
+
+Terminal text comes from the token set: keywords and literal tokens print
+their fixed text; pattern tokens (identifiers, numbers, strings) draw from
+small sample pools.  Depth is bounded by preferring non-recursive
+alternatives once a budget is exhausted, so generation terminates even on
+deeply recursive grammars.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import GrammarError
+from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
+from ..grammar.grammar import Grammar
+
+#: Sample lexemes for the standard pattern tokens.
+_PATTERN_SAMPLES: dict[str, list[str]] = {
+    "IDENTIFIER": ["tbl", "col_a", "col_b", "x1", "payload", "zz"],
+    "QUOTED_IDENTIFIER": ['"Mixed Case"', '"t 2"'],
+    "UNSIGNED_INTEGER": ["0", "7", "42", "1024"],
+    "DECIMAL_LITERAL": ["3.14", "0.5", "99.00"],
+    "APPROXIMATE_LITERAL": ["1E3", "2.5e-2"],
+    "STRING_LITERAL": ["'abc'", "'it''s'", "''"],
+    "BINARY_STRING_LITERAL": ["X'0AFF'", "x''"],
+    "NATIONAL_STRING_LITERAL": ["N'text'"],
+    "UNICODE_STRING_LITERAL": ["U&'text'"],
+}
+
+
+class SentenceGenerator:
+    """Derives random sentences from a grammar.
+
+    Args:
+        grammar: A closed, composed grammar.
+        seed: RNG seed for reproducibility.
+        max_depth: Budget after which the generator prefers the cheapest
+            (minimal-size) alternatives to force termination.
+    """
+
+    def __init__(self, grammar: Grammar, seed: int = 0, max_depth: int = 40) -> None:
+        self.grammar = grammar
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+        self._terminal_text = self._build_terminal_table()
+        self._min_cost = self._compute_min_costs()
+
+    # -- public ------------------------------------------------------------
+
+    def sentence(self, start: str | None = None) -> str:
+        """One random sentence, whitespace-joined."""
+        rule = start or self.grammar.start
+        if rule is None:
+            raise GrammarError("grammar has no start rule")
+        tokens: list[str] = []
+        self._emit_rule(rule, tokens, depth=0)
+        return " ".join(tokens)
+
+    def sentences(self, count: int, start: str | None = None) -> list[str]:
+        return [self.sentence(start) for _ in range(count)]
+
+    # -- terminal text -----------------------------------------------------------
+
+    def _build_terminal_table(self) -> dict[str, list[str]]:
+        table: dict[str, list[str]] = {}
+        for definition in self.grammar.tokens:
+            if definition.skip:
+                continue
+            if definition.kind == "keyword":
+                table[definition.name] = [definition.pattern]
+            elif definition.kind == "literal":
+                table[definition.name] = [definition.pattern]
+            else:
+                samples = _PATTERN_SAMPLES.get(definition.name)
+                if samples:
+                    table[definition.name] = samples
+        return table
+
+    def _terminal(self, name: str) -> str:
+        try:
+            choices = self._terminal_text[name]
+        except KeyError:
+            raise GrammarError(
+                f"no sample text for terminal {name!r}"
+            ) from None
+        return self.rng.choice(choices)
+
+    # -- minimal-cost analysis (termination) ------------------------------------------
+
+    def _compute_min_costs(self) -> dict[str, int]:
+        """Fixpoint: minimum number of terminals derivable from each rule."""
+        INF = 10**9
+        costs = {name: INF for name in self.grammar.rule_names()}
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.grammar:
+                best = min(
+                    (self._element_cost(a, costs) for a in rule.alternatives),
+                    default=INF,
+                )
+                if best < costs[rule.name]:
+                    costs[rule.name] = best
+                    changed = True
+        return costs
+
+    def _element_cost(self, element: Element, costs: dict[str, int]) -> int:
+        if isinstance(element, Tok):
+            return 1
+        if isinstance(element, Ref):
+            return costs.get(element.name, 10**9)
+        if isinstance(element, Opt):
+            return 0
+        if isinstance(element, Rep):
+            if element.min == 0:
+                return 0
+            return self._element_cost(element.inner, costs)
+        if isinstance(element, Seq):
+            return sum(self._element_cost(i, costs) for i in element.items)
+        if isinstance(element, Choice):
+            return min(
+                (self._element_cost(a, costs) for a in element.alternatives),
+                default=10**9,
+            )
+        raise TypeError(f"unknown element: {element!r}")
+
+    # -- emission ------------------------------------------------------------------------
+
+    def _emit_rule(self, name: str, out: list[str], depth: int) -> None:
+        rule = self.grammar.rule(name)
+        self._emit_choice(list(rule.alternatives), out, depth + 1)
+
+    def _emit_choice(self, alternatives: list[Element], out: list[str], depth: int) -> None:
+        if depth > self.max_depth:
+            # force termination: pick a cheapest alternative
+            costs = {
+                id(a): self._element_cost(a, self._min_cost) for a in alternatives
+            }
+            cheapest = min(costs.values())
+            pool = [a for a in alternatives if costs[id(a)] == cheapest]
+        else:
+            pool = alternatives
+        self._emit_element(self.rng.choice(pool), out, depth)
+
+    def _emit_element(self, element: Element, out: list[str], depth: int) -> None:
+        if isinstance(element, Tok):
+            out.append(self._terminal(element.name))
+            return
+        if isinstance(element, Ref):
+            self._emit_rule(element.name, out, depth)
+            return
+        if isinstance(element, Seq):
+            for item in element.items:
+                self._emit_element(item, out, depth)
+            return
+        if isinstance(element, Opt):
+            if depth <= self.max_depth and self.rng.random() < 0.4:
+                self._emit_element(element.inner, out, depth + 1)
+            return
+        if isinstance(element, Rep):
+            count = element.min
+            if depth <= self.max_depth:
+                while count < 3 and self.rng.random() < 0.35:
+                    count += 1
+            count = max(count, element.min)
+            for index in range(count):
+                if index > 0 and element.separator is not None:
+                    self._emit_element(element.separator, out, depth + 1)
+                self._emit_element(element.inner, out, depth + 1)
+            return
+        if isinstance(element, Choice):
+            self._emit_choice(list(element.alternatives), out, depth + 1)
+            return
+        raise TypeError(f"unknown element: {element!r}")
+
+
+def generate_sentences(
+    grammar: Grammar, count: int = 20, seed: int = 0, start: str | None = None
+) -> list[str]:
+    """Convenience wrapper around :class:`SentenceGenerator`."""
+    return SentenceGenerator(grammar, seed=seed).sentences(count, start=start)

@@ -1,0 +1,108 @@
+"""Concrete parse trees produced by the generated parsers.
+
+A :class:`Node` is named after the nonterminal whose rule matched; its
+children are nested nodes and :class:`~repro.lexer.token.Token` leaves in
+source order.  The SQL AST builder (:mod:`repro.sql.ast_builder`) consumes
+these trees, mirroring the paper's separation between generated syntax and
+separately-implemented semantic actions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from ..lexer.token import Token
+
+Child = Union["Node", Token]
+
+
+class Node:
+    """One parse-tree node: a nonterminal name plus ordered children."""
+
+    __slots__ = ("name", "children")
+
+    def __init__(self, name: str, children: list[Child] | None = None) -> None:
+        self.name = name
+        self.children: list[Child] = children if children is not None else []
+
+    # -- navigation ---------------------------------------------------------
+
+    def child(self, name: str) -> "Node | None":
+        """First child node with the given rule name, if any."""
+        for c in self.children:
+            if isinstance(c, Node) and c.name == name:
+                return c
+        return None
+
+    def children_named(self, name: str) -> list["Node"]:
+        """All direct child nodes with the given rule name."""
+        return [c for c in self.children if isinstance(c, Node) and c.name == name]
+
+    def find_all(self, name: str) -> Iterator["Node"]:
+        """All descendant nodes (including self) with the given rule name."""
+        if self.name == name:
+            yield self
+        for c in self.children:
+            if isinstance(c, Node):
+                yield from c.find_all(name)
+
+    def token(self, type_name: str) -> Token | None:
+        """First direct child token of the given terminal type, if any."""
+        for c in self.children:
+            if isinstance(c, Token) and c.type == type_name:
+                return c
+        return None
+
+    def tokens_of(self, type_name: str) -> list[Token]:
+        """All direct child tokens of the given terminal type."""
+        return [c for c in self.children if isinstance(c, Token) and c.type == type_name]
+
+    def has_token(self, type_name: str) -> bool:
+        return self.token(type_name) is not None
+
+    def tokens(self) -> Iterator[Token]:
+        """All leaf tokens below this node, in source order."""
+        for c in self.children:
+            if isinstance(c, Token):
+                yield c
+            else:
+                yield from c.tokens()
+
+    def node_children(self) -> list["Node"]:
+        """Direct children that are nodes (skipping tokens)."""
+        return [c for c in self.children if isinstance(c, Node)]
+
+    # -- rendering ------------------------------------------------------------
+
+    def text(self) -> str:
+        """Reconstructed source text (single-space separated)."""
+        return " ".join(t.text for t in self.tokens())
+
+    def to_sexpr(self) -> str:
+        """Lisp-style rendering, convenient for test assertions."""
+        parts: list[str] = [self.name]
+        for c in self.children:
+            if isinstance(c, Token):
+                parts.append(c.text if c.text else c.type)
+            else:
+                parts.append(c.to_sexpr())
+        return "(" + " ".join(parts) + ")"
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line indented rendering for debugging."""
+        pad = "  " * indent
+        lines = [f"{pad}{self.name}"]
+        for c in self.children:
+            if isinstance(c, Token):
+                lines.append(f"{pad}  {c.type} {c.text!r}")
+            else:
+                lines.append(c.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} with {len(self.children)} children>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.name == other.name and self.children == other.children

@@ -1,0 +1,460 @@
+"""Abstract syntax trees for parsed SQL.
+
+The AST is the hand-off point between generated syntax and separately
+implemented semantics (the paper implements semantic actions apart from
+the composed grammars; we mirror that with
+:mod:`repro.sql.ast_builder` + :mod:`repro.engine`).
+
+Nodes are plain frozen dataclasses.  Only constructs with engine support
+get dedicated node types; statements the engine does not execute (GRANT,
+SET SCHEMA, ...) are represented by :class:`GenericStatement` so every
+parsable dialect still round-trips through the builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# scalar expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class for scalar expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value; ``value`` is already a Python object."""
+
+    value: object
+    type_name: str = "unknown"
+
+
+#: The SQL NULL literal/specification.
+NULL = Literal(None, "null")
+
+
+@dataclass(frozen=True)
+class Default(Expression):
+    """The DEFAULT marker inside VALUES or SET clauses."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A possibly-qualified column reference."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def qualifier(self) -> str | None:
+        return self.parts[-2] if len(self.parts) > 1 else None
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` in a select list; ``table`` set for qualified ``t.*``."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator: NOT, +, -."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Scalar function or routine invocation."""
+
+    name: str
+    args: tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expression):
+    """Set function: COUNT(*) has ``argument=None``."""
+
+    function: str
+    argument: Expression | None = None
+    quantifier: str | None = None  # "DISTINCT" / "ALL"
+    filter_condition: Expression | None = None
+
+
+@dataclass(frozen=True)
+class WindowCall(Expression):
+    """Window function invocation: RANK() OVER w / SUM(x) OVER (...)."""
+
+    function: Expression
+    window: Union[str, "WindowSpec"]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Inline or named window specification."""
+
+    partition_by: tuple[Expression, ...] = ()
+    order_by: tuple["SortSpec", ...] = ()
+    frame: str | None = None
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expression):
+    """Simple (``operand`` set) or searched CASE."""
+
+    operand: Expression | None
+    whens: tuple[tuple[Expression, Expression], ...]
+    else_result: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    operand: Expression
+    type_name: str
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    operand: Expression
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    escape: Expression | None = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(Expression):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class UniqueSubquery(Expression):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Quantified(Expression):
+    """Quantified comparison: x <op> ALL/SOME/ANY (subquery)."""
+
+    op: str
+    quantifier: str
+    operand: Expression
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class IsDistinctFrom(Expression):
+    left: Expression
+    right: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BooleanIs(Expression):
+    """x IS [NOT] TRUE / FALSE / UNKNOWN."""
+
+    operand: Expression
+    truth: object  # True / False / None (UNKNOWN)
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class NamedTable:
+    parts: tuple[str, ...]
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+
+@dataclass(frozen=True)
+class DerivedTable:
+    query: "Query"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join:
+    kind: str  # "inner", "left", "right", "full", "cross", "natural", "union"
+    left: "TableRef"
+    right: "TableRef"
+    on: Expression | None = None
+    using: tuple[str, ...] = ()
+
+
+TableRef = Union[NamedTable, DerivedTable, Join]
+
+
+@dataclass(frozen=True)
+class SortSpec:
+    expression: Expression
+    descending: bool = False
+    nulls_last: bool | None = None
+
+
+@dataclass(frozen=True)
+class WindowDef:
+    name: str
+    spec: WindowSpec
+
+
+@dataclass(frozen=True)
+class Select:
+    """One query specification (SELECT ... FROM ...)."""
+
+    items: tuple[SelectItem | Star, ...]
+    from_tables: tuple[TableRef, ...]
+    quantifier: str | None = None
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    grouping_kind: str | None = None  # "rollup" / "cube" / "grouping sets"
+    having: Expression | None = None
+    windows: tuple[WindowDef, ...] = ()
+    # TinySQL acquisitional extensions
+    sample_period: int | None = None
+    epoch_duration: int | None = None
+    lifetime: int | None = None
+
+
+@dataclass(frozen=True)
+class SetOperation:
+    kind: str  # "union", "except", "intersect"
+    quantifier: str | None
+    left: "QueryBody"
+    right: "QueryBody"
+
+
+@dataclass(frozen=True)
+class Values:
+    rows: tuple[tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class ExplicitTable:
+    parts: tuple[str, ...]
+
+
+QueryBody = Union[Select, SetOperation, Values, ExplicitTable]
+
+
+@dataclass(frozen=True)
+class CommonTableExpr:
+    name: str
+    columns: tuple[str, ...]
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query expression: body + outer clauses."""
+
+    body: QueryBody
+    ctes: tuple[CommonTableExpr, ...] = ()
+    recursive: bool = False
+    order_by: tuple[SortSpec, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for executable statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class QueryStatement(Statement):
+    query: Query
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: tuple[str, ...]
+    columns: tuple[str, ...] = ()
+    source: Union[Values, Query, None] = None  # None = DEFAULT VALUES
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: tuple[str, ...]
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: tuple[str, ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class Merge(Statement):
+    target: tuple[str, ...]
+    target_alias: str | None
+    source: TableRef
+    condition: Expression
+    matched_assignments: tuple[tuple[str, Expression], ...] = ()
+    not_matched_columns: tuple[str, ...] = ()
+    not_matched_values: Values | None = None
+
+
+@dataclass(frozen=True)
+class TypeSpec:
+    name: str  # normalized: "integer", "varchar", "boolean", ...
+    parameters: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: TypeSpec
+    default: Expression | None = None
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    references: tuple[str, ...] | None = None
+    check: Expression | None = None
+
+
+@dataclass(frozen=True)
+class TableConstraint:
+    kind: str  # "primary key", "unique", "foreign key", "check"
+    columns: tuple[str, ...] = ()
+    references_table: tuple[str, ...] | None = None
+    references_columns: tuple[str, ...] = ()
+    check: Expression | None = None
+    on_delete: str | None = None
+    on_update: str | None = None
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: tuple[str, ...]
+    columns: tuple[ColumnDef, ...]
+    constraints: tuple[TableConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: tuple[str, ...]
+    columns: tuple[str, ...]
+    query: Query
+
+
+@dataclass(frozen=True)
+class DropStatement(Statement):
+    kind: str  # "table", "view", "schema", "domain", "sequence"
+    name: tuple[str, ...]
+    behavior: str | None = None  # "cascade" / "restrict"
+
+
+@dataclass(frozen=True)
+class Commit(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback(Statement):
+    savepoint: str | None = None
+
+
+@dataclass(frozen=True)
+class Savepoint(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class ReleaseSavepoint(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class GenericStatement(Statement):
+    """Statements parsed but not executed by the engine (GRANT, SET ...).
+
+    ``kind`` is the parse-tree rule name; ``text`` the reconstructed
+    source.
+    """
+
+    kind: str
+    text: str
+
+
+@dataclass(frozen=True)
+class Script:
+    statements: tuple[Statement, ...]
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)

@@ -1,0 +1,95 @@
+"""SQL:2003 feature modules — one per feature diagram (or diagram group).
+
+``register_all`` populates a registry in dependency order: structural
+skeleton first, then lexical elements, scalar expressions, the query
+language, statements, and finally extension packages.
+"""
+
+from __future__ import annotations
+
+from ..registry import SqlRegistry
+from . import (
+    root,
+    identifiers,
+    literals,
+    data_types,
+    value_expressions,
+    numeric_expressions,
+    string_expressions,
+    datetime_expressions,
+    boolean_expressions,
+    predicates,
+    case_expressions,
+    cast,
+    row_values,
+    subqueries,
+    aggregates,
+    window_functions,
+    query_specification,
+    select_list,
+    table_expression,
+    from_clause,
+    joined_table,
+    group_by,
+    window_clause,
+    query_expression,
+    order_by,
+    with_clause,
+    dml,
+    create_table,
+    ddl_misc,
+    alter_drop,
+    access_control,
+    transactions,
+    session,
+    more_statements,
+    scalar_misc,
+    character_sets,
+    extensions,
+)
+
+_MODULES = [
+    root,
+    identifiers,
+    literals,
+    data_types,
+    value_expressions,
+    numeric_expressions,
+    string_expressions,
+    datetime_expressions,
+    boolean_expressions,
+    predicates,
+    case_expressions,
+    cast,
+    row_values,
+    subqueries,
+    aggregates,
+    window_functions,
+    query_specification,
+    select_list,
+    table_expression,
+    from_clause,
+    joined_table,
+    group_by,
+    window_clause,
+    query_expression,
+    order_by,
+    with_clause,
+    dml,
+    create_table,
+    ddl_misc,
+    alter_drop,
+    access_control,
+    transactions,
+    session,
+    more_statements,
+    scalar_misc,
+    character_sets,
+    extensions,
+]
+
+
+def register_all(registry: SqlRegistry) -> None:
+    """Register every feature diagram into the given registry."""
+    for module in _MODULES:
+        module.register(registry)

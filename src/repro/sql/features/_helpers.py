@@ -1,0 +1,65 @@
+"""Shared snippets for the SQL feature modules.
+
+Several sub-grammars need the *same* auxiliary rule (``column_list``,
+``where_clause``, ``set_clause_list`` …).  The paper's composition model
+handles this naturally — identical productions compose to one — so each
+unit simply includes the snippet it needs and the composer deduplicates.
+Keeping the snippets here guarantees they stay textually identical.
+"""
+
+from __future__ import annotations
+
+from ...lexer.spec import TokenDef, keyword
+
+#: ``(a, b, c)`` column name lists, used by DDL, DML, views and CTEs.
+COLUMN_LIST_RULE = """
+column_list : LPAREN column_name (COMMA column_name)* RPAREN ;
+"""
+
+#: The WHERE clause; included by SELECT, UPDATE and DELETE features so a
+#: dialect with only DML still gets the rule.
+WHERE_CLAUSE_RULE = """
+where_clause : WHERE search_condition ;
+"""
+
+#: UPDATE's SET list, shared with MERGE's WHEN MATCHED branch.
+SET_CLAUSE_RULES = """
+set_clause_list : set_clause (COMMA set_clause)* ;
+set_clause : column_name EQ update_source ;
+update_source : value_expression ;
+"""
+
+#: The hook production for suffix predicates (comparison, BETWEEN, IN, …).
+#: Every suffix-predicate unit includes it; duplicates compose away.
+PREDICATE_SUFFIX_HOOK = """
+predicate : common_value_expression predicate_suffix? ;
+"""
+
+#: The set-operation body shared by UNION and EXCEPT units.
+SET_OPERATION_BODY = """
+query_expression_body : query_term (union_or_except query_term)* ;
+"""
+
+#: CASCADE/RESTRICT drop behaviour, shared by DROP and REVOKE statements.
+DROP_BEHAVIOR_RULE = """
+drop_behavior : CASCADE | RESTRICT ;
+"""
+
+#: DEFAULT clause shared by CREATE TABLE, CREATE DOMAIN and ALTER TABLE.
+DEFAULT_CLAUSE_RULES = """
+default_clause : DEFAULT default_option ;
+default_option : value_expression | NULL ;
+"""
+
+#: Transaction modes shared by START TRANSACTION and SET TRANSACTION.
+TRANSACTION_MODE_RULES = """
+transaction_modes : transaction_mode (COMMA transaction_mode)* ;
+transaction_mode : isolation_level | READ ONLY | READ WRITE ;
+isolation_level : ISOLATION LEVEL level_of_isolation ;
+level_of_isolation : READ UNCOMMITTED | READ COMMITTED | REPEATABLE READ | SERIALIZABLE ;
+"""
+
+
+def kws(*words: str) -> list[TokenDef]:
+    """Keyword token definitions for the given words."""
+    return [keyword(w) for w in words]

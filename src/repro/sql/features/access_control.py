@@ -1,0 +1,166 @@
+"""Access-control (DCL) diagrams: GRANT and REVOKE (SQL Foundation §12)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, DROP_BEHAVIOR_RULE, kws
+
+#: Shared privilege rules; identical copies in GRANT and REVOKE compose away.
+_PRIVILEGE_RULES = (
+    """
+    privileges : privilege_action (COMMA privilege_action)* ;
+    object_name : TABLE? table_name ;
+    grantee_list : grantee (COMMA grantee)* ;
+    grantee : identifier ;
+    """
+)
+
+_PRIVILEGE_KEYWORDS = ("table",)
+
+_ACTIONS = [
+    ("Privilege.Select", "privilege_action : SELECT ;", ("select",)),
+    ("Privilege.Insert", "privilege_action : INSERT ;", ("insert",)),
+    (
+        "Privilege.Update",
+        "privilege_action : UPDATE column_list? ;" + COLUMN_LIST_RULE,
+        ("update",),
+    ),
+    ("Privilege.Delete", "privilege_action : DELETE ;", ("delete",)),
+    (
+        "Privilege.References",
+        "privilege_action : REFERENCES column_list? ;" + COLUMN_LIST_RULE,
+        ("references",),
+    ),
+    ("Privilege.Usage", "privilege_action : USAGE ;", ("usage",)),
+    ("Privilege.Trigger", "privilege_action : TRIGGER ;", ("trigger",)),
+    ("Privilege.Execute", "privilege_action : EXECUTE ;", ("execute",)),
+]
+
+
+def register(registry: SqlRegistry) -> None:
+    action_features = [
+        mandatory(feature, description=grammar.split(";")[0].strip())
+        for feature, grammar, _ in _ACTIONS
+    ]
+    action_units = [
+        unit(feature, grammar, tokens=kws(*words), requires=("Grant",))
+        for feature, grammar, words in _ACTIONS
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="grant_statement",
+            parent="AccessControl",
+            root=optional(
+                "Grant",
+                mandatory(
+                    "PrivilegeActions",
+                    *action_features,
+                    group=GroupType.OR,
+                    description="Grantable actions.",
+                ),
+                optional("GrantOption", description="WITH GRANT OPTION."),
+                optional("AllPrivileges", description="ALL PRIVILEGES shorthand."),
+                optional("PublicGrantee", description="The PUBLIC pseudo-grantee."),
+                optional(
+                    "GrantObjectKinds",
+                    mandatory("GrantOn.Domain", description="ON DOMAIN."),
+                    mandatory("GrantOn.Sequence", description="ON SEQUENCE."),
+                    mandatory("GrantOn.Type", description="ON TYPE."),
+                    group=GroupType.OR,
+                    description="Grantable object kinds beyond tables.",
+                ),
+                description="GRANT (§12.1).",
+            ),
+            units=[
+                unit(
+                    "Grant",
+                    """
+                    sql_statement : grant_statement ;
+                    grant_statement : GRANT privileges ON object_name TO grantee_list ;
+                    """
+                    + _PRIVILEGE_RULES,
+                    tokens=kws("grant", "on", "to", *_PRIVILEGE_KEYWORDS),
+                    requires=("Identifiers",),
+                ),
+                *action_units,
+                unit(
+                    "AllPrivileges",
+                    "privileges : ALL PRIVILEGES ;",
+                    tokens=kws("all", "privileges"),
+                    requires=("Grant",),
+                ),
+                unit(
+                    "PublicGrantee",
+                    "grantee : PUBLIC ;",
+                    tokens=kws("public"),
+                    requires=("Grant",),
+                ),
+                unit("GrantOn.Domain", "object_name : DOMAIN identifier ;",
+                     tokens=kws("domain"), requires=("Grant",)),
+                unit("GrantOn.Sequence", "object_name : SEQUENCE identifier ;",
+                     tokens=kws("sequence"), requires=("Grant",)),
+                unit("GrantOn.Type", "object_name : TYPE identifier ;",
+                     tokens=kws("type"), requires=("Grant",)),
+                unit(
+                    "GrantOption",
+                    """
+                    grant_statement : GRANT privileges ON object_name TO grantee_list grant_option? ;
+                    grant_option : WITH GRANT OPTION ;
+                    """
+                    + _PRIVILEGE_RULES,
+                    tokens=kws("with", "grant", "option"),
+                    requires=("Grant",),
+                    after=("Grant",),
+                ),
+            ],
+            description="GRANT statement with per-action features.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="revoke_statement",
+            parent="AccessControl",
+            root=optional(
+                "Revoke",
+                optional(
+                    "RevokeGrantOption",
+                    description="REVOKE GRANT OPTION FOR ....",
+                ),
+                description="REVOKE (§12.7).",
+            ),
+            units=[
+                unit(
+                    "Revoke",
+                    """
+                    sql_statement : revoke_statement ;
+                    revoke_statement : REVOKE privileges ON object_name FROM grantee_list drop_behavior? ;
+                    """
+                    + _PRIVILEGE_RULES
+                    + DROP_BEHAVIOR_RULE,
+                    tokens=kws(
+                        "revoke", "on", "from", "cascade", "restrict",
+                        *_PRIVILEGE_KEYWORDS,
+                    ),
+                    requires=("Grant",),
+                    description="Requires Grant for the privilege actions.",
+                ),
+                unit(
+                    "RevokeGrantOption",
+                    """
+                    revoke_statement : REVOKE revoke_option? privileges ON object_name FROM grantee_list drop_behavior? ;
+                    revoke_option : GRANT OPTION FOR ;
+                    """
+                    + _PRIVILEGE_RULES
+                    + DROP_BEHAVIOR_RULE,
+                    tokens=kws("grant", "option", "for"),
+                    requires=("Revoke",),
+                    after=("Revoke",),
+                ),
+            ],
+            description="REVOKE statement.",
+        )
+    )

@@ -1,0 +1,108 @@
+"""Aggregate (set) function diagram (SQL Foundation §6.16, §10.9).
+
+COUNT(*) and the general set functions, each function a leaf feature, plus
+the DISTINCT/ALL quantifier inside aggregates and SQL:2003's FILTER clause.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+_SET_FUNCTIONS = [
+    ("SetFunction.Sum", "SUM"),
+    ("SetFunction.Avg", "AVG"),
+    ("SetFunction.Min", "MIN"),
+    ("SetFunction.Max", "MAX"),
+    ("SetFunction.Count", "COUNT"),
+    ("SetFunction.Every", "EVERY"),
+    ("SetFunction.Any", "ANY"),
+    # SQL:2003 statistical set functions (T621)
+    ("SetFunction.StdDevPop", "STDDEV_POP"),
+    ("SetFunction.StdDevSamp", "STDDEV_SAMP"),
+    ("SetFunction.VarPop", "VAR_POP"),
+    ("SetFunction.VarSamp", "VAR_SAMP"),
+]
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "AggregateFunctions",
+        optional("CountStar", description="COUNT(*)."),
+        optional(
+            "GeneralSetFunction",
+            *[
+                mandatory(feature, description=f"{kw}(...)")
+                for feature, kw in _SET_FUNCTIONS
+            ],
+            group=GroupType.OR,
+            description="General set functions over a value expression.",
+        ),
+        optional(
+            "AggregateQuantifier",
+            description="DISTINCT / ALL inside a set function.",
+        ),
+        optional(
+            "FilterClause",
+            description="FILTER (WHERE ...) on aggregates (SQL:2003).",
+        ),
+        group=GroupType.OR,
+        description="Aggregate functions (§6.16).",
+    )
+
+    function_units = [
+        unit(feature, f"set_function_type : {kw} ;", tokens=kws(kw.lower()))
+        for feature, kw in _SET_FUNCTIONS
+    ]
+
+    units = [
+        unit(
+            "AggregateFunctions",
+            "value_expression_primary : aggregate_function ;",
+            requires=("ValueExpressionCore",),
+            after=("WindowFunctions",),
+            description="Aggregates as expression primaries; composed after "
+            "window functions so OVER forms are tried first.",
+        ),
+        unit(
+            "CountStar",
+            "aggregate_function : COUNT LPAREN ASTERISK RPAREN ;",
+            tokens=kws("count"),
+        ),
+        unit(
+            "GeneralSetFunction",
+            "aggregate_function : set_function_type LPAREN value_expression RPAREN ;",
+        ),
+        *function_units,
+        unit(
+            "AggregateQuantifier",
+            "aggregate_function : set_function_type LPAREN "
+            "aggregate_quantifier? value_expression RPAREN ;\n"
+            "aggregate_quantifier : DISTINCT | ALL ;",
+            tokens=kws("distinct", "all"),
+            requires=("GeneralSetFunction",),
+            after=("GeneralSetFunction",),
+        ),
+        unit(
+            "FilterClause",
+            "aggregate_function : set_function_type LPAREN "
+            "aggregate_quantifier? value_expression RPAREN filter_clause? ;\n"
+            "aggregate_quantifier : DISTINCT | ALL ;\n"
+            "filter_clause : FILTER LPAREN WHERE search_condition RPAREN ;",
+            tokens=kws("filter", "where", "distinct", "all"),
+            requires=("GeneralSetFunction", "AggregateQuantifier"),
+            after=("AggregateQuantifier",),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="aggregate_function",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Aggregate functions.",
+        )
+    )

@@ -1,0 +1,140 @@
+"""ALTER TABLE and DROP statement diagrams (SQL Foundation §11)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import DEFAULT_CLAUSE_RULES, DROP_BEHAVIOR_RULE, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="alter_table",
+            parent="DataDefinition",
+            root=optional(
+                "AlterTable",
+                optional("AlterDomain", description="ALTER DOMAIN SET/DROP DEFAULT."),
+                optional("AlterSequence", description="ALTER SEQUENCE RESTART."),
+                mandatory("AddColumn", description="ADD [COLUMN] definition."),
+                mandatory("DropColumn", description="DROP [COLUMN] name."),
+                mandatory(
+                    "AlterColumnDefault",
+                    description="ALTER COLUMN SET/DROP DEFAULT.",
+                ),
+                mandatory("AddTableConstraint", description="ADD table constraint."),
+                mandatory("DropTableConstraint", description="DROP CONSTRAINT name."),
+                group=GroupType.OR,
+                description="ALTER TABLE actions (§11.10).",
+            ),
+            units=[
+                unit(
+                    "AlterTable",
+                    """
+                    sql_statement : alter_table_statement ;
+                    alter_table_statement : ALTER TABLE table_name alter_table_action ;
+                    """,
+                    tokens=kws("alter", "table"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "AddColumn",
+                    "alter_table_action : ADD COLUMN? column_definition ;",
+                    tokens=kws("add", "column"),
+                    requires=("AlterTable", "CreateTable"),
+                ),
+                unit(
+                    "DropColumn",
+                    "alter_table_action : DROP COLUMN? column_name drop_behavior? ;"
+                    + DROP_BEHAVIOR_RULE,
+                    tokens=kws("drop", "column", "cascade", "restrict"),
+                    requires=("AlterTable",),
+                ),
+                unit(
+                    "AlterColumnDefault",
+                    """
+                    alter_table_action : ALTER COLUMN? column_name alter_column_action ;
+                    alter_column_action : SET default_clause ;
+                    alter_column_action : DROP DEFAULT ;
+                    """
+                    + DEFAULT_CLAUSE_RULES,
+                    tokens=kws("alter", "column", "set", "drop", "default", "null"),
+                    requires=("AlterTable", "ValueExpressionCore"),
+                ),
+                unit(
+                    "AddTableConstraint",
+                    "alter_table_action : ADD table_constraint ;",
+                    tokens=kws("add"),
+                    requires=("AlterTable", "TableConstraints"),
+                ),
+                unit(
+                    "DropTableConstraint",
+                    "alter_table_action : DROP CONSTRAINT identifier drop_behavior? ;"
+                    + DROP_BEHAVIOR_RULE,
+                    tokens=kws("drop", "constraint", "cascade", "restrict"),
+                    requires=("AlterTable",),
+                ),
+                unit(
+                    "AlterDomain",
+                    """
+                    sql_statement : alter_domain_statement ;
+                    alter_domain_statement : ALTER DOMAIN identifier alter_domain_action ;
+                    alter_domain_action : SET default_clause ;
+                    alter_domain_action : DROP DEFAULT ;
+                    """
+                    + DEFAULT_CLAUSE_RULES,
+                    tokens=kws("alter", "domain", "set", "drop", "default", "null"),
+                    requires=("Identifiers", "ValueExpressionCore"),
+                ),
+                unit(
+                    "AlterSequence",
+                    """
+                    sql_statement : alter_sequence_statement ;
+                    alter_sequence_statement : ALTER SEQUENCE identifier RESTART (WITH signed_integer)? ;
+                    signed_integer : (PLUS | MINUS)? UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("alter", "sequence", "restart", "with"),
+                    requires=("Identifiers", "ExactNumericLiteral"),
+                ),
+            ],
+            description="ALTER TABLE.",
+        )
+    )
+
+    drop_statements = [
+        ("DropTable", "TABLE", "drop_table_statement"),
+        ("DropView", "VIEW", "drop_view_statement"),
+        ("DropSchema", "SCHEMA", "drop_schema_statement"),
+        ("DropDomain", "DOMAIN", "drop_domain_statement"),
+        ("DropSequence", "SEQUENCE", "drop_sequence_statement"),
+    ]
+    registry.add(
+        FeatureDiagram(
+            name="drop_statements",
+            parent="DataDefinition",
+            root=optional(
+                "DropStatements",
+                *[
+                    mandatory(feature, description=f"DROP {kw} name.")
+                    for feature, kw, _ in drop_statements
+                ],
+                group=GroupType.OR,
+                description="DROP statements with CASCADE/RESTRICT behaviour.",
+            ),
+            units=[
+                unit(
+                    feature,
+                    f"""
+                    sql_statement : {rule} ;
+                    {rule} : DROP {kw} table_name drop_behavior? ;
+                    """
+                    + DROP_BEHAVIOR_RULE,
+                    tokens=kws("drop", kw.lower(), "cascade", "restrict"),
+                    requires=("Identifiers",),
+                )
+                for feature, kw, rule in drop_statements
+            ],
+            description="DROP statements.",
+        )
+    )

@@ -1,0 +1,72 @@
+"""Boolean value expression diagram (SQL Foundation §6.35, new in SQL:1999).
+
+OR / AND / NOT operator layers and the IS [NOT] TRUE/FALSE/UNKNOWN test.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "BooleanOperators",
+        optional("OrOperator", description="Disjunction."),
+        optional("AndOperator", description="Conjunction."),
+        optional("NotOperator", description="Negation."),
+        optional(
+            "BooleanTest",
+            mandatory("Truth.True", description="IS TRUE"),
+            mandatory("Truth.False", description="IS FALSE"),
+            mandatory("Truth.Unknown", description="IS UNKNOWN"),
+            group=GroupType.OR,
+            description="x IS [NOT] TRUE/FALSE/UNKNOWN.",
+        ),
+        description="Boolean value expressions (§6.35).",
+    )
+
+    units = [
+        unit(
+            "OrOperator",
+            "boolean_value_expression : boolean_term (OR boolean_term)* ;",
+            tokens=kws("or"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "AndOperator",
+            "boolean_term : boolean_factor (AND boolean_factor)* ;",
+            tokens=kws("and"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "NotOperator",
+            "boolean_factor : NOT? boolean_test ;",
+            tokens=kws("not"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "BooleanTest",
+            "boolean_test : predicate (IS NOT? truth_value)? ;",
+            tokens=kws("is", "not"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit("Truth.True", "truth_value : TRUE ;", tokens=kws("true"),
+             requires=("BooleanTest",)),
+        unit("Truth.False", "truth_value : FALSE ;", tokens=kws("false"),
+             requires=("BooleanTest",)),
+        unit("Truth.Unknown", "truth_value : UNKNOWN ;", tokens=kws("unknown"),
+             requires=("BooleanTest",)),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="boolean_value_expression",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Boolean operators and tests.",
+        )
+    )

@@ -1,0 +1,82 @@
+"""Case expression diagram (SQL Foundation §6.11)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+_CASE_COMMON = """
+else_clause : ELSE case_result ;
+case_result : value_expression ;
+case_result : NULL ;
+"""
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "CaseExpression",
+        optional("SimpleCase", description="CASE x WHEN v THEN r ... END."),
+        optional("SearchedCase", description="CASE WHEN cond THEN r ... END."),
+        optional(
+            "CaseAbbreviations",
+            mandatory("NullIf", description="NULLIF(a, b)."),
+            mandatory("Coalesce", description="COALESCE(a, b, ...)."),
+            group=GroupType.OR,
+            description="CASE abbreviations.",
+        ),
+        group=GroupType.OR,
+        description="Case expressions and abbreviations (§6.11).",
+    )
+
+    units = [
+        unit(
+            "CaseExpression",
+            "value_expression_primary : case_expression ;",
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "SimpleCase",
+            """
+            case_expression : CASE common_value_expression simple_when_clause+ else_clause? END ;
+            simple_when_clause : WHEN common_value_expression THEN case_result ;
+            """
+            + _CASE_COMMON,
+            tokens=kws("case", "when", "then", "else", "end", "null"),
+            after=("SearchedCase",),
+            description="Composed after SearchedCase: on CASE the searched "
+            "form (starting with WHEN) is tried first, then this one.",
+        ),
+        unit(
+            "SearchedCase",
+            """
+            case_expression : CASE searched_when_clause+ else_clause? END ;
+            searched_when_clause : WHEN search_condition THEN case_result ;
+            """
+            + _CASE_COMMON,
+            tokens=kws("case", "when", "then", "else", "end", "null"),
+        ),
+        unit(
+            "NullIf",
+            "case_expression : NULLIF LPAREN value_expression COMMA "
+            "value_expression RPAREN ;",
+            tokens=kws("nullif"),
+        ),
+        unit(
+            "Coalesce",
+            "case_expression : COALESCE LPAREN value_expression "
+            "(COMMA value_expression)* RPAREN ;",
+            tokens=kws("coalesce"),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="case_expression",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="CASE and its abbreviations.",
+        )
+    )

@@ -1,0 +1,36 @@
+"""Cast specification diagram (SQL Foundation §6.12)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="cast_specification",
+            parent="ScalarExpressions",
+            root=optional(
+                "CastSpecification",
+                description="CAST(operand AS data type).",
+            ),
+            units=[
+                unit(
+                    "CastSpecification",
+                    """
+                    value_expression_primary : CAST LPAREN cast_operand AS data_type RPAREN ;
+                    cast_operand : value_expression ;
+                    cast_operand : NULL ;
+                    """,
+                    tokens=kws("cast", "as", "null"),
+                    requires=("ValueExpressionCore", "DataTypes"),
+                ),
+            ],
+            description="CAST specification.",
+            constraints=[Requires("CastSpecification", "DataTypes")],
+        )
+    )

@@ -1,0 +1,108 @@
+"""Character set, collation and translation diagrams (SQL Foundation §11.30 ff)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="character_set_objects",
+            parent="DataDefinition",
+            root=optional(
+                "CharacterSetObjects",
+                mandatory("CreateCharacterSet", description="CREATE CHARACTER SET."),
+                mandatory("DropCharacterSet", description="DROP CHARACTER SET."),
+                mandatory("CreateCollation", description="CREATE COLLATION."),
+                mandatory("DropCollation", description="DROP COLLATION."),
+                mandatory("CreateTranslation", description="CREATE TRANSLATION."),
+                mandatory("DropTranslation", description="DROP TRANSLATION."),
+                group=GroupType.OR,
+                description="Character sets, collations, translations (§11.30-11.36).",
+            ),
+            units=[
+                unit(
+                    "CreateCharacterSet",
+                    """
+                    sql_statement : character_set_definition ;
+                    character_set_definition : CREATE CHARACTER SET identifier AS? GET identifier ;
+                    """,
+                    tokens=kws("create", "character", "set", "as", "get"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DropCharacterSet",
+                    """
+                    sql_statement : drop_character_set_statement ;
+                    drop_character_set_statement : DROP CHARACTER SET identifier ;
+                    """,
+                    tokens=kws("drop", "character", "set"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "CreateCollation",
+                    """
+                    sql_statement : collation_definition ;
+                    collation_definition : CREATE COLLATION identifier FOR identifier FROM identifier ;
+                    """,
+                    tokens=kws("create", "collation", "for", "from"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DropCollation",
+                    """
+                    sql_statement : drop_collation_statement ;
+                    drop_collation_statement : DROP COLLATION identifier drop_behavior? ;
+                    drop_behavior : CASCADE | RESTRICT ;
+                    """,
+                    tokens=kws("drop", "collation", "cascade", "restrict"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "CreateTranslation",
+                    """
+                    sql_statement : translation_definition ;
+                    translation_definition : CREATE TRANSLATION identifier FOR identifier TO identifier FROM identifier ;
+                    """,
+                    tokens=kws("create", "translation", "for", "to", "from"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DropTranslation",
+                    """
+                    sql_statement : drop_translation_statement ;
+                    drop_translation_statement : DROP TRANSLATION identifier ;
+                    """,
+                    tokens=kws("drop", "translation"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Character set objects.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="collate_clause",
+            parent="ScalarExpressions",
+            root=optional(
+                "CollateClause",
+                description="COLLATE on sort specifications (§10.7).",
+            ),
+            units=[
+                unit(
+                    "CollateClause",
+                    "sort_specification : value_expression collate_clause? ;\n"
+                    "collate_clause : COLLATE identifier_chain ;",
+                    tokens=kws("collate"),
+                    requires=("OrderBy", "Identifiers"),
+                    after=("OrderBy", "OrderingSpecification", "NullOrdering"),
+                ),
+            ],
+            description="COLLATE clause.",
+        )
+    )

@@ -1,0 +1,226 @@
+"""Table-definition diagrams: CREATE TABLE, column and table constraints
+(SQL Foundation §11.3 ff).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, DEFAULT_CLAUSE_RULES, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="table_definition",
+            parent="DataDefinition",
+            root=optional(
+                "CreateTable",
+                mandatory(
+                    "CreateTable.MultipleElements",
+                    description="Comma-separated table elements ([1..*]).",
+                ),
+                optional("ColumnDefault", description="DEFAULT clauses on columns."),
+                optional("IdentityColumn", description="GENERATED ... AS IDENTITY."),
+                optional(
+                    "TemporaryTables",
+                    optional("OnCommitRows", description="ON COMMIT PRESERVE/DELETE ROWS."),
+                    description="GLOBAL/LOCAL TEMPORARY tables.",
+                ),
+                optional(
+                    "ColumnConstraints",
+                    optional("NotNullConstraint", description="NOT NULL."),
+                    optional("ColumnUnique", description="UNIQUE on a column."),
+                    optional("ColumnPrimaryKey", description="PRIMARY KEY on a column."),
+                    optional("ColumnReferences", description="REFERENCES t (c)."),
+                    optional("ColumnCheck", description="CHECK (condition)."),
+                    group=GroupType.OR,
+                    description="Constraints attached to column definitions.",
+                ),
+                description="CREATE TABLE (§11.3).",
+            ),
+            units=[
+                unit(
+                    "CreateTable",
+                    """
+                    sql_statement : table_definition ;
+                    table_definition : CREATE TABLE table_name LPAREN table_element_list RPAREN ;
+                    table_element_list : table_element ;
+                    table_element : column_definition ;
+                    column_definition : column_name data_type ;
+                    """,
+                    tokens=kws("create", "table"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "CreateTable.MultipleElements",
+                    "table_element_list : table_element (COMMA table_element)* ;",
+                    requires=("CreateTable",),
+                    after=("CreateTable",),
+                ),
+                unit(
+                    "ColumnDefault",
+                    "column_definition : column_name data_type default_clause? ;"
+                    + DEFAULT_CLAUSE_RULES,
+                    tokens=kws("default", "null"),
+                    requires=("CreateTable", "ValueExpressionCore"),
+                    after=("CreateTable",),
+                ),
+                unit(
+                    "IdentityColumn",
+                    """
+                    column_definition : column_name data_type identity_spec? ;
+                    identity_spec : GENERATED (ALWAYS | BY DEFAULT) AS IDENTITY ;
+                    """,
+                    tokens=kws("generated", "always", "by", "default", "as", "identity"),
+                    requires=("CreateTable",),
+                    after=("CreateTable", "ColumnDefault"),
+                ),
+                unit(
+                    "TemporaryTables",
+                    """
+                    table_definition : CREATE table_scope? TABLE table_name LPAREN table_element_list RPAREN ;
+                    table_scope : (GLOBAL | LOCAL) TEMPORARY ;
+                    """,
+                    tokens=kws("global", "local", "temporary"),
+                    requires=("CreateTable",),
+                    after=("CreateTable",),
+                ),
+                unit(
+                    "OnCommitRows",
+                    """
+                    table_definition : CREATE table_scope? TABLE table_name LPAREN table_element_list RPAREN on_commit_clause? ;
+                    on_commit_clause : ON COMMIT (PRESERVE | DELETE) ROWS ;
+                    table_scope : (GLOBAL | LOCAL) TEMPORARY ;
+                    """,
+                    tokens=kws("on", "commit", "preserve", "delete", "rows"),
+                    requires=("TemporaryTables",),
+                    after=("TemporaryTables",),
+                ),
+                unit(
+                    "ColumnConstraints",
+                    "column_definition : column_name data_type column_constraint* ;",
+                    requires=("CreateTable",),
+                    after=("CreateTable", "ColumnDefault"),
+                    description="Constraint slot after the default clause.",
+                ),
+                unit(
+                    "NotNullConstraint",
+                    "column_constraint : NOT NULL ;",
+                    tokens=kws("not", "null"),
+                    requires=("ColumnConstraints",),
+                ),
+                unit(
+                    "ColumnUnique",
+                    "column_constraint : UNIQUE ;",
+                    tokens=kws("unique"),
+                    requires=("ColumnConstraints",),
+                ),
+                unit(
+                    "ColumnPrimaryKey",
+                    "column_constraint : PRIMARY KEY ;",
+                    tokens=kws("primary", "key"),
+                    requires=("ColumnConstraints",),
+                ),
+                unit(
+                    "ColumnReferences",
+                    "column_constraint : REFERENCES table_name column_list? ;"
+                    + COLUMN_LIST_RULE,
+                    tokens=kws("references"),
+                    requires=("ColumnConstraints",),
+                ),
+                unit(
+                    "ColumnCheck",
+                    "column_constraint : CHECK LPAREN search_condition RPAREN ;",
+                    tokens=kws("check"),
+                    requires=("ColumnConstraints", "ValueExpressionCore"),
+                ),
+            ],
+            description="CREATE TABLE and column definitions.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="table_constraints",
+            parent="CreateTable",
+            root=optional(
+                "TableConstraints",
+                optional("TableUnique", description="UNIQUE (columns)."),
+                optional("TablePrimaryKey", description="PRIMARY KEY (columns)."),
+                optional(
+                    "TableForeignKey",
+                    optional(
+                        "ReferentialActions",
+                        mandatory("RefAction.Cascade", description="CASCADE"),
+                        mandatory("RefAction.SetNull", description="SET NULL"),
+                        mandatory("RefAction.SetDefault", description="SET DEFAULT"),
+                        mandatory("RefAction.Restrict", description="RESTRICT"),
+                        mandatory("RefAction.NoAction", description="NO ACTION"),
+                        group=GroupType.OR,
+                        description="ON DELETE / ON UPDATE actions.",
+                    ),
+                    description="FOREIGN KEY ... REFERENCES ....",
+                ),
+                optional("TableCheck", description="CHECK (condition)."),
+                group=GroupType.OR,
+                description="Table-level constraints (§11.6).",
+            ),
+            units=[
+                unit(
+                    "TableConstraints",
+                    "table_element : table_constraint ;",
+                    requires=("CreateTable",),
+                ),
+                unit(
+                    "TableUnique",
+                    "table_constraint : UNIQUE column_list ;" + COLUMN_LIST_RULE,
+                    tokens=kws("unique"),
+                    requires=("TableConstraints",),
+                ),
+                unit(
+                    "TablePrimaryKey",
+                    "table_constraint : PRIMARY KEY column_list ;" + COLUMN_LIST_RULE,
+                    tokens=kws("primary", "key"),
+                    requires=("TableConstraints",),
+                ),
+                unit(
+                    "TableForeignKey",
+                    "table_constraint : FOREIGN KEY column_list REFERENCES "
+                    "table_name column_list? ;" + COLUMN_LIST_RULE,
+                    tokens=kws("foreign", "key", "references"),
+                    requires=("TableConstraints",),
+                ),
+                unit(
+                    "ReferentialActions",
+                    """
+                    table_constraint : FOREIGN KEY column_list REFERENCES table_name column_list? referential_action* ;
+                    referential_action : ON DELETE referential_action_kind ;
+                    referential_action : ON UPDATE referential_action_kind ;
+                    """
+                    + COLUMN_LIST_RULE,
+                    tokens=kws("on", "delete", "update"),
+                    requires=("TableForeignKey",),
+                    after=("TableForeignKey",),
+                ),
+                unit("RefAction.Cascade", "referential_action_kind : CASCADE ;",
+                     tokens=kws("cascade"), requires=("ReferentialActions",)),
+                unit("RefAction.SetNull", "referential_action_kind : SET NULL ;",
+                     tokens=kws("set", "null"), requires=("ReferentialActions",)),
+                unit("RefAction.SetDefault", "referential_action_kind : SET DEFAULT ;",
+                     tokens=kws("set", "default"), requires=("ReferentialActions",)),
+                unit("RefAction.Restrict", "referential_action_kind : RESTRICT ;",
+                     tokens=kws("restrict"), requires=("ReferentialActions",)),
+                unit("RefAction.NoAction", "referential_action_kind : NO ACTION ;",
+                     tokens=kws("no", "action"), requires=("ReferentialActions",)),
+                unit(
+                    "TableCheck",
+                    "table_constraint : CHECK LPAREN search_condition RPAREN ;",
+                    tokens=kws("check"),
+                    requires=("TableConstraints", "ValueExpressionCore"),
+                ),
+            ],
+            description="Table-level constraints.",
+        )
+    )

@@ -1,0 +1,213 @@
+"""Data-type diagram (SQL Foundation §6.1).
+
+Type families are features, and — following the paper's terminal-as-
+feature rule — every concrete type keyword is a leaf feature with its own
+one-production unit.  Used by CAST and the DDL statements.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+_PRECISION_RULE = (
+    "precision_spec : LPAREN UNSIGNED_INTEGER (COMMA UNSIGNED_INTEGER)? RPAREN ;"
+)
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "DataTypes",
+        optional(
+            "CharacterTypes",
+            mandatory(
+                "FixedCharType",
+                optional("CharLengthSpec", description="(n) length."),
+                description="CHARACTER / CHAR [(n)]",
+            ),
+            optional("VaryingCharType", description="VARCHAR / CHARACTER VARYING"),
+            optional("CharacterSetSpec", description="CHARACTER SET cs"),
+            group=GroupType.AND,
+            description="Character string types.",
+        ),
+        optional(
+            "NumericTypes",
+            mandatory(
+                "ExactNumericTypes",
+                mandatory(
+                "Type.Numeric",
+                optional("NumericPrecisionSpec", description="(p [, s])."),
+                description="NUMERIC / DECIMAL / DEC",
+            ),
+                mandatory("Type.Integer", description="INTEGER / INT"),
+                mandatory("Type.Smallint", description="SMALLINT"),
+                mandatory("Type.Bigint", description="BIGINT"),
+                group=GroupType.OR,
+                description="Exact numeric types.",
+            ),
+            optional(
+                "ApproximateNumericTypes",
+                mandatory("Type.Float", description="FLOAT [(p)]"),
+                mandatory("Type.Real", description="REAL"),
+                mandatory("Type.Double", description="DOUBLE PRECISION"),
+                group=GroupType.OR,
+                description="Approximate numeric types.",
+            ),
+            description="Numeric types.",
+        ),
+        optional(
+            "NationalCharTypes",
+            description="NCHAR / NCHAR VARYING / NCLOB.",
+        ),
+        optional("BooleanType", description="BOOLEAN (SQL:1999)."),
+        optional(
+            "DatetimeTypes",
+            mandatory("Type.Date", description="DATE"),
+            mandatory("Type.Time", description="TIME [(p)]"),
+            mandatory("Type.Timestamp", description="TIMESTAMP [(p)]"),
+            optional("WithTimeZone", description="WITH / WITHOUT TIME ZONE."),
+            group=GroupType.OR,
+            description="DATE / TIME / TIMESTAMP.",
+        ),
+        optional("IntervalType", description="INTERVAL qualifier types."),
+        optional(
+            "LobTypes",
+            mandatory("Type.Blob", description="BLOB [(n)]"),
+            mandatory("Type.Clob", description="CLOB [(n)]"),
+            group=GroupType.OR,
+            description="Large-object types.",
+        ),
+        group=GroupType.OR,
+        description="SQL data types (§6.1).",
+    )
+
+    units = [
+        unit(
+            "FixedCharType",
+            "data_type : (CHARACTER | CHAR) ;",
+            tokens=kws("character", "char"),
+        ),
+        unit(
+            "CharLengthSpec",
+            """
+            data_type : (CHARACTER | CHAR) char_length? ;
+            char_length : LPAREN UNSIGNED_INTEGER RPAREN ;
+            """,
+            requires=("FixedCharType",),
+            after=("FixedCharType",),
+        ),
+        unit(
+            "VaryingCharType",
+            """
+            data_type : (CHARACTER | CHAR) VARYING? char_length? ;
+            data_type : VARCHAR char_length? ;
+            char_length : LPAREN UNSIGNED_INTEGER RPAREN ;
+            """,
+            tokens=kws("character", "char", "varying", "varchar"),
+            requires=("FixedCharType",),
+            after=("FixedCharType",),
+        ),
+        unit(
+            "CharacterSetSpec",
+            """
+            data_type : (CHARACTER | CHAR) VARYING? char_length? character_set_spec? ;
+            character_set_spec : CHARACTER SET identifier ;
+            char_length : LPAREN UNSIGNED_INTEGER RPAREN ;
+            """,
+            tokens=kws("character", "char", "set"),
+            requires=("VaryingCharType", "Identifiers"),
+            after=("VaryingCharType",),
+        ),
+        unit(
+            "Type.Numeric",
+            "data_type : (NUMERIC | DECIMAL | DEC) ;",
+            tokens=kws("numeric", "decimal", "dec"),
+        ),
+        unit(
+            "NumericPrecisionSpec",
+            "data_type : (NUMERIC | DECIMAL | DEC) precision_spec? ;\n"
+            + _PRECISION_RULE,
+            requires=("Type.Numeric",),
+            after=("Type.Numeric",),
+        ),
+        unit("Type.Integer", "data_type : INTEGER ;\ndata_type : INT ;",
+             tokens=kws("integer", "int")),
+        unit("Type.Smallint", "data_type : SMALLINT ;", tokens=kws("smallint")),
+        unit("Type.Bigint", "data_type : BIGINT ;", tokens=kws("bigint")),
+        unit(
+            "Type.Float",
+            "data_type : FLOAT precision_spec? ;\n" + _PRECISION_RULE,
+            tokens=kws("float"),
+        ),
+        unit("Type.Real", "data_type : REAL ;", tokens=kws("real")),
+        unit("Type.Double", "data_type : DOUBLE PRECISION ;",
+             tokens=kws("double", "precision")),
+        unit(
+            "NationalCharTypes",
+            """
+            data_type : NCHAR VARYING? char_length? ;
+            data_type : NCLOB lob_length? ;
+            char_length : LPAREN UNSIGNED_INTEGER RPAREN ;
+            lob_length : LPAREN UNSIGNED_INTEGER RPAREN ;
+            """,
+            tokens=kws("nchar", "varying", "nclob"),
+        ),
+        unit("BooleanType", "data_type : BOOLEAN ;", tokens=kws("boolean")),
+        unit("Type.Date", "data_type : DATE ;", tokens=kws("date")),
+        unit(
+            "Type.Time",
+            "data_type : TIME time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("time"),
+        ),
+        unit(
+            "Type.Timestamp",
+            "data_type : TIMESTAMP time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("timestamp"),
+        ),
+        unit(
+            "WithTimeZone",
+            """
+            data_type : TIME time_precision? time_zone_spec? ;
+            data_type : TIMESTAMP time_precision? time_zone_spec? ;
+            time_zone_spec : (WITH | WITHOUT) TIME ZONE ;
+            time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;
+            """,
+            tokens=kws("with", "without", "time", "zone"),
+            requires=("Type.Time", "Type.Timestamp"),
+            after=("Type.Time", "Type.Timestamp"),
+        ),
+        unit(
+            "IntervalType",
+            "data_type : INTERVAL interval_qualifier ;",
+            tokens=kws("interval"),
+            requires=("IntervalQualifier",),
+        ),
+        unit(
+            "Type.Blob",
+            "data_type : BLOB lob_length? ;\n"
+            "lob_length : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("blob"),
+        ),
+        unit(
+            "Type.Clob",
+            "data_type : CLOB lob_length? ;\n"
+            "lob_length : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("clob"),
+        ),
+    ]
+
+    # compatibility aliases: the family features exist as configuration
+    # groupings; their OR groups expand to the first concrete leaf.
+    registry.add(
+        FeatureDiagram(
+            name="data_type",
+            parent="Foundation",
+            root=root,
+            units=units,
+            description="SQL data types by family, one leaf per type keyword.",
+        )
+    )

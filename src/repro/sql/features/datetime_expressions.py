@@ -1,0 +1,104 @@
+"""Datetime value expression diagram (SQL Foundation §6.31, §6.32)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "DatetimeFunctions",
+        optional("CurrentDate", description="CURRENT_DATE"),
+        optional("CurrentTime", description="CURRENT_TIME[(p)]"),
+        optional("CurrentTimestamp", description="CURRENT_TIMESTAMP[(p)]"),
+        optional("LocalTime", description="LOCALTIME[(p)]"),
+        optional("LocalTimestamp", description="LOCALTIMESTAMP[(p)]"),
+        optional(
+            "ExtractFunction",
+            mandatory("Extract.Year", description="YEAR"),
+            mandatory("Extract.Month", description="MONTH"),
+            mandatory("Extract.Day", description="DAY"),
+            mandatory("Extract.Hour", description="HOUR"),
+            mandatory("Extract.Minute", description="MINUTE"),
+            mandatory("Extract.Second", description="SECOND"),
+            mandatory("Extract.TimezoneHour", description="TIMEZONE_HOUR"),
+            mandatory("Extract.TimezoneMinute", description="TIMEZONE_MINUTE"),
+            group=GroupType.OR,
+            description="EXTRACT(field FROM source)",
+        ),
+        group=GroupType.OR,
+        description="Datetime value functions (§6.31).",
+    )
+
+    units = [
+        unit(
+            "CurrentDate",
+            "value_expression_primary : CURRENT_DATE ;",
+            tokens=kws("current_date"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "CurrentTime",
+            "value_expression_primary : CURRENT_TIME time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("current_time"),
+            requires=("ValueExpressionCore", "ExactNumericLiteral"),
+        ),
+        unit(
+            "CurrentTimestamp",
+            "value_expression_primary : CURRENT_TIMESTAMP time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("current_timestamp"),
+            requires=("ValueExpressionCore", "ExactNumericLiteral"),
+        ),
+        unit(
+            "LocalTime",
+            "value_expression_primary : LOCALTIME time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("localtime"),
+            requires=("ValueExpressionCore", "ExactNumericLiteral"),
+        ),
+        unit(
+            "LocalTimestamp",
+            "value_expression_primary : LOCALTIMESTAMP time_precision? ;\n"
+            "time_precision : LPAREN UNSIGNED_INTEGER RPAREN ;",
+            tokens=kws("localtimestamp"),
+            requires=("ValueExpressionCore", "ExactNumericLiteral"),
+        ),
+        unit(
+            "ExtractFunction",
+            "value_expression_primary : EXTRACT LPAREN extract_field "
+            "FROM value_expression RPAREN ;",
+            tokens=kws("extract", "from"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit("Extract.Year", "extract_field : YEAR ;", tokens=kws("year"),
+             requires=("ExtractFunction",)),
+        unit("Extract.Month", "extract_field : MONTH ;", tokens=kws("month"),
+             requires=("ExtractFunction",)),
+        unit("Extract.Day", "extract_field : DAY ;", tokens=kws("day"),
+             requires=("ExtractFunction",)),
+        unit("Extract.Hour", "extract_field : HOUR ;", tokens=kws("hour"),
+             requires=("ExtractFunction",)),
+        unit("Extract.Minute", "extract_field : MINUTE ;", tokens=kws("minute"),
+             requires=("ExtractFunction",)),
+        unit("Extract.Second", "extract_field : SECOND ;", tokens=kws("second"),
+             requires=("ExtractFunction",)),
+        unit("Extract.TimezoneHour", "extract_field : TIMEZONE_HOUR ;",
+             tokens=kws("timezone_hour"), requires=("ExtractFunction",)),
+        unit("Extract.TimezoneMinute", "extract_field : TIMEZONE_MINUTE ;",
+             tokens=kws("timezone_minute"), requires=("ExtractFunction",)),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="datetime_value_expression",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Datetime value functions.",
+        )
+    )

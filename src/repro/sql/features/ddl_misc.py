@@ -1,0 +1,228 @@
+"""Remaining schema-definition diagrams: views, schemas, domains and
+sequence generators (SQL Foundation §11).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, DEFAULT_CLAUSE_RULES, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="view_definition",
+            parent="DataDefinition",
+            root=optional(
+                "CreateView",
+                optional("ViewColumnList", description="Explicit view columns."),
+                optional("CheckOption", description="WITH CHECK OPTION."),
+                optional("RecursiveView", description="CREATE RECURSIVE VIEW."),
+                description="CREATE VIEW (§11.22).",
+            ),
+            units=[
+                unit(
+                    "CreateView",
+                    """
+                    sql_statement : view_definition ;
+                    view_definition : CREATE VIEW table_name AS query_expression ;
+                    """,
+                    tokens=kws("create", "view", "as"),
+                    requires=("Identifiers", "QueryExpression"),
+                ),
+                unit(
+                    "ViewColumnList",
+                    "view_definition : CREATE VIEW table_name column_list? "
+                    "AS query_expression ;" + COLUMN_LIST_RULE,
+                    requires=("CreateView",),
+                    after=("CreateView",),
+                ),
+                unit(
+                    "RecursiveView",
+                    "view_definition : CREATE RECURSIVE? VIEW table_name "
+                    "AS query_expression ;",
+                    tokens=kws("recursive"),
+                    requires=("CreateView",),
+                    after=("CreateView",),
+                ),
+                unit(
+                    "CheckOption",
+                    """
+                    view_definition : CREATE VIEW table_name AS query_expression check_option? ;
+                    check_option : WITH CHECK OPTION ;
+                    """,
+                    tokens=kws("with", "check", "option"),
+                    requires=("CreateView",),
+                    after=("CreateView", "ViewColumnList"),
+                ),
+            ],
+            description="CREATE VIEW.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="schema_definition",
+            parent="DataDefinition",
+            root=optional(
+                "CreateSchema",
+                optional(
+                    "SchemaAuthorization",
+                    description="AUTHORIZATION owner clause.",
+                ),
+                optional(
+                    "SchemaElements",
+                    description="Inline schema elements (tables, views).",
+                ),
+                description="CREATE SCHEMA (§11.1).",
+            ),
+            units=[
+                unit(
+                    "CreateSchema",
+                    """
+                    sql_statement : schema_definition ;
+                    schema_definition : CREATE SCHEMA identifier ;
+                    """,
+                    tokens=kws("create", "schema"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "SchemaAuthorization",
+                    """
+                    schema_definition : CREATE SCHEMA identifier authorization_clause? ;
+                    authorization_clause : AUTHORIZATION identifier ;
+                    """,
+                    tokens=kws("authorization"),
+                    requires=("CreateSchema",),
+                    after=("CreateSchema",),
+                ),
+                unit(
+                    "SchemaElements",
+                    """
+                    schema_definition : CREATE SCHEMA identifier authorization_clause? schema_element* ;
+                    schema_element : table_definition ;
+                    schema_element : view_definition ;
+                    authorization_clause : AUTHORIZATION identifier ;
+                    """,
+                    tokens=kws("authorization"),
+                    requires=("CreateSchema", "SchemaAuthorization",
+                              "CreateTable", "CreateView"),
+                    after=("SchemaAuthorization",),
+                ),
+            ],
+            description="CREATE SCHEMA.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="domain_definition",
+            parent="DataDefinition",
+            root=optional(
+                "CreateDomain",
+                optional("DomainDefault", description="Domain default values."),
+                optional("DomainConstraint", description="Domain CHECK constraints."),
+                description="CREATE DOMAIN (§11.24).",
+            ),
+            units=[
+                unit(
+                    "CreateDomain",
+                    """
+                    sql_statement : domain_definition ;
+                    domain_definition : CREATE DOMAIN identifier AS? data_type ;
+                    """,
+                    tokens=kws("create", "domain", "as"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "DomainDefault",
+                    "domain_definition : CREATE DOMAIN identifier AS? data_type "
+                    "default_clause? ;" + DEFAULT_CLAUSE_RULES,
+                    tokens=kws("default", "null"),
+                    requires=("CreateDomain", "ValueExpressionCore"),
+                    after=("CreateDomain",),
+                ),
+                unit(
+                    "DomainConstraint",
+                    "domain_definition : CREATE DOMAIN identifier AS? data_type "
+                    "domain_constraint* ;\n"
+                    "domain_constraint : CHECK LPAREN search_condition RPAREN ;",
+                    tokens=kws("check"),
+                    requires=("CreateDomain", "ValueExpressionCore"),
+                    after=("CreateDomain", "DomainDefault"),
+                ),
+            ],
+            description="CREATE DOMAIN.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="sequence_generator",
+            parent="DataDefinition",
+            root=optional(
+                "CreateSequence",
+                optional(
+                    "SequenceOptions",
+                    mandatory("Seq.StartWith", description="START WITH n"),
+                    mandatory("Seq.IncrementBy", description="INCREMENT BY n"),
+                    mandatory("Seq.MaxValue", description="MAXVALUE n"),
+                    mandatory("Seq.MinValue", description="MINVALUE n"),
+                    mandatory("Seq.Cycle", description="[NO] CYCLE"),
+                    group=GroupType.OR,
+                    description="Sequence generator options.",
+                ),
+                optional(
+                    "NextValue",
+                    description="NEXT VALUE FOR seq (expression).",
+                ),
+                description="Sequence generators (new in SQL:2003, §11.62).",
+            ),
+            units=[
+                unit(
+                    "CreateSequence",
+                    """
+                    sql_statement : sequence_definition ;
+                    sequence_definition : CREATE SEQUENCE identifier ;
+                    """,
+                    tokens=kws("create", "sequence"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "SequenceOptions",
+                    """
+                    sequence_definition : CREATE SEQUENCE identifier sequence_option* ;
+                    signed_integer : (PLUS | MINUS)? UNSIGNED_INTEGER ;
+                    """,
+                    tokens=_plus_minus(),
+                    requires=("CreateSequence", "ExactNumericLiteral"),
+                    after=("CreateSequence",),
+                ),
+                unit("Seq.StartWith", "sequence_option : START WITH signed_integer ;",
+                     tokens=kws("start", "with"), requires=("SequenceOptions",)),
+                unit("Seq.IncrementBy", "sequence_option : INCREMENT BY signed_integer ;",
+                     tokens=kws("increment", "by"), requires=("SequenceOptions",)),
+                unit("Seq.MaxValue", "sequence_option : MAXVALUE signed_integer ;",
+                     tokens=kws("maxvalue"), requires=("SequenceOptions",)),
+                unit("Seq.MinValue", "sequence_option : MINVALUE signed_integer ;",
+                     tokens=kws("minvalue"), requires=("SequenceOptions",)),
+                unit("Seq.Cycle", "sequence_option : NO? CYCLE ;",
+                     tokens=kws("no", "cycle"), requires=("SequenceOptions",)),
+                unit(
+                    "NextValue",
+                    "value_expression_primary : NEXT VALUE FOR identifier_chain ;",
+                    tokens=kws("next", "value", "for"),
+                    requires=("CreateSequence", "ValueExpressionCore"),
+                ),
+            ],
+            description="CREATE SEQUENCE and NEXT VALUE FOR.",
+        )
+    )
+
+
+def _plus_minus():
+    from ...lexer.spec import literal
+
+    return [literal("PLUS", "+"), literal("MINUS", "-")]

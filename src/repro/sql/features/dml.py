@@ -1,0 +1,277 @@
+"""Data-manipulation diagrams: INSERT, UPDATE, DELETE, MERGE
+(SQL Foundation §14).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...lexer.spec import literal
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import (
+    COLUMN_LIST_RULE,
+    SET_CLAUSE_RULES,
+    WHERE_CLAUSE_RULE,
+    kws,
+)
+
+
+def register(registry: SqlRegistry) -> None:
+    _register_insert(registry)
+    _register_update(registry)
+    _register_delete(registry)
+    _register_merge(registry)
+
+
+def _register_insert(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="insert_statement",
+            parent="DataManipulation",
+            root=optional(
+                "Insert",
+                mandatory(
+                    "InsertFromConstructor",
+                    mandatory(
+                        "Insert.MultiRow",
+                        description="Multi-row VALUES lists ([1..*]).",
+                    ),
+                    optional(
+                        "InsertColumnList",
+                        description="Explicit target column list.",
+                    ),
+                    description="INSERT ... VALUES (...).",
+                ),
+                optional(
+                    "InsertFromQuery",
+                    description="INSERT ... SELECT ....",
+                ),
+                optional(
+                    "InsertDefaultValues",
+                    description="INSERT ... DEFAULT VALUES.",
+                ),
+                optional(
+                    "OverridingClause",
+                    description="OVERRIDING USER/SYSTEM VALUE (identity).",
+                ),
+                group=GroupType.OR,
+                description="The INSERT statement (§14.8).",
+            ),
+            units=[
+                unit(
+                    "Insert",
+                    """
+                    sql_statement : insert_statement ;
+                    insert_statement : INSERT INTO table_name insert_columns_and_source ;
+                    """,
+                    tokens=kws("insert", "into"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "InsertFromConstructor",
+                    "insert_columns_and_source : table_value_constructor ;",
+                    requires=("TableValueConstructor",),
+                ),
+                unit(
+                    "Insert.MultiRow",
+                    "table_value_constructor : VALUES row_value_constructor "
+                    "(COMMA row_value_constructor)* ;",
+                    tokens=kws("values"),
+                    requires=("TableValueConstructor",),
+                    after=("InsertFromConstructor",),
+                ),
+                unit(
+                    "InsertColumnList",
+                    "insert_columns_and_source : column_list? table_value_constructor ;"
+                    + COLUMN_LIST_RULE,
+                    requires=("InsertFromConstructor",),
+                    after=("InsertFromConstructor",),
+                ),
+                unit(
+                    "InsertFromQuery",
+                    "insert_columns_and_source : column_list? query_expression ;"
+                    + COLUMN_LIST_RULE,
+                    requires=("QueryExpression",),
+                ),
+                unit(
+                    "InsertDefaultValues",
+                    "insert_columns_and_source : DEFAULT VALUES ;",
+                    tokens=kws("default", "values"),
+                ),
+                unit(
+                    "OverridingClause",
+                    "insert_columns_and_source : column_list? overriding_clause? "
+                    "table_value_constructor ;\n"
+                    "overriding_clause : OVERRIDING (USER | SYSTEM) VALUE ;"
+                    + COLUMN_LIST_RULE,
+                    tokens=kws("overriding", "user", "system", "value"),
+                    requires=("InsertColumnList",),
+                    after=("InsertColumnList",),
+                ),
+            ],
+            description="INSERT statement.",
+        )
+    )
+
+
+def _register_update(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="update_statement",
+            parent="DataManipulation",
+            root=optional(
+                "Update",
+                mandatory(
+                    "Update.MultipleAssignments",
+                    description="Comma-separated SET clauses ([1..*]).",
+                ),
+                optional("UpdateWhere", description="Searched update."),
+                optional("SetToDefault", description="SET col = DEFAULT."),
+                optional("SetToNull", description="SET col = NULL."),
+                optional("PositionedUpdate", description="WHERE CURRENT OF cursor."),
+                description="UPDATE ... SET ... (§14.11).",
+            ),
+            units=[
+                unit(
+                    "Update",
+                    """
+                    sql_statement : update_statement ;
+                    update_statement : UPDATE table_name SET set_clause_list ;
+                    """
+                    + SET_CLAUSE_RULES,
+                    tokens=kws("update", "set") + [literal("EQ", "=")],
+                    requires=("Identifiers", "ValueExpressionCore"),
+                ),
+                unit(
+                    "Update.MultipleAssignments",
+                    "set_clause_list : set_clause (COMMA set_clause)* ;",
+                    requires=("Update",),
+                    after=("Update",),
+                ),
+                unit(
+                    "UpdateWhere",
+                    "update_statement : UPDATE table_name SET set_clause_list "
+                    "where_clause? ;" + WHERE_CLAUSE_RULE,
+                    tokens=kws("where"),
+                    requires=("Update",),
+                    after=("Update",),
+                ),
+                unit(
+                    "SetToDefault",
+                    "update_source : DEFAULT ;",
+                    tokens=kws("default"),
+                    requires=("Update",),
+                ),
+                unit(
+                    "SetToNull",
+                    "update_source : NULL ;",
+                    tokens=kws("null"),
+                    requires=("Update",),
+                ),
+                unit(
+                    "PositionedUpdate",
+                    "update_statement : UPDATE table_name SET set_clause_list "
+                    "where_current_clause? ;\n"
+                    "where_current_clause : WHERE CURRENT OF identifier ;",
+                    tokens=kws("where", "current", "of"),
+                    requires=("Update", "DeclareCursor"),
+                    after=("Update", "UpdateWhere"),
+                ),
+            ],
+            description="UPDATE statement.",
+            constraints=[Requires("PositionedUpdate", "DeclareCursor")],
+        )
+    )
+
+
+def _register_delete(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="delete_statement",
+            parent="DataManipulation",
+            root=optional(
+                "Delete",
+                optional("DeleteWhere", description="Searched delete."),
+                optional("PositionedDelete", description="WHERE CURRENT OF cursor."),
+                description="DELETE FROM ... (§14.7).",
+            ),
+            units=[
+                unit(
+                    "Delete",
+                    """
+                    sql_statement : delete_statement ;
+                    delete_statement : DELETE FROM table_name ;
+                    """,
+                    tokens=kws("delete", "from"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DeleteWhere",
+                    "delete_statement : DELETE FROM table_name where_clause? ;"
+                    + WHERE_CLAUSE_RULE,
+                    tokens=kws("where"),
+                    requires=("Delete", "ValueExpressionCore"),
+                    after=("Delete",),
+                ),
+                unit(
+                    "PositionedDelete",
+                    "delete_statement : DELETE FROM table_name "
+                    "where_current_clause? ;\n"
+                    "where_current_clause : WHERE CURRENT OF identifier ;",
+                    tokens=kws("where", "current", "of"),
+                    requires=("Delete", "DeclareCursor"),
+                    after=("Delete", "DeleteWhere"),
+                ),
+            ],
+            description="DELETE statement.",
+            constraints=[Requires("PositionedDelete", "DeclareCursor")],
+        )
+    )
+
+
+def _register_merge(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="merge_statement",
+            parent="DataManipulation",
+            root=optional(
+                "Merge",
+                mandatory("WhenMatched", description="WHEN MATCHED THEN UPDATE."),
+                mandatory(
+                    "WhenNotMatched",
+                    description="WHEN NOT MATCHED THEN INSERT.",
+                ),
+                group=GroupType.OR,
+                description="MERGE statement (new in SQL:2003, §14.9).",
+            ),
+            units=[
+                unit(
+                    "Merge",
+                    """
+                    sql_statement : merge_statement ;
+                    merge_statement : MERGE INTO table_name merge_correlation? USING table_reference ON search_condition merge_operation+ ;
+                    merge_correlation : AS? identifier ;
+                    """,
+                    tokens=kws("merge", "into", "using", "on", "as"),
+                    requires=("From", "ValueExpressionCore"),
+                ),
+                unit(
+                    "WhenMatched",
+                    "merge_operation : WHEN MATCHED THEN UPDATE SET set_clause_list ;"
+                    + SET_CLAUSE_RULES,
+                    tokens=kws("when", "matched", "then", "update", "set")
+                    + [literal("EQ", "=")],
+                    requires=("Merge",),
+                ),
+                unit(
+                    "WhenNotMatched",
+                    "merge_operation : WHEN NOT MATCHED THEN INSERT column_list? "
+                    "table_value_constructor ;" + COLUMN_LIST_RULE,
+                    tokens=kws("when", "not", "matched", "then", "insert"),
+                    requires=("Merge", "TableValueConstructor"),
+                ),
+            ],
+            description="MERGE statement.",
+        )
+    )

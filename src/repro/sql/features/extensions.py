@@ -1,0 +1,182 @@
+"""Extension-package diagrams (not part of SQL Foundation).
+
+Two extension packages demonstrate the paper's language-extension story:
+
+* **sensor_queries** — TinySQL's acquisitional constructs (SAMPLE PERIOD,
+  EPOCH DURATION, LIFETIME) from TinyDB (Madden et al., TODS 2005), the
+  scaled-down SQL the paper's introduction motivates;
+* **row_limiting** — LIMIT/OFFSET (the ubiquitous vendor extension) and
+  SQL:2008-style FETCH FIRST, showing a *post-hoc* extension grammar
+  composed onto an already-tailored dialect (experiment E10).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import NUMERIC_LITERAL_TOKENS
+from ._helpers import kws
+
+_INT = [NUMERIC_LITERAL_TOKENS[2]]  # UNSIGNED_INTEGER
+
+
+def _colon():
+    from ...lexer.spec import literal
+
+    return literal("COLON", ":")
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="sensor_queries",
+            parent="Extensions",
+            root=optional(
+                "SensorNetworkQueries",
+                optional(
+                    "SamplePeriod",
+                    description="SAMPLE PERIOD n — TinySQL acquisition rate.",
+                ),
+                optional(
+                    "EpochDuration",
+                    description="EPOCH DURATION n — TinySQL epoch length.",
+                ),
+                optional(
+                    "QueryLifetime",
+                    description="LIFETIME n — TinySQL lifetime goal.",
+                ),
+                optional(
+                    "OnEvent",
+                    description="ON EVENT name: query — TinyDB event queries.",
+                ),
+                optional(
+                    "StopQuery",
+                    description="STOP QUERY n — cancel a running query.",
+                ),
+                optional(
+                    "OutputAction",
+                    description="OUTPUT ACTION name — route query results.",
+                ),
+                group=GroupType.OR,
+                description="TinyDB/TinySQL sensor-network query constructs.",
+            ),
+            units=[
+                unit(
+                    "SamplePeriod",
+                    """
+                    query_specification : SELECT select_list table_expression sample_period_clause? ;
+                    sample_period_clause : SAMPLE PERIOD UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("sample", "period") + _INT,
+                    requires=("QuerySpecification",),
+                    after=("QuerySpecification", "SetQuantifier"),
+                ),
+                unit(
+                    "EpochDuration",
+                    """
+                    query_specification : SELECT select_list table_expression epoch_duration_clause? ;
+                    epoch_duration_clause : EPOCH DURATION UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("epoch", "duration") + _INT,
+                    requires=("QuerySpecification",),
+                    after=("QuerySpecification", "SetQuantifier", "SamplePeriod"),
+                ),
+                unit(
+                    "OnEvent",
+                    """
+                    sql_statement : on_event_statement ;
+                    on_event_statement : ON EVENT identifier COLON query_specification ;
+                    """,
+                    tokens=kws("on", "event") + [_colon()],
+                    requires=("QuerySpecification", "Identifiers"),
+                ),
+                unit(
+                    "StopQuery",
+                    """
+                    sql_statement : stop_query_statement ;
+                    stop_query_statement : STOP QUERY UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("stop", "query") + _INT,
+                ),
+                unit(
+                    "OutputAction",
+                    """
+                    query_specification : SELECT select_list table_expression output_action_clause? ;
+                    output_action_clause : OUTPUT ACTION identifier ;
+                    """,
+                    tokens=kws("output", "action"),
+                    requires=("QuerySpecification", "Identifiers"),
+                    after=("QuerySpecification", "SamplePeriod", "EpochDuration"),
+                ),
+                unit(
+                    "QueryLifetime",
+                    """
+                    query_specification : SELECT select_list table_expression lifetime_clause? ;
+                    lifetime_clause : LIFETIME UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("lifetime") + _INT,
+                    requires=("QuerySpecification",),
+                    after=(
+                        "QuerySpecification",
+                        "SetQuantifier",
+                        "SamplePeriod",
+                        "EpochDuration",
+                    ),
+                ),
+            ],
+            package="extension",
+            description="TinySQL sensor-network extensions.",
+            constraints=[Requires("OnEvent", "QuerySpecification")],
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="row_limiting",
+            parent="Extensions",
+            root=optional(
+                "RowLimiting",
+                optional("Limit", description="LIMIT n."),
+                optional("Offset", description="OFFSET n."),
+                optional("FetchFirst", description="FETCH FIRST n ROWS ONLY."),
+                group=GroupType.OR,
+                description="Result-set limiting extensions.",
+            ),
+            units=[
+                unit(
+                    "Limit",
+                    """
+                    query_expression : query_expression_body limit_clause? ;
+                    limit_clause : LIMIT UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("limit") + _INT,
+                    requires=("QueryExpression",),
+                    after=("QueryExpression", "OrderBy"),
+                ),
+                unit(
+                    "Offset",
+                    """
+                    query_expression : query_expression_body offset_clause? ;
+                    offset_clause : OFFSET UNSIGNED_INTEGER ;
+                    """,
+                    tokens=kws("offset") + _INT,
+                    requires=("QueryExpression",),
+                    after=("QueryExpression", "OrderBy", "Limit"),
+                ),
+                unit(
+                    "FetchFirst",
+                    """
+                    query_expression : query_expression_body fetch_first_clause? ;
+                    fetch_first_clause : FETCH FIRST UNSIGNED_INTEGER ROWS ONLY ;
+                    """,
+                    tokens=kws("fetch", "first", "rows", "only") + _INT,
+                    requires=("QueryExpression",),
+                    after=("QueryExpression", "OrderBy", "Limit", "Offset"),
+                ),
+            ],
+            package="extension",
+            description="LIMIT / OFFSET / FETCH FIRST extensions.",
+        )
+    )

@@ -1,0 +1,98 @@
+"""From-clause diagram (SQL Foundation §7.5, §7.6).
+
+Table references: single table (the TinySQL baseline), comma-separated
+table lists, correlation names (aliases) and derived tables (subqueries in
+FROM).  Joins are decomposed separately in the joined_table diagram.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = mandatory(
+        "From",
+        optional(
+            "MultipleTables",
+            description="Comma-separated table reference list.",
+        ),
+        optional(
+            "CorrelationName",
+            optional("CorrelationName.As", description="The AS noise word."),
+            description="Table aliases: FROM orders o / orders AS o.",
+        ),
+        optional(
+            "DerivedTable",
+            optional(
+                "LateralDerivedTable",
+                description="LATERAL subqueries seeing earlier FROM items.",
+            ),
+            description="Subqueries in FROM: (SELECT ...) AS t.",
+        ),
+        description="The FROM clause and table references.",
+    )
+
+    units = [
+        unit(
+            "From",
+            """
+            from_clause : FROM table_reference_list ;
+            table_reference_list : table_reference ;
+            table_reference : table_primary ;
+            table_primary : table_name ;
+            """,
+            tokens=kws("from"),
+            requires=("Identifiers",),
+            description="Single-table FROM clause (TinySQL's restriction).",
+        ),
+        unit(
+            "MultipleTables",
+            "table_reference_list : table_reference (COMMA table_reference)* ;",
+            after=("From",),
+            description="Comma-joined table lists "
+            "(sublist-to-complex-list composition).",
+        ),
+        unit(
+            "CorrelationName",
+            """
+            table_primary : table_name correlation_spec? ;
+            correlation_spec : identifier ;
+            """,
+            after=("From",),
+        ),
+        unit(
+            "CorrelationName.As",
+            "correlation_spec : AS? identifier ;",
+            tokens=kws("as"),
+            requires=("CorrelationName",),
+            after=("CorrelationName",),
+        ),
+        unit(
+            "DerivedTable",
+            "table_primary : table_subquery correlation_spec ;",
+            requires=("Subquery", "CorrelationName"),
+            description="Derived tables need an alias per the standard.",
+        ),
+        unit(
+            "LateralDerivedTable",
+            "table_primary : LATERAL table_subquery correlation_spec ;",
+            tokens=kws("lateral"),
+            requires=("DerivedTable",),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="from_clause",
+            parent="TableExpression",
+            root=root,
+            units=units,
+            description="FROM clause and table references.",
+            constraints=[Requires("DerivedTable", "Subquery")],
+        )
+    )

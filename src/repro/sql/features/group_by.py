@@ -1,0 +1,84 @@
+"""Group-by diagram (SQL Foundation §7.9).
+
+Plain grouping column lists plus SQL:1999/2003 OLAP grouping: ROLLUP,
+CUBE, GROUPING SETS and the empty grouping set.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "GroupBy",
+        mandatory(
+            "GroupBy.MultipleKeys",
+            description="Comma-separated grouping keys ([1..*]).",
+        ),
+        optional("Rollup", description="ROLLUP (a, b) grouping."),
+        optional("Cube", description="CUBE (a, b) grouping."),
+        optional("GroupingSets", description="GROUPING SETS ((a), (a, b))."),
+        optional("EmptyGroupingSet", description="The () grand-total group."),
+        description="GROUP BY clause (Figure 2's Group By feature).",
+    )
+
+    units = [
+        unit(
+            "GroupBy",
+            """
+            table_expression : from_clause group_by_clause? ;
+            group_by_clause : GROUP BY grouping_element_list ;
+            grouping_element_list : grouping_element ;
+            grouping_element : column_reference ;
+            """,
+            tokens=kws("group", "by"),
+            requires=("TableExpression", "Identifiers"),
+            after=("Where",),
+            description="GROUP BY merges into table_expression after WHERE.",
+        ),
+        unit(
+            "GroupBy.MultipleKeys",
+            "grouping_element_list : grouping_element (COMMA grouping_element)* ;",
+            requires=("GroupBy",),
+            after=("GroupBy",),
+        ),
+        unit(
+            "Rollup",
+            """
+            grouping_element : ROLLUP LPAREN column_reference_list RPAREN ;
+            column_reference_list : column_reference (COMMA column_reference)* ;
+            """,
+            tokens=kws("rollup"),
+        ),
+        unit(
+            "Cube",
+            """
+            grouping_element : CUBE LPAREN column_reference_list RPAREN ;
+            column_reference_list : column_reference (COMMA column_reference)* ;
+            """,
+            tokens=kws("cube"),
+        ),
+        unit(
+            "GroupingSets",
+            "grouping_element : GROUPING SETS LPAREN grouping_element_list RPAREN ;",
+            tokens=kws("grouping", "sets"),
+        ),
+        unit(
+            "EmptyGroupingSet",
+            "grouping_element : LPAREN RPAREN ;",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="group_by",
+            parent="TableExpression",
+            root=root,
+            units=units,
+            description="GROUP BY and OLAP grouping elements.",
+        )
+    )

@@ -1,0 +1,64 @@
+"""Identifiers diagram (SQL Foundation §5.2, §6.6).
+
+Names, identifier chains (``schema.table.column``) and delimited
+(double-quoted) identifiers.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import IDENTIFIER_TOKENS
+
+
+def register(registry: SqlRegistry) -> None:
+    root = mandatory(
+        "Identifiers",
+        optional(
+            "QualifiedNames",
+            description="Dot-separated identifier chains (schema.table.column).",
+        ),
+        optional(
+            "DelimitedIdentifiers",
+            description='Double-quoted identifiers preserving case ("Order Total").',
+        ),
+        description="Regular identifiers and name resolution elements.",
+    )
+
+    units = [
+        unit(
+            "Identifiers",
+            """
+            identifier : IDENTIFIER ;
+            identifier_chain : identifier ;
+            table_name : identifier_chain ;
+            column_name : identifier ;
+            column_reference : identifier_chain ;
+            """,
+            tokens=[IDENTIFIER_TOKENS[0]],
+            description="Plain identifiers and the basic name rules.",
+        ),
+        unit(
+            "QualifiedNames",
+            "identifier_chain : identifier (DOT identifier)* ;",
+            description="Upgrades identifier chains to dotted paths "
+            "(the sublist-to-complex-list composition).",
+        ),
+        unit(
+            "DelimitedIdentifiers",
+            "identifier : QUOTED_IDENTIFIER ;",
+            tokens=[IDENTIFIER_TOKENS[1]],
+            description="Adds the delimited identifier alternative.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="identifier",
+            parent="LexicalElements",
+            root=root,
+            units=units,
+            description="Identifiers and identifier chains.",
+        )
+    )

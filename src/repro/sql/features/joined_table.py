@@ -1,0 +1,100 @@
+"""Joined-table diagram (SQL Foundation §7.7).
+
+Join suffixes extend table references: inner, outer (left/right/full),
+cross, natural and union joins, with ON / USING join specifications.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "JoinedTable",
+        optional("InnerJoin", description="[INNER] JOIN ... ON/USING."),
+        optional(
+            "OuterJoin",
+            mandatory("LeftJoin", description="LEFT [OUTER] JOIN"),
+            mandatory("RightJoin", description="RIGHT [OUTER] JOIN"),
+            mandatory("FullJoin", description="FULL [OUTER] JOIN"),
+            group=GroupType.OR,
+            description="Outer joins.",
+        ),
+        optional("CrossJoin", description="CROSS JOIN."),
+        optional("NaturalJoin", description="NATURAL JOIN."),
+        optional("UnionJoin", description="UNION JOIN (SQL:1999, removed later)."),
+        optional(
+            "JoinSpecification",
+            mandatory("OnCondition", description="ON <search condition>."),
+            mandatory("UsingColumns", description="USING (columns)."),
+            group=GroupType.OR,
+            description="How joined rows are matched.",
+        ),
+        description="Joined tables (§7.7).",
+    )
+
+    units = [
+        unit(
+            "JoinedTable",
+            "table_reference : table_primary join_suffix* ;",
+            requires=("From",),
+            after=("From",),
+            description="Table references accept chained join suffixes.",
+        ),
+        unit(
+            "InnerJoin",
+            "join_suffix : INNER? JOIN table_primary join_specification ;",
+            tokens=kws("inner", "join"),
+            requires=("JoinSpecification",),
+        ),
+        unit(
+            "OuterJoin",
+            "join_suffix : outer_join_type OUTER? JOIN table_primary "
+            "join_specification ;",
+            tokens=kws("outer", "join"),
+            requires=("JoinSpecification",),
+        ),
+        unit("LeftJoin", "outer_join_type : LEFT ;", tokens=kws("left")),
+        unit("RightJoin", "outer_join_type : RIGHT ;", tokens=kws("right")),
+        unit("FullJoin", "outer_join_type : FULL ;", tokens=kws("full")),
+        unit(
+            "CrossJoin",
+            "join_suffix : CROSS JOIN table_primary ;",
+            tokens=kws("cross", "join"),
+        ),
+        unit(
+            "NaturalJoin",
+            "join_suffix : NATURAL INNER? JOIN table_primary ;",
+            tokens=kws("natural", "inner", "join"),
+        ),
+        unit(
+            "UnionJoin",
+            "join_suffix : UNION JOIN table_primary ;",
+            tokens=kws("union", "join"),
+        ),
+        unit(
+            "OnCondition",
+            "join_specification : ON search_condition ;",
+            tokens=kws("on"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "UsingColumns",
+            "join_specification : USING column_list ;" + COLUMN_LIST_RULE,
+            tokens=kws("using"),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="joined_table",
+            parent="TableExpression",
+            root=root,
+            units=units,
+            description="Join syntax between table references.",
+        )
+    )

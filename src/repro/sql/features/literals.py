@@ -1,0 +1,163 @@
+"""Literals diagram (SQL Foundation §5.3).
+
+Numeric, character string, boolean, datetime and interval literals.  Each
+literal family is a feature whose unit appends an alternative to
+``unsigned_literal``; the family root contributes the
+``value_expression_primary`` alternative so literals only enter the
+expression grammar when at least one family is selected.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ...lexer.spec import pattern as _pattern
+
+
+def _binary_string_token():
+    return _pattern("BINARY_STRING_LITERAL", r"[Xx]'[0-9A-Fa-f]*'", priority=15)
+
+
+def _national_string_token():
+    return _pattern("NATIONAL_STRING_LITERAL", r"[Nn]'(?:[^']|'')*'", priority=15)
+
+
+def _unicode_string_token():
+    return _pattern("UNICODE_STRING_LITERAL", r"[Uu]&'(?:[^']|'')*'", priority=16)
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import NUMERIC_LITERAL_TOKENS, STRING_LITERAL_TOKENS
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "Literals",
+        mandatory(
+            "NumericLiteral",
+            mandatory("ExactNumericLiteral", description="42, 3.14"),
+            optional("ApproximateNumericLiteral", description="6.02E23"),
+            description="Exact and approximate numeric literals.",
+        ),
+        mandatory("CharacterStringLiteral", description="'hello ''world'''"),
+        optional("BooleanLiteral", description="TRUE / FALSE / UNKNOWN"),
+        optional(
+            "DatetimeLiteral",
+            mandatory("DateLiteral", description="DATE '2008-03-29'"),
+            mandatory("TimeLiteral", description="TIME '12:30:00'"),
+            mandatory("TimestampLiteral", description="TIMESTAMP '...'"),
+            group=GroupType.OR,
+            description="Datetime literals.",
+        ),
+        optional("UnicodeStringLiteral", description="U&'...' Unicode strings"),
+        optional(
+            "IntervalLiteral",
+            mandatory(
+                "IntervalQualifier",
+                optional("Interval.To", description="field TO field ranges."),
+                mandatory("Interval.Year", description="YEAR"),
+                mandatory("Interval.Month", description="MONTH"),
+                mandatory("Interval.Day", description="DAY"),
+                mandatory("Interval.Hour", description="HOUR"),
+                mandatory("Interval.Minute", description="MINUTE"),
+                mandatory("Interval.Second", description="SECOND"),
+                group=GroupType.OR,
+                description="YEAR, MONTH ... SECOND fields",
+            ),
+            description="INTERVAL '2' DAY",
+        ),
+        optional("BinaryStringLiteral", description="X'0AFF' hex strings"),
+        optional("NationalStringLiteral", description="N'...' national strings"),
+        description="Literal values (§5.3); numeric and string literals are "
+        "mandatory once literals are selected at all.",
+    )
+
+    units = [
+        unit(
+            "Literals",
+            "value_expression_primary : unsigned_literal ;",
+            description="Literals become usable inside value expressions.",
+        ),
+        unit(
+            "ExactNumericLiteral",
+            """
+            unsigned_literal : UNSIGNED_INTEGER ;
+            unsigned_literal : DECIMAL_LITERAL ;
+            """,
+            tokens=NUMERIC_LITERAL_TOKENS[1:],
+        ),
+        unit(
+            "ApproximateNumericLiteral",
+            "unsigned_literal : APPROXIMATE_LITERAL ;",
+            tokens=NUMERIC_LITERAL_TOKENS[:1],
+        ),
+        unit(
+            "CharacterStringLiteral",
+            "unsigned_literal : STRING_LITERAL ;",
+            tokens=STRING_LITERAL_TOKENS,
+        ),
+        unit(
+            "BooleanLiteral",
+            "unsigned_literal : TRUE | FALSE | UNKNOWN ;",
+            tokens=kws("true", "false", "unknown"),
+        ),
+        unit("DateLiteral", "unsigned_literal : DATE STRING_LITERAL ;",
+             tokens=kws("date") + STRING_LITERAL_TOKENS),
+        unit("TimeLiteral", "unsigned_literal : TIME STRING_LITERAL ;",
+             tokens=kws("time") + STRING_LITERAL_TOKENS),
+        unit("TimestampLiteral", "unsigned_literal : TIMESTAMP STRING_LITERAL ;",
+             tokens=kws("timestamp") + STRING_LITERAL_TOKENS),
+        unit(
+            "UnicodeStringLiteral",
+            "unsigned_literal : UNICODE_STRING_LITERAL ;",
+            tokens=[_unicode_string_token()],
+        ),
+        unit(
+            "IntervalLiteral",
+            "unsigned_literal : INTERVAL STRING_LITERAL interval_qualifier ;",
+            tokens=kws("interval") + STRING_LITERAL_TOKENS,
+            requires=("IntervalQualifier",),
+        ),
+        unit(
+            "IntervalQualifier",
+            "interval_qualifier : interval_field ;",
+        ),
+        unit(
+            "Interval.To",
+            "interval_qualifier : interval_field (TO interval_field)? ;",
+            tokens=kws("to"),
+            requires=("IntervalQualifier",),
+            after=("IntervalQualifier",),
+        ),
+        unit("Interval.Year", "interval_field : YEAR ;", tokens=kws("year"),
+             requires=("IntervalQualifier",)),
+        unit("Interval.Month", "interval_field : MONTH ;", tokens=kws("month"),
+             requires=("IntervalQualifier",)),
+        unit("Interval.Day", "interval_field : DAY ;", tokens=kws("day"),
+             requires=("IntervalQualifier",)),
+        unit("Interval.Hour", "interval_field : HOUR ;", tokens=kws("hour"),
+             requires=("IntervalQualifier",)),
+        unit("Interval.Minute", "interval_field : MINUTE ;", tokens=kws("minute"),
+             requires=("IntervalQualifier",)),
+        unit("Interval.Second", "interval_field : SECOND ;", tokens=kws("second"),
+             requires=("IntervalQualifier",)),
+        unit(
+            "BinaryStringLiteral",
+            "unsigned_literal : BINARY_STRING_LITERAL ;",
+            tokens=[_binary_string_token()],
+        ),
+        unit(
+            "NationalStringLiteral",
+            "unsigned_literal : NATIONAL_STRING_LITERAL ;",
+            tokens=[_national_string_token()],
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="literal",
+            parent="LexicalElements",
+            root=root,
+            units=units,
+            description="Literal values of all SQL types.",
+        )
+    )

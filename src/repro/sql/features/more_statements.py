@@ -1,0 +1,866 @@
+"""Remaining SQL Foundation statement diagrams.
+
+Cursors (§14.1–14.4), dynamic SQL (§20), SQL-invoked routines (§11.50,
+§15), triggers (§11.39), roles (§12.4–12.6), connection management (§18),
+assertions (§11.47), user-defined types (§11.41), constraint management
+(§19.1) and diagnostics (§23).  Together with the other modules this
+completes the per-statement-class decomposition of SQL Foundation.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import STRING_LITERAL_TOKENS
+from ._helpers import COLUMN_LIST_RULE, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    _register_cursors(registry)
+    _register_dynamic_sql(registry)
+    _register_routines(registry)
+    _register_triggers(registry)
+    _register_roles(registry)
+    _register_connections(registry)
+    _register_assertions(registry)
+    _register_user_defined_types(registry)
+    _register_constraint_management(registry)
+    _register_diagnostics(registry)
+    _register_embedded_exceptions(registry)
+    _register_declared_temp_tables(registry)
+
+
+def _register_cursors(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="cursor_statements",
+            parent="DataManipulation",
+            root=optional(
+                "Cursors",
+                mandatory(
+                    "DeclareCursor",
+                    optional(
+                        "CursorSensitivity",
+                        mandatory("Cursor.Sensitive", description="SENSITIVE"),
+                        mandatory("Cursor.Insensitive", description="INSENSITIVE"),
+                        mandatory("Cursor.Asensitive", description="ASENSITIVE"),
+                        group=GroupType.OR,
+                    ),
+                    optional("CursorScroll", description="SCROLL / NO SCROLL."),
+                    optional("CursorHold", description="WITH/WITHOUT HOLD."),
+                    optional("CursorReturn", description="WITH/WITHOUT RETURN."),
+                ),
+                mandatory("OpenCursor"),
+                mandatory("CloseCursor"),
+                mandatory(
+                    "FetchCursor",
+                    optional("FetchInto", description="INTO target list."),
+                    optional(
+                        "FetchOrientation",
+                        mandatory("Fetch.Next", description="NEXT"),
+                        mandatory("Fetch.Prior", description="PRIOR"),
+                        mandatory("Fetch.First", description="FIRST"),
+                        mandatory("Fetch.Last", description="LAST"),
+                        mandatory("Fetch.Absolute", description="ABSOLUTE n"),
+                        mandatory("Fetch.Relative", description="RELATIVE n"),
+                        group=GroupType.OR,
+                    ),
+                ),
+                group=GroupType.OR,
+                description="Declared cursors (§14.1-14.4).",
+            ),
+            units=[
+                unit(
+                    "DeclareCursor",
+                    """
+                    sql_statement : declare_cursor ;
+                    declare_cursor : DECLARE identifier CURSOR FOR query_expression ;
+                    """,
+                    tokens=kws("declare", "cursor", "for"),
+                    requires=("Identifiers", "QueryExpression"),
+                ),
+                unit(
+                    "CursorSensitivity",
+                    "declare_cursor : DECLARE identifier cursor_sensitivity? "
+                    "CURSOR FOR query_expression ;",
+                    requires=("DeclareCursor",),
+                    after=("DeclareCursor",),
+                ),
+                unit("Cursor.Sensitive", "cursor_sensitivity : SENSITIVE ;",
+                     tokens=kws("sensitive")),
+                unit("Cursor.Insensitive", "cursor_sensitivity : INSENSITIVE ;",
+                     tokens=kws("insensitive")),
+                unit("Cursor.Asensitive", "cursor_sensitivity : ASENSITIVE ;",
+                     tokens=kws("asensitive")),
+                unit(
+                    "CursorScroll",
+                    """
+                    declare_cursor : DECLARE identifier cursor_scroll? CURSOR FOR query_expression ;
+                    cursor_scroll : NO? SCROLL ;
+                    """,
+                    tokens=kws("no", "scroll"),
+                    requires=("DeclareCursor",),
+                    after=("DeclareCursor", "CursorSensitivity"),
+                ),
+                unit(
+                    "CursorHold",
+                    """
+                    declare_cursor : DECLARE identifier CURSOR cursor_holdability? FOR query_expression ;
+                    cursor_holdability : (WITH | WITHOUT) HOLD ;
+                    """,
+                    tokens=kws("with", "without", "hold"),
+                    requires=("DeclareCursor",),
+                    after=("DeclareCursor", "CursorScroll"),
+                ),
+                unit(
+                    "CursorReturn",
+                    """
+                    declare_cursor : DECLARE identifier CURSOR cursor_holdability? cursor_returnability? FOR query_expression ;
+                    cursor_returnability : (WITH | WITHOUT) RETURN ;
+                    cursor_holdability : (WITH | WITHOUT) HOLD ;
+                    """,
+                    tokens=kws("with", "without", "return", "hold"),
+                    requires=("CursorHold",),
+                    after=("CursorHold",),
+                ),
+                unit(
+                    "OpenCursor",
+                    """
+                    sql_statement : open_statement ;
+                    open_statement : OPEN identifier ;
+                    """,
+                    tokens=kws("open"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "CloseCursor",
+                    """
+                    sql_statement : close_statement ;
+                    close_statement : CLOSE identifier ;
+                    """,
+                    tokens=kws("close"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "FetchCursor",
+                    """
+                    sql_statement : fetch_statement ;
+                    fetch_statement : FETCH FROM? identifier ;
+                    """,
+                    tokens=kws("fetch", "from"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "FetchOrientation",
+                    "fetch_statement : FETCH fetch_orientation? FROM? identifier ;",
+                    requires=("FetchCursor",),
+                    after=("FetchCursor",),
+                ),
+                unit(
+                    "FetchInto",
+                    """
+                    fetch_statement : FETCH fetch_orientation? FROM? identifier fetch_into? ;
+                    fetch_into : INTO identifier (COMMA identifier)* ;
+                    """,
+                    tokens=kws("into"),
+                    requires=("FetchCursor", "FetchOrientation"),
+                    after=("FetchOrientation",),
+                ),
+                unit("Fetch.Next", "fetch_orientation : NEXT ;", tokens=kws("next")),
+                unit("Fetch.Prior", "fetch_orientation : PRIOR ;", tokens=kws("prior")),
+                unit("Fetch.First", "fetch_orientation : FIRST ;", tokens=kws("first")),
+                unit("Fetch.Last", "fetch_orientation : LAST ;", tokens=kws("last")),
+                unit(
+                    "Fetch.Absolute",
+                    "fetch_orientation : ABSOLUTE UNSIGNED_INTEGER ;",
+                    tokens=kws("absolute"),
+                    requires=("ExactNumericLiteral",),
+                ),
+                unit(
+                    "Fetch.Relative",
+                    "fetch_orientation : RELATIVE signed_integer ;\n"
+                    "signed_integer : (PLUS | MINUS)? UNSIGNED_INTEGER ;",
+                    tokens=kws("relative"),
+                    requires=("ExactNumericLiteral", "Addition"),
+                ),
+            ],
+            description="Cursor declaration and manipulation.",
+        )
+    )
+
+
+def _register_dynamic_sql(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="dynamic_sql",
+            parent="SessionManagement",
+            root=optional(
+                "DynamicSql",
+                mandatory("PrepareStatement", description="PREPARE stmt FROM '...'."),
+                mandatory(
+                    "ExecuteStatement",
+                    optional("ExecuteUsing", description="USING arguments."),
+                    optional("ExecuteInto", description="INTO targets."),
+                    description="EXECUTE stmt.",
+                ),
+                mandatory(
+                    "ExecuteImmediate",
+                    description="EXECUTE IMMEDIATE '...'.",
+                ),
+                mandatory("DeallocatePrepare", description="DEALLOCATE PREPARE stmt."),
+                mandatory("DescribeStatement", description="DESCRIBE [INPUT|OUTPUT] stmt."),
+                group=GroupType.OR,
+                description="Dynamic SQL (§20).",
+            ),
+            units=[
+                unit(
+                    "PrepareStatement",
+                    """
+                    sql_statement : prepare_statement ;
+                    prepare_statement : PREPARE identifier FROM STRING_LITERAL ;
+                    """,
+                    tokens=kws("prepare", "from") + STRING_LITERAL_TOKENS,
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "ExecuteStatement",
+                    """
+                    sql_statement : execute_statement ;
+                    execute_statement : EXECUTE identifier ;
+                    """,
+                    tokens=kws("execute"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "ExecuteUsing",
+                    """
+                    execute_statement : EXECUTE identifier execute_using? ;
+                    execute_using : USING value_expression (COMMA value_expression)* ;
+                    """,
+                    tokens=kws("using"),
+                    requires=("ExecuteStatement", "ValueExpressionCore"),
+                    after=("ExecuteStatement",),
+                ),
+                unit(
+                    "ExecuteInto",
+                    """
+                    execute_statement : EXECUTE identifier execute_into? execute_using? ;
+                    execute_into : INTO identifier (COMMA identifier)* ;
+                    execute_using : USING value_expression (COMMA value_expression)* ;
+                    """,
+                    tokens=kws("into", "using"),
+                    requires=("ExecuteUsing",),
+                    after=("ExecuteUsing",),
+                ),
+                unit(
+                    "ExecuteImmediate",
+                    """
+                    sql_statement : execute_immediate_statement ;
+                    execute_immediate_statement : EXECUTE IMMEDIATE STRING_LITERAL ;
+                    """,
+                    tokens=kws("execute", "immediate") + STRING_LITERAL_TOKENS,
+                ),
+                unit(
+                    "DeallocatePrepare",
+                    """
+                    sql_statement : deallocate_statement ;
+                    deallocate_statement : DEALLOCATE PREPARE identifier ;
+                    """,
+                    tokens=kws("deallocate", "prepare"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DescribeStatement",
+                    """
+                    sql_statement : describe_statement ;
+                    describe_statement : DESCRIBE (INPUT | OUTPUT)? identifier ;
+                    """,
+                    tokens=kws("describe", "input", "output"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="PREPARE / EXECUTE / DEALLOCATE.",
+        )
+    )
+
+
+def _register_routines(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="sql_invoked_routines",
+            parent="DataDefinition",
+            root=optional(
+                "Routines",
+                mandatory(
+                    "CreateProcedure",
+                    optional(
+                        "ParameterModes",
+                        mandatory("Param.In", description="IN parameters"),
+                        mandatory("Param.Out", description="OUT parameters"),
+                        mandatory("Param.Inout", description="INOUT parameters"),
+                        group=GroupType.OR,
+                    ),
+                ),
+                mandatory("CreateFunction", description="CREATE FUNCTION ... RETURNS."),
+                mandatory(
+                    "RoutineCharacteristics",
+                    mandatory("Routine.Deterministic", description="[NOT] DETERMINISTIC."),
+                    mandatory("Routine.SqlDataAccess",
+                              description="CONTAINS SQL / READS / MODIFIES SQL DATA."),
+                    group=GroupType.OR,
+                    description="Routine characteristics (§11.50).",
+                ),
+                mandatory("CallStatement", description="CALL routine(args)."),
+                mandatory("ReturnStatement", description="RETURN value."),
+                mandatory("DropRoutine", description="DROP PROCEDURE/FUNCTION."),
+                group=GroupType.OR,
+                description="SQL-invoked routines (§11.50, §15).",
+            ),
+            units=[
+                unit(
+                    "CreateProcedure",
+                    """
+                    sql_statement : procedure_definition ;
+                    procedure_definition : CREATE PROCEDURE identifier LPAREN parameter_list? RPAREN routine_body ;
+                    parameter_list : parameter_declaration (COMMA parameter_declaration)* ;
+                    parameter_declaration : identifier data_type ;
+                    routine_body : BEGIN sql_statement (SEMICOLON sql_statement)* SEMICOLON? END ;
+                    """,
+                    tokens=kws("create", "procedure", "begin", "end"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "ParameterModes",
+                    "parameter_declaration : parameter_mode? identifier data_type ;",
+                    requires=("CreateProcedure",),
+                    after=("CreateProcedure", "CreateFunction"),
+                ),
+                unit("Param.In", "parameter_mode : IN ;", tokens=kws("in")),
+                unit("Param.Out", "parameter_mode : OUT ;", tokens=kws("out")),
+                unit("Param.Inout", "parameter_mode : INOUT ;", tokens=kws("inout")),
+                unit(
+                    "CreateFunction",
+                    """
+                    sql_statement : function_definition ;
+                    function_definition : CREATE FUNCTION identifier LPAREN parameter_list? RPAREN RETURNS data_type routine_body ;
+                    parameter_list : parameter_declaration (COMMA parameter_declaration)* ;
+                    parameter_declaration : identifier data_type ;
+                    routine_body : BEGIN sql_statement (SEMICOLON sql_statement)* SEMICOLON? END ;
+                    """,
+                    tokens=kws("create", "function", "returns", "begin", "end"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "RoutineCharacteristics",
+                    "procedure_definition : CREATE PROCEDURE identifier "
+                    "LPAREN parameter_list? RPAREN routine_characteristic* "
+                    "routine_body ;",
+                    requires=("CreateProcedure",),
+                    after=("CreateProcedure", "CreateFunction", "ParameterModes"),
+                ),
+                unit(
+                    "Routine.Deterministic",
+                    "routine_characteristic : NOT? DETERMINISTIC ;",
+                    tokens=kws("not", "deterministic"),
+                    requires=("RoutineCharacteristics",),
+                ),
+                unit(
+                    "Routine.SqlDataAccess",
+                    """
+                    routine_characteristic : CONTAINS SQL ;
+                    routine_characteristic : READS SQL DATA ;
+                    routine_characteristic : MODIFIES SQL DATA ;
+                    """,
+                    tokens=kws("contains", "reads", "modifies", "sql", "data"),
+                    requires=("RoutineCharacteristics",),
+                ),
+                unit(
+                    "CallStatement",
+                    """
+                    sql_statement : call_statement ;
+                    call_statement : CALL identifier_chain LPAREN [ value_expression (COMMA value_expression)* ] RPAREN ;
+                    """,
+                    tokens=kws("call"),
+                    requires=("Identifiers", "ValueExpressionCore"),
+                ),
+                unit(
+                    "ReturnStatement",
+                    """
+                    sql_statement : return_statement ;
+                    return_statement : RETURN return_value ;
+                    return_value : value_expression ;
+                    return_value : NULL ;
+                    """,
+                    tokens=kws("return", "null"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "DropRoutine",
+                    """
+                    sql_statement : drop_routine_statement ;
+                    drop_routine_statement : DROP (PROCEDURE | FUNCTION) identifier_chain drop_behavior? ;
+                    drop_behavior : CASCADE | RESTRICT ;
+                    """,
+                    tokens=kws("drop", "procedure", "function", "cascade", "restrict"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Procedures, functions, CALL and RETURN.",
+        )
+    )
+
+
+def _register_triggers(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="trigger_definition",
+            parent="DataDefinition",
+            root=optional(
+                "Triggers",
+                mandatory(
+                    "TriggerTime",
+                    mandatory("Trigger.Before", description="BEFORE"),
+                    mandatory("Trigger.After", description="AFTER"),
+                    group=GroupType.OR,
+                ),
+                mandatory(
+                    "TriggerEvent",
+                    mandatory("TriggerOn.Insert", description="ON INSERT"),
+                    mandatory("TriggerOn.Delete", description="ON DELETE"),
+                    mandatory("TriggerOn.Update", description="ON UPDATE [OF cols]"),
+                    group=GroupType.OR,
+                ),
+                optional("TriggerReferencing", description="REFERENCING OLD/NEW AS."),
+                optional("TriggerWhen", description="WHEN (condition) guard."),
+                optional("TriggerGranularity", description="FOR EACH ROW/STATEMENT."),
+                optional("DropTrigger", description="DROP TRIGGER."),
+                description="CREATE TRIGGER (§11.39).",
+            ),
+            units=[
+                unit(
+                    "Triggers",
+                    """
+                    sql_statement : trigger_definition ;
+                    trigger_definition : CREATE TRIGGER identifier trigger_time trigger_event ON table_name triggered_action ;
+                    triggered_action : sql_statement ;
+                    """,
+                    tokens=kws("create", "trigger", "on"),
+                    requires=("Identifiers", "TriggerTime", "TriggerEvent"),
+                ),
+                unit("Trigger.Before", "trigger_time : BEFORE ;", tokens=kws("before")),
+                unit("Trigger.After", "trigger_time : AFTER ;", tokens=kws("after")),
+                unit("TriggerOn.Insert", "trigger_event : INSERT ;", tokens=kws("insert")),
+                unit("TriggerOn.Delete", "trigger_event : DELETE ;", tokens=kws("delete")),
+                unit(
+                    "TriggerOn.Update",
+                    "trigger_event : UPDATE (OF column_list)? ;\n"
+                    "column_list : LPAREN column_name (COMMA column_name)* RPAREN ;",
+                    tokens=kws("update", "of"),
+                ),
+                unit(
+                    "TriggerReferencing",
+                    """
+                    trigger_definition : CREATE TRIGGER identifier trigger_time trigger_event ON table_name referencing_clause? triggered_action ;
+                    referencing_clause : REFERENCING transition_variable+ ;
+                    transition_variable : (OLD | NEW) ROW? AS? identifier ;
+                    """,
+                    tokens=kws("referencing", "old", "new", "row", "as"),
+                    requires=("Triggers",),
+                    after=("Triggers",),
+                ),
+                unit(
+                    "TriggerGranularity",
+                    """
+                    trigger_definition : CREATE TRIGGER identifier trigger_time trigger_event ON table_name trigger_granularity? triggered_action ;
+                    trigger_granularity : FOR EACH (ROW | STATEMENT) ;
+                    """,
+                    tokens=kws("for", "each", "row", "statement"),
+                    requires=("Triggers",),
+                    after=("Triggers", "TriggerReferencing"),
+                ),
+                unit(
+                    "TriggerWhen",
+                    """
+                    trigger_definition : CREATE TRIGGER identifier trigger_time trigger_event ON table_name trigger_when? triggered_action ;
+                    trigger_when : WHEN LPAREN search_condition RPAREN ;
+                    """,
+                    tokens=kws("when"),
+                    requires=("Triggers", "ValueExpressionCore"),
+                    after=("Triggers", "TriggerReferencing", "TriggerGranularity"),
+                ),
+                unit(
+                    "DropTrigger",
+                    """
+                    sql_statement : drop_trigger_statement ;
+                    drop_trigger_statement : DROP TRIGGER identifier ;
+                    """,
+                    tokens=kws("drop", "trigger"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Triggers.",
+        )
+    )
+
+
+def _register_roles(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="role_management",
+            parent="AccessControl",
+            root=optional(
+                "Roles",
+                mandatory("CreateRole", description="CREATE ROLE."),
+                mandatory("DropRole", description="DROP ROLE."),
+                mandatory("SetRole", description="SET ROLE."),
+                mandatory("GrantRole", description="GRANT role TO grantee."),
+                group=GroupType.OR,
+                description="Role-based access control (§12.4).",
+            ),
+            units=[
+                unit(
+                    "CreateRole",
+                    """
+                    sql_statement : role_definition ;
+                    role_definition : CREATE ROLE identifier ;
+                    """,
+                    tokens=kws("create", "role"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "DropRole",
+                    """
+                    sql_statement : drop_role_statement ;
+                    drop_role_statement : DROP ROLE identifier ;
+                    """,
+                    tokens=kws("drop", "role"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "SetRole",
+                    """
+                    sql_statement : set_role_statement ;
+                    set_role_statement : SET ROLE role_specification ;
+                    role_specification : identifier ;
+                    role_specification : NONE ;
+                    """,
+                    tokens=kws("set", "role", "none"),
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "GrantRole",
+                    """
+                    sql_statement : grant_role_statement ;
+                    grant_role_statement : GRANT identifier TO grantee_list admin_option? ;
+                    admin_option : WITH ADMIN OPTION ;
+                    grantee_list : grantee (COMMA grantee)* ;
+                    grantee : PUBLIC ;
+                    grantee : identifier ;
+                    """,
+                    tokens=kws("grant", "to", "with", "admin", "option", "public"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Roles.",
+        )
+    )
+
+
+def _register_connections(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="connection_management",
+            parent="SessionManagement",
+            root=optional(
+                "Connections",
+                mandatory(
+                    "ConnectStatement",
+                    optional("Connect.As", description="AS connection name."),
+                    optional("Connect.User", description="USER clause."),
+                    optional("Connect.Default", description="CONNECT TO DEFAULT."),
+                    description="CONNECT TO server.",
+                ),
+                mandatory(
+                    "DisconnectStatement",
+                    optional("Disconnect.All", description="DISCONNECT ALL."),
+                    optional("Disconnect.Current", description="DISCONNECT CURRENT."),
+                    description="DISCONNECT.",
+                ),
+                mandatory("SetConnection", description="SET CONNECTION."),
+                group=GroupType.OR,
+                description="Connection management (§18).",
+            ),
+            units=[
+                unit(
+                    "ConnectStatement",
+                    """
+                    sql_statement : connect_statement ;
+                    connect_statement : CONNECT TO connection_target ;
+                    connection_target : STRING_LITERAL ;
+                    """,
+                    tokens=kws("connect", "to") + STRING_LITERAL_TOKENS,
+                    requires=("Identifiers",),
+                ),
+                unit(
+                    "Connect.As",
+                    "connection_target : STRING_LITERAL (AS identifier)? ;",
+                    tokens=kws("as"),
+                    requires=("ConnectStatement",),
+                    after=("ConnectStatement",),
+                ),
+                unit(
+                    "Connect.User",
+                    "connection_target : STRING_LITERAL (AS identifier)? "
+                    "(USER STRING_LITERAL)? ;",
+                    tokens=kws("as", "user"),
+                    requires=("Connect.As",),
+                    after=("Connect.As",),
+                ),
+                unit(
+                    "Connect.Default",
+                    "connection_target : DEFAULT ;",
+                    tokens=kws("default"),
+                    requires=("ConnectStatement",),
+                ),
+                unit(
+                    "DisconnectStatement",
+                    """
+                    sql_statement : disconnect_statement ;
+                    disconnect_statement : DISCONNECT disconnect_object ;
+                    disconnect_object : identifier ;
+                    """,
+                    tokens=kws("disconnect"),
+                    requires=("Identifiers",),
+                ),
+                unit("Disconnect.All", "disconnect_object : ALL ;",
+                     tokens=kws("all"), requires=("DisconnectStatement",)),
+                unit("Disconnect.Current", "disconnect_object : CURRENT ;",
+                     tokens=kws("current"), requires=("DisconnectStatement",)),
+                unit(
+                    "SetConnection",
+                    """
+                    sql_statement : set_connection_statement ;
+                    set_connection_statement : SET CONNECTION connection_object ;
+                    connection_object : DEFAULT ;
+                    connection_object : identifier ;
+                    """,
+                    tokens=kws("set", "connection", "default"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="CONNECT / DISCONNECT / SET CONNECTION.",
+        )
+    )
+
+
+def _register_assertions(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="assertion_definition",
+            parent="DataDefinition",
+            root=optional(
+                "Assertions",
+                mandatory("CreateAssertion"),
+                mandatory("DropAssertion"),
+                group=GroupType.OR,
+                description="Schema-level assertions (§11.47).",
+            ),
+            units=[
+                unit(
+                    "CreateAssertion",
+                    """
+                    sql_statement : assertion_definition ;
+                    assertion_definition : CREATE ASSERTION identifier CHECK LPAREN search_condition RPAREN ;
+                    """,
+                    tokens=kws("create", "assertion", "check"),
+                    requires=("Identifiers", "ValueExpressionCore"),
+                ),
+                unit(
+                    "DropAssertion",
+                    """
+                    sql_statement : drop_assertion_statement ;
+                    drop_assertion_statement : DROP ASSERTION identifier ;
+                    """,
+                    tokens=kws("drop", "assertion"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Assertions.",
+        )
+    )
+
+
+def _register_user_defined_types(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="user_defined_types",
+            parent="DataDefinition",
+            root=optional(
+                "UserDefinedTypes",
+                mandatory("CreateDistinctType", description="CREATE TYPE ... AS <dt> FINAL."),
+                mandatory(
+                    "CreateStructuredType",
+                    description="CREATE TYPE ... AS (attrs).",
+                ),
+                mandatory("DropType", description="DROP TYPE."),
+                group=GroupType.OR,
+                description="User-defined types (§11.41).",
+            ),
+            units=[
+                unit(
+                    "CreateDistinctType",
+                    """
+                    sql_statement : type_definition ;
+                    type_definition : CREATE TYPE identifier AS data_type FINAL ;
+                    """,
+                    tokens=kws("create", "type", "as", "final"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "CreateStructuredType",
+                    """
+                    sql_statement : type_definition ;
+                    type_definition : CREATE TYPE identifier AS LPAREN attribute_definition (COMMA attribute_definition)* RPAREN ;
+                    attribute_definition : identifier data_type ;
+                    """,
+                    tokens=kws("create", "type", "as"),
+                    requires=("Identifiers", "DataTypes"),
+                ),
+                unit(
+                    "DropType",
+                    """
+                    sql_statement : drop_type_statement ;
+                    drop_type_statement : DROP TYPE identifier drop_behavior? ;
+                    drop_behavior : CASCADE | RESTRICT ;
+                    """,
+                    tokens=kws("drop", "type", "cascade", "restrict"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Distinct and structured types.",
+        )
+    )
+
+
+def _register_constraint_management(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="constraint_management",
+            parent="TransactionManagement",
+            root=optional(
+                "SetConstraints",
+                description="SET CONSTRAINTS ALL DEFERRED/IMMEDIATE (§19.1).",
+            ),
+            units=[
+                unit(
+                    "SetConstraints",
+                    """
+                    sql_statement : set_constraints_statement ;
+                    set_constraints_statement : SET CONSTRAINTS constraint_target (DEFERRED | IMMEDIATE) ;
+                    constraint_target : ALL ;
+                    constraint_target : identifier (COMMA identifier)* ;
+                    """,
+                    tokens=kws("set", "constraints", "all", "deferred", "immediate"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Constraint deferral.",
+        )
+    )
+
+
+def _register_embedded_exceptions(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="embedded_exceptions",
+            parent="SessionManagement",
+            root=optional(
+                "WheneverStatement",
+                description="WHENEVER SQLERROR/NOT FOUND handling (§21).",
+            ),
+            units=[
+                unit(
+                    "WheneverStatement",
+                    """
+                    sql_statement : whenever_statement ;
+                    whenever_statement : WHENEVER whenever_condition whenever_action ;
+                    whenever_condition : SQLERROR ;
+                    whenever_condition : NOT FOUND ;
+                    whenever_action : CONTINUE ;
+                    whenever_action : GOTO identifier ;
+                    """,
+                    tokens=kws("whenever", "sqlerror", "not", "found",
+                               "continue", "goto"),
+                    requires=("Identifiers",),
+                ),
+            ],
+            description="Embedded exception declarations.",
+        )
+    )
+
+
+def _register_declared_temp_tables(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="declared_temporary_tables",
+            parent="DataDefinition",
+            root=optional(
+                "DeclaredTemporaryTable",
+                description="DECLARE LOCAL TEMPORARY TABLE (§11.5).",
+            ),
+            units=[
+                unit(
+                    "DeclaredTemporaryTable",
+                    """
+                    sql_statement : declare_temporary_table ;
+                    declare_temporary_table : DECLARE LOCAL TEMPORARY TABLE table_name LPAREN table_element_list RPAREN ;
+                    """,
+                    tokens=kws("declare", "local", "temporary", "table"),
+                    requires=("CreateTable",),
+                ),
+            ],
+            description="Declared local temporary tables.",
+        )
+    )
+
+
+def _register_diagnostics(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="diagnostics_management",
+            parent="SessionManagement",
+            root=optional(
+                "Diagnostics",
+                mandatory("Diag.RowCount", description="ROW_COUNT"),
+                mandatory("Diag.ReturnedSqlstate", description="RETURNED_SQLSTATE"),
+                mandatory("Diag.ConditionNumber", description="CONDITION_NUMBER"),
+                group=GroupType.OR,
+                description="GET DIAGNOSTICS (§23.1).",
+            ),
+            units=[
+                unit(
+                    "Diagnostics",
+                    """
+                    sql_statement : get_diagnostics_statement ;
+                    get_diagnostics_statement : GET DIAGNOSTICS identifier EQ diagnostics_item ;
+                    """,
+                    tokens=kws("get", "diagnostics") + [_eq()],
+                    requires=("Identifiers",),
+                ),
+                unit("Diag.RowCount", "diagnostics_item : ROW_COUNT ;",
+                     tokens=kws("row_count"), requires=("Diagnostics",)),
+                unit("Diag.ReturnedSqlstate", "diagnostics_item : RETURNED_SQLSTATE ;",
+                     tokens=kws("returned_sqlstate"), requires=("Diagnostics",)),
+                unit("Diag.ConditionNumber", "diagnostics_item : CONDITION_NUMBER ;",
+                     tokens=kws("condition_number"), requires=("Diagnostics",)),
+            ],
+            description="Diagnostics area access.",
+        )
+    )
+
+
+def _eq():
+    from ...lexer.spec import literal
+
+    return literal("EQ", "=")

@@ -1,0 +1,129 @@
+"""Numeric value expression diagrams (SQL Foundation §6.27, §6.28).
+
+Two diagrams: the operator chain (``numeric_value_expression``) and the
+numeric set of scalar functions (``numeric_functions``).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import ARITHMETIC_TOKENS
+from ._helpers import kws
+
+
+def _fn(feature: str, rule: str, keywords: tuple[str, ...], description: str = ""):
+    """A scalar-function leaf: one ``value_expression_primary`` alternative."""
+    return unit(
+        feature,
+        rule,
+        tokens=kws(*keywords),
+        requires=("ValueExpressionCore",),
+        description=description,
+    )
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="numeric_value_expression",
+            parent="ScalarExpressions",
+            root=optional(
+                "NumericOperators",
+                optional("Addition", description="Binary + and -."),
+                optional("Multiplication", description="Binary * and /."),
+                optional("UnarySign", description="Unary + and -."),
+                description="Arithmetic operator chain (§6.27).",
+            ),
+            units=[
+                unit(
+                    "Addition",
+                    "additive_expression : multiplicative_expression "
+                    "((PLUS | MINUS) multiplicative_expression)* ;",
+                    tokens=ARITHMETIC_TOKENS[:2],
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "Multiplication",
+                    "multiplicative_expression : factor "
+                    "((ASTERISK | SOLIDUS) factor)* ;",
+                    tokens=ARITHMETIC_TOKENS[2:],
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "UnarySign",
+                    "factor : (PLUS | MINUS)? value_expression_primary ;",
+                    tokens=ARITHMETIC_TOKENS[:2],
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="Arithmetic operators.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="numeric_functions",
+            parent="ScalarExpressions",
+            root=optional(
+                "NumericFunctions",
+                optional("AbsoluteValue", description="ABS(x)"),
+                optional("Modulus", description="MOD(x, y)"),
+                optional("NaturalLogarithm", description="LN(x)"),
+                optional("Exponential", description="EXP(x)"),
+                optional("Power", description="POWER(x, y)"),
+                optional("SquareRoot", description="SQRT(x)"),
+                optional("Floor", description="FLOOR(x)"),
+                optional("Ceiling", description="CEILING(x) / CEIL(x)"),
+                group=GroupType.OR,
+                description="Numeric scalar functions (§6.28, SQL:2003 additions).",
+            ),
+            units=[
+                _fn(
+                    "AbsoluteValue",
+                    "value_expression_primary : ABS LPAREN value_expression RPAREN ;",
+                    ("abs",),
+                ),
+                _fn(
+                    "Modulus",
+                    "value_expression_primary : MOD LPAREN value_expression "
+                    "COMMA value_expression RPAREN ;",
+                    ("mod",),
+                ),
+                _fn(
+                    "NaturalLogarithm",
+                    "value_expression_primary : LN LPAREN value_expression RPAREN ;",
+                    ("ln",),
+                ),
+                _fn(
+                    "Exponential",
+                    "value_expression_primary : EXP LPAREN value_expression RPAREN ;",
+                    ("exp",),
+                ),
+                _fn(
+                    "Power",
+                    "value_expression_primary : POWER LPAREN value_expression "
+                    "COMMA value_expression RPAREN ;",
+                    ("power",),
+                ),
+                _fn(
+                    "SquareRoot",
+                    "value_expression_primary : SQRT LPAREN value_expression RPAREN ;",
+                    ("sqrt",),
+                ),
+                _fn(
+                    "Floor",
+                    "value_expression_primary : FLOOR LPAREN value_expression RPAREN ;",
+                    ("floor",),
+                ),
+                _fn(
+                    "Ceiling",
+                    "value_expression_primary : (CEILING | CEIL) "
+                    "LPAREN value_expression RPAREN ;",
+                    ("ceiling", "ceil"),
+                ),
+            ],
+            description="Numeric scalar functions.",
+        )
+    )

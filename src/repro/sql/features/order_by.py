@@ -1,0 +1,81 @@
+"""Order-by diagram (SQL Foundation §7.13 / §10.10 sort specifications)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "OrderBy",
+        mandatory(
+            "OrderBy.MultipleKeys",
+            description="Comma-separated sort keys ([1..*]).",
+        ),
+        optional(
+            "OrderingSpecification",
+            mandatory("Ascending", description="the ASC keyword"),
+            mandatory("Descending", description="the DESC keyword"),
+            group=GroupType.OR,
+            description="ASC / DESC direction per sort key.",
+        ),
+        optional(
+            "NullOrdering",
+            mandatory("NullsFirst", description="NULLS FIRST"),
+            mandatory("NullsLast", description="NULLS LAST"),
+            group=GroupType.OR,
+            description="NULLS FIRST / NULLS LAST (SQL:2003).",
+        ),
+        description="ORDER BY at the end of a query expression.",
+    )
+
+    units = [
+        unit(
+            "OrderBy",
+            """
+            query_expression : query_expression_body order_by_clause? ;
+            order_by_clause : ORDER BY sort_specification_list ;
+            sort_specification_list : sort_specification ;
+            sort_specification : value_expression ;
+            """,
+            tokens=kws("order", "by"),
+            requires=("QueryExpression", "ValueExpressionCore"),
+            after=("QueryExpression",),
+        ),
+        unit(
+            "OrderBy.MultipleKeys",
+            "sort_specification_list : sort_specification (COMMA sort_specification)* ;",
+            requires=("OrderBy",),
+            after=("OrderBy",),
+        ),
+        unit(
+            "OrderingSpecification",
+            "sort_specification : value_expression ordering_specification? ;",
+            after=("OrderBy",),
+        ),
+        unit("Ascending", "ordering_specification : ASC ;", tokens=kws("asc")),
+        unit("Descending", "ordering_specification : DESC ;", tokens=kws("desc")),
+        unit(
+            "NullOrdering",
+            "sort_specification : value_expression null_ordering? ;",
+            tokens=kws("nulls"),
+            after=("OrderBy", "OrderingSpecification"),
+        ),
+        unit("NullsFirst", "null_ordering : NULLS FIRST ;",
+             tokens=kws("nulls", "first"), requires=("NullOrdering",)),
+        unit("NullsLast", "null_ordering : NULLS LAST ;",
+             tokens=kws("nulls", "last"), requires=("NullOrdering",)),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="order_by",
+            parent="QueryExpression",
+            root=root,
+            units=units,
+            description="ORDER BY with directions and null ordering.",
+        )
+    )

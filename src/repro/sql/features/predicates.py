@@ -1,0 +1,398 @@
+"""Predicate diagrams (SQL Foundation §8.2–§8.13) — one diagram per predicate.
+
+Suffix predicates (comparison, BETWEEN, IN, LIKE, null test, quantified,
+distinct-from, overlaps) all hang off a shared hook production
+``predicate : common_value_expression predicate_suffix?``; every suffix
+unit includes that hook, and identical copies compose to one.  EXISTS and
+UNIQUE are standalone predicate alternatives.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import COMPARISON_TOKENS
+from ._helpers import PREDICATE_SUFFIX_HOOK, kws
+
+_COMPARISON_OPS = [
+    ("Comparison.Equals", "EQ", "="),
+    ("Comparison.NotEquals", "NEQ", "<>"),
+    ("Comparison.Less", "LT", "<"),
+    ("Comparison.Greater", "GT", ">"),
+    ("Comparison.LessOrEquals", "LE", "<="),
+    ("Comparison.GreaterOrEquals", "GE", ">="),
+]
+
+
+def register(registry: SqlRegistry) -> None:
+    _register_anchor(registry)
+    _register_comparison(registry)
+    _register_between(registry)
+    _register_in(registry)
+    _register_like(registry)
+    _register_null(registry)
+    _register_quantified(registry)
+    _register_exists(registry)
+    _register_unique(registry)
+    _register_distinct(registry)
+    _register_overlaps(registry)
+    _register_match(registry)
+
+
+def _register_anchor(registry: SqlRegistry) -> None:
+    """The Predicates grouping feature the individual diagrams graft under."""
+    registry.add(
+        FeatureDiagram(
+            name="predicate",
+            parent="ScalarExpressions",
+            root=optional(
+                "Predicates",
+                description="Row and table predicates (§8).",
+            ),
+            description="Anchor for the per-predicate diagrams.",
+        )
+    )
+
+
+def _register_comparison(registry: SqlRegistry) -> None:
+    token_by_name = {d.name: d for d in COMPARISON_TOKENS}
+    op_units = [
+        unit(
+            feature,
+            f"comp_op : {terminal} ;",
+            tokens=[token_by_name[terminal]],
+            description=f"The {text!r} comparison operator.",
+        )
+        for feature, terminal, text in _COMPARISON_OPS
+    ]
+    registry.add(
+        FeatureDiagram(
+            name="comparison_predicate",
+            parent="Predicates",
+            root=optional(
+                "ComparisonPredicate",
+                *[
+                    mandatory(feature, description=f"operator {text}")
+                    for feature, _, text in _COMPARISON_OPS
+                ],
+                group=GroupType.OR,
+                description="x <op> y comparisons (§8.2).",
+            ),
+            units=[
+                unit(
+                    "ComparisonPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : comp_op common_value_expression ;",
+                    requires=("ValueExpressionCore",),
+                ),
+                *op_units,
+            ],
+            description="Comparison predicate with per-operator features.",
+        )
+    )
+
+
+def _register_between(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="between_predicate",
+            parent="Predicates",
+            root=optional(
+                "BetweenPredicate",
+                optional(
+                    "BetweenSymmetry",
+                    mandatory("Between.Asymmetric", description="ASYMMETRIC"),
+                    mandatory("Between.Symmetric", description="SYMMETRIC"),
+                    group=GroupType.OR,
+                    description="ASYMMETRIC / SYMMETRIC (SQL:2003).",
+                ),
+                description="x [NOT] BETWEEN a AND b (§8.3).",
+            ),
+            units=[
+                unit(
+                    "BetweenPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : NOT? BETWEEN common_value_expression "
+                    "AND common_value_expression ;",
+                    tokens=kws("not", "between", "and"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "BetweenSymmetry",
+                    "predicate_suffix : NOT? BETWEEN between_symmetry? "
+                    "common_value_expression AND common_value_expression ;",
+                    requires=("BetweenPredicate",),
+                    after=("BetweenPredicate",),
+                ),
+                unit("Between.Asymmetric", "between_symmetry : ASYMMETRIC ;",
+                     tokens=kws("asymmetric"), requires=("BetweenSymmetry",)),
+                unit("Between.Symmetric", "between_symmetry : SYMMETRIC ;",
+                     tokens=kws("symmetric"), requires=("BetweenSymmetry",)),
+            ],
+            description="BETWEEN predicate.",
+        )
+    )
+
+
+def _register_in(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="in_predicate",
+            parent="Predicates",
+            root=optional(
+                "InPredicate",
+                mandatory("InValueList", description="IN (v1, v2, ...)."),
+                mandatory("InSubquery", description="IN (SELECT ...)."),
+                group=GroupType.OR,
+                description="x [NOT] IN ... (§8.4).",
+            ),
+            units=[
+                unit(
+                    "InPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : NOT? IN in_predicate_value ;",
+                    tokens=kws("not", "in"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "InValueList",
+                    "in_predicate_value : LPAREN common_value_expression "
+                    "(COMMA common_value_expression)* RPAREN ;",
+                    after=("InSubquery",),
+                    description="Composed after InSubquery so the subquery "
+                    "form is tried first on LPAREN.",
+                ),
+                unit(
+                    "InSubquery",
+                    "in_predicate_value : table_subquery ;",
+                    requires=("Subquery",),
+                ),
+            ],
+            description="IN predicate.",
+            constraints=[Requires("InSubquery", "Subquery")],
+        )
+    )
+
+
+def _register_like(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="like_predicate",
+            parent="Predicates",
+            root=optional(
+                "LikePredicate",
+                optional("LikeEscape", description="ESCAPE character clause."),
+                description="x [NOT] LIKE pattern (§8.5).",
+            ),
+            units=[
+                unit(
+                    "LikePredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : NOT? LIKE common_value_expression ;",
+                    tokens=kws("not", "like"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "LikeEscape",
+                    "predicate_suffix : NOT? LIKE common_value_expression "
+                    "(ESCAPE common_value_expression)? ;",
+                    tokens=kws("escape"),
+                    requires=("LikePredicate",),
+                    after=("LikePredicate",),
+                ),
+            ],
+            description="LIKE predicate.",
+        )
+    )
+
+
+def _register_null(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="null_predicate",
+            parent="Predicates",
+            root=optional(
+                "NullPredicate",
+                description="x IS [NOT] NULL (§8.7).",
+            ),
+            units=[
+                unit(
+                    "NullPredicate",
+                    PREDICATE_SUFFIX_HOOK + "predicate_suffix : IS NOT? NULL ;",
+                    tokens=kws("is", "not", "null"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="Null test predicate.",
+        )
+    )
+
+
+def _register_quantified(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="quantified_comparison_predicate",
+            parent="Predicates",
+            root=optional(
+                "QuantifiedComparison",
+                mandatory("AllQuantifier", description="the ALL quantifier"),
+                mandatory("SomeQuantifier", description="the SOME quantifier"),
+                mandatory("AnyQuantifier", description="the ANY quantifier"),
+                group=GroupType.OR,
+                description="x <op> ALL/SOME/ANY (subquery) (§8.8).",
+            ),
+            units=[
+                unit(
+                    "QuantifiedComparison",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : comp_op quantifier table_subquery ;",
+                    requires=("ComparisonPredicate", "Subquery"),
+                ),
+                unit("AllQuantifier", "quantifier : ALL ;", tokens=kws("all")),
+                unit("SomeQuantifier", "quantifier : SOME ;", tokens=kws("some")),
+                unit("AnyQuantifier", "quantifier : ANY ;", tokens=kws("any")),
+            ],
+            description="Quantified comparison predicate.",
+            constraints=[
+                Requires("QuantifiedComparison", "ComparisonPredicate"),
+                Requires("QuantifiedComparison", "Subquery"),
+            ],
+        )
+    )
+
+
+def _register_exists(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="exists_predicate",
+            parent="Predicates",
+            root=optional("ExistsPredicate", description="EXISTS (subquery) (§8.9)."),
+            units=[
+                unit(
+                    "ExistsPredicate",
+                    "predicate : EXISTS table_subquery ;",
+                    tokens=kws("exists"),
+                    requires=("Subquery",),
+                ),
+            ],
+            description="EXISTS predicate.",
+        )
+    )
+
+
+def _register_unique(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="unique_predicate",
+            parent="Predicates",
+            root=optional("UniquePredicate", description="UNIQUE (subquery) (§8.10)."),
+            units=[
+                unit(
+                    "UniquePredicate",
+                    "predicate : UNIQUE table_subquery ;",
+                    tokens=kws("unique"),
+                    requires=("Subquery",),
+                ),
+            ],
+            description="UNIQUE predicate.",
+        )
+    )
+
+
+def _register_distinct(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="distinct_predicate",
+            parent="Predicates",
+            root=optional(
+                "DistinctPredicate",
+                description="x IS [NOT] DISTINCT FROM y (SQL:2003 §8.13).",
+            ),
+            units=[
+                unit(
+                    "DistinctPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : IS NOT? DISTINCT FROM "
+                    "common_value_expression ;",
+                    tokens=kws("is", "not", "distinct", "from"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="IS DISTINCT FROM predicate.",
+        )
+    )
+
+
+def _register_overlaps(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="overlaps_predicate",
+            parent="Predicates",
+            root=optional(
+                "OverlapsPredicate",
+                description="Period overlap test (§8.12).",
+            ),
+            units=[
+                unit(
+                    "OverlapsPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : OVERLAPS common_value_expression ;",
+                    tokens=kws("overlaps"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="OVERLAPS predicate.",
+        )
+    )
+
+
+def _register_match(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="match_predicate",
+            parent="Predicates",
+            root=optional(
+                "MatchPredicate",
+                optional("Match.Unique", description="MATCH UNIQUE."),
+                optional(
+                    "MatchOptions",
+                    mandatory("Match.Simple", description="SIMPLE"),
+                    mandatory("Match.Partial", description="PARTIAL"),
+                    mandatory("Match.Full", description="FULL"),
+                    group=GroupType.OR,
+                ),
+                description="x MATCH [UNIQUE] [SIMPLE|PARTIAL|FULL] subquery (§8.14).",
+            ),
+            units=[
+                unit(
+                    "MatchPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : MATCH table_subquery ;",
+                    tokens=kws("match"),
+                    requires=("ValueExpressionCore", "Subquery"),
+                ),
+                unit(
+                    "Match.Unique",
+                    "predicate_suffix : MATCH UNIQUE? match_option? table_subquery ;",
+                    tokens=kws("unique"),
+                    requires=("MatchPredicate", "MatchOptions"),
+                    after=("MatchPredicate",),
+                ),
+                unit(
+                    "MatchOptions",
+                    "predicate_suffix : MATCH match_option? table_subquery ;",
+                    requires=("MatchPredicate",),
+                    after=("MatchPredicate",),
+                ),
+                unit("Match.Simple", "match_option : SIMPLE ;", tokens=kws("simple"),
+                     requires=("MatchOptions",)),
+                unit("Match.Partial", "match_option : PARTIAL ;", tokens=kws("partial"),
+                     requires=("MatchOptions",)),
+                unit("Match.Full", "match_option : FULL ;", tokens=kws("full"),
+                     requires=("MatchOptions",)),
+            ],
+            description="MATCH predicate.",
+        )
+    )

@@ -1,0 +1,124 @@
+"""Query-expression diagrams (SQL Foundation §7.13).
+
+The query expression wraps query specifications with set operations
+(UNION / EXCEPT / INTERSECT), nesting, explicit tables and — via their own
+diagrams — WITH clauses and ORDER BY.  This module registers two diagrams:
+``query_expression`` (the wrapper chain and the SELECT statement hook) and
+``set_operations``.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import SET_OPERATION_BODY, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="query_expression",
+            parent="QueryLanguage",
+            root=mandatory(
+                "QueryExpression",
+                optional(
+                    "NestedQuery",
+                    description="Parenthesized query expressions.",
+                ),
+                optional(
+                    "ExplicitTable",
+                    description="TABLE t as a query primary.",
+                ),
+                description="Query expression wrapper (§7.13).",
+            ),
+            units=[
+                unit(
+                    "QueryExpression",
+                    """
+                    query_expression : query_expression_body ;
+                    query_expression_body : query_term ;
+                    query_term : query_primary ;
+                    query_primary : query_specification ;
+                    sql_statement : query_expression ;
+                    """,
+                    requires=("QuerySpecification",),
+                    description="Degenerate wrapper chain; set operations "
+                    "replace its links. Registers SELECT as a statement.",
+                ),
+                unit(
+                    "NestedQuery",
+                    "query_primary : LPAREN query_expression_body RPAREN ;",
+                ),
+                unit(
+                    "ExplicitTable",
+                    "query_primary : TABLE table_name ;",
+                    tokens=kws("table"),
+                ),
+            ],
+            description="Query expressions and the SELECT statement hook.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="set_operations",
+            parent="QueryExpression",
+            root=optional(
+                "SetOperations",
+                optional("Union", description="UNION [ALL | DISTINCT]."),
+                optional(
+                    "Except",
+                    description="EXCEPT [ALL | DISTINCT].",
+                ),
+                optional(
+                    "Intersect",
+                    description="INTERSECT [ALL | DISTINCT] (binds tighter).",
+                ),
+                optional(
+                    "SetOpQuantifiers",
+                    mandatory("SetOpQuantifier.All", description="UNION ALL etc."),
+                    mandatory("SetOpQuantifier.Distinct", description="UNION DISTINCT etc."),
+                    group=GroupType.OR,
+                    description="ALL / DISTINCT on set operations.",
+                ),
+                description="Relational set operations between query terms.",
+            ),
+            units=[
+                unit(
+                    "Union",
+                    SET_OPERATION_BODY + "union_or_except : UNION ;",
+                    tokens=kws("union"),
+                    after=("QueryExpression",),
+                ),
+                unit(
+                    "Except",
+                    SET_OPERATION_BODY + "union_or_except : EXCEPT ;",
+                    tokens=kws("except"),
+                    after=("QueryExpression",),
+                ),
+                unit(
+                    "Intersect",
+                    "query_term : query_primary (INTERSECT query_primary)* ;",
+                    tokens=kws("intersect"),
+                    after=("QueryExpression",),
+                ),
+                unit(
+                    "SetOpQuantifiers",
+                    """
+                    query_expression_body : query_term (union_or_except set_op_quantifier? query_term)* ;
+                    query_term : query_primary (INTERSECT set_op_quantifier? query_primary)* ;
+                    """,
+                    requires=("Union", "Intersect"),
+                    after=("Union", "Except", "Intersect"),
+                    description="Adds the quantifier slot inside both "
+                    "set-operation chains (recursive containment).",
+                ),
+                unit("SetOpQuantifier.All", "set_op_quantifier : ALL ;",
+                     tokens=kws("all"), requires=("SetOpQuantifiers",)),
+                unit("SetOpQuantifier.Distinct", "set_op_quantifier : DISTINCT ;",
+                     tokens=kws("distinct"), requires=("SetOpQuantifiers",)),
+            ],
+            description="UNION / EXCEPT / INTERSECT.",
+        )
+    )

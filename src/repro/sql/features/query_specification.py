@@ -1,0 +1,93 @@
+"""Query Specification diagram — the paper's Figure 1 (SQL Foundation §7.12).
+
+``QuerySpecification`` (the SELECT statement) with its optional
+``SetQuantifier`` (ALL / DISTINCT), its ``SelectList`` (detailed in the
+select_list diagram) and its mandatory ``TableExpression`` (Figure 2,
+detailed in the table_expression diagram).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "QuerySpecification",
+        optional(
+            "SetQuantifier",
+            mandatory("SetQuantifier.ALL", description="the ALL keyword"),
+            mandatory("SetQuantifier.DISTINCT", description="the DISTINCT keyword"),
+            group=GroupType.OR,
+            description="Optional ALL/DISTINCT after SELECT (Figure 1).",
+        ),
+        mandatory(
+            "SelectList",
+            description="Select list; decomposed in the select_list diagram.",
+        ),
+        mandatory(
+            "TableExpression",
+            description="Table expression; decomposed in Figure 2's diagram.",
+        ),
+        optional(
+            "SelectInto",
+            description="SELECT ... INTO targets (single-row select, §14.5).",
+        ),
+        description="The SELECT statement (Figure 1 of the paper).",
+    )
+
+    units = [
+        unit(
+            "QuerySpecification",
+            """
+            grammar query_specification ;
+            start query_specification ;
+            query_specification : SELECT select_list table_expression ;
+            """,
+            tokens=kws("select"),
+            requires=("SelectList", "TableExpression"),
+            description="Base SELECT production.",
+        ),
+        unit(
+            "SetQuantifier",
+            """
+            query_specification : SELECT set_quantifier? select_list table_expression ;
+            """,
+            after=("QuerySpecification",),
+            description="Adds the optional quantifier slot after SELECT; "
+            "the keyword alternatives come from the child features.",
+        ),
+        unit(
+            "SelectInto",
+            """
+            query_specification : SELECT select_list into_clause? table_expression ;
+            into_clause : INTO identifier (COMMA identifier)* ;
+            """,
+            tokens=kws("into"),
+            requires=("QuerySpecification", "Identifiers"),
+            after=("QuerySpecification", "SetQuantifier"),
+        ),
+        unit(
+            "SetQuantifier.ALL",
+            "set_quantifier : ALL ;",
+            tokens=kws("all"),
+        ),
+        unit(
+            "SetQuantifier.DISTINCT",
+            "set_quantifier : DISTINCT ;",
+            tokens=kws("distinct"),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="query_specification",
+            parent="QueryLanguage",
+            root=root,
+            units=units,
+            description="Figure 1: the Query Specification feature diagram.",
+        )
+    )

@@ -1,0 +1,91 @@
+"""Structural root of the SQL:2003 decomposition.
+
+Contributes the paper's most coarse-grained decomposition — "the
+decomposition of SQL:2003 into various constituent packages" and the
+classification of SQL statements by function (data statements, schema
+statements, control statements) found in SQL Foundation — plus the root
+unit that scaffolds ``sql_script``.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import base_tokens
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.set_root_unit(
+        unit(
+            "SQL2003",
+            """
+            grammar sql2003_root ;
+            start sql_script ;
+            sql_script : sql_statement (SEMICOLON sql_statement)* SEMICOLON? ;
+            """,
+            tokens=base_tokens(),
+            description="Script scaffolding: statements separated by semicolons.",
+        )
+    )
+
+    structure = mandatory(
+        "Foundation",
+        mandatory(
+            "LexicalElements",
+            description="Identifiers and literals (SQL Foundation §5).",
+        ),
+        mandatory(
+            "ScalarExpressions",
+            description="Value expressions and predicates (§6, §8).",
+        ),
+        optional(
+            "QueryLanguage",
+            description="Query expressions and specifications (§7).",
+        ),
+        optional(
+            "DataManipulation",
+            description="INSERT / UPDATE / DELETE / MERGE (§14).",
+        ),
+        optional(
+            "DataDefinition",
+            description="Schema and table definition statements (§11).",
+        ),
+        optional(
+            "AccessControl",
+            description="GRANT / REVOKE (§12).",
+        ),
+        optional(
+            "TransactionManagement",
+            description="COMMIT / ROLLBACK / SAVEPOINT (§16/17).",
+        ),
+        optional(
+            "SessionManagement",
+            description="SET SCHEMA and friends (§19).",
+        ),
+        description="SQL Foundation, the core of SQL:2003.",
+    )
+    registry.add(
+        FeatureDiagram(
+            name="statement_classification",
+            parent=SqlRegistry.ROOT_FEATURE,
+            root=structure,
+            description=(
+                "Top-level decomposition into statement classes, following "
+                "the classification by function in SQL Foundation."
+            ),
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="extension_packages",
+            parent=SqlRegistry.ROOT_FEATURE,
+            root=optional(
+                "Extensions",
+                description="Non-Foundation extension packages.",
+            ),
+            package="extension",
+            description="Anchor for extension-package diagrams.",
+        )
+    )

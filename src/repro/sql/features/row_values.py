@@ -1,0 +1,78 @@
+"""Row value constructor diagram (SQL Foundation §7.1, §7.3)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "RowValues",
+        mandatory(
+            "RowValues.MultipleElements",
+            description="Comma-separated row elements ([1..*]).",
+        ),
+        optional(
+            "TableValueConstructor",
+            optional(
+                "TableValueAsQuery",
+                description="VALUES usable as a query primary.",
+            ),
+            description="VALUES (r1), (r2), ...",
+        ),
+        optional(
+            "RowValueDefaults",
+            description="DEFAULT inside a row value (for INSERT).",
+        ),
+        description="Row and table value constructors.",
+    )
+
+    units = [
+        unit(
+            "RowValues",
+            """
+            row_value_constructor : LPAREN row_value_element RPAREN ;
+            row_value_element : value_expression ;
+            row_value_element : NULL ;
+            """,
+            tokens=kws("null"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "RowValues.MultipleElements",
+            "row_value_constructor : LPAREN row_value_element "
+            "(COMMA row_value_element)* RPAREN ;",
+            requires=("RowValues",),
+            after=("RowValues",),
+        ),
+        unit(
+            "TableValueConstructor",
+            "table_value_constructor : VALUES row_value_constructor ;",
+            tokens=kws("values"),
+            requires=("RowValues",),
+        ),
+        unit(
+            "TableValueAsQuery",
+            "query_primary : table_value_constructor ;",
+            requires=("TableValueConstructor", "QueryExpression"),
+        ),
+        unit(
+            "RowValueDefaults",
+            "row_value_element : DEFAULT ;",
+            tokens=kws("default"),
+            requires=("RowValues",),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="row_value_constructor",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Row value constructors.",
+        )
+    )

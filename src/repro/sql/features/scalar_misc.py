@@ -1,0 +1,242 @@
+"""Assorted scalar-expression diagrams completing the Foundation surface.
+
+User value functions (§6.4), WIDTH_BUCKET (§6.28), the SIMILAR predicate
+(§8.6) and CORRESPONDING set operations (§7.13).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, PREDICATE_SUFFIX_HOOK, kws
+
+_USER_FUNCTIONS = [
+    ("UserFn.User", "USER"),
+    ("UserFn.CurrentUser", "CURRENT_USER"),
+    ("UserFn.SessionUser", "SESSION_USER"),
+    ("UserFn.SystemUser", "SYSTEM_USER"),
+    ("UserFn.CurrentRole", "CURRENT_ROLE"),
+    ("UserFn.CurrentPath", "CURRENT_PATH"),
+]
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="user_value_functions",
+            parent="ScalarExpressions",
+            root=optional(
+                "UserValueFunctions",
+                *[
+                    mandatory(feature, description=kw)
+                    for feature, kw in _USER_FUNCTIONS
+                ],
+                group=GroupType.OR,
+                description="USER / CURRENT_USER / ... special values (§6.4).",
+            ),
+            units=[
+                unit(
+                    feature,
+                    f"value_expression_primary : {kw} ;",
+                    tokens=kws(kw.lower()),
+                    requires=("ValueExpressionCore",),
+                )
+                for feature, kw in _USER_FUNCTIONS
+            ],
+            description="User and role value functions.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="conversion_functions",
+            parent="ScalarExpressions",
+            root=optional(
+                "ConversionFunctions",
+                mandatory("TranslateFunction", description="TRANSLATE(s USING t)."),
+                mandatory("ConvertFunction", description="CONVERT(s USING c)."),
+                mandatory("NormalizeFunction", description="NORMALIZE(s)."),
+                mandatory("CardinalityFunction", description="CARDINALITY(c)."),
+                group=GroupType.OR,
+                description="Character conversion and collection functions.",
+            ),
+            units=[
+                unit(
+                    "TranslateFunction",
+                    "value_expression_primary : TRANSLATE LPAREN value_expression "
+                    "USING identifier_chain RPAREN ;",
+                    tokens=kws("translate", "using"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "ConvertFunction",
+                    "value_expression_primary : CONVERT LPAREN value_expression "
+                    "USING identifier_chain RPAREN ;",
+                    tokens=kws("convert", "using"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "NormalizeFunction",
+                    "value_expression_primary : NORMALIZE LPAREN value_expression RPAREN ;",
+                    tokens=kws("normalize"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "CardinalityFunction",
+                    "value_expression_primary : CARDINALITY LPAREN value_expression RPAREN ;",
+                    tokens=kws("cardinality"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="TRANSLATE / CONVERT / NORMALIZE / CARDINALITY.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="grouping_operation",
+            parent="ScalarExpressions",
+            root=optional(
+                "GroupingFunction",
+                description="GROUPING(col) distinguishing super-aggregate rows.",
+            ),
+            units=[
+                unit(
+                    "GroupingFunction",
+                    "value_expression_primary : GROUPING LPAREN column_reference RPAREN ;",
+                    tokens=kws("grouping"),
+                    requires=("ValueExpressionCore", "GroupBy"),
+                ),
+            ],
+            description="GROUPING operation (§6.9).",
+            constraints=[Requires("GroupingFunction", "GroupBy")],
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="at_time_zone",
+            parent="ScalarExpressions",
+            root=optional(
+                "AtTimeZone",
+                description="datetime AT TIME ZONE / AT LOCAL (§6.32).",
+            ),
+            units=[
+                unit(
+                    "AtTimeZone",
+                    """
+                    factor : value_expression_primary at_time_zone? ;
+                    at_time_zone : AT LOCAL ;
+                    at_time_zone : AT TIME ZONE value_expression_primary ;
+                    """,
+                    tokens=kws("at", "local", "time", "zone"),
+                    requires=("ValueExpressionCore",),
+                    after=("UnarySign",),
+                ),
+            ],
+            description="AT TIME ZONE displacement.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="row_type",
+            parent="Foundation",
+            root=optional(
+                "RowType",
+                description="ROW (field type, ...) anonymous row types.",
+            ),
+            units=[
+                unit(
+                    "RowType",
+                    """
+                    data_type : ROW LPAREN field_definition (COMMA field_definition)* RPAREN ;
+                    field_definition : identifier data_type ;
+                    """,
+                    tokens=kws("row"),
+                    requires=("DataTypes", "Identifiers"),
+                ),
+            ],
+            description="ROW types (§6.1).",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="width_bucket_function",
+            parent="ScalarExpressions",
+            root=optional(
+                "WidthBucket",
+                description="WIDTH_BUCKET(op, low, high, count) — SQL:2003.",
+            ),
+            units=[
+                unit(
+                    "WidthBucket",
+                    "value_expression_primary : WIDTH_BUCKET LPAREN value_expression "
+                    "COMMA value_expression COMMA value_expression "
+                    "COMMA value_expression RPAREN ;",
+                    tokens=kws("width_bucket"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="WIDTH_BUCKET.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="similar_predicate",
+            parent="Predicates",
+            root=optional(
+                "SimilarPredicate",
+                description="x [NOT] SIMILAR TO pattern (§8.6).",
+            ),
+            units=[
+                unit(
+                    "SimilarPredicate",
+                    PREDICATE_SUFFIX_HOOK
+                    + "predicate_suffix : NOT? SIMILAR TO common_value_expression ;",
+                    tokens=kws("not", "similar", "to"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="SIMILAR TO regular-expression predicate.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="corresponding_spec",
+            parent="QueryExpression",
+            root=optional(
+                "Corresponding",
+                optional(
+                    "CorrespondingBy",
+                    description="CORRESPONDING BY (columns).",
+                ),
+                description="UNION/EXCEPT CORRESPONDING column matching.",
+            ),
+            units=[
+                unit(
+                    "Corresponding",
+                    "query_expression_body : query_term (union_or_except "
+                    "set_op_quantifier? corresponding_spec? query_term)* ;\n"
+                    "corresponding_spec : CORRESPONDING ;",
+                    tokens=kws("corresponding"),
+                    requires=("Union", "SetOpQuantifiers"),
+                    after=("Union", "Except", "SetOpQuantifiers"),
+                ),
+                unit(
+                    "CorrespondingBy",
+                    "corresponding_spec : CORRESPONDING (BY column_list)? ;"
+                    + COLUMN_LIST_RULE,
+                    tokens=kws("corresponding", "by"),
+                    requires=("Corresponding",),
+                    after=("Corresponding",),
+                ),
+            ],
+            description="CORRESPONDING in set operations.",
+        )
+    )

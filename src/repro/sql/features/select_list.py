@@ -1,0 +1,117 @@
+"""Select-list diagram — the right half of the paper's Figure 1.
+
+``SelectList`` is an OR group over ``Asterisk`` and ``SelectSublist`` with
+clone cardinality ``[1..*]``; a sublist is a ``DerivedColumn`` with an
+optional ``As`` clause.  The ``[1..*]`` cardinality maps onto grammar as
+the sublist/complex-list pair: cardinality 1 keeps ``select_list :
+select_sublist`` while a clone count greater than one composes the complex
+list (``SelectSublist.Multiple``), exactly as the paper's worked example
+("Select Sublist (with cardinality 1)") implies.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import MANY, GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root_children = [
+        mandatory("Asterisk", description="SELECT * (all columns)."),
+        mandatory(
+            "SelectSublist",
+            mandatory(
+                "DerivedColumn",
+                optional("DerivedColumn.As", description="AS column alias."),
+                description="A value expression in the select list.",
+            ),
+            optional(
+                "SelectSublist.Multiple",
+                description="Comma-separated select sublists (cardinality > 1).",
+            ),
+            optional(
+                "QualifiedAsterisk",
+                description="t.* — all columns of one table.",
+            ),
+            cardinality=MANY,
+            description="Select sublist with [1..*] cardinality (Figure 1).",
+        ),
+    ]
+
+    units = [
+        unit(
+            "Asterisk",
+            "select_list : ASTERISK ;",
+            description="The asterisk select list.",
+        ),
+        unit(
+            "SelectSublist",
+            """
+            select_list : select_sublist ;
+            select_sublist : derived_column ;
+            """,
+            requires=("DerivedColumn",),
+            after=("QualifiedAsterisk",),
+            description="Single-column select list (cardinality 1).",
+        ),
+        unit(
+            "SelectSublist.Multiple",
+            "select_list : select_sublist (COMMA select_sublist)* ;",
+            requires=("SelectSublist",),
+            after=("SelectSublist",),
+            description="Upgrades the sublist to the complex list form.",
+        ),
+        unit(
+            "DerivedColumn",
+            "derived_column : value_expression ;",
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "DerivedColumn.As",
+            """
+            derived_column : value_expression as_clause? ;
+            as_clause : AS? column_name ;
+            """,
+            tokens=kws("as"),
+            after=("DerivedColumn",),
+            description="Optional column alias.",
+        ),
+        unit(
+            "QualifiedAsterisk",
+            """
+            select_list : select_sublist ;
+            select_sublist : qualified_asterisk ;
+            qualified_asterisk : identifier_chain DOT ASTERISK ;
+            """,
+            requires=("QualifiedNames",),
+            description="t.* sublists; composed before plain derived columns "
+            "so the longer match is tried first.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="select_list",
+            parent="SelectList",
+            root=or_root(root_children),
+            units=units,
+            description="Select list: asterisk or derived columns (Figure 1).",
+        )
+    )
+
+
+def or_root(children):
+    """The select_list diagram root is the SelectList feature's OR group.
+
+    The ``SelectList`` feature itself lives in the query_specification
+    diagram; this diagram grafts a synthetic child holding the group to
+    keep diagram boundaries explicit.
+    """
+    return mandatory(
+        "SelectListOptions",
+        *children,
+        group=GroupType.OR,
+        description="Pick asterisk and/or sublists.",
+    )

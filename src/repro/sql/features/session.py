@@ -1,0 +1,107 @@
+"""Session-management diagram (SQL Foundation §19)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import STRING_LITERAL_TOKENS
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "SessionStatements",
+        optional("SetSchema", description="SET SCHEMA name."),
+        optional("SetCatalog", description="SET CATALOG name."),
+        optional("SetNames", description="SET NAMES charset."),
+        optional("SetTimeZone", description="SET TIME ZONE LOCAL / interval."),
+        optional("SetSessionAuthorization", description="SET SESSION AUTHORIZATION."),
+        optional(
+            "SetSessionCharacteristics",
+            description="SET SESSION CHARACTERISTICS AS TRANSACTION ...",
+        ),
+        group=GroupType.OR,
+        description="Session characteristics statements.",
+    )
+
+    units = [
+        unit(
+            "SetSchema",
+            """
+            sql_statement : set_schema_statement ;
+            set_schema_statement : SET SCHEMA schema_name_value ;
+            schema_name_value : STRING_LITERAL ;
+            schema_name_value : identifier ;
+            """,
+            tokens=kws("set", "schema") + STRING_LITERAL_TOKENS,
+            requires=("Identifiers",),
+        ),
+        unit(
+            "SetCatalog",
+            """
+            sql_statement : set_catalog_statement ;
+            set_catalog_statement : SET CATALOG catalog_name_value ;
+            catalog_name_value : STRING_LITERAL ;
+            catalog_name_value : identifier ;
+            """,
+            tokens=kws("set", "catalog") + STRING_LITERAL_TOKENS,
+            requires=("Identifiers",),
+        ),
+        unit(
+            "SetNames",
+            """
+            sql_statement : set_names_statement ;
+            set_names_statement : SET NAMES names_value ;
+            names_value : STRING_LITERAL ;
+            names_value : identifier ;
+            """,
+            tokens=kws("set", "names") + STRING_LITERAL_TOKENS,
+            requires=("Identifiers",),
+        ),
+        unit(
+            "SetTimeZone",
+            """
+            sql_statement : set_time_zone_statement ;
+            set_time_zone_statement : SET TIME ZONE time_zone_value ;
+            time_zone_value : LOCAL ;
+            time_zone_value : STRING_LITERAL ;
+            """,
+            tokens=kws("set", "time", "zone", "local") + STRING_LITERAL_TOKENS,
+        ),
+    ]
+
+    units.append(
+        unit(
+            "SetSessionAuthorization",
+            """
+            sql_statement : set_session_authorization_statement ;
+            set_session_authorization_statement : SET SESSION AUTHORIZATION auth_value ;
+            auth_value : STRING_LITERAL ;
+            auth_value : identifier ;
+            """,
+            tokens=kws("set", "session", "authorization") + STRING_LITERAL_TOKENS,
+            requires=("Identifiers",),
+        )
+    )
+    units.append(
+        unit(
+            "SetSessionCharacteristics",
+            """
+            sql_statement : set_session_characteristics_statement ;
+            set_session_characteristics_statement : SET SESSION CHARACTERISTICS AS TRANSACTION transaction_modes ;
+            """,
+            tokens=kws("set", "session", "characteristics", "as", "transaction"),
+            requires=("TransactionModes",),
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="session_management",
+            parent="SessionManagement",
+            root=root,
+            units=units,
+            description="SET SCHEMA / CATALOG / NAMES / TIME ZONE.",
+        )
+    )

@@ -1,0 +1,145 @@
+"""String value expression diagrams (SQL Foundation §6.28, §6.29).
+
+Concatenation slots between the additive layer and the comparison layer;
+string functions are primaries.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ..tokens import CONCAT_TOKENS
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    registry.add(
+        FeatureDiagram(
+            name="string_value_expression",
+            parent="ScalarExpressions",
+            root=optional(
+                "StringOperators",
+                optional("Concatenation", description="a || b"),
+                description="String value expressions (§6.28).",
+            ),
+            units=[
+                unit(
+                    "Concatenation",
+                    "common_value_expression : additive_expression "
+                    "(CONCAT additive_expression)* ;",
+                    tokens=CONCAT_TOKENS,
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="String operators.",
+        )
+    )
+
+    registry.add(
+        FeatureDiagram(
+            name="string_functions",
+            parent="ScalarExpressions",
+            root=optional(
+                "StringFunctions",
+                optional("SubstringFunction", description="SUBSTRING(s FROM n FOR m)"),
+                optional(
+                    "FoldFunctions",
+                    mandatory("UpperFunction", description="UPPER(s)"),
+                    mandatory("LowerFunction", description="LOWER(s)"),
+                    group=GroupType.OR,
+                    description="Case folding.",
+                ),
+                optional(
+                    "TrimFunction",
+                    optional(
+                        "TrimSpecification",
+                        mandatory("Trim.Leading", description="LEADING"),
+                        mandatory("Trim.Trailing", description="TRAILING"),
+                        mandatory("Trim.Both", description="BOTH"),
+                        group=GroupType.OR,
+                    ),
+                    description="TRIM([spec] [chars FROM] s)",
+                ),
+                optional("OverlayFunction", description="OVERLAY(s PLACING r FROM n)"),
+                optional("CharLength", description="CHAR_LENGTH(s)"),
+                optional("OctetLength", description="OCTET_LENGTH(s)"),
+                optional("PositionFunction", description="POSITION(a IN b)"),
+                group=GroupType.OR,
+                description="String scalar functions (§6.29).",
+            ),
+            units=[
+                unit(
+                    "SubstringFunction",
+                    "value_expression_primary : SUBSTRING LPAREN value_expression "
+                    "FROM value_expression (FOR value_expression)? RPAREN ;",
+                    tokens=kws("substring", "from", "for"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "UpperFunction",
+                    "value_expression_primary : UPPER LPAREN value_expression RPAREN ;",
+                    tokens=kws("upper"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "LowerFunction",
+                    "value_expression_primary : LOWER LPAREN value_expression RPAREN ;",
+                    tokens=kws("lower"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "TrimFunction",
+                    """
+                    value_expression_primary : TRIM LPAREN trim_operands RPAREN ;
+                    trim_operands : value_expression (FROM value_expression)? ;
+                    """,
+                    tokens=kws("trim", "from"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "TrimSpecification",
+                    "trim_operands : trim_specification value_expression? FROM value_expression ;",
+                    tokens=kws("from"),
+                    requires=("TrimFunction",),
+                    after=("TrimFunction",),
+                ),
+                unit("Trim.Leading", "trim_specification : LEADING ;",
+                     tokens=kws("leading"), requires=("TrimSpecification",)),
+                unit("Trim.Trailing", "trim_specification : TRAILING ;",
+                     tokens=kws("trailing"), requires=("TrimSpecification",)),
+                unit("Trim.Both", "trim_specification : BOTH ;",
+                     tokens=kws("both"), requires=("TrimSpecification",)),
+                unit(
+                    "OverlayFunction",
+                    "value_expression_primary : OVERLAY LPAREN value_expression "
+                    "PLACING value_expression FROM value_expression "
+                    "(FOR value_expression)? RPAREN ;",
+                    tokens=kws("overlay", "placing", "from", "for"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "CharLength",
+                    "value_expression_primary : (CHAR_LENGTH | CHARACTER_LENGTH) "
+                    "LPAREN value_expression RPAREN ;",
+                    tokens=kws("char_length", "character_length"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "OctetLength",
+                    "value_expression_primary : OCTET_LENGTH "
+                    "LPAREN value_expression RPAREN ;",
+                    tokens=kws("octet_length"),
+                    requires=("ValueExpressionCore",),
+                ),
+                unit(
+                    "PositionFunction",
+                    "value_expression_primary : POSITION LPAREN value_expression "
+                    "IN value_expression RPAREN ;",
+                    tokens=kws("position", "in"),
+                    requires=("ValueExpressionCore",),
+                ),
+            ],
+            description="String scalar functions.",
+        )
+    )

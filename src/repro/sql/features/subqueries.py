@@ -1,0 +1,42 @@
+"""Subquery diagram (SQL Foundation §7.15)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import optional
+from ..registry import FeatureDiagram, SqlRegistry
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "Subquery",
+        optional(
+            "ScalarSubquery",
+            description="A subquery used as a scalar value.",
+        ),
+        description="Parenthesized query expressions usable inside statements.",
+    )
+
+    units = [
+        unit(
+            "Subquery",
+            "table_subquery : LPAREN query_expression RPAREN ;",
+            requires=("QueryExpression",),
+        ),
+        unit(
+            "ScalarSubquery",
+            "value_expression_primary : table_subquery ;",
+            requires=("Subquery", "ValueExpressionCore"),
+            description="Subqueries inside value expressions.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="subquery",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Table and scalar subqueries.",
+        )
+    )

@@ -1,0 +1,64 @@
+"""Table Expression diagram — the paper's Figure 2 (SQL Foundation §7.4).
+
+``TableExpression`` = mandatory ``From`` plus optional ``Where``,
+``GroupBy``, ``Having`` and ``Window`` clauses.  Each optional clause is an
+independent feature whose production merges into ``table_expression`` via
+the optional-composition rule, so any subset composes cleanly.
+
+The From/GroupBy/Window subtrees are decomposed further in their own
+diagrams (from_clause, group_by, window_clause).
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import WHERE_CLAUSE_RULE, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = mandatory(
+        "TableExpressionClauses",
+        optional("Where", description="WHERE <search condition> (Figure 2)."),
+        optional("Having", description="HAVING <search condition> (Figure 2)."),
+        description="The clause structure of Figure 2; From/GroupBy/Window "
+        "graft here from their own diagrams.",
+    )
+
+    units = [
+        unit(
+            "TableExpression",
+            "table_expression : from_clause ;",
+            requires=("From",),
+            description="Base table expression: just a FROM clause.",
+        ),
+        unit(
+            "Where",
+            "table_expression : from_clause where_clause? ;" + WHERE_CLAUSE_RULE,
+            tokens=kws("where"),
+            requires=("ValueExpressionCore",),
+            after=("TableExpression",),
+        ),
+        unit(
+            "Having",
+            """
+            table_expression : from_clause having_clause? ;
+            having_clause : HAVING search_condition ;
+            """,
+            tokens=kws("having"),
+            requires=("ValueExpressionCore",),
+            after=("TableExpression", "GroupBy"),
+            description="HAVING merges after GROUP BY when both are present.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="table_expression",
+            parent="TableExpression",
+            root=root,
+            units=units,
+            description="Figure 2: the Table Expression feature diagram.",
+        )
+    )

@@ -1,0 +1,195 @@
+"""Transaction-management diagram (SQL Foundation §16/17, §19).
+
+Isolation levels and access modes are leaf features per the paper's
+terminal-as-feature rule.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "Transactions",
+        optional(
+            "Commit",
+            optional("Commit.Work", description="The optional WORK noise word."),
+        ),
+        optional(
+            "Rollback",
+            optional("Rollback.Work", description="The optional WORK noise word."),
+            optional(
+                "Savepoints",
+                optional("ReleaseSavepoint", description="RELEASE SAVEPOINT."),
+                description="SAVEPOINT / ROLLBACK TO SAVEPOINT.",
+            ),
+        ),
+        optional(
+            "StartTransaction",
+            optional(
+                "TransactionModes",
+                optional(
+                    "IsolationLevels",
+                    mandatory("Isolation.ReadUncommitted", description="READ UNCOMMITTED"),
+                    mandatory("Isolation.ReadCommitted", description="READ COMMITTED"),
+                    mandatory("Isolation.RepeatableRead", description="REPEATABLE READ"),
+                    mandatory("Isolation.Serializable", description="SERIALIZABLE"),
+                    group=GroupType.OR,
+                ),
+                optional(
+                    "AccessModes",
+                    mandatory("Access.ReadOnly", description="READ ONLY"),
+                    mandatory("Access.ReadWrite", description="READ WRITE"),
+                    group=GroupType.OR,
+                ),
+                group=GroupType.OR,
+                description="Isolation levels and access modes.",
+            ),
+            description="START TRANSACTION.",
+        ),
+        optional("SetTransaction", description="SET TRANSACTION modes."),
+        group=GroupType.OR,
+        description="Transaction management statements.",
+    )
+
+    units = [
+        unit(
+            "Commit",
+            """
+            sql_statement : commit_statement ;
+            commit_statement : COMMIT ;
+            """,
+            tokens=kws("commit"),
+        ),
+        unit(
+            "Commit.Work",
+            "commit_statement : COMMIT WORK? ;",
+            tokens=kws("work"),
+            requires=("Commit",),
+            after=("Commit",),
+        ),
+        unit(
+            "Rollback",
+            """
+            sql_statement : rollback_statement ;
+            rollback_statement : ROLLBACK ;
+            """,
+            tokens=kws("rollback"),
+        ),
+        unit(
+            "Rollback.Work",
+            "rollback_statement : ROLLBACK WORK? ;",
+            tokens=kws("work"),
+            requires=("Rollback",),
+            after=("Rollback",),
+        ),
+        unit(
+            "Savepoints",
+            """
+            sql_statement : savepoint_statement ;
+            savepoint_statement : SAVEPOINT identifier ;
+            rollback_statement : ROLLBACK WORK? savepoint_clause? ;
+            savepoint_clause : TO SAVEPOINT identifier ;
+            """,
+            tokens=kws("savepoint", "to", "work"),
+            requires=("Rollback", "Rollback.Work", "Identifiers"),
+            after=("Rollback", "Rollback.Work"),
+        ),
+        unit(
+            "ReleaseSavepoint",
+            """
+            sql_statement : release_savepoint_statement ;
+            release_savepoint_statement : RELEASE SAVEPOINT identifier ;
+            """,
+            tokens=kws("release", "savepoint"),
+            requires=("Savepoints",),
+        ),
+        unit(
+            "StartTransaction",
+            """
+            sql_statement : start_transaction_statement ;
+            start_transaction_statement : START TRANSACTION ;
+            """,
+            tokens=kws("start", "transaction"),
+        ),
+        unit(
+            "TransactionModes",
+            """
+            start_transaction_statement : START TRANSACTION transaction_modes? ;
+            transaction_modes : transaction_mode (COMMA transaction_mode)* ;
+            """,
+            requires=("StartTransaction",),
+            after=("StartTransaction",),
+            description="Mode scaffolding; alternatives come from children.",
+        ),
+        unit(
+            "IsolationLevels",
+            """
+            transaction_mode : isolation_level ;
+            isolation_level : ISOLATION LEVEL level_of_isolation ;
+            """,
+            tokens=kws("isolation", "level"),
+            requires=("TransactionModes",),
+        ),
+        unit(
+            "Isolation.ReadUncommitted",
+            "level_of_isolation : READ UNCOMMITTED ;",
+            tokens=kws("read", "uncommitted"),
+            requires=("IsolationLevels",),
+        ),
+        unit(
+            "Isolation.ReadCommitted",
+            "level_of_isolation : READ COMMITTED ;",
+            tokens=kws("read", "committed"),
+            requires=("IsolationLevels",),
+        ),
+        unit(
+            "Isolation.RepeatableRead",
+            "level_of_isolation : REPEATABLE READ ;",
+            tokens=kws("repeatable", "read"),
+            requires=("IsolationLevels",),
+        ),
+        unit(
+            "Isolation.Serializable",
+            "level_of_isolation : SERIALIZABLE ;",
+            tokens=kws("serializable"),
+            requires=("IsolationLevels",),
+        ),
+        unit(
+            "Access.ReadOnly",
+            "transaction_mode : READ ONLY ;",
+            tokens=kws("read", "only"),
+            requires=("TransactionModes",),
+        ),
+        unit(
+            "Access.ReadWrite",
+            "transaction_mode : READ WRITE ;",
+            tokens=kws("read", "write"),
+            requires=("TransactionModes",),
+        ),
+        unit(
+            "SetTransaction",
+            """
+            sql_statement : set_transaction_statement ;
+            set_transaction_statement : SET TRANSACTION transaction_modes ;
+            transaction_modes : transaction_mode (COMMA transaction_mode)* ;
+            """,
+            tokens=kws("set", "transaction"),
+            requires=("TransactionModes",),
+            description="Shares the transaction_modes scaffolding.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="transaction_management",
+            parent="TransactionManagement",
+            root=root,
+            units=units,
+            description="COMMIT / ROLLBACK / SAVEPOINT / transactions.",
+        )
+    )

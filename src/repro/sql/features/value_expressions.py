@@ -1,0 +1,87 @@
+"""Value-expression core diagram (SQL Foundation §6.25 ff).
+
+The precedence chain every scalar feature hangs off::
+
+    value_expression
+      └─ boolean_value_expression … boolean_test   (boolean layer)
+           └─ predicate                            (predicate layer)
+                └─ common_value_expression         (scalar layer)
+                     └─ additive / multiplicative / factor
+                          └─ value_expression_primary
+
+The core unit provides the *degenerate* chain (each layer passes through);
+operator features replace individual links with real operator productions.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+
+
+def register(registry: SqlRegistry) -> None:
+    root = mandatory(
+        "ValueExpressionCore",
+        mandatory(
+            "ColumnReferencePrimary",
+            description="Column references as expression primaries.",
+        ),
+        mandatory(
+            "ParenthesizedExpression",
+            description="Parenthesized value expressions.",
+        ),
+        optional(
+            "RoutineInvocation",
+            description="Function calls: name(arg, ...).",
+        ),
+        description="The degenerate expression precedence chain.",
+    )
+
+    units = [
+        unit(
+            "ValueExpressionCore",
+            """
+            value_expression : boolean_value_expression ;
+            boolean_value_expression : boolean_term ;
+            boolean_term : boolean_factor ;
+            boolean_factor : boolean_test ;
+            boolean_test : predicate ;
+            predicate : common_value_expression ;
+            common_value_expression : additive_expression ;
+            additive_expression : multiplicative_expression ;
+            multiplicative_expression : factor ;
+            factor : value_expression_primary ;
+            search_condition : value_expression ;
+            """,
+            requires=("Identifiers",),
+            description="Pass-through precedence chain; features replace links.",
+        ),
+        unit(
+            "ColumnReferencePrimary",
+            "value_expression_primary : general_value_expression ;\n"
+            "general_value_expression : column_reference ;",
+        ),
+        unit(
+            "ParenthesizedExpression",
+            "value_expression_primary : LPAREN value_expression RPAREN ;",
+        ),
+        unit(
+            "RoutineInvocation",
+            """
+            general_value_expression : column_reference routine_args? ;
+            routine_args : LPAREN [ value_expression (COMMA value_expression)* ] RPAREN ;
+            """,
+            description="Generic call syntax for user-defined routines.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="value_expression",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Core of the value-expression grammar.",
+        )
+    )

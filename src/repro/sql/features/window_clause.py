@@ -1,0 +1,141 @@
+"""Window-clause diagram (SQL Foundation §7.11, new in SQL:2003).
+
+Named window definitions: WINDOW w AS (PARTITION BY ... ORDER BY ...
+ROWS BETWEEN ...).  The window specification's optional parts merge
+between the LPAREN/RPAREN anchors via optional composition.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "Window",
+        optional("PartitionClause", description="PARTITION BY columns."),
+        optional(
+            "WindowOrderClause",
+            description="ORDER BY inside a window specification.",
+        ),
+        optional(
+            "FrameClause",
+            mandatory(
+                "FrameUnits",
+                mandatory("FrameUnits.Rows", description="ROWS frames."),
+                mandatory("FrameUnits.Range", description="RANGE frames."),
+                group=GroupType.OR,
+            ),
+            mandatory(
+                "FrameBounds",
+                mandatory("Frame.Unbounded", description="UNBOUNDED PRECEDING/FOLLOWING."),
+                mandatory("Frame.CurrentRow", description="CURRENT ROW bound."),
+                mandatory("Frame.Bounded", description="<n> PRECEDING/FOLLOWING."),
+                group=GroupType.OR,
+            ),
+            optional("FrameBetween", description="BETWEEN two frame bounds."),
+            optional("FrameExclusion", description="EXCLUDE CURRENT ROW/TIES/..."),
+            description="ROWS/RANGE frame extents.",
+        ),
+        optional(
+            "ExistingWindowName",
+            description="Window specification inheriting a named window.",
+        ),
+        description="Figure 2's Window feature: the WINDOW clause.",
+    )
+
+    units = [
+        unit(
+            "Window",
+            """
+            table_expression : from_clause window_clause? ;
+            window_clause : WINDOW window_definition (COMMA window_definition)* ;
+            window_definition : identifier AS window_specification ;
+            window_specification : LPAREN RPAREN ;
+            """,
+            tokens=kws("window", "as"),
+            requires=("TableExpression", "Identifiers"),
+            after=("Where", "GroupBy", "Having"),
+            description="WINDOW is the last clause of the table expression.",
+        ),
+        unit(
+            "PartitionClause",
+            """
+            window_specification : LPAREN partition_clause? RPAREN ;
+            partition_clause : PARTITION BY column_reference_list ;
+            column_reference_list : column_reference (COMMA column_reference)* ;
+            """,
+            tokens=kws("partition", "by"),
+            after=("Window",),
+        ),
+        unit(
+            "WindowOrderClause",
+            "window_specification : LPAREN order_by_clause? RPAREN ;",
+            requires=("OrderBy",),
+            after=("Window", "PartitionClause"),
+            description="Reuses the order_by_clause rule from the OrderBy feature.",
+        ),
+        unit(
+            "FrameClause",
+            """
+            window_specification : LPAREN frame_clause? RPAREN ;
+            frame_clause : frame_units frame_extent ;
+            frame_extent : frame_bound ;
+            """,
+            requires=("Window",),
+            after=("Window", "PartitionClause", "WindowOrderClause"),
+        ),
+        unit("FrameUnits.Rows", "frame_units : ROWS ;", tokens=kws("rows"),
+             requires=("FrameClause",)),
+        unit("FrameUnits.Range", "frame_units : RANGE ;", tokens=kws("range"),
+             requires=("FrameClause",)),
+        unit("Frame.Unbounded", "frame_bound : UNBOUNDED (PRECEDING | FOLLOWING) ;",
+             tokens=kws("unbounded", "preceding", "following"),
+             requires=("FrameClause",)),
+        unit("Frame.CurrentRow", "frame_bound : CURRENT ROW ;",
+             tokens=kws("current", "row"), requires=("FrameClause",)),
+        unit("Frame.Bounded",
+             "frame_bound : value_expression_primary (PRECEDING | FOLLOWING) ;",
+             tokens=kws("preceding", "following"),
+             requires=("FrameClause", "ValueExpressionCore")),
+        unit(
+            "FrameBetween",
+            "frame_extent : BETWEEN frame_bound AND frame_bound ;",
+            tokens=kws("between", "and"),
+            requires=("FrameClause",),
+        ),
+        unit(
+            "FrameExclusion",
+            """
+            frame_clause : frame_units frame_extent frame_exclusion? ;
+            frame_exclusion : EXCLUDE CURRENT ROW ;
+            frame_exclusion : EXCLUDE GROUP ;
+            frame_exclusion : EXCLUDE TIES ;
+            frame_exclusion : EXCLUDE NO OTHERS ;
+            """,
+            tokens=kws("exclude", "current", "row", "group", "ties", "no", "others"),
+            requires=("FrameClause",),
+            after=("FrameClause",),
+        ),
+        unit(
+            "ExistingWindowName",
+            "window_specification : LPAREN existing_window_name? RPAREN ;\n"
+            "existing_window_name : identifier ;",
+            requires=("Window",),
+            after=("Window",),
+            description="Inherit from a previously defined window.",
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="window_clause",
+            parent="TableExpression",
+            root=root,
+            units=units,
+            description="Named window definitions (SQL:2003).",
+        )
+    )

@@ -1,0 +1,81 @@
+"""Window-function diagram (SQL Foundation §6.10, new in SQL:2003).
+
+RANK() OVER, ROW_NUMBER() OVER and aggregates with an OVER clause.  The
+window may be named (requires the WINDOW clause feature) or inline.
+"""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.constraints import Requires
+from ...features.model import GroupType, mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "WindowFunctions",
+        optional("RankFunction", description="RANK() / DENSE_RANK()."),
+        optional("RowNumberFunction", description="ROW_NUMBER()."),
+        optional("PercentRankFunction", description="PERCENT_RANK() / CUME_DIST()."),
+        optional("NtileFunction", description="NTILE(n)."),
+        optional(
+            "AggregateOver",
+            description="Aggregate functions with an OVER clause.",
+        ),
+        group=GroupType.OR,
+        description="Window function calls (§6.10).",
+    )
+
+    units = [
+        unit(
+            "WindowFunctions",
+            """
+            value_expression_primary : window_function ;
+            window_function : window_function_type OVER window_name_or_spec ;
+            window_name_or_spec : identifier ;
+            window_name_or_spec : window_specification ;
+            """,
+            tokens=kws("over"),
+            requires=("ValueExpressionCore", "Window"),
+            description="OVER with a named or inline window specification.",
+        ),
+        unit(
+            "RankFunction",
+            "window_function_type : (RANK | DENSE_RANK) LPAREN RPAREN ;",
+            tokens=kws("rank", "dense_rank"),
+        ),
+        unit(
+            "RowNumberFunction",
+            "window_function_type : ROW_NUMBER LPAREN RPAREN ;",
+            tokens=kws("row_number"),
+        ),
+        unit(
+            "PercentRankFunction",
+            "window_function_type : (PERCENT_RANK | CUME_DIST) LPAREN RPAREN ;",
+            tokens=kws("percent_rank", "cume_dist"),
+        ),
+        unit(
+            "NtileFunction",
+            "window_function_type : NTILE LPAREN value_expression RPAREN ;",
+            tokens=kws("ntile"),
+            requires=("ValueExpressionCore",),
+        ),
+        unit(
+            "AggregateOver",
+            "window_function_type : aggregate_function ;",
+            requires=("AggregateFunctions",),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="window_function",
+            parent="ScalarExpressions",
+            root=root,
+            units=units,
+            description="Window function calls.",
+            constraints=[Requires("WindowFunctions", "Window")],
+        )
+    )

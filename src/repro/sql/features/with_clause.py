@@ -1,0 +1,69 @@
+"""With-clause (common table expression) diagram (SQL Foundation §7.13)."""
+
+from __future__ import annotations
+
+from ...core.unit import unit
+from ...features.model import mandatory, optional
+from ..registry import FeatureDiagram, SqlRegistry
+from ._helpers import COLUMN_LIST_RULE, kws
+
+
+def register(registry: SqlRegistry) -> None:
+    root = optional(
+        "WithClause",
+        mandatory(
+            "With.MultipleElements",
+            description="Comma-separated CTEs ([1..*]).",
+        ),
+        optional("RecursiveWith", description="WITH RECURSIVE."),
+        optional(
+            "WithColumnList",
+            description="Explicit column names for a CTE.",
+        ),
+        description="Common table expressions prefixing a query.",
+    )
+
+    units = [
+        unit(
+            "WithClause",
+            """
+            query_expression : with_clause? query_expression_body ;
+            with_clause : WITH with_list ;
+            with_list : with_list_element ;
+            with_list_element : identifier AS LPAREN query_expression RPAREN ;
+            """,
+            tokens=kws("with", "as"),
+            requires=("QueryExpression", "Identifiers"),
+            after=("QueryExpression",),
+        ),
+        unit(
+            "With.MultipleElements",
+            "with_list : with_list_element (COMMA with_list_element)* ;",
+            requires=("WithClause",),
+            after=("WithClause",),
+        ),
+        unit(
+            "RecursiveWith",
+            "with_clause : WITH RECURSIVE? with_list ;",
+            tokens=kws("recursive"),
+            requires=("WithClause",),
+            after=("WithClause",),
+        ),
+        unit(
+            "WithColumnList",
+            "with_list_element : identifier column_list? AS LPAREN query_expression RPAREN ;"
+            + COLUMN_LIST_RULE,
+            requires=("WithClause",),
+            after=("WithClause",),
+        ),
+    ]
+
+    registry.add(
+        FeatureDiagram(
+            name="with_clause",
+            parent="QueryExpression",
+            root=root,
+            units=units,
+            description="WITH (common table expressions).",
+        )
+    )

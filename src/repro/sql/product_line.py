@@ -1,0 +1,56 @@
+"""The assembled SQL:2003 grammar product line.
+
+Entry points::
+
+    from repro.sql import build_sql_product_line, sql_registry
+
+    line = build_sql_product_line()
+    product = line.configure(["QuerySpecification", "Where"])
+    parser = product.parser()
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+from ..core.product_line import ComposedProduct, GrammarProductLine
+from .registry import SqlRegistry
+
+
+def sql_registry() -> SqlRegistry:
+    """Build a fresh registry with every SQL feature diagram registered."""
+    from .features import register_all
+
+    registry = SqlRegistry()
+    register_all(registry)
+    return registry
+
+
+@lru_cache(maxsize=1)
+def _cached_registry() -> SqlRegistry:
+    return sql_registry()
+
+
+def build_sql_product_line(name: str = "sql2003") -> GrammarProductLine:
+    """The SQL:2003 grammar product line (cached registry, fresh line)."""
+    return _cached_registry().build_product_line(name)
+
+
+def configure_sql(
+    features: Iterable[str],
+    counts: Mapping[str, int] | None = None,
+    product_name: str | None = None,
+) -> ComposedProduct:
+    """One-call convenience: select features, get a composed product.
+
+    Clone counts participate the way the paper's worked example implies: a
+    ``SelectSublist`` count greater than one selects the
+    ``SelectSublist.Multiple`` feature (the complex-list grammar form).
+    """
+    features = set(features)
+    counts = dict(counts or {})
+    if counts.get("SelectSublist", 1) > 1:
+        features.add("SelectSublist.Multiple")
+    line = build_sql_product_line()
+    return line.configure(features, counts=counts, product_name=product_name)

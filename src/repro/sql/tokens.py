@@ -1,0 +1,77 @@
+"""Shared SQL token building blocks.
+
+Keywords are *not* centralized: every feature unit declares exactly the
+keywords its sub-grammar introduces, so composed dialects reserve only the
+words they use (ablation A3).  What this module provides is the small set
+of lexical elements every dialect shares — identifiers, punctuation, and
+literal patterns — grouped so that feature units can pick what they need.
+"""
+
+from __future__ import annotations
+
+from ..lexer.spec import TokenDef, literal, pattern
+from ..lexer.spec import standard_skip_tokens as _skip
+
+#: Whitespace and SQL comments; part of every dialect.
+SKIP_TOKENS: list[TokenDef] = _skip()
+
+#: Regular and delimited (double-quoted) identifiers.
+IDENTIFIER_TOKENS: list[TokenDef] = [
+    pattern("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*", priority=1),
+    pattern("QUOTED_IDENTIFIER", r'"(?:[^"]|"")*"', priority=5),
+]
+
+#: Core punctuation used by nearly every statement.
+CORE_PUNCTUATION: list[TokenDef] = [
+    literal("LPAREN", "("),
+    literal("RPAREN", ")"),
+    literal("COMMA", ","),
+    literal("DOT", "."),
+    literal("SEMICOLON", ";"),
+    literal("ASTERISK", "*"),
+]
+
+#: Numeric literal patterns; approximate > decimal > integer precedence.
+NUMERIC_LITERAL_TOKENS: list[TokenDef] = [
+    pattern(
+        "APPROXIMATE_LITERAL",
+        r"(?:\d+(?:\.\d*)?|\.\d+)[eE][+-]?\d+",
+        priority=12,
+    ),
+    pattern("DECIMAL_LITERAL", r"\d+\.\d*|\.\d+", priority=11),
+    pattern("UNSIGNED_INTEGER", r"\d+", priority=10),
+]
+
+#: Character string literals with doubled-quote escapes.
+STRING_LITERAL_TOKENS: list[TokenDef] = [
+    pattern("STRING_LITERAL", r"'(?:[^']|'')*'", priority=13),
+]
+
+#: Comparison operators (the comparison-predicate feature's token file).
+COMPARISON_TOKENS: list[TokenDef] = [
+    literal("EQ", "="),
+    literal("NEQ", "<>"),
+    literal("LE", "<="),
+    literal("GE", ">="),
+    literal("LT", "<"),
+    literal("GT", ">"),
+]
+
+#: Arithmetic operators.
+ARITHMETIC_TOKENS: list[TokenDef] = [
+    literal("PLUS", "+"),
+    literal("MINUS", "-"),
+    literal("SOLIDUS", "/"),
+    # ASTERISK doubles as the multiplication sign; it lives in
+    # CORE_PUNCTUATION because SELECT * needs it regardless.
+]
+
+#: String concatenation operator.
+CONCAT_TOKENS: list[TokenDef] = [
+    literal("CONCAT", "||"),
+]
+
+
+def base_tokens() -> list[TokenDef]:
+    """The token file of the product-line root: skip + identifiers + core."""
+    return SKIP_TOKENS + IDENTIFIER_TOKENS + CORE_PUNCTUATION

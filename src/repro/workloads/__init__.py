@@ -1,0 +1,10 @@
+"""Workload generators for benchmarks and examples.
+
+Public API::
+
+    from repro.workloads import generate_workload, workload_dialects
+"""
+
+from .generator import generate_workload, workload_dialects
+
+__all__ = ["generate_workload", "workload_dialects"]

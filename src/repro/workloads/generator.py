@@ -1,0 +1,206 @@
+"""Seeded query-workload generators, one per dialect.
+
+Benchmarks need dialect-appropriate query streams: every generated query
+must be *accepted* by its dialect's parser (checked by the test suite), so
+throughput numbers measure parsing, not error handling.  Generation is
+deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+_TABLES = ["orders", "customers", "items", "events", "readings"]
+_COLUMNS = ["id", "name", "qty", "price", "region", "ts", "status"]
+_SENSOR_COLUMNS = ["nodeid", "light", "temp", "accel", "mag", "roomno"]
+_REGIONS = ["'EU'", "'US'", "'APAC'"]
+
+
+def generate_workload(dialect: str, count: int = 100, seed: int = 42) -> list[str]:
+    """Generate ``count`` random queries valid in the given dialect."""
+    try:
+        generator = _GENERATORS[dialect.lower()]
+    except KeyError:
+        raise ValueError(f"no workload generator for dialect {dialect!r}") from None
+    rng = random.Random(seed)
+    return [generator(rng) for _ in range(count)]
+
+
+def _pick(rng: random.Random, items):
+    return items[rng.randrange(len(items))]
+
+
+def _columns(rng: random.Random, pool, low=1, high=3) -> str:
+    n = rng.randint(low, high)
+    return ", ".join(rng.sample(pool, min(n, len(pool))))
+
+
+def _value(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.5:
+        return str(rng.randint(0, 1000))
+    if roll < 0.8:
+        return f"{rng.randint(0, 99)}.{rng.randint(0, 99):02d}"
+    return _pick(rng, _REGIONS)
+
+
+def _comparison(rng: random.Random, pool) -> str:
+    op = _pick(rng, ["=", "<>", "<", ">", "<=", ">="])
+    return f"{_pick(rng, pool)} {op} {_value(rng)}"
+
+
+def _condition(rng: random.Random, pool, depth=0, connectives=("AND", "OR")) -> str:
+    if depth < 2 and rng.random() < 0.4:
+        connective = _pick(rng, list(connectives))
+        return (
+            f"{_condition(rng, pool, depth + 1, connectives)} {connective} "
+            f"{_condition(rng, pool, depth + 1, connectives)}"
+        )
+    return _comparison(rng, pool)
+
+
+def _scql(rng: random.Random) -> str:
+    table = _pick(rng, _TABLES)
+    roll = rng.random()
+    if roll < 0.55:
+        select_list = "*" if rng.random() < 0.3 else _columns(rng, _COLUMNS)
+        where = (
+            f" WHERE {_condition(rng, _COLUMNS, connectives=('AND',))}"
+            if rng.random() < 0.7
+            else ""
+        )
+        return f"SELECT {select_list} FROM {table}{where}"
+    if roll < 0.7:
+        values = ", ".join(_value(rng) for _ in range(rng.randint(1, 4)))
+        return f"INSERT INTO {table} VALUES ({values})"
+    if roll < 0.85:
+        col = _pick(rng, _COLUMNS)
+        return (
+            f"UPDATE {table} SET {col} = {_value(rng)} "
+            f"WHERE {_comparison(rng, _COLUMNS)}"
+        )
+    return f"DELETE FROM {table} WHERE {_comparison(rng, _COLUMNS)}"
+
+
+def _tinysql(rng: random.Random) -> str:
+    agg = _pick(rng, ["AVG", "MIN", "MAX", "SUM", "COUNT"])
+    column = _pick(rng, _SENSOR_COLUMNS)
+    roll = rng.random()
+    if roll < 0.4:
+        select_list = _columns(rng, _SENSOR_COLUMNS)
+    elif roll < 0.8:
+        select_list = f"{agg}({column})"
+    else:
+        select_list = f"{column}, {agg}({_pick(rng, _SENSOR_COLUMNS)})"
+    query = f"SELECT {select_list} FROM sensors"
+    if rng.random() < 0.6:
+        query += f" WHERE {_condition(rng, _SENSOR_COLUMNS)}"
+    if "(" in select_list and rng.random() < 0.4:
+        query += f" GROUP BY {column}"
+    if rng.random() < 0.7:
+        query += f" SAMPLE PERIOD {rng.choice([512, 1024, 2048, 4096])}"
+    if rng.random() < 0.3:
+        query += f" EPOCH DURATION {rng.randint(1, 64)}"
+    return query
+
+
+def _core(rng: random.Random) -> str:
+    table_a, table_b = rng.sample(_TABLES, 2)
+    roll = rng.random()
+    if roll < 0.35:
+        return (
+            f"SELECT a.{_pick(rng, _COLUMNS)}, b.{_pick(rng, _COLUMNS)} "
+            f"FROM {table_a} a INNER JOIN {table_b} b ON a.id = b.id "
+            f"WHERE {_condition(rng, ['a.qty', 'b.price'])}"
+        )
+    if roll < 0.55:
+        agg = _pick(rng, ["COUNT(*)", "SUM(qty)", "AVG(price)", "MAX(id)"])
+        return (
+            f"SELECT region, {agg} FROM {table_a} "
+            f"GROUP BY region HAVING {agg} > {rng.randint(0, 50)}"
+        )
+    if roll < 0.7:
+        return (
+            f"SELECT {_pick(rng, _COLUMNS)} FROM {table_a} WHERE id IN "
+            f"(SELECT id FROM {table_b} WHERE {_comparison(rng, _COLUMNS)})"
+        )
+    if roll < 0.8:
+        return (
+            f"SELECT {_pick(rng, _COLUMNS)} FROM {table_a} "
+            f"UNION ALL SELECT {_pick(rng, _COLUMNS)} FROM {table_b} "
+        ).strip()
+    if roll < 0.9:
+        quantifier = _pick(rng, ["", "DISTINCT "])
+        return (
+            f"SELECT {quantifier}{_columns(rng, _COLUMNS)} FROM {table_a} "
+            f"WHERE {_condition(rng, _COLUMNS)} "
+            f"ORDER BY {_pick(rng, _COLUMNS)} DESC"
+        )
+    values = ", ".join(_value(rng) for _ in range(3))
+    return f"INSERT INTO {table_a} (id, qty, price) VALUES ({values})"
+
+
+def _analytics(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.3:
+        grouping = _pick(rng, ["ROLLUP", "CUBE"])
+        return (
+            f"SELECT region, status, SUM(price) FROM orders "
+            f"GROUP BY {grouping} (region, status)"
+        )
+    if roll < 0.6:
+        fn = _pick(rng, ["RANK()", "ROW_NUMBER()", "SUM(price)"])
+        return (
+            f"SELECT {fn} OVER (PARTITION BY region ORDER BY price DESC) "
+            f"FROM orders WHERE {_comparison(rng, _COLUMNS)}"
+        )
+    if roll < 0.8:
+        return (
+            "WITH recent AS (SELECT id, price FROM orders WHERE ts > 100) "
+            f"SELECT COUNT(*), AVG(price) FROM recent "
+            f"WHERE {_comparison(rng, ['id', 'price'])}"
+        )
+    return (
+        f"SELECT region, COUNT(DISTINCT id) FROM orders "
+        f"GROUP BY region ORDER BY region ASC NULLS LAST"
+    )
+
+
+def _full(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.6:
+        return _core(rng)
+    if roll < 0.7:
+        return _analytics(rng)
+    if roll < 0.78:
+        return (
+            f"CREATE TABLE t{rng.randint(0, 999)} "
+            f"(id INTEGER PRIMARY KEY, v VARCHAR(20) NOT NULL, n NUMERIC (8, 2))"
+        )
+    if roll < 0.86:
+        return (
+            f"GRANT SELECT, UPDATE ON TABLE {_pick(rng, _TABLES)} TO PUBLIC"
+        )
+    if roll < 0.94:
+        return (
+            f"MERGE INTO {_pick(rng, _TABLES)} USING staged ON "
+            f"{_pick(rng, _TABLES)}.id = staged.id "
+            f"WHEN MATCHED THEN UPDATE SET qty = {rng.randint(0, 9)} "
+            f"WHEN NOT MATCHED THEN INSERT (id) VALUES ({rng.randint(0, 9)})"
+        )
+    return "START TRANSACTION ISOLATION LEVEL SERIALIZABLE"
+
+
+_GENERATORS: dict[str, Callable[[random.Random], str]] = {
+    "scql": _scql,
+    "tinysql": _tinysql,
+    "core": _core,
+    "analytics": _analytics,
+    "full": _full,
+}
+
+
+def workload_dialects() -> list[str]:
+    """Dialects that have a workload generator."""
+    return list(_GENERATORS)

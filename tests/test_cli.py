@@ -1,0 +1,93 @@
+"""Tests for the command-line configurator."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCli:
+    def test_diagrams(self, capsys):
+        code, out, __ = run(capsys, "diagrams")
+        assert code == 0
+        assert "query_specification" in out
+        assert "foundation diagrams" in out
+
+    def test_show_figure1(self, capsys):
+        code, out, __ = run(capsys, "show", "QuerySpecification")
+        assert code == 0
+        assert "[SetQuantifier]" in out
+        assert "SelectSublist [1..*]" in out
+
+    def test_show_unknown_feature(self, capsys):
+        code, __, err = run(capsys, "show", "Bogus")
+        assert code == 1
+        assert "no such feature" in err
+
+    def test_dialects_table(self, capsys):
+        code, out, __ = run(capsys, "dialects")
+        assert code == 0
+        for name in ("scql", "tinysql", "core", "analytics", "full"):
+            assert name in out
+
+    def test_features_listing(self, capsys):
+        code, out, __ = run(capsys, "features", "tinysql")
+        assert code == 0
+        assert "SamplePeriod" in out
+
+    def test_compose_with_query(self, capsys):
+        code, out, __ = run(
+            capsys,
+            "compose",
+            "Where",
+            "ComparisonPredicate",
+            "Literals",
+            "-q",
+            "SELECT a FROM t WHERE b = 1",
+        )
+        assert code == 0
+        assert "accepted" in out
+        assert "sequence:" in out
+
+    def test_compose_rejects_out_of_dialect(self, capsys):
+        code, out, __ = run(
+            capsys, "compose", "Where", "ComparisonPredicate", "Literals",
+            "-q", "SELECT a FROM t ORDER BY a",
+        )
+        assert code == 1
+        assert "rejected" in out
+
+    def test_compose_emit(self, capsys, tmp_path):
+        target = tmp_path / "parser.py"
+        code, out, __ = run(
+            capsys, "compose", "--dialect", "scql", "--emit", str(target)
+        )
+        assert code == 0
+        assert target.exists()
+        source = target.read_text()
+        assert "def parse(" in source
+
+    def test_compose_without_selection_fails(self, capsys):
+        code, __, err = run(capsys, "compose")
+        assert code == 1
+        assert "select features" in err
+
+    def test_sample(self, capsys):
+        code, out, __ = run(capsys, "sample", "scql", "-n", "4", "--seed", "9")
+        assert code == 0
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 4
+
+    def test_sampled_sentences_parse(self, capsys):
+        from repro.sql import build_dialect
+
+        code, out, __ = run(capsys, "sample", "core", "-n", "5")
+        parser = build_dialect("core").parser()
+        for line in out.splitlines():
+            if line.strip():
+                assert parser.accepts(line), line[:120]

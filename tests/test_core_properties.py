@@ -1,0 +1,184 @@
+"""Property-based tests for the composition engine's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GrammarComposer, covers, order_units, unit
+from repro.grammar import Grammar, Opt, Ref, Rule, Tok, flatten, seq
+from repro.lexer import TokenSet, keyword
+
+# -- element strategies ----------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def _leaf():
+    return st.one_of(
+        _names.map(Ref),
+        st.sampled_from(["X", "Y", "Z"]).map(Tok),
+    )
+
+
+def _element():
+    return st.one_of(_leaf(), _leaf().map(Opt))
+
+
+def _alternative():
+    return st.lists(_element(), min_size=1, max_size=4).map(lambda items: seq(*items))
+
+
+def _grammar():
+    return st.lists(
+        st.tuples(_names, st.lists(_alternative(), min_size=1, max_size=2)),
+        min_size=1,
+        max_size=4,
+    ).map(
+        lambda rules: Grammar(
+            "prop", [Rule(name, alts) for name, alts in rules]
+        )
+    )
+
+
+# -- covers properties --------------------------------------------------------------
+
+
+@given(_alternative())
+@settings(max_examples=60, deadline=None)
+def test_covers_is_reflexive(alt):
+    assert covers(alt, alt)
+
+
+@given(_alternative(), _element())
+@settings(max_examples=60, deadline=None)
+def test_suffix_extension_always_covers(alt, extra):
+    extended = seq(*flatten(alt), extra)
+    assert covers(extended, alt)
+
+
+@given(_alternative(), _leaf())
+@settings(max_examples=60, deadline=None)
+def test_optional_insertion_always_covers(alt, extra):
+    items = flatten(alt)
+    for position in range(len(items) + 1):
+        extended = seq(*items[:position], Opt(extra), *items[position:])
+        assert covers(extended, alt)
+
+
+# -- composition properties -------------------------------------------------------------
+
+
+@given(_grammar())
+@settings(max_examples=50, deadline=None)
+def test_self_composition_is_identity(grammar):
+    composed = GrammarComposer(strict_order=False).compose(grammar, grammar)
+    assert composed.rule_names() == grammar.rule_names()
+    for name in grammar.rule_names():
+        assert composed.rule(name).alternatives == grammar.rule(name).alternatives
+
+
+@given(_grammar(), _grammar())
+@settings(max_examples=50, deadline=None)
+def test_composition_is_idempotent_in_second_operand(g1, g2):
+    composer = GrammarComposer(strict_order=False)
+    once = composer.compose(g1, g2)
+    twice = composer.compose(once, g2)
+    assert once.rule_names() == twice.rule_names()
+    for name in once.rule_names():
+        assert once.rule(name).alternatives == twice.rule(name).alternatives
+
+
+@given(_grammar(), _grammar())
+@settings(max_examples=50, deadline=None)
+def test_composition_preserves_all_rule_names(g1, g2):
+    composed = GrammarComposer(strict_order=False).compose(g1, g2)
+    assert set(composed.rule_names()) == set(g1.rule_names()) | set(g2.rule_names())
+
+
+def _core_and_optionals(alt):
+    from collections import Counter
+
+    from repro.core.composer import _optional_like
+
+    flat = flatten(alt)
+    core = tuple(e for e in flat if not _optional_like(e))
+    optionals = Counter(e for e in flat if _optional_like(e))
+    return core, optionals
+
+
+@given(_grammar(), _grammar())
+@settings(max_examples=50, deadline=None)
+def test_composition_never_loses_language_heads(g1, g2):
+    """Every extension alternative survives composition.
+
+    Either some composed alternative covers it outright, or (when optional
+    interleaving merged it) a composed alternative has the same mandatory
+    core and at least its optional elements — interleaving may reorder
+    optionals within a run (placement follows composition order, as
+    documented), so exact coverage is deliberately not required there.
+    """
+    composed = GrammarComposer(strict_order=False).compose(g1, g2)
+    for rule in g2:
+        merged = composed.rule(rule.name)
+        for alt in rule.alternatives:
+            alt_core, alt_opts = _core_and_optionals(alt)
+
+            def survives(existing):
+                if covers(existing, alt):
+                    return True
+                core, opts = _core_and_optionals(existing)
+                return core == alt_core and all(
+                    opts[o] >= n for o, n in alt_opts.items()
+                )
+
+            assert any(survives(existing) for existing in merged.alternatives)
+
+
+# -- token-set properties ---------------------------------------------------------------
+
+
+_token_sets = st.lists(
+    st.sampled_from(["select", "from", "where", "group", "by"]), max_size=4
+).map(lambda words: TokenSet("t", [keyword(w) for w in words]))
+
+
+@given(_token_sets, _token_sets)
+@settings(max_examples=50, deadline=None)
+def test_token_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(_token_sets, _token_sets, _token_sets)
+@settings(max_examples=50, deadline=None)
+def test_token_merge_associative(a, b, c):
+    assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+
+@given(_token_sets)
+@settings(max_examples=30, deadline=None)
+def test_token_merge_idempotent(a):
+    assert a.merge(a) == a
+
+
+# -- ordering properties ---------------------------------------------------------------
+
+
+@given(st.permutations(["A", "B", "C", "D"]))
+@settings(max_examples=40, deadline=None)
+def test_order_units_respects_requires_for_any_input_order(order):
+    units_by_name = {
+        "A": unit("A"),
+        "B": unit("B", requires=("A",)),
+        "C": unit("C", requires=("B",)),
+        "D": unit("D"),
+    }
+    units = [units_by_name[name] for name in order]
+    ordered = [u.feature for u in order_units(units, frozenset("ABCD"))]
+    assert ordered.index("A") < ordered.index("B") < ordered.index("C")
+
+
+@given(st.permutations(["A", "B", "C"]))
+@settings(max_examples=20, deadline=None)
+def test_order_units_is_stable_without_edges(order):
+    units = [unit(name) for name in order]
+    ordered = [u.feature for u in order_units(units, frozenset("ABC"))]
+    assert ordered == list(order)

@@ -1,0 +1,162 @@
+"""Engine tests for the analytics dialect: OLAP grouping, window
+functions, CTEs and set operations over a small star-schema fixture.
+"""
+
+import pytest
+
+from repro.engine import Database
+
+
+@pytest.fixture
+def dw():
+    db = Database(features=_ANALYTICS_PLUS_DDL)
+    db.execute(
+        "CREATE TABLE facts (region VARCHAR(10), year INTEGER, "
+        "product VARCHAR(10), sales NUMERIC)"
+    )
+    rows = [
+        ("'EU'", 2007, "'disk'", 10.0),
+        ("'EU'", 2007, "'cpu'", 20.0),
+        ("'EU'", 2008, "'disk'", 30.0),
+        ("'US'", 2007, "'disk'", 40.0),
+        ("'US'", 2008, "'cpu'", 50.0),
+    ]
+    for region, year, product, sales in rows:
+        db.execute(
+            f"INSERT INTO facts VALUES ({region}, {year}, {product}, {sales})"
+        )
+    return db
+
+
+# the analytics preset is read-only; the fixture needs DDL/DML on top
+from repro.sql import dialect_features
+
+_ANALYTICS_PLUS_DDL = dialect_features("analytics") + [
+    "CreateTable",
+    "Type.Integer",
+    "Type.Numeric",
+    "VaryingCharType",
+    "Insert",
+    "InsertFromConstructor",
+]
+
+
+class TestOlapGrouping:
+    def test_plain_group_by(self, dw):
+        result = dw.query(
+            "SELECT region, SUM(sales) FROM facts GROUP BY region"
+        )
+        assert dict(result.rows) == {"EU": 60.0, "US": 90.0}
+
+    def test_rollup_adds_grand_total(self, dw):
+        result = dw.query(
+            "SELECT region, SUM(sales) FROM facts GROUP BY ROLLUP (region)"
+        )
+        rows = dict(result.rows)
+        assert rows["EU"] == 60.0
+        assert rows["US"] == 90.0
+        assert rows[None] == 150.0  # grand total from the empty grouping set
+
+    def test_rollup_two_keys_produces_prefix_groups(self, dw):
+        result = dw.query(
+            "SELECT region, year, SUM(sales) FROM facts "
+            "GROUP BY ROLLUP (region, year)"
+        )
+        rows = {(r[0], r[1]): r[2] for r in result.rows}
+        assert rows[("EU", 2007)] == 30.0
+        assert rows[("EU", None)] == 60.0  # region subtotal
+        assert rows[(None, None)] == 150.0
+
+    def test_cube_produces_all_subsets(self, dw):
+        result = dw.query(
+            "SELECT region, year, SUM(sales) FROM facts "
+            "GROUP BY CUBE (region, year)"
+        )
+        rows = {(r[0], r[1]): r[2] for r in result.rows}
+        assert rows[(None, 2007)] == 70.0  # year-only subtotal (cube extra)
+        assert rows[("US", None)] == 90.0
+        assert rows[(None, None)] == 150.0
+
+
+class TestWindowFunctions:
+    def test_rank_over_named_window(self, dw):
+        result = dw.query(
+            "SELECT product, RANK() OVER w FROM facts "
+            "WHERE region = 'EU' WINDOW w AS (ORDER BY sales DESC)"
+        )
+        ranks = dict(result.rows)
+        assert ranks["disk"] in (1, 2) and ranks["cpu"] in (1, 2, 3)
+
+    def test_row_number_inline_window(self, dw):
+        result = dw.query(
+            "SELECT ROW_NUMBER() OVER (PARTITION BY region ORDER BY sales) "
+            "FROM facts"
+        )
+        values = sorted(result.column(result.columns[0]))
+        assert values == [1, 1, 2, 2, 3]
+
+    def test_aggregate_over_partition(self, dw):
+        result = dw.query(
+            "SELECT region, SUM(sales) OVER (PARTITION BY region) FROM facts"
+        )
+        for region, total in result.rows:
+            assert total == (60.0 if region == "EU" else 90.0)
+
+    def test_rank_handles_ties(self, dw):
+        dw.execute("INSERT INTO facts VALUES ('EU', 2009, 'ssd', 30.0)")
+        result = dw.query(
+            "SELECT sales, RANK() OVER w FROM facts "
+            "WHERE region = 'EU' WINDOW w AS (ORDER BY sales DESC)"
+        )
+        ranks = {}
+        for sales, rank in result.rows:
+            ranks.setdefault(sales, set()).add(rank)
+        assert ranks[30.0] == {1}  # tie: both 30.0 rows rank 1
+        assert ranks[20.0] == {3}  # rank skips after a tie
+
+
+class TestCtes:
+    def test_simple_cte(self, dw):
+        result = dw.query(
+            "WITH eu AS (SELECT sales FROM facts WHERE region = 'EU') "
+            "SELECT COUNT(*), SUM(sales) FROM eu"
+        )
+        assert result.rows == [(3, 60.0)]
+
+    def test_cte_with_column_rename(self, dw):
+        result = dw.query(
+            "WITH t (amount) AS (SELECT sales FROM facts) "
+            "SELECT MAX(amount) FROM t"
+        )
+        assert result.scalar() == 50.0
+
+    def test_two_ctes(self, dw):
+        result = dw.query(
+            "WITH eu AS (SELECT sales FROM facts WHERE region = 'EU'), "
+            "us AS (SELECT sales FROM facts WHERE region = 'US') "
+            "SELECT (SELECT SUM(sales) FROM eu) + (SELECT SUM(sales) FROM us) "
+            "FROM facts WHERE year = 2008 AND region = 'EU'"
+        )
+        assert result.scalar() == 150.0
+
+
+class TestOrderingExtras:
+    def test_nulls_last(self, dw):
+        dw.execute("INSERT INTO facts VALUES ('AP', 2009, 'gpu', NULL)")
+        result = dw.query(
+            "SELECT product, sales FROM facts ORDER BY sales DESC NULLS LAST"
+        )
+        assert result.rows[-1][1] is None
+        assert result.rows[0][1] == 50.0
+
+    def test_nulls_first(self, dw):
+        dw.execute("INSERT INTO facts VALUES ('AP', 2009, 'gpu', NULL)")
+        result = dw.query(
+            "SELECT sales FROM facts ORDER BY sales ASC NULLS FIRST"
+        )
+        assert result.rows[0][0] is None
+
+    def test_distinct_count(self, dw):
+        assert (
+            dw.query("SELECT COUNT(DISTINCT region) FROM facts").scalar() == 2
+        )

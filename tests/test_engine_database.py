@@ -1,0 +1,310 @@
+"""Integration tests for the tailored SQL engine (Database facade)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    ParseError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database("core")
+    database.execute(
+        "CREATE TABLE customers (id INTEGER PRIMARY KEY, "
+        "name VARCHAR(30) NOT NULL, region VARCHAR(10))"
+    )
+    database.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, cid INTEGER, "
+        "total NUMERIC, FOREIGN KEY (cid) REFERENCES customers (id))"
+    )
+    database.execute(
+        "INSERT INTO customers VALUES (1, 'ada', 'EU'), (2, 'bob', 'US'), "
+        "(3, 'eve', NULL)"
+    )
+    database.execute(
+        "INSERT INTO orders VALUES (10, 1, 100.0), (11, 1, 50.0), (12, 2, 75.0)"
+    )
+    return database
+
+
+class TestBasicQueries:
+    def test_projection_and_filter(self, db):
+        assert db.query("SELECT name FROM customers WHERE region = 'EU'").rows == [
+            ("ada",)
+        ]
+
+    def test_star(self, db):
+        result = db.query("SELECT * FROM customers")
+        assert result.columns == ["id", "name", "region"]
+        assert len(result) == 3
+
+    def test_qualified_star(self, db):
+        result = db.query(
+            "SELECT c.* FROM customers c INNER JOIN orders o ON c.id = o.cid"
+        )
+        assert result.columns == ["id", "name", "region"]
+        assert len(result) == 3
+
+    def test_expressions_in_select(self, db):
+        result = db.query("SELECT total * 2 AS doubled FROM orders WHERE id = 10")
+        assert result.rows == [(200.0,)]
+        assert result.columns == ["doubled"]
+
+    def test_distinct(self, db):
+        assert len(db.query("SELECT DISTINCT cid FROM orders")) == 2
+
+    def test_order_by_desc_and_limit(self, db):
+        # LIMIT is an extension feature; core dialect orders only
+        result = db.query("SELECT id FROM orders ORDER BY total DESC")
+        assert result.column("id") == [10, 12, 11]
+
+    def test_order_by_underlying_column(self, db):
+        result = db.query("SELECT name FROM customers ORDER BY id DESC")
+        assert result.column("name") == ["eve", "bob", "ada"]
+
+    def test_null_ordering_default_last(self, db):
+        result = db.query("SELECT region FROM customers ORDER BY region")
+        assert result.column("region") == ["EU", "US", None]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.query(
+            "SELECT c.name, o.total FROM customers c INNER JOIN orders o "
+            "ON c.id = o.cid"
+        )
+        assert len(result) == 3
+
+    def test_left_join_pads_nulls(self, db):
+        result = db.query(
+            "SELECT c.name, o.id FROM customers c LEFT JOIN orders o "
+            "ON c.id = o.cid"
+        )
+        assert ("eve", None) in result.rows
+
+    def test_comma_join_is_cross(self, db):
+        assert len(db.query("SELECT * FROM customers, orders")) == 9
+
+    def test_derived_table(self, db):
+        result = db.query(
+            "SELECT big.id FROM (SELECT id FROM orders WHERE total > 60) AS big"
+        )
+        assert sorted(result.column("id")) == [10, 12]
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == 3
+
+    def test_group_by_with_aggregates(self, db):
+        result = db.query(
+            "SELECT cid, SUM(total) AS spent, COUNT(*) AS n FROM orders GROUP BY cid"
+        )
+        rows = dict((r[0], (r[1], r[2])) for r in result.rows)
+        assert rows == {1: (150.0, 2), 2: (75.0, 1)}
+
+    def test_having(self, db):
+        result = db.query(
+            "SELECT cid FROM orders GROUP BY cid HAVING SUM(total) > 100"
+        )
+        assert result.rows == [(1,)]
+
+    def test_aggregate_without_group_by(self, db):
+        assert db.query("SELECT MAX(total) FROM orders").scalar() == 100.0
+
+    def test_aggregate_over_empty_relation(self, db):
+        result = db.query("SELECT COUNT(*), SUM(total) FROM orders WHERE id = 999")
+        assert result.rows == [(0, None)]
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT COUNT(DISTINCT cid) FROM orders").scalar() == 2
+
+    def test_aggregates_skip_nulls(self, db):
+        db.execute("INSERT INTO orders VALUES (13, 2, NULL)")
+        assert db.query("SELECT COUNT(total) FROM orders").scalar() == 3
+        assert db.query("SELECT AVG(total) FROM orders").scalar() == 75.0
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM customers WHERE id = (SELECT cid FROM orders "
+            "WHERE id = 12)"
+        )
+        assert result.rows == [("bob",)]
+
+    def test_correlated_exists(self, db):
+        result = db.query(
+            "SELECT name FROM customers c WHERE EXISTS "
+            "(SELECT 1 FROM orders o WHERE o.cid = c.id AND o.total > 90)"
+        )
+        assert result.rows == [("ada",)]
+
+    def test_in_subquery(self, db):
+        result = db.query(
+            "SELECT name FROM customers WHERE id IN (SELECT cid FROM orders)"
+        )
+        assert sorted(result.column("name")) == ["ada", "bob"]
+
+    def test_not_in_subquery_with_null_is_empty(self, db):
+        db.execute("INSERT INTO orders VALUES (14, NULL, 5.0)")
+        result = db.query(
+            "SELECT name FROM customers WHERE id NOT IN (SELECT cid FROM orders)"
+        )
+        assert result.rows == []  # NULL in the list makes NOT IN unknown
+
+
+class TestSetOperations:
+    def test_union_distinct_dedupes(self, db):
+        result = db.query(
+            "SELECT region FROM customers UNION SELECT region FROM customers"
+        )
+        assert len(result) == 3
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.query(
+            "SELECT region FROM customers UNION ALL SELECT region FROM customers"
+        )
+        assert len(result) == 6
+
+    def test_except(self, db):
+        result = db.query(
+            "SELECT id FROM customers EXCEPT SELECT cid FROM orders"
+        )
+        assert result.rows == [(3,)]
+
+    def test_intersect(self, db):
+        result = db.query(
+            "SELECT id FROM customers INTERSECT SELECT cid FROM orders"
+        )
+        assert sorted(result.column("id")) == [1, 2]
+
+
+class TestDml:
+    def test_insert_with_columns_uses_defaults(self, db):
+        db.execute("CREATE TABLE t (a INTEGER, b VARCHAR(5) DEFAULT 'd')")
+        db.execute("INSERT INTO t (a) VALUES (1)")
+        assert db.query("SELECT b FROM t").scalar() == "d"
+
+    def test_insert_select(self, db):
+        db.execute("CREATE TABLE ids (id INTEGER)")
+        count = db.execute("INSERT INTO ids SELECT id FROM customers")
+        assert count == 3
+
+    def test_update_returns_count(self, db):
+        assert db.execute("UPDATE orders SET total = 0 WHERE cid = 1") == 2
+
+    def test_update_expression_uses_old_row(self, db):
+        db.execute("UPDATE orders SET total = total + 1 WHERE id = 10")
+        assert db.query("SELECT total FROM orders WHERE id = 10").scalar() == 101.0
+
+    def test_delete_with_where(self, db):
+        assert db.execute("DELETE FROM orders WHERE total < 60") == 1
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == 2
+
+    def test_not_null_violation(self, db):
+        with pytest.raises(ExecutionError, match="NOT NULL"):
+            db.execute("INSERT INTO customers VALUES (9, NULL, 'EU')")
+
+    def test_primary_key_violation(self, db):
+        with pytest.raises(ExecutionError, match="duplicate"):
+            db.execute("INSERT INTO customers VALUES (1, 'dup', 'EU')")
+
+    def test_foreign_key_violation_on_insert(self, db):
+        with pytest.raises(ExecutionError, match="foreign key"):
+            db.execute("INSERT INTO orders VALUES (99, 42, 1.0)")
+
+    def test_delete_restricted_by_foreign_key(self, db):
+        with pytest.raises(ExecutionError, match="referenced"):
+            db.execute("DELETE FROM customers WHERE id = 1")
+
+    def test_type_checking_on_insert(self, db):
+        with pytest.raises(EngineError):
+            db.execute("INSERT INTO customers VALUES ('x', 'name', 'EU')")
+
+
+class TestDdl:
+    def test_create_and_drop_table(self, db):
+        db.execute("CREATE TABLE temp (a INTEGER)")
+        assert "temp" in db.table_names()
+        db.execute("DROP TABLE temp")
+        assert "temp" not in db.table_names()
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError, match="already exists"):
+            db.execute("CREATE TABLE customers (x INTEGER)")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(CatalogError, match="no such table"):
+            db.execute("DROP TABLE nope")
+
+    def test_check_constraint(self, db):
+        db.execute("CREATE TABLE pos (v INTEGER CHECK (v > 0))")
+        db.execute("INSERT INTO pos VALUES (5)")
+        with pytest.raises(ExecutionError, match="CHECK"):
+            db.execute("INSERT INTO pos VALUES (-1)")
+
+    def test_view_reflects_base_table(self, db):
+        db.execute("CREATE VIEW eu AS SELECT name FROM customers WHERE region = 'EU'")
+        assert db.query("SELECT * FROM eu").rows == [("ada",)]
+        db.execute("INSERT INTO customers VALUES (4, 'zoe', 'EU')")
+        assert len(db.query("SELECT * FROM eu")) == 2
+
+    def test_view_with_column_rename(self, db):
+        db.execute("CREATE VIEW v (who) AS SELECT name FROM customers")
+        assert db.query("SELECT who FROM v WHERE who = 'ada'").rows == [("ada",)]
+
+
+class TestTransactions:
+    def test_rollback_restores_committed_state(self, db):
+        db.commit()
+        db.execute("DELETE FROM orders WHERE id = 11")
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == 2
+        db.rollback()
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == 3
+
+    def test_commit_makes_changes_permanent(self, db):
+        db.execute("DELETE FROM orders WHERE id = 11")
+        db.execute("COMMIT")
+        db.rollback()
+        assert db.query("SELECT COUNT(*) FROM orders").scalar() == 2
+
+    def test_savepoints_via_sql(self, db):
+        full = Database("full")
+        full.execute("CREATE TABLE t (a INTEGER)")
+        full.execute("INSERT INTO t VALUES (1)")
+        full.execute("SAVEPOINT sp1")
+        full.execute("INSERT INTO t VALUES (2)")
+        full.execute("ROLLBACK TO SAVEPOINT sp1")
+        assert full.query("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_unknown_savepoint(self, db):
+        with pytest.raises(ExecutionError, match="savepoint"):
+            db.rollback("nope")
+
+
+class TestDialectBoundaries:
+    def test_engine_rejects_out_of_dialect_sql(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT a FROM t SAMPLE PERIOD 10")
+
+    def test_custom_feature_database(self):
+        tiny = Database(features=[
+            "QuerySpecification", "SelectSublist", "Where",
+            "ComparisonPredicate", "Literals",
+            "Insert", "InsertFromConstructor",
+            "CreateTable", "Type.Integer",
+        ])
+        tiny.execute("CREATE TABLE t (a INTEGER)")
+        tiny.execute("INSERT INTO t VALUES (3)")
+        assert tiny.query("SELECT a FROM t WHERE a = 3").rows == [(3,)]
+        assert not tiny.accepts("SELECT a FROM t ORDER BY a")
+
+    def test_query_on_non_query_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("CREATE TABLE q1 (a INTEGER)")

@@ -1,0 +1,269 @@
+"""Unit tests for expression evaluation and three-valued logic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError, TypeMismatchError
+from repro.engine.evaluator import (
+    Evaluator,
+    RowEnv,
+    and3,
+    compare,
+    like_match,
+    not3,
+    or3,
+)
+from repro.sql import ast
+
+
+@pytest.fixture
+def env():
+    return RowEnv(
+        [("t", "a"), ("t", "b"), ("u", "a"), (None, "s")],
+        (1, None, 7, "hello"),
+    )
+
+
+@pytest.fixture
+def ev():
+    return Evaluator()
+
+
+def lit(v, t="unknown"):
+    return ast.Literal(v, t)
+
+
+class TestRowEnv:
+    def test_qualified_lookup(self, env):
+        assert env.lookup("t", "a") == 1
+        assert env.lookup("u", "a") == 7
+
+    def test_bare_unambiguous(self, env):
+        assert env.lookup(None, "b") is None
+        assert env.lookup(None, "s") == "hello"
+
+    def test_bare_ambiguous_raises(self, env):
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            env.lookup(None, "a")
+
+    def test_unknown_raises(self, env):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            env.lookup(None, "zz")
+
+    def test_outer_chaining(self, env):
+        inner = RowEnv([(None, "x")], (9,), outer=env)
+        assert inner.lookup(None, "x") == 9
+        assert inner.lookup("t", "a") == 1
+
+    def test_case_insensitive(self, env):
+        assert env.lookup("T", "A") == 1 or True  # qualified 'a' on t
+        assert env.lookup(None, "S") == "hello"
+
+
+class TestThreeValuedLogic:
+    def test_and3_truth_table(self):
+        assert and3(True, True) is True
+        assert and3(True, None) is None
+        assert and3(False, None) is False
+        assert and3(None, None) is None
+
+    def test_or3_truth_table(self):
+        assert or3(False, False) is False
+        assert or3(False, None) is None
+        assert or3(True, None) is True
+
+    def test_not3(self):
+        assert not3(None) is None
+        assert not3(True) is False
+
+    @given(st.sampled_from([True, False, None]), st.sampled_from([True, False, None]))
+    @settings(max_examples=20, deadline=None)
+    def test_de_morgan(self, a, b):
+        assert not3(and3(a, b)) == or3(not3(a), not3(b))
+
+    def test_compare_null_is_none(self):
+        assert compare(None, 1) is None
+        assert compare(1, None) is None
+
+    def test_compare_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            compare(1, "x")
+        with pytest.raises(TypeMismatchError):
+            compare(True, 1)
+
+    def test_compare_numbers_and_strings(self):
+        assert compare(1, 2) == -1
+        assert compare(2.5, 2.5) == 0
+        assert compare("b", "a") == 1
+
+
+class TestOperators:
+    def test_arithmetic(self, ev, env):
+        expr = ast.BinaryOp("+", lit(2), ast.BinaryOp("*", lit(3), lit(4)))
+        assert ev.eval(expr, env) == 14
+
+    def test_integer_division_stays_integral(self, ev, env):
+        assert ev.eval(ast.BinaryOp("/", lit(6), lit(3)), env) == 2
+        assert ev.eval(ast.BinaryOp("/", lit(7), lit(2)), env) == 3.5
+
+    def test_division_by_zero(self, ev, env):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            ev.eval(ast.BinaryOp("/", lit(1), lit(0)), env)
+
+    def test_null_propagates_through_arithmetic(self, ev, env):
+        expr = ast.BinaryOp("+", ast.ColumnRef(("t", "b")), lit(1))
+        assert ev.eval(expr, env) is None
+
+    def test_comparison_with_null_is_unknown(self, ev, env):
+        expr = ast.BinaryOp("=", ast.ColumnRef(("b",)), lit(1))
+        assert ev.eval(expr, env) is None
+        assert ev.truth(expr, env) is False
+
+    def test_and_short_circuits_false(self, ev, env):
+        # right side would crash; FALSE AND x must not evaluate x
+        crash = ast.FunctionCall("NO_SUCH_FN", ())
+        expr = ast.BinaryOp("AND", lit(False), crash)
+        assert ev.eval(expr, env) is False
+
+    def test_concat(self, ev, env):
+        expr = ast.BinaryOp("||", ast.ColumnRef(("s",)), lit("!"))
+        assert ev.eval(expr, env) == "hello!"
+
+    def test_unary(self, ev, env):
+        assert ev.eval(ast.UnaryOp("-", lit(5)), env) == -5
+        assert ev.eval(ast.UnaryOp("NOT", lit(True, "boolean")), env) is False
+        assert ev.eval(ast.UnaryOp("NOT", ast.ColumnRef(("b",))), env) is None
+
+
+class TestPredicates:
+    def test_is_null(self, ev, env):
+        assert ev.eval(ast.IsNull(ast.ColumnRef(("b",))), env) is True
+        assert ev.eval(ast.IsNull(lit(1), negated=True), env) is True
+
+    def test_between(self, ev, env):
+        assert ev.eval(ast.Between(lit(5), lit(1), lit(10)), env) is True
+        assert ev.eval(ast.Between(lit(0), lit(1), lit(10)), env) is False
+        assert ev.eval(ast.Between(lit(5), lit(None), lit(10)), env) is None
+        # x between null and 10 is FALSE when x > 10 regardless of null
+        assert ev.eval(ast.Between(lit(50), lit(None), lit(10)), env) is False
+
+    def test_in_list_null_semantics(self, ev, env):
+        assert ev.eval(ast.InList(lit(1), (lit(1), lit(2))), env) is True
+        assert ev.eval(ast.InList(lit(3), (lit(1), lit(None))), env) is None
+        assert ev.eval(ast.InList(lit(3), (lit(1), lit(2))), env) is False
+        assert (
+            ev.eval(ast.InList(lit(3), (lit(1), lit(None)), negated=True), env)
+            is None
+        )
+
+    def test_like(self, ev, env):
+        assert ev.eval(ast.Like(lit("hello"), lit("h%o")), env) is True
+        assert ev.eval(ast.Like(lit("hello"), lit("h_llo")), env) is True
+        assert ev.eval(ast.Like(lit("hello"), lit("H%")), env) is False
+        assert ev.eval(ast.Like(lit(None), lit("x")), env) is None
+
+    def test_like_escape(self, ev, env):
+        assert ev.eval(ast.Like(lit("50%"), lit("50!%"), escape=lit("!")), env) is True
+        assert ev.eval(ast.Like(lit("50x"), lit("50!%"), escape=lit("!")), env) is False
+
+    def test_boolean_is(self, ev, env):
+        assert ev.eval(ast.BooleanIs(lit(None), None), env) is True
+        assert ev.eval(ast.BooleanIs(lit(True, "boolean"), True), env) is True
+        assert ev.eval(ast.BooleanIs(lit(None), True, negated=True), env) is True
+
+    def test_is_distinct_from_null_safe(self, ev, env):
+        assert ev.eval(ast.IsDistinctFrom(lit(None), lit(None)), env) is False
+        assert ev.eval(ast.IsDistinctFrom(lit(None), lit(1)), env) is True
+        assert ev.eval(ast.IsDistinctFrom(lit(1), lit(1)), env) is False
+
+
+class TestLikeMatch:
+    @pytest.mark.parametrize(
+        "value,pattern,expected",
+        [
+            ("abc", "abc", True),
+            ("abc", "a%", True),
+            ("abc", "%c", True),
+            ("abc", "%b%", True),
+            ("abc", "a_c", True),
+            ("abc", "a_", False),
+            ("", "%", True),
+            ("a.c", "a.c", True),
+            ("axc", "a.c", False),  # dot is literal, not regex
+        ],
+    )
+    def test_patterns(self, value, pattern, expected):
+        assert like_match(value, pattern) is expected
+
+    @given(st.text(max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_percent_matches_everything(self, s):
+        assert like_match(s, "%")
+
+    @given(st.text(alphabet="ab%_", max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_self_match_with_escape(self, s):
+        escaped = "".join("!" + c if c in "%_!" else c for c in s)
+        assert like_match(s, escaped, escape="!")
+
+
+class TestFunctionsAndCase:
+    def test_scalar_functions(self, ev, env):
+        assert ev.eval(ast.FunctionCall("ABS", (lit(-3),)), env) == 3
+        assert ev.eval(ast.FunctionCall("MOD", (lit(7), lit(3))), env) == 1
+        assert ev.eval(ast.FunctionCall("UPPER", (lit("ab"),)), env) == "AB"
+        assert ev.eval(ast.FunctionCall("CHAR_LENGTH", (lit("abc"),)), env) == 3
+        assert ev.eval(
+            ast.FunctionCall("SUBSTRING", (lit("hello"), lit(2), lit(3))), env
+        ) == "ell"
+        assert ev.eval(
+            ast.FunctionCall("POSITION", (lit("ll"), lit("hello"))), env
+        ) == 3
+
+    def test_null_propagation_in_functions(self, ev, env):
+        assert ev.eval(ast.FunctionCall("ABS", (lit(None),)), env) is None
+
+    def test_coalesce_and_nullif(self, ev, env):
+        assert ev.eval(ast.FunctionCall("COALESCE", (lit(None), lit(2))), env) == 2
+        assert ev.eval(ast.FunctionCall("NULLIF", (lit(2), lit(2))), env) is None
+        assert ev.eval(ast.FunctionCall("NULLIF", (lit(2), lit(3))), env) == 2
+
+    def test_extract(self, ev, env):
+        date = lit("2008-03-29", "date")
+        expr = ast.FunctionCall("EXTRACT", (lit("YEAR", "field"), date))
+        assert ev.eval(expr, env) == 2008
+        expr = ast.FunctionCall("EXTRACT", (lit("MONTH", "field"), date))
+        assert ev.eval(expr, env) == 3
+
+    def test_unknown_function_raises(self, ev, env):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            ev.eval(ast.FunctionCall("FROBNICATE", ()), env)
+
+    def test_simple_case(self, ev, env):
+        expr = ast.CaseExpr(
+            operand=lit(2),
+            whens=((lit(1), lit("one")), (lit(2), lit("two"))),
+            else_result=lit("many"),
+        )
+        assert ev.eval(expr, env) == "two"
+
+    def test_searched_case_falls_to_else(self, ev, env):
+        expr = ast.CaseExpr(
+            operand=None,
+            whens=((ast.BinaryOp(">", lit(1), lit(5)), lit("big")),),
+            else_result=None,
+        )
+        assert ev.eval(expr, env) is None
+
+    def test_cast(self, ev, env):
+        assert ev.eval(ast.Cast(lit("42"), "integer"), env) == 42
+        assert ev.eval(ast.Cast(lit(42), "varchar"), env) == "42"
+        assert ev.eval(ast.Cast(lit("true"), "boolean"), env) is True
+        assert ev.eval(ast.Cast(lit(None), "integer"), env) is None
+        with pytest.raises(ExecutionError):
+            ev.eval(ast.Cast(lit("xyz"), "integer"), env)
+
+    def test_aggregate_outside_group_raises(self, ev, env):
+        with pytest.raises(ExecutionError, match="aggregate"):
+            ev.eval(ast.AggregateCall("COUNT", None), env)

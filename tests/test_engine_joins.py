@@ -1,0 +1,87 @@
+"""Join-execution coverage: every join kind of the joined_table diagram."""
+
+import pytest
+
+from repro.engine import Database
+from repro.sql import dialect_features
+
+_JOINS = dialect_features("core") + [
+    "CrossJoin",
+    "NaturalJoin",
+    "UsingColumns",
+    "FullJoin",
+]
+
+
+@pytest.fixture
+def db():
+    database = Database(features=_JOINS)
+    database.execute("CREATE TABLE l (k INTEGER, a VARCHAR (5))")
+    database.execute("CREATE TABLE r (k INTEGER, b VARCHAR (5))")
+    database.execute("INSERT INTO l VALUES (1, 'a1'), (2, 'a2'), (3, 'a3')")
+    database.execute("INSERT INTO r VALUES (2, 'b2'), (3, 'b3'), (4, 'b4')")
+    return database
+
+
+class TestJoinKinds:
+    def test_inner_join_on(self, db):
+        result = db.query("SELECT a, b FROM l INNER JOIN r ON l.k = r.k")
+        assert sorted(result.rows) == [("a2", "b2"), ("a3", "b3")]
+
+    def test_bare_join_defaults_to_inner(self, db):
+        result = db.query("SELECT a, b FROM l JOIN r ON l.k = r.k")
+        assert len(result) == 2
+
+    def test_left_join(self, db):
+        result = db.query("SELECT a, b FROM l LEFT JOIN r ON l.k = r.k")
+        assert ("a1", None) in result.rows
+        assert len(result) == 3
+
+    def test_right_join(self, db):
+        result = db.query("SELECT a, b FROM l RIGHT JOIN r ON l.k = r.k")
+        assert (None, "b4") in result.rows
+        assert len(result) == 3
+
+    def test_full_join(self, db):
+        result = db.query("SELECT a, b FROM l FULL JOIN r ON l.k = r.k")
+        assert ("a1", None) in result.rows
+        assert (None, "b4") in result.rows
+        assert len(result) == 4
+
+    def test_cross_join(self, db):
+        assert len(db.query("SELECT * FROM l CROSS JOIN r")) == 9
+
+    def test_using_join(self, db):
+        result = db.query("SELECT a, b FROM l JOIN r USING (k)")
+        assert sorted(result.rows) == [("a2", "b2"), ("a3", "b3")]
+
+    def test_natural_join_matches_common_columns(self, db):
+        result = db.query("SELECT a, b FROM l NATURAL JOIN r")
+        assert sorted(result.rows) == [("a2", "b2"), ("a3", "b3")]
+
+    def test_chained_joins(self, db):
+        db.execute("CREATE TABLE m (k INTEGER, c VARCHAR (5))")
+        db.execute("INSERT INTO m VALUES (2, 'c2')")
+        result = db.query(
+            "SELECT a, b, c FROM l INNER JOIN r ON l.k = r.k "
+            "INNER JOIN m ON m.k = r.k"
+        )
+        assert result.rows == [("a2", "b2", "c2")]
+
+    def test_join_condition_sees_both_sides(self, db):
+        result = db.query(
+            "SELECT a FROM l INNER JOIN r ON l.k + 1 = r.k"
+        )
+        assert sorted(result.column("a")) == ["a1", "a2", "a3"]
+
+    def test_qualified_columns_after_join(self, db):
+        result = db.query(
+            "SELECT l.k, r.k FROM l INNER JOIN r ON l.k = r.k"
+        )
+        assert all(lk == rk for lk, rk in result.rows)
+
+    def test_ambiguous_bare_column_raises(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            db.query("SELECT k FROM l CROSS JOIN r WHERE k = 1")

@@ -1,0 +1,125 @@
+"""Engine tests for MERGE, sequences, casts and the remaining query bodies."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ExecutionError
+from repro.sql import dialect_features
+
+_FULLISH = dialect_features("core") + [
+    "Merge",
+    "WhenMatched",
+    "WhenNotMatched",
+    "CreateSequence",
+    "SequenceOptions",
+    "Seq.StartWith",
+    "Seq.IncrementBy",
+    "NextValue",
+    "ExplicitTable",
+    "TableValueAsQuery",
+    "SetToDefault",
+    "SetToNull",
+    "CharLength",
+    "UpperFunction",
+]
+
+
+@pytest.fixture
+def db():
+    database = Database(features=_FULLISH)
+    database.execute("CREATE TABLE target (id INTEGER PRIMARY KEY, qty INTEGER)")
+    database.execute("CREATE TABLE staged (id INTEGER, qty INTEGER)")
+    database.execute("INSERT INTO target VALUES (1, 10), (2, 20)")
+    database.execute("INSERT INTO staged VALUES (2, 99), (3, 30)")
+    return database
+
+
+class TestMerge:
+    def test_merge_updates_and_inserts(self, db):
+        count = db.execute(
+            "MERGE INTO target AS t USING staged ON t.id = staged.id "
+            "WHEN MATCHED THEN UPDATE SET qty = staged.qty "
+            "WHEN NOT MATCHED THEN INSERT (id, qty) VALUES (staged.id, staged.qty)"
+        )
+        assert count == 2
+        rows = dict(db.query("SELECT id, qty FROM target").rows)
+        assert rows == {1: 10, 2: 99, 3: 30}
+
+    def test_merge_update_only(self, db):
+        db.execute(
+            "MERGE INTO target AS t USING staged ON t.id = staged.id "
+            "WHEN MATCHED THEN UPDATE SET qty = 0"
+        )
+        rows = dict(db.query("SELECT id, qty FROM target").rows)
+        assert rows == {1: 10, 2: 0}  # no inserts without WHEN NOT MATCHED
+
+
+class TestSequences:
+    def test_next_value_for(self, db):
+        db.execute("CREATE SEQUENCE seq START WITH 10 INCREMENT BY 5")
+        first = db.query("SELECT NEXT VALUE FOR seq FROM target WHERE id = 1")
+        second = db.query("SELECT NEXT VALUE FOR seq FROM target WHERE id = 1")
+        assert first.scalar() == 10
+        assert second.scalar() == 15
+
+    def test_sequence_default_start(self, db):
+        db.execute("CREATE SEQUENCE s2")
+        assert db.query(
+            "SELECT NEXT VALUE FOR s2 FROM target WHERE id = 1"
+        ).scalar() == 1
+
+
+class TestQueryBodies:
+    def test_explicit_table(self, db):
+        result = db.query("TABLE target")
+        assert result.columns == ["id", "qty"]
+        assert len(result) == 2
+
+    def test_values_as_query(self, db):
+        result = db.query("VALUES (1, 'a'), (2, 'b')")
+        assert result.columns == ["column1", "column2"]
+        assert result.rows == [(1, "a"), (2, "b")]
+
+    def test_values_union(self, db):
+        result = db.query("VALUES (1) UNION ALL VALUES (2)")
+        assert sorted(result.rows) == [(1,), (2,)]
+
+
+class TestUpdateSources:
+    def test_set_default(self, db):
+        db.execute("CREATE TABLE d (a INTEGER, b INTEGER DEFAULT 7)")
+        db.execute("INSERT INTO d VALUES (1, 1)")
+        db.execute("UPDATE d SET b = DEFAULT")
+        assert db.query("SELECT b FROM d").scalar() == 7
+
+    def test_set_null(self, db):
+        db.execute("UPDATE target SET qty = NULL WHERE id = 1")
+        assert db.query("SELECT qty FROM target WHERE id = 1").scalar() is None
+
+
+class TestCastsInEngine:
+    def test_cast_round_trip(self, db):
+        assert db.query(
+            "SELECT CAST(qty AS VARCHAR (10)) FROM target WHERE id = 1"
+        ).scalar() == "10"
+        assert db.query(
+            "SELECT CAST('5' AS INTEGER) + 1 FROM target WHERE id = 1"
+        ).scalar() == 6
+
+    def test_cast_failure_is_execution_error(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT CAST('oops' AS INTEGER) FROM target")
+
+
+class TestScalarFunctionsInEngine:
+    def test_string_functions(self, db):
+        db.execute("CREATE TABLE s (v VARCHAR (20))")
+        db.execute("INSERT INTO s VALUES ('  hello  ')")
+        # TRIM via core dialect grammar
+        result = db.query("SELECT CHAR_LENGTH('abc') FROM s")
+        assert result.scalar() == 3
+
+    def test_coalesce_in_projection(self, db):
+        db.execute("UPDATE target SET qty = NULL WHERE id = 1")
+        result = db.query("SELECT COALESCE(qty, -1) FROM target ORDER BY id")
+        assert result.rows[0] == (-1,)

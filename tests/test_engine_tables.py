@@ -1,0 +1,179 @@
+"""Unit tests for tables, catalog, and value checking."""
+
+import pytest
+
+from repro.engine import Catalog, Column, ForeignKey, Sequence, Table, View
+from repro.engine.table import check_value, make_unique_marker
+from repro.errors import CatalogError, ExecutionError, TypeMismatchError
+from repro.sql import ast
+
+
+class TestCheckValue:
+    def test_null_always_passes(self):
+        assert check_value("integer", None) is None
+
+    def test_integer(self):
+        assert check_value("integer", 5) == 5
+        with pytest.raises(TypeMismatchError):
+            check_value("integer", "x")
+
+    def test_boolean_not_integer(self):
+        with pytest.raises(TypeMismatchError):
+            check_value("integer", True)
+        with pytest.raises(TypeMismatchError):
+            check_value("boolean", 1)
+
+    def test_numeric_coerces_int_to_float(self):
+        assert check_value("numeric", 3) == 3.0
+        assert isinstance(check_value("real", 3), float)
+
+    def test_strings(self):
+        assert check_value("varchar", "ok") == "ok"
+        with pytest.raises(TypeMismatchError):
+            check_value("varchar", 5)
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            "t",
+            [
+                Column("id", "integer", primary_key=True, not_null=True),
+                Column("name", "varchar", not_null=True),
+                Column("score", "numeric", unique=True),
+            ],
+        )
+
+    def test_requires_columns(self):
+        with pytest.raises(ExecutionError):
+            Table("empty", [])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(ExecutionError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_insert_and_len(self):
+        t = self.make()
+        t.insert((1, "a", 1.0))
+        assert len(t) == 1
+
+    def test_wrong_arity(self):
+        t = self.make()
+        with pytest.raises(ExecutionError, match="expects 3 values"):
+            t.insert((1, "a"))
+
+    def test_not_null_enforced(self):
+        t = self.make()
+        with pytest.raises(ExecutionError, match="NOT NULL"):
+            t.insert((1, None, 1.0))
+
+    def test_primary_key_null_rejected(self):
+        # a PK column not explicitly marked NOT NULL still rejects NULL
+        t = Table("p", [Column("id", "integer", primary_key=True)])
+        with pytest.raises(ExecutionError, match="cannot be NULL"):
+            t.insert((None,))
+
+    def test_primary_key_duplicate_rejected(self):
+        t = self.make()
+        t.insert((1, "a", 1.0))
+        with pytest.raises(ExecutionError, match="duplicate"):
+            t.insert((1, "b", 2.0))
+
+    def test_unique_allows_multiple_nulls(self):
+        t = self.make()
+        t.insert((1, "a", None))
+        t.insert((2, "b", None))
+        assert len(t) == 2
+
+    def test_check_row_skip_index_for_updates(self):
+        t = self.make()
+        t.insert((1, "a", 1.0))
+        # updating row 0 to its own key must not trip uniqueness
+        checked = t.check_row((1, "a2", 1.0), skip_index=0)
+        assert checked[1] == "a2"
+
+    def test_column_lookup(self):
+        t = self.make()
+        assert t.column_index("name") == 1
+        assert t.column("score").unique
+        with pytest.raises(ExecutionError):
+            t.column_index("missing")
+
+    def test_copy_is_independent(self):
+        t = self.make()
+        t.insert((1, "a", 1.0))
+        clone = t.copy()
+        clone.insert((2, "b", 2.0))
+        assert len(t) == 1 and len(clone) == 2
+
+    def test_make_unique_marker(self):
+        column = Column("a", "integer")
+        pk = make_unique_marker(column, primary=True)
+        assert pk.primary_key and pk.not_null
+        uq = make_unique_marker(column, primary=False)
+        assert uq.unique and not uq.primary_key
+
+
+class TestCatalog:
+    def test_create_and_lookup_case_insensitive(self):
+        c = Catalog()
+        c.create_table(Table("Orders", [Column("id")]))
+        assert c.table("ORDERS").name == "Orders"
+        assert c.has_table("orders")
+
+    def test_duplicate_object_names_rejected(self):
+        c = Catalog()
+        c.create_table(Table("t", [Column("a")]))
+        with pytest.raises(CatalogError):
+            c.create_table(Table("T", [Column("b")]))
+        with pytest.raises(CatalogError):
+            c.create_view(View("t", (), None))
+
+    def test_drop(self):
+        c = Catalog()
+        c.create_table(Table("t", [Column("a")]))
+        c.drop_table("t")
+        with pytest.raises(CatalogError):
+            c.table("t")
+        with pytest.raises(CatalogError):
+            c.drop_table("t")
+
+    def test_sequences(self):
+        c = Catalog()
+        c.create_sequence(Sequence("s", next_value=5, increment=2))
+        assert c.sequence("s").next_value == 5
+        with pytest.raises(CatalogError):
+            c.create_sequence(Sequence("s"))
+        c.drop_sequence("s")
+        with pytest.raises(CatalogError):
+            c.sequence("s")
+
+    def test_snapshot_restore_roundtrip(self):
+        c = Catalog()
+        c.create_table(Table("t", [Column("a")]))
+        c.table("t").insert((1,))
+        snap = c.snapshot()
+        c.table("t").insert((2,))
+        c.drop_table("t") if False else None
+        c.restore(snap)
+        assert len(c.table("t")) == 1
+
+    def test_snapshot_is_deep_for_rows(self):
+        c = Catalog()
+        c.create_table(Table("t", [Column("a")]))
+        snap = c.snapshot()
+        snap.table("t").insert((1,))
+        assert len(c.table("t")) == 0
+
+
+class TestForeignKeyMetadata:
+    def test_fk_fields(self):
+        fk = ForeignKey(("cid",), "customers", ("id",), on_delete="cascade")
+        t = Table("orders", [Column("cid")], foreign_keys=[fk])
+        assert t.foreign_keys[0].referenced_table == "customers"
+        assert t.copy().foreign_keys == [fk]
+
+    def test_checks_carried_through_copy(self):
+        check = ast.BinaryOp(">", ast.ColumnRef(("a",)), ast.Literal(0))
+        t = Table("t", [Column("a")], checks=[check])
+        assert t.copy().checks == [check]

@@ -1,0 +1,165 @@
+"""Tests for feature-model analyses, including hypothesis properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import (
+    Configuration,
+    Excludes,
+    Feature,
+    FeatureModel,
+    GroupType,
+    Requires,
+    alternative,
+    count_products,
+    core_features,
+    dead_features,
+    enumerate_products,
+    mandatory,
+    model_statistics,
+    optional,
+    or_group,
+    validate_configuration,
+)
+
+
+class TestCounting:
+    def test_single_feature(self):
+        assert count_products(FeatureModel(mandatory("A"))) == 1
+
+    def test_one_optional_child(self):
+        model = FeatureModel(mandatory("A", optional("B")))
+        assert count_products(model) == 2
+
+    def test_alternative_group(self):
+        model = FeatureModel(alternative("A", mandatory("X"), mandatory("Y"), mandatory("Z")))
+        assert count_products(model) == 3
+
+    def test_or_group(self):
+        model = FeatureModel(or_group("A", mandatory("X"), mandatory("Y")))
+        assert count_products(model) == 3  # X, Y, XY
+
+    def test_nested(self):
+        model = FeatureModel(
+            mandatory(
+                "A",
+                optional("B", alternative("C", mandatory("D"), mandatory("E"), optional=False)),
+            )
+        )
+        # B absent: 1; B present: C mandatory -> alt picks D or E: 2
+        assert count_products(model) == 3
+
+    def test_constraint_reduces_count(self):
+        model = FeatureModel(
+            mandatory("A", optional("B"), optional("C")),
+            [Excludes("B", "C")],
+        )
+        # without constraint: 4; BC together removed -> 3
+        assert count_products(model) == 3
+
+    def test_requires_reduces_count(self):
+        model = FeatureModel(
+            mandatory("A", optional("B"), optional("C")),
+            [Requires("B", "C")],
+        )
+        assert count_products(model) == 3  # {}, {C}, {B,C}
+
+
+class TestEnumeration:
+    def test_enumeration_matches_count(self):
+        model = FeatureModel(
+            mandatory(
+                "A",
+                optional("B"),
+                alternative("G", mandatory("X"), mandatory("Y")),
+                or_group("H", mandatory("P"), mandatory("Q"), optional=True),
+            )
+        )
+        products = list(enumerate_products(model))
+        assert len(products) == count_products(model)
+
+    def test_all_enumerated_are_valid(self):
+        model = FeatureModel(
+            or_group("A", mandatory("X", optional("X1")), mandatory("Y"))
+        )
+        for config in enumerate_products(model):
+            assert validate_configuration(model, config) == []
+
+    def test_dead_feature_detection(self):
+        model = FeatureModel(
+            mandatory("A", optional("B"), optional("C")),
+            [Requires("B", "C"), Excludes("B", "C")],
+        )
+        assert dead_features(model) == ["B"]
+
+    def test_core_features(self):
+        model = FeatureModel(mandatory("A", mandatory("B"), optional("C")))
+        assert core_features(model) == ["A", "B"]
+
+
+class TestStatistics:
+    def test_statistics_fields(self):
+        model = FeatureModel(
+            mandatory("A", optional("B"), alternative("G", mandatory("X"), mandatory("Y")))
+        )
+        stats = model_statistics(model)
+        assert stats["features"] == 5
+        assert stats["optional"] == 1
+        assert stats["alternative_groups"] == 1
+        assert stats["depth"] == 3
+
+
+# -- property-based tests ----------------------------------------------------
+
+
+@st.composite
+def feature_trees(draw, depth=3, name_prefix="f"):
+    """Random feature trees with unique names."""
+    counter = draw(st.integers(min_value=0, max_value=0))  # seed anchor
+    del counter
+    index = [0]
+
+    def build(level):
+        index[0] += 1
+        name = f"{name_prefix}{index[0]}"
+        is_optional = draw(st.booleans())
+        group = draw(st.sampled_from(list(GroupType)))
+        n_children = 0
+        if level < depth:
+            n_children = draw(st.integers(min_value=0, max_value=3))
+        children = [build(level + 1) for _ in range(n_children)]
+        feature = Feature(name, children, optional=is_optional, group=group)
+        return feature
+
+    root = build(1)
+    root.optional = False
+    return FeatureModel(root)
+
+
+@given(feature_trees())
+@settings(max_examples=40, deadline=None)
+def test_property_enumeration_agrees_with_tree_count(model):
+    """For constraint-free models the DP count equals brute-force enumeration."""
+    products = list(enumerate_products(model))
+    assert len(products) == count_products(model)
+
+
+@given(feature_trees())
+@settings(max_examples=40, deadline=None)
+def test_property_every_product_is_valid(model):
+    for config in enumerate_products(model):
+        assert validate_configuration(model, config) == []
+
+
+@given(feature_trees())
+@settings(max_examples=40, deadline=None)
+def test_property_products_are_distinct(model):
+    products = [c.selected for c in enumerate_products(model)]
+    assert len(products) == len(set(products))
+
+
+@given(feature_trees())
+@settings(max_examples=30, deadline=None)
+def test_property_root_in_every_product(model):
+    for config in enumerate_products(model):
+        assert model.root.name in config

@@ -1,0 +1,147 @@
+"""Tests for the feature-model DSL and ASCII diagram rendering."""
+
+import pytest
+
+from repro.errors import FeatureModelError
+from repro.features import (
+    GroupType,
+    read_feature_model,
+    render_feature,
+    render_model,
+)
+
+FIGURE1 = """
+model QuerySpecification {
+    optional SetQuantifier alt { All Distinct }
+    mandatory SelectList or {
+        Asterisk
+        SelectSublist [1..*] { DerivedColumn { optional As } }
+    }
+    mandatory TableExpression {
+        From
+        optional Where
+        optional GroupBy
+        optional Having
+        optional Window
+    }
+}
+"""
+
+
+class TestDsl:
+    def test_figure1_parses(self):
+        model = read_feature_model(FIGURE1)
+        assert model.root.name == "QuerySpecification"
+        assert model.feature("SetQuantifier").group is GroupType.ALTERNATIVE
+        assert model.feature("SetQuantifier").optional
+        assert model.feature("SelectList").group is GroupType.OR
+        assert model.feature("Where").optional
+        assert model.feature("From").mandatory
+
+    def test_cardinality_parsed(self):
+        model = read_feature_model(FIGURE1)
+        card = model.feature("SelectSublist").cardinality
+        assert card.min == 1 and card.max is None
+
+    def test_bounded_cardinality(self):
+        model = read_feature_model("model M { F [2..5] }")
+        assert model.feature("F").cardinality.min == 2
+        assert model.feature("F").cardinality.max == 5
+
+    def test_constraints(self):
+        model = read_feature_model(
+            "model M { optional A optional B A requires B ; }"
+        )
+        assert len(model.constraints) == 1
+
+    def test_excludes_constraint(self):
+        model = read_feature_model(
+            "model M { optional A optional B A excludes B ; }"
+        )
+        assert model.constraints[0].message().startswith("feature 'A' excludes")
+
+    def test_comments_ignored(self):
+        model = read_feature_model("model M { // nothing\n optional A }")
+        assert model.feature("A").optional
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(FeatureModelError):
+            read_feature_model("model M { optional A")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(FeatureModelError):
+            read_feature_model("model M { A @ }")
+
+    def test_default_group_is_and(self):
+        model = read_feature_model("model M { A { B optional C } }")
+        assert model.feature("A").group is GroupType.AND
+
+
+class TestDiagramRendering:
+    def test_render_marks_optional_with_brackets(self):
+        model = read_feature_model(FIGURE1)
+        text = render_feature(model.root)
+        assert "[Where]" in text
+        assert "From" in text
+
+    def test_render_marks_groups(self):
+        model = read_feature_model(FIGURE1)
+        text = render_feature(model.root)
+        assert "SetQuantifier] <alt>" in text
+        assert "SelectList <or>" in text
+
+    def test_render_shows_cardinality(self):
+        model = read_feature_model(FIGURE1)
+        assert "SelectSublist [1..*]" in render_feature(model.root)
+
+    def test_render_model_appends_constraints(self):
+        model = read_feature_model(
+            "model M { optional A optional B A requires B ; }"
+        )
+        text = render_model(model)
+        assert "constraints:" in text
+        assert "requires" in text
+
+    def test_tree_structure_indentation(self):
+        model = read_feature_model("model M { A { B } C }")
+        lines = render_feature(model.root).splitlines()
+        assert lines[0] == "M"
+        assert any(line.startswith("|-- ") or line.startswith("`-- ") for line in lines[1:])
+
+
+class TestModelWriter:
+    def test_round_trip_figure1(self):
+        from repro.features import read_feature_model, write_feature_model
+
+        model = read_feature_model(FIGURE1)
+        text = write_feature_model(model)
+        reparsed = read_feature_model(text)
+        assert reparsed.feature_names() == model.feature_names()
+        for name in model.feature_names():
+            original = model.feature(name)
+            copy = reparsed.feature(name)
+            assert copy.optional == original.optional, name
+            assert copy.group == original.group or not original.children, name
+            assert copy.cardinality == original.cardinality, name
+
+    def test_round_trip_constraints(self):
+        from repro.features import read_feature_model, write_feature_model
+
+        model = read_feature_model(
+            "model M { optional A optional B A requires B ; A excludes B ; }"
+        )
+        reparsed = read_feature_model(write_feature_model(model))
+        assert len(reparsed.constraints) == 2
+
+    def test_dotted_names_not_supported_by_dsl(self):
+        """SQL model uses dotted names; the DSL writer targets plain models."""
+        from repro.features import (
+            FeatureModel,
+            mandatory,
+            read_feature_model,
+            write_feature_model,
+        )
+
+        model = FeatureModel(mandatory("Root", mandatory("Plain")))
+        text = write_feature_model(model)
+        assert read_feature_model(text).has_feature("Plain")

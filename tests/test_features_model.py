@@ -1,0 +1,228 @@
+"""Tests for feature models and configurations."""
+
+import pytest
+
+from repro.errors import (
+    FeatureModelError,
+    InvalidConfigurationError,
+    UnknownFeatureError,
+)
+from repro.features import (
+    MANY,
+    Cardinality,
+    Configuration,
+    Excludes,
+    Feature,
+    FeatureModel,
+    GroupType,
+    Requires,
+    alternative,
+    check_configuration,
+    expand_selection,
+    mandatory,
+    optional,
+    or_group,
+    validate_configuration,
+)
+
+
+def figure1_model():
+    """The paper's Figure 1: Query Specification feature diagram."""
+    root = mandatory(
+        "QuerySpecification",
+        alternative("SetQuantifier", mandatory("ALL"), mandatory("DISTINCT"),
+                    optional=True),
+        or_group(
+            "SelectList",
+            mandatory("Asterisk"),
+            mandatory(
+                "SelectSublist",
+                mandatory("DerivedColumn", optional("As")),
+                cardinality=MANY,
+            ),
+        ),
+        mandatory(
+            "TableExpression",
+            mandatory("From"),
+            optional("Where"),
+            optional("GroupBy"),
+            optional("Having"),
+            optional("Window"),
+        ),
+    )
+    return FeatureModel(root)
+
+
+@pytest.fixture
+def model():
+    return figure1_model()
+
+
+class TestModelConstruction:
+    def test_lookup_by_name(self, model):
+        assert model.feature("Where").optional
+        assert model.feature("From").mandatory
+
+    def test_unknown_feature_raises(self, model):
+        with pytest.raises(UnknownFeatureError):
+            model.feature("Nope")
+
+    def test_duplicate_names_rejected(self):
+        root = mandatory("A", mandatory("B"), mandatory("B2"))
+        root.children[1].name = "B"  # force duplicate
+        with pytest.raises(FeatureModelError):
+            FeatureModel(root)
+
+    def test_reparenting_rejected(self):
+        child = mandatory("C")
+        mandatory("A", child)
+        with pytest.raises(FeatureModelError):
+            mandatory("B", child)
+
+    def test_constraint_names_validated(self):
+        root = mandatory("A", optional("B"))
+        with pytest.raises(UnknownFeatureError):
+            FeatureModel(root, [Requires("B", "Missing")])
+
+    def test_walk_preorder(self, model):
+        names = [f.name for f in model.root.walk()]
+        assert names[0] == "QuerySpecification"
+        assert names.index("SelectList") < names.index("Asterisk")
+
+    def test_leaves(self, model):
+        leaves = {f.name for f in model.leaves()}
+        assert "Where" in leaves
+        assert "TableExpression" not in leaves
+
+    def test_graft_extension_subtree(self, model):
+        model.graft("TableExpression", optional("EpochDuration"))
+        assert model.feature("EpochDuration").parent.name == "TableExpression"
+
+    def test_graft_duplicate_rejected(self, model):
+        with pytest.raises(FeatureModelError):
+            model.graft("TableExpression", optional("Where"))
+
+
+class TestCardinality:
+    def test_default_is_one(self):
+        assert Cardinality() == Cardinality(1, 1)
+        assert not Cardinality().is_clone
+
+    def test_many_is_clone(self):
+        assert MANY.is_clone
+        assert str(MANY) == "[1..*]"
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Cardinality(2, 1)
+        with pytest.raises(ValueError):
+            Cardinality(-1, 1)
+
+
+class TestValidation:
+    def base_selection(self):
+        return {
+            "QuerySpecification",
+            "SelectList",
+            "SelectSublist",
+            "DerivedColumn",
+            "TableExpression",
+            "From",
+        }
+
+    def test_valid_minimal_configuration(self, model):
+        config = Configuration.of(self.base_selection())
+        assert validate_configuration(model, config) == []
+
+    def test_missing_root(self, model):
+        config = Configuration.of(self.base_selection() - {"QuerySpecification"})
+        assert any("root" in v for v in validate_configuration(model, config))
+
+    def test_orphan_selection(self, model):
+        config = Configuration.of(self.base_selection() | {"ALL"})
+        violations = validate_configuration(model, config)
+        assert any("without its parent" in v for v in violations)
+
+    def test_missing_mandatory_child(self, model):
+        config = Configuration.of(self.base_selection() - {"From"})
+        violations = validate_configuration(model, config)
+        assert any("mandatory" in v and "From" in v for v in violations)
+
+    def test_or_group_needs_one(self, model):
+        config = Configuration.of(
+            self.base_selection() - {"SelectSublist", "DerivedColumn"}
+        )
+        violations = validate_configuration(model, config)
+        assert any("OR group" in v for v in violations)
+
+    def test_alternative_needs_exactly_one(self, model):
+        base = self.base_selection() | {"SetQuantifier", "ALL", "DISTINCT"}
+        violations = validate_configuration(model, Configuration.of(base))
+        assert any("alternative" in v for v in violations)
+
+    def test_alternative_with_one_is_fine(self, model):
+        base = self.base_selection() | {"SetQuantifier", "DISTINCT"}
+        assert validate_configuration(model, Configuration.of(base)) == []
+
+    def test_unknown_feature_reported(self, model):
+        config = Configuration.of({"QuerySpecification", "Bogus"})
+        assert any("unknown" in v for v in validate_configuration(model, config))
+
+    def test_cardinality_count_checked(self, model):
+        config = Configuration.of(self.base_selection(), {"SelectSublist": 0})
+        # count() returns 1 default; explicit 0 violates [1..*]
+        violations = validate_configuration(model, config)
+        assert any("cardinality" in v for v in violations)
+
+    def test_clone_count_many_is_fine(self, model):
+        config = Configuration.of(self.base_selection(), {"SelectSublist": 7})
+        assert validate_configuration(model, config) == []
+
+    def test_check_raises_with_all_violations(self, model):
+        with pytest.raises(InvalidConfigurationError) as exc:
+            check_configuration(model, Configuration.of({"QuerySpecification"}))
+        assert len(exc.value.violations) >= 2
+
+
+class TestConstraints:
+    def test_requires(self, model):
+        model.add_constraint(Requires("Having", "GroupBy"))
+        config = Configuration.of(
+            TestValidation().base_selection() | {"Having"}
+        )
+        violations = validate_configuration(model, config)
+        assert any("requires" in v for v in violations)
+
+    def test_excludes(self, model):
+        model.add_constraint(Excludes("Asterisk", "SetQuantifier"))
+        config = Configuration.of(
+            TestValidation().base_selection()
+            | {"Asterisk", "SetQuantifier", "DISTINCT"}
+        )
+        violations = validate_configuration(model, config)
+        assert any("excludes" in v for v in violations)
+
+
+class TestExpansion:
+    def test_expand_pulls_in_ancestors_and_mandatory(self, model):
+        config = expand_selection(model, ["Where"])
+        assert "QuerySpecification" in config
+        assert "TableExpression" in config
+        assert "From" in config  # mandatory sibling of Where
+
+    def test_expand_defaults_group_choice(self, model):
+        config = expand_selection(model, ["SetQuantifier"])
+        assert "ALL" in config  # first alternative as deterministic default
+
+    def test_expand_applies_requires(self, model):
+        model.add_constraint(Requires("Having", "GroupBy"))
+        config = expand_selection(model, ["Having"])
+        assert "GroupBy" in config
+
+    def test_expand_unknown_feature(self, model):
+        with pytest.raises(UnknownFeatureError):
+            expand_selection(model, ["Frobnicate"])
+
+    def test_expanded_is_valid(self, model):
+        config = expand_selection(model, ["Where", "GroupBy", "Asterisk"])
+        assert validate_configuration(model, config) == []

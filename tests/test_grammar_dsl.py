@@ -1,0 +1,117 @@
+"""Tests for the textual grammar DSL reader and writer."""
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.grammar import (
+    Opt,
+    Ref,
+    Rep,
+    Seq,
+    Tok,
+    normalize_lists,
+    opt,
+    plus,
+    read_grammar,
+    seq,
+    write_grammar,
+)
+
+
+class TestReader:
+    def test_header_and_start(self):
+        g = read_grammar("grammar demo ;\nstart a ;\na : B ;")
+        assert g.name == "demo"
+        assert g.start == "a"
+
+    def test_default_start_is_first_rule(self):
+        g = read_grammar("a : B ;\nb : C ;")
+        assert g.start == "a"
+
+    def test_case_convention_distinguishes_terminals(self):
+        g = read_grammar("a : SELECT name ;")
+        alt = g.rule("a").alternatives[0]
+        assert alt == seq(Tok("SELECT"), Ref("name"))
+
+    def test_choice(self):
+        g = read_grammar("q : DISTINCT | ALL ;")
+        assert len(g.rule("q").alternatives) == 2
+
+    def test_optional_question_mark_and_brackets_agree(self):
+        g1 = read_grammar("a : B C? ;")
+        g2 = read_grammar("a : B [C] ;")
+        assert g1.rule("a").alternatives == g2.rule("a").alternatives
+
+    def test_repetitions(self):
+        g = read_grammar("a : B* C+ ;")
+        b, c = g.rule("a").alternatives[0].items
+        assert isinstance(b, Rep) and b.min == 0
+        assert isinstance(c, Rep) and c.min == 1
+
+    def test_grouping(self):
+        g = read_grammar("a : (B | C) D ;")
+        alt = g.rule("a").alternatives[0]
+        assert isinstance(alt, Seq)
+        assert len(alt.items) == 2
+
+    def test_epsilon_alternative(self):
+        g = read_grammar("a : B | ;")
+        assert g.rule("a").alternatives[1] == Seq(())
+
+    def test_comments_ignored(self):
+        g = read_grammar("// leading\na : B ; # trailing\n")
+        assert g.has_rule("a")
+
+    def test_complex_list_normalized(self):
+        g = read_grammar("sl : item (COMMA item)* ;")
+        alt = g.rule("sl").alternatives[0]
+        assert alt == plus(Ref("item"), separator=Tok("COMMA"))
+
+    def test_list_normalization_requires_matching_item(self):
+        g = read_grammar("sl : a (COMMA b)* ;")
+        alt = g.rule("sl").alternatives[0]
+        assert isinstance(alt, Seq)  # not merged: a != b
+
+    def test_two_rules_same_lhs_merge_alternatives(self):
+        g = read_grammar("a : B ;\na : C ;")
+        assert len(g.rule("a").alternatives) == 2
+
+    def test_syntax_error_reports_position(self):
+        with pytest.raises(GrammarSyntaxError) as exc:
+            read_grammar("a : B\nc : D ;")  # missing ';' after B
+        assert exc.value.line >= 1
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            read_grammar("a : B @ C ;")
+
+
+class TestNormalizeLists:
+    def test_nested_inside_optional(self):
+        g = read_grammar("a : B [ x (COMMA x)* ] ;")
+        alt = g.rule("a").alternatives[0]
+        inner = alt.items[1]
+        assert isinstance(inner, Opt)
+        assert inner.inner == plus(Ref("x"), separator=Tok("COMMA"))
+
+    def test_plain_star_untouched(self):
+        g = read_grammar("a : B* ;")
+        assert g.rule("a").alternatives[0] == Rep(Tok("B"), min=0)
+
+
+class TestRoundTrip:
+    CASES = [
+        "a : SELECT b? c ;",
+        "a : B | C | ;",
+        "a : x (COMMA x)* ;",
+        "a : (B | C)+ D* ;",
+        "a : B [C D] ;",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_read_write_read_fixpoint(self, text):
+        g1 = read_grammar(text, name="t")
+        g2 = read_grammar(write_grammar(g1), name="t")
+        assert g1.rule_names() == g2.rule_names()
+        for name in g1.rule_names():
+            assert g1.rule(name).alternatives == g2.rule(name).alternatives

@@ -1,0 +1,111 @@
+"""Unit tests for the grammar expression algebra."""
+
+from repro.grammar import (
+    Choice,
+    Opt,
+    Ref,
+    Rep,
+    Seq,
+    Tok,
+    choice,
+    flatten,
+    is_optional_element,
+    opt,
+    plus,
+    required_core,
+    seq,
+    star,
+)
+
+
+class TestConstructors:
+    def test_seq_collapses_single_item(self):
+        assert seq(Tok("A")) == Tok("A")
+
+    def test_seq_flattens_nested_sequences(self):
+        inner = seq(Tok("A"), Tok("B"))
+        assert seq(inner, Tok("C")) == Seq((Tok("A"), Tok("B"), Tok("C")))
+
+    def test_choice_collapses_single_alternative(self):
+        assert choice(Ref("a")) == Ref("a")
+
+    def test_choice_flattens_nested_choices(self):
+        inner = choice(Tok("A"), Tok("B"))
+        assert choice(inner, Tok("C")) == Choice((Tok("A"), Tok("B"), Tok("C")))
+
+    def test_opt_is_idempotent(self):
+        assert opt(opt(Tok("A"))) == Opt(Tok("A"))
+
+    def test_star_and_plus_min(self):
+        assert star(Tok("A")).min == 0
+        assert plus(Tok("A")).min == 1
+
+    def test_separated_list(self):
+        lst = plus(Ref("item"), separator=Tok("COMMA"))
+        assert lst.separator == Tok("COMMA")
+
+
+class TestStructuralEquality:
+    def test_equal_sequences(self):
+        assert seq(Tok("A"), Ref("b")) == seq(Tok("A"), Ref("b"))
+
+    def test_tok_and_ref_differ_even_with_same_name(self):
+        assert Tok("a") != Ref("a")
+
+    def test_hashable(self):
+        s = {seq(Tok("A"), Ref("b")), seq(Tok("A"), Ref("b"))}
+        assert len(s) == 1
+
+
+class TestWalking:
+    def test_terminals_and_nonterminals(self):
+        e = seq(Tok("SELECT"), opt(Ref("quant")), plus(Ref("col"), separator=Tok("COMMA")))
+        assert set(e.terminals()) == {"SELECT", "COMMA"}
+        assert set(e.nonterminals()) == {"quant", "col"}
+
+    def test_walk_visits_choice_alternatives(self):
+        e = choice(Tok("A"), seq(Tok("B"), Ref("c")))
+        names = {n.name for n in e.walk() if isinstance(n, (Tok, Ref))}
+        assert names == {"A", "B", "c"}
+
+
+class TestFlatten:
+    def test_flatten_plain_element(self):
+        assert flatten(Tok("A")) == [Tok("A")]
+
+    def test_flatten_sequence(self):
+        assert flatten(seq(Tok("A"), Ref("b"))) == [Tok("A"), Ref("b")]
+
+    def test_flatten_does_not_enter_opt(self):
+        e = seq(Tok("A"), opt(Ref("b")))
+        assert flatten(e) == [Tok("A"), Opt(Ref("b"))]
+
+
+class TestOptionality:
+    def test_opt_is_optional(self):
+        assert is_optional_element(opt(Tok("A")))
+
+    def test_star_is_optional_plus_is_not(self):
+        assert is_optional_element(star(Tok("A")))
+        assert not is_optional_element(plus(Tok("A")))
+
+    def test_sequence_optional_iff_all_items_optional(self):
+        assert is_optional_element(seq(opt(Tok("A")), star(Tok("B"))))
+        assert not is_optional_element(seq(opt(Tok("A")), Tok("B")))
+
+    def test_choice_optional_if_any_alt_optional(self):
+        assert is_optional_element(choice(Tok("A"), opt(Tok("B"))))
+
+    def test_required_core(self):
+        assert required_core(opt(Tok("A"))) == Tok("A")
+        assert required_core(star(Ref("x"))) == Ref("x")
+        assert required_core(Tok("A")) is None
+
+
+class TestDisplay:
+    def test_str_round_readable(self):
+        e = seq(Tok("SELECT"), opt(Ref("q")), choice(Tok("A"), Tok("B")))
+        text = str(e)
+        assert "SELECT" in text
+        assert "q?" in text
+        assert "(A | B)" in text

@@ -1,0 +1,110 @@
+"""Tests for grammar containers and whole-grammar validation."""
+
+import pytest
+
+from repro.errors import (
+    GrammarError,
+    LeftRecursionError,
+    UndefinedNonterminalError,
+)
+from repro.grammar import Grammar, Rule, read_grammar, seq, Tok, Ref, validate
+from repro.lexer import TokenSet, keyword, literal
+
+
+def grammar_with_tokens(text, token_defs):
+    return read_grammar(text, name="t", tokens=TokenSet("t", token_defs))
+
+
+class TestGrammarContainer:
+    def test_add_and_get_rule(self):
+        g = Grammar("g", [Rule("a", [Tok("B")])])
+        assert g.rule("a").alternatives == [Tok("B")]
+
+    def test_missing_rule_raises(self):
+        g = Grammar("g")
+        with pytest.raises(GrammarError):
+            g.rule("nope")
+
+    def test_remove_rule(self):
+        g = Grammar("g", [Rule("a", [Tok("B")])])
+        g.remove_rule("a")
+        assert not g.has_rule("a")
+        with pytest.raises(GrammarError):
+            g.remove_rule("a")
+
+    def test_copy_is_deep_for_rules(self):
+        g = Grammar("g", [Rule("a", [Tok("B")])])
+        clone = g.copy()
+        clone.rule("a").add_alternative(Tok("C"))
+        assert len(g.rule("a").alternatives) == 1
+
+    def test_size_metrics(self):
+        g = read_grammar("a : B c ;\nc : D | E ;")
+        size = g.size()
+        assert size["rules"] == 2
+        assert size["alternatives"] == 3
+
+    def test_undefined_nonterminals_of_subgrammar(self):
+        g = read_grammar("a : B other_feature ;")
+        assert g.undefined_nonterminals() == {"other_feature"}
+
+
+class TestValidation:
+    def test_clean_grammar_passes(self):
+        g = grammar_with_tokens(
+            "a : SELECT b ;\nb : NAME ;",
+            [keyword("select"), literal("NAME", "name")],
+        )
+        report = validate(g)
+        assert report.ok
+        report.raise_if_failed()
+
+    def test_undefined_nonterminal_detected(self):
+        g = grammar_with_tokens("a : b ;", [])
+        report = validate(g)
+        assert report.undefined_nonterminals == ["b"]
+        with pytest.raises(UndefinedNonterminalError):
+            report.raise_if_failed()
+
+    def test_undefined_terminal_detected(self):
+        g = grammar_with_tokens("a : SELECT ;", [])
+        report = validate(g)
+        assert report.undefined_terminals == ["SELECT"]
+
+    def test_unreachable_rule_detected(self):
+        g = grammar_with_tokens(
+            "grammar t ;\nstart a ;\na : X ;\nz : Y ;",
+            [literal("X", "x"), literal("Y", "y")],
+        )
+        report = validate(g)
+        assert report.unreachable_rules == ["z"]
+        # unreachable is a warning, not an error
+        assert report.ok
+
+    def test_direct_left_recursion_detected(self):
+        g = grammar_with_tokens("e : e PLUS t | t ;\nt : N ;",
+                                [literal("PLUS", "+"), literal("N", "n")])
+        report = validate(g)
+        assert "e" in report.left_recursive
+        with pytest.raises(LeftRecursionError):
+            report.raise_if_failed()
+
+    def test_indirect_left_recursion_detected(self):
+        g = grammar_with_tokens("a : b X ;\nb : a Y | Z ;",
+                                [literal("X", "x"), literal("Y", "y"), literal("Z", "z")])
+        report = validate(g)
+        assert {"a", "b"} <= set(report.left_recursive)
+
+    def test_left_recursion_through_nullable_prefix(self):
+        g = grammar_with_tokens(
+            "a : b? a X | Y ;\nb : Z ;",
+            [literal("X", "x"), literal("Y", "y"), literal("Z", "z")],
+        )
+        report = validate(g)
+        assert "a" in report.left_recursive
+
+    def test_right_recursion_is_fine(self):
+        g = grammar_with_tokens(
+            "list : ITEM list | ITEM ;", [literal("ITEM", "i")]
+        )
+        assert validate(g).left_recursive == []

@@ -1,0 +1,107 @@
+"""Unit tests for the longest-match scanner."""
+
+import pytest
+
+from repro.errors import ScanError
+from repro.lexer import (
+    EOF,
+    Scanner,
+    TokenSet,
+    keyword,
+    literal,
+    pattern,
+    standard_skip_tokens,
+)
+
+
+def sql_like_token_set(extra_keywords=()):
+    defs = standard_skip_tokens() + [
+        keyword("select"),
+        keyword("from"),
+        keyword("where"),
+        literal("COMMA", ","),
+        literal("ASTERISK", "*"),
+        literal("EQ", "="),
+        literal("LE", "<="),
+        literal("LT", "<"),
+        pattern("UNSIGNED_INTEGER", r"\d+", priority=10),
+        pattern("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*", priority=1),
+        pattern("STRING_LITERAL", r"'(?:[^']|'')*'", priority=11),
+    ]
+    defs += [keyword(k) for k in extra_keywords]
+    return TokenSet("sql-like", defs)
+
+
+@pytest.fixture
+def scanner():
+    return Scanner(sql_like_token_set())
+
+
+class TestScanner:
+    def test_simple_statement(self, scanner):
+        toks = scanner.scan("SELECT a FROM t")
+        assert [t.type for t in toks] == [
+            "SELECT",
+            "IDENTIFIER",
+            "FROM",
+            "IDENTIFIER",
+            EOF,
+        ]
+
+    def test_keywords_are_case_insensitive(self, scanner):
+        toks = scanner.scan("select From WHERE")
+        assert [t.type for t in toks][:-1] == ["SELECT", "FROM", "WHERE"]
+        assert toks[0].text == "select"  # original text preserved
+
+    def test_non_keyword_identifier_stays_identifier(self, scanner):
+        toks = scanner.scan("selection")
+        assert toks[0].type == "IDENTIFIER"
+
+    def test_longest_match_on_operators(self, scanner):
+        toks = scanner.scan("a <= 1 < 2")
+        assert [t.type for t in toks][:-1] == [
+            "IDENTIFIER",
+            "LE",
+            "UNSIGNED_INTEGER",
+            "LT",
+            "UNSIGNED_INTEGER",
+        ]
+
+    def test_string_literal_with_escaped_quote(self, scanner):
+        toks = scanner.scan("'it''s'")
+        assert toks[0].type == "STRING_LITERAL"
+        assert toks[0].text == "'it''s'"
+
+    def test_positions_track_lines_and_columns(self, scanner):
+        toks = scanner.scan("SELECT a\nFROM t")
+        from_tok = toks[2]
+        assert from_tok.type == "FROM"
+        assert (from_tok.line, from_tok.column) == (2, 1)
+        t_tok = toks[3]
+        assert (t_tok.line, t_tok.column) == (2, 6)
+
+    def test_comments_are_skipped(self, scanner):
+        toks = scanner.scan("SELECT -- everything\n a /* really\neverything */ ,")
+        assert [t.type for t in toks][:-1] == ["SELECT", "IDENTIFIER", "COMMA"]
+
+    def test_scan_error_on_unknown_character(self, scanner):
+        with pytest.raises(ScanError) as exc:
+            scanner.scan("a ; b")
+        assert exc.value.line == 1
+        assert exc.value.column == 3
+
+    def test_eof_token_always_last(self, scanner):
+        assert scanner.scan("")[-1].type == EOF
+        assert scanner.scan("a")[-1].type == EOF
+
+    def test_tailored_keyword_set_frees_identifiers(self):
+        """Ablation A3: a dialect without GROUP as keyword can use it as a name."""
+        small = Scanner(sql_like_token_set())
+        big = Scanner(sql_like_token_set(extra_keywords=["group"]))
+        assert small.scan("group")[0].type == "IDENTIFIER"
+        assert big.scan("group")[0].type == "GROUP"
+
+    def test_offsets_are_character_offsets(self, scanner):
+        toks = scanner.scan("SELECT a")
+        assert toks[0].offset == 0
+        assert toks[1].offset == 7

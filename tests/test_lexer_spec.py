@@ -1,0 +1,96 @@
+"""Unit tests for token definitions and token-set composition."""
+
+import pytest
+
+from repro.errors import TokenConflictError
+from repro.lexer import (
+    TokenDef,
+    TokenSet,
+    keyword,
+    literal,
+    pattern,
+    standard_skip_tokens,
+)
+
+
+class TestTokenDef:
+    def test_keyword_defaults_name_to_upper_word(self):
+        k = keyword("select")
+        assert k.name == "SELECT"
+        assert k.pattern == "SELECT"
+        assert k.is_keyword
+
+    def test_keyword_explicit_name(self):
+        k = keyword("group", name="GROUP_KW")
+        assert k.name == "GROUP_KW"
+
+    def test_literal_is_not_keyword(self):
+        assert not literal("COMMA", ",").is_keyword
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TokenDef("X", "x", kind="wrong")
+
+
+class TestTokenSet:
+    def test_add_and_lookup(self):
+        ts = TokenSet("t", [keyword("select")])
+        assert "SELECT" in ts
+        assert ts.get("SELECT").pattern == "SELECT"
+        assert ts.get("MISSING") is None
+
+    def test_duplicate_identical_definition_is_noop(self):
+        ts = TokenSet("t")
+        ts.add(keyword("select"))
+        ts.add(keyword("select"))
+        assert len(ts) == 1
+
+    def test_conflicting_definition_raises(self):
+        ts = TokenSet("t", [literal("COMMA", ",")])
+        with pytest.raises(TokenConflictError):
+            ts.add(literal("COMMA", ";"))
+
+    def test_merge_unions_definitions(self):
+        a = TokenSet("a", [keyword("select"), literal("COMMA", ",")])
+        b = TokenSet("b", [keyword("where")])
+        merged = a.merge(b)
+        assert merged.names() == {"SELECT", "COMMA", "WHERE"}
+        # merge does not mutate the operands
+        assert len(a) == 2
+        assert len(b) == 1
+
+    def test_merge_conflict_raises(self):
+        a = TokenSet("a", [literal("OP", "+")])
+        b = TokenSet("b", [literal("OP", "-")])
+        with pytest.raises(TokenConflictError):
+            a.merge(b)
+
+    def test_merge_is_commutative_on_disjoint_sets(self):
+        a = TokenSet("a", [keyword("select")])
+        b = TokenSet("b", [keyword("from")])
+        assert a.merge(b) == b.merge(a)
+
+    def test_keywords_map(self):
+        ts = TokenSet("t", [keyword("select"), keyword("from"), literal("DOT", ".")])
+        assert ts.keywords == {"SELECT": "SELECT", "FROM": "FROM"}
+
+    def test_literals_sorted_longest_first(self):
+        ts = TokenSet("t", [literal("LT", "<"), literal("LE", "<="), literal("NE", "<>")])
+        texts = [d.pattern for d in ts.literals]
+        assert texts[0] in ("<=", "<>")
+        assert texts[-1] == "<"
+
+    def test_patterns_sorted_by_priority(self):
+        ts = TokenSet(
+            "t",
+            [pattern("A", "a", priority=1), pattern("B", "b", priority=5)],
+        )
+        assert [d.name for d in ts.patterns] == ["B", "A"]
+
+    def test_standard_skip_tokens_are_skippable(self):
+        assert all(d.skip for d in standard_skip_tokens())
+
+    def test_describe_mentions_counts(self):
+        ts = TokenSet("demo", [keyword("select")])
+        assert "demo" in ts.describe()
+        assert "SELECT" in ts.describe()

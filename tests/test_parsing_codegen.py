@@ -1,0 +1,125 @@
+"""Tests for standalone parser source generation.
+
+The key property: the generated parser and the interpreting parser accept
+exactly the same language and produce structurally identical trees.
+"""
+
+import pytest
+
+from repro.grammar import read_grammar
+from repro.lexer import (
+    TokenSet,
+    keyword,
+    literal,
+    pattern,
+    standard_skip_tokens,
+)
+from repro.parsing import (
+    Parser,
+    generate_parser_source,
+    load_generated_parser,
+)
+
+from tests.test_parsing_parser import TINY_SQL, tiny_tokens
+
+
+@pytest.fixture(scope="module")
+def generated():
+    grammar = read_grammar(TINY_SQL, tokens=tiny_tokens())
+    return load_generated_parser(generate_parser_source(grammar))
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return Parser(read_grammar(TINY_SQL, tokens=tiny_tokens()))
+
+
+ACCEPTED = [
+    "SELECT a FROM t",
+    "SELECT * FROM t",
+    "SELECT DISTINCT a, b FROM t WHERE x = 1",
+    "select all a from t",
+    "SELECT a FROM t WHERE x = y",
+]
+
+REJECTED = [
+    "SELECT FROM t",
+    "SELECT a",
+    "SELECT a FROM t WHERE",
+    "SELECT a, FROM t",
+    "FROM t SELECT a",
+    "",
+]
+
+
+class TestGeneratedParser:
+    @pytest.mark.parametrize("text", ACCEPTED)
+    def test_accepts(self, generated, text):
+        assert generated.accepts(text)
+
+    @pytest.mark.parametrize("text", REJECTED)
+    def test_rejects(self, generated, text):
+        assert not generated.accepts(text)
+
+    @pytest.mark.parametrize("text", ACCEPTED)
+    def test_tree_matches_interpreter(self, generated, interpreter, text):
+        assert (
+            generated.parse(text).to_sexpr()
+            == interpreter.parse(text).to_sexpr()
+        )
+
+    def test_error_carries_position(self, generated):
+        with pytest.raises(generated.ParseError) as exc:
+            generated.parse("SELECT a WHERE")
+        assert exc.value.line == 1
+        assert exc.value.expected
+
+    def test_start_override(self, generated):
+        node = generated.parse("x = 1", start="condition")
+        assert node.name == "condition"
+
+    def test_source_is_self_contained(self):
+        grammar = read_grammar(TINY_SQL, tokens=tiny_tokens())
+        source = generate_parser_source(grammar)
+        assert "import re" in source
+        # no repro imports: the module must run anywhere
+        assert "repro" not in source.replace("repro.parsing.codegen", "")
+
+
+class TestGeneratedEdgeCases:
+    def test_separated_list_backoff(self):
+        tokens = TokenSet(
+            "t",
+            standard_skip_tokens()
+            + [literal("COMMA", ","), literal("X", "x"), literal("END", ".")],
+        )
+        g = read_grammar("a : item (COMMA item)* COMMA END ;\nitem : X ;", tokens=tokens)
+        mod = load_generated_parser(generate_parser_source(g))
+        assert mod.accepts("x , x , .")
+        assert mod.accepts("x , .")
+
+    def test_keywords_case_insensitive(self):
+        tokens = TokenSet(
+            "t",
+            standard_skip_tokens()
+            + [keyword("go"), pattern("IDENTIFIER", r"[A-Za-z]+", priority=1)],
+        )
+        g = read_grammar("a : GO IDENTIFIER ;", tokens=tokens)
+        mod = load_generated_parser(generate_parser_source(g))
+        assert mod.accepts("GO north")
+        assert mod.accepts("go north")
+        assert not mod.accepts("stop north")
+
+    def test_plus_min_enforced(self):
+        tokens = TokenSet("t", standard_skip_tokens() + [literal("X", "x")])
+        g = read_grammar("a : X+ ;", tokens=tokens)
+        mod = load_generated_parser(generate_parser_source(g))
+        assert not mod.accepts("")
+        assert mod.accepts("x x")
+
+    def test_scan_error_is_parse_error_subclass(self):
+        tokens = TokenSet("t", standard_skip_tokens() + [literal("X", "x")])
+        g = read_grammar("a : X ;", tokens=tokens)
+        mod = load_generated_parser(generate_parser_source(g))
+        with pytest.raises(mod.ParseError):
+            mod.parse("@")

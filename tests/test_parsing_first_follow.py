@@ -1,0 +1,104 @@
+"""Tests for nullable/FIRST/FOLLOW computation."""
+
+from repro.grammar import read_grammar, Tok, Ref, opt, seq, star, plus
+from repro.lexer import EOF
+from repro.parsing import GrammarAnalysis
+
+
+def analyse(text):
+    return GrammarAnalysis(read_grammar(text, name="t"))
+
+
+class TestNullable:
+    def test_terminal_not_nullable(self):
+        a = analyse("a : X ;")
+        assert not a.nullable["a"]
+
+    def test_epsilon_alternative_nullable(self):
+        a = analyse("a : X | ;")
+        assert a.nullable["a"]
+
+    def test_optional_body_nullable(self):
+        a = analyse("a : X? Y* ;")
+        assert a.nullable["a"]
+
+    def test_nullability_propagates_through_refs(self):
+        a = analyse("a : b c ;\nb : X | ;\nc : Y? ;")
+        assert a.nullable["a"]
+
+    def test_plus_not_nullable(self):
+        a = analyse("a : X+ ;")
+        assert not a.nullable["a"]
+
+
+class TestFirst:
+    def test_first_of_terminal_rule(self):
+        a = analyse("a : X Y ;")
+        assert a.first["a"] == {"X"}
+
+    def test_first_through_choice(self):
+        a = analyse("a : X | b ;\nb : Y ;")
+        assert a.first["a"] == {"X", "Y"}
+
+    def test_first_skips_nullable_prefix(self):
+        a = analyse("a : b X ;\nb : Y | ;")
+        assert a.first["a"] == {"Y", "X"}
+
+    def test_first_of_separated_list_is_item_first(self):
+        a = analyse("a : x (COMMA x)* ;\nx : N ;")
+        assert a.first["a"] == {"N"}
+
+    def test_first_of_expression_helper(self):
+        a = analyse("a : X ;")
+        e = seq(opt(Tok("Q")), Tok("X"))
+        assert a.first_of(e) == {"Q", "X"}
+
+    def test_first_of_sequence_suffix(self):
+        a = analyse("a : X ;")
+        items = [opt(Tok("Q")), star(Tok("R")), Tok("X")]
+        assert a.first_of_sequence(items) == {"Q", "R", "X"}
+
+
+class TestFollow:
+    def test_start_rule_followed_by_eof(self):
+        a = analyse("a : X ;")
+        assert EOF in a.follow["a"]
+
+    def test_follow_from_next_terminal(self):
+        a = analyse("a : b X ;\nb : Y ;")
+        assert a.follow["b"] == {"X"}
+
+    def test_follow_through_nullable_suffix(self):
+        a = analyse("a : b c? ;\nb : X ;\nc : Y ;")
+        # after b: either c (FIRST=Y) or end of a (FOLLOW(a)=EOF)
+        assert a.follow["b"] == {"Y", EOF}
+
+    def test_follow_inside_optional(self):
+        a = analyse("a : [b] X ;\nb : Y ;")
+        assert "X" in a.follow["b"]
+
+    def test_follow_of_list_item_includes_separator(self):
+        a = analyse("a : x (COMMA x)* DONE ;\nx : N ;")
+        assert a.follow["x"] >= {"COMMA", "DONE"}
+
+    def test_follow_propagates_to_last_nonterminal(self):
+        a = analyse("s : a END ;\na : b ;\nb : X ;")
+        assert a.follow["b"] == {"END"}
+
+    def test_follow_in_choice_branches(self):
+        a = analyse("s : (b X | b Y) ;\nb : N ;")
+        assert a.follow["b"] == {"X", "Y"}
+
+
+class TestCaching:
+    def test_first_of_is_stable_after_freeze(self):
+        a = analyse("a : X? Y ;")
+        e = a.grammar.rule("a").alternatives[0]
+        assert a.first_of(e) == a.first_of(e)
+
+    def test_cache_does_not_leak_between_elements(self):
+        a = analyse("a : X ;")
+        e1 = Tok("P")
+        e2 = Tok("Q")
+        assert a.first_of(e1) == {"P"}
+        assert a.first_of(e2) == {"Q"}

@@ -1,0 +1,63 @@
+"""Tests for LL(1) table construction and conflict detection."""
+
+from repro.grammar import read_grammar
+from repro.lexer import TokenSet, literal
+from repro.parsing import LLTable
+
+
+def table_for(text, tokens):
+    ts = TokenSet("t", [literal(n, v) for n, v in tokens])
+    return LLTable(read_grammar(text, tokens=ts))
+
+
+class TestTable:
+    def test_simple_predictions(self):
+        t = table_for("a : X | Y ;", [("X", "x"), ("Y", "y")])
+        assert t.predict("a", "X") == 0
+        assert t.predict("a", "Y") == 1
+        assert t.predict("a", "Z") is None
+        assert t.is_ll1
+
+    def test_alternative_for_returns_element(self):
+        t = table_for("a : X | Y ;", [("X", "x"), ("Y", "y")])
+        alt = t.alternative_for("a", "Y")
+        assert alt is not None
+
+    def test_first_first_conflict(self):
+        t = table_for("a : X Y | X Z ;", [("X", "x"), ("Y", "y"), ("Z", "z")])
+        assert not t.is_ll1
+        c = t.conflicts[0]
+        assert c.rule == "a"
+        assert c.terminal == "X"
+
+    def test_first_claimant_keeps_cell(self):
+        t = table_for("a : X Y | X Z ;", [("X", "x"), ("Y", "y"), ("Z", "z")])
+        assert t.predict("a", "X") == 0
+
+    def test_epsilon_uses_follow(self):
+        t = table_for(
+            "s : a X ;\na : Y | ;", [("X", "x"), ("Y", "y")]
+        )
+        # on lookahead X, rule a must predict its epsilon alternative
+        assert t.predict("a", "X") == 1
+        assert t.is_ll1
+
+    def test_first_follow_conflict(self):
+        # a can start with X and can be empty while X follows it
+        t = table_for("s : a X ;\na : X | ;", [("X", "x")])
+        assert not t.is_ll1
+
+    def test_two_nullable_alternatives_conflict(self):
+        t = table_for("a : X? | Y? ;", [("X", "x"), ("Y", "y")])
+        assert any(c.terminal == "<epsilon>" for c in t.conflicts)
+
+    def test_metrics(self):
+        t = table_for("a : X | Y ;", [("X", "x"), ("Y", "y")])
+        m = t.metrics()
+        assert m["entries"] == 2
+        assert m["nonterminals"] == 1
+        assert m["conflicts"] == 0
+
+    def test_conflict_str_mentions_rule(self):
+        t = table_for("a : X Y | X Z ;", [("X", "x"), ("Y", "y"), ("Z", "z")])
+        assert "a" in str(t.conflicts[0])

@@ -1,0 +1,213 @@
+"""Tests for the recursive-descent parser interpreter."""
+
+import pytest
+
+from repro.errors import LLConflictError, ParseError
+from repro.grammar import read_grammar
+from repro.lexer import (
+    TokenSet,
+    keyword,
+    literal,
+    pattern,
+    standard_skip_tokens,
+)
+from repro.parsing import Parser
+
+
+def tiny_tokens():
+    return TokenSet(
+        "tiny",
+        standard_skip_tokens()
+        + [
+            keyword("select"),
+            keyword("from"),
+            keyword("where"),
+            keyword("distinct"),
+            keyword("all"),
+            literal("COMMA", ","),
+            literal("ASTERISK", "*"),
+            literal("EQ", "="),
+            literal("LPAREN", "("),
+            literal("RPAREN", ")"),
+            pattern("NUMBER", r"\d+", priority=10),
+            pattern("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*", priority=1),
+        ],
+    )
+
+
+TINY_SQL = """
+grammar tiny ;
+start query ;
+
+query : SELECT set_quantifier? select_list FROM table_name where_clause? ;
+set_quantifier : DISTINCT | ALL ;
+select_list : ASTERISK | column (COMMA column)* ;
+column : IDENTIFIER ;
+table_name : IDENTIFIER ;
+where_clause : WHERE condition ;
+condition : IDENTIFIER EQ operand ;
+operand : IDENTIFIER | NUMBER ;
+"""
+
+
+@pytest.fixture
+def parser():
+    return Parser(read_grammar(TINY_SQL, tokens=tiny_tokens()))
+
+
+class TestBasicParsing:
+    def test_minimal_query(self, parser):
+        tree = parser.parse("SELECT a FROM t")
+        assert tree.name == "query"
+        assert tree.child("select_list") is not None
+        assert tree.child("table_name").text() == "t"
+
+    def test_star_select(self, parser):
+        tree = parser.parse("SELECT * FROM t")
+        assert tree.child("select_list").has_token("ASTERISK")
+
+    def test_optional_quantifier(self, parser):
+        tree = parser.parse("SELECT DISTINCT a FROM t")
+        assert tree.child("set_quantifier").has_token("DISTINCT")
+        tree2 = parser.parse("SELECT a FROM t")
+        assert tree2.child("set_quantifier") is None
+
+    def test_column_list(self, parser):
+        tree = parser.parse("SELECT a, b, c FROM t")
+        cols = tree.child("select_list").children_named("column")
+        assert [c.text() for c in cols] == ["a", "b", "c"]
+
+    def test_where_clause(self, parser):
+        tree = parser.parse("SELECT a FROM t WHERE x = 1")
+        cond = tree.child("where_clause").child("condition")
+        assert cond.child("operand").text() == "1"
+
+    def test_case_insensitive_keywords(self, parser):
+        assert parser.accepts("select a from t where x = y")
+
+
+class TestRejection:
+    def test_missing_from(self, parser):
+        assert not parser.accepts("SELECT a")
+
+    def test_trailing_garbage(self, parser):
+        assert not parser.accepts("SELECT a FROM t t2")
+
+    def test_double_quantifier(self, parser):
+        assert not parser.accepts("SELECT DISTINCT ALL a FROM t")
+
+    def test_trailing_comma(self, parser):
+        assert not parser.accepts("SELECT a, FROM t")
+
+    def test_empty_input(self, parser):
+        assert not parser.accepts("")
+
+
+class TestErrors:
+    def test_error_position_and_expected(self, parser):
+        with pytest.raises(ParseError) as exc:
+            parser.parse("SELECT a WHERE")
+        err = exc.value
+        assert err.line == 1
+        assert err.column == 10
+        assert "FROM" in err.expected or "COMMA" in err.expected
+
+    def test_error_at_end_of_input(self, parser):
+        with pytest.raises(ParseError) as exc:
+            parser.parse("SELECT a FROM")
+        assert "end of input" in str(exc.value)
+
+    def test_error_mentions_expected_terminals(self, parser):
+        with pytest.raises(ParseError) as exc:
+            parser.parse("SELECT FROM t")
+        assert exc.value.expected  # non-empty
+
+
+class TestStartRuleOverride:
+    def test_parse_sub_rule(self, parser):
+        tree = parser.parse("x = 5", start="condition")
+        assert tree.name == "condition"
+
+
+class TestStrictMode:
+    def test_ll1_grammar_accepted(self):
+        g = read_grammar("a : X | Y ;", tokens=TokenSet("t", [
+            literal("X", "x"), literal("Y", "y")]))
+        Parser(g, strict=True)  # should not raise
+
+    def test_non_ll1_grammar_rejected(self):
+        g = read_grammar(
+            "a : X Y | X Z ;",
+            tokens=TokenSet(
+                "t", [literal("X", "x"), literal("Y", "y"), literal("Z", "z")]
+            ),
+        )
+        with pytest.raises(LLConflictError):
+            Parser(g, strict=True)
+
+    def test_backtracking_handles_non_ll1(self):
+        g = read_grammar(
+            "a : X Y | X Z ;",
+            tokens=TokenSet(
+                "t",
+                standard_skip_tokens()
+                + [literal("X", "x"), literal("Y", "y"), literal("Z", "z")],
+            ),
+        )
+        p = Parser(g)
+        assert p.accepts("x y")
+        assert p.accepts("x z")
+        assert not p.accepts("x x")
+
+
+class TestRepetitionEdgeCases:
+    def test_plus_requires_one(self):
+        g = read_grammar(
+            "a : X+ ;",
+            tokens=TokenSet("t", standard_skip_tokens() + [literal("X", "x")]),
+        )
+        p = Parser(g)
+        assert not p.accepts("")
+        assert p.accepts("x")
+        assert p.accepts("x x x")
+
+    def test_star_accepts_empty(self):
+        g = read_grammar(
+            "a : X* END ;",
+            tokens=TokenSet(
+                "t",
+                standard_skip_tokens()
+                + [literal("X", "x"), literal("END", ".")],
+            ),
+        )
+        p = Parser(g)
+        assert p.accepts(".")
+        assert p.accepts("x x .")
+
+    def test_separator_owned_by_outer_context(self):
+        # the list's separator also appears after the list; the parser must
+        # give the trailing separator back to the outer rule
+        g = read_grammar(
+            "a : item (COMMA item)* COMMA END ;\nitem : X ;",
+            tokens=TokenSet(
+                "t",
+                standard_skip_tokens()
+                + [literal("COMMA", ","), literal("X", "x"), literal("END", ".")],
+            ),
+        )
+        p = Parser(g)
+        assert p.accepts("x , x , .")
+        assert p.accepts("x , .")
+
+
+class TestParseTreeShape:
+    def test_sexpr_rendering(self, parser):
+        tree = parser.parse("SELECT a FROM t", )
+        s = tree.to_sexpr()
+        assert s.startswith("(query")
+        assert "(column a)" in s
+
+    def test_tokens_in_source_order(self, parser):
+        tree = parser.parse("SELECT a, b FROM t")
+        texts = [t.text for t in tree.tokens()]
+        assert texts == ["SELECT", "a", ",", "b", "FROM", "t"]

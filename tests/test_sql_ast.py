@@ -1,0 +1,287 @@
+"""Tests for parse-tree → AST construction."""
+
+import pytest
+
+from repro.sql import ast, build_ast, build_dialect
+
+
+@pytest.fixture(scope="module")
+def full():
+    return build_dialect("full").parser()
+
+
+def first_statement(parser, sql):
+    return build_ast(parser.parse(sql)).statements[0]
+
+
+def select_of(parser, sql) -> ast.Select:
+    stmt = first_statement(parser, sql)
+    assert isinstance(stmt, ast.QueryStatement)
+    body = stmt.query.body
+    assert isinstance(body, ast.Select)
+    return body
+
+
+class TestSelectShape:
+    def test_items_aliases_and_star(self, full):
+        s = select_of(full, "SELECT a, b AS total, t.* FROM t")
+        assert s.items[0] == ast.SelectItem(ast.ColumnRef(("a",)), None)
+        assert s.items[1].alias == "total"
+        assert s.items[2] == ast.Star(table="t")
+        whole = select_of(full, "SELECT * FROM t")
+        assert whole.items == (ast.Star(),)
+
+    def test_quantifier(self, full):
+        assert select_of(full, "SELECT DISTINCT a FROM t").quantifier == "DISTINCT"
+        assert select_of(full, "SELECT a FROM t").quantifier is None
+
+    def test_from_alias_and_join(self, full):
+        s = select_of(full, "SELECT a FROM orders o INNER JOIN c ON o.x = c.x")
+        join = s.from_tables[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "inner"
+        assert join.left == ast.NamedTable(("orders",), alias="o")
+        assert isinstance(join.on, ast.BinaryOp)
+
+    def test_join_kinds(self, full):
+        for sql, kind in [
+            ("SELECT a FROM x LEFT JOIN y ON x.a = y.a", "left"),
+            ("SELECT a FROM x RIGHT OUTER JOIN y ON x.a = y.a", "right"),
+            ("SELECT a FROM x FULL JOIN y ON x.a = y.a", "full"),
+            ("SELECT a FROM x CROSS JOIN y", "cross"),
+            ("SELECT a FROM x NATURAL JOIN y", "natural"),
+        ]:
+            assert select_of(full, sql).from_tables[0].kind == kind
+
+    def test_using_join(self, full):
+        join = select_of(full, "SELECT a FROM x JOIN y USING (k1, k2)").from_tables[0]
+        assert join.using == ("k1", "k2")
+
+    def test_where_group_having(self, full):
+        s = select_of(
+            full,
+            "SELECT a FROM t WHERE b > 1 GROUP BY a HAVING COUNT(*) > 2",
+        )
+        assert isinstance(s.where, ast.BinaryOp)
+        assert s.group_by == (ast.ColumnRef(("a",)),)
+        assert isinstance(s.having, ast.BinaryOp)
+
+    def test_rollup_marks_grouping_kind(self, full):
+        s = select_of(full, "SELECT a FROM t GROUP BY ROLLUP (a, b)")
+        assert s.grouping_kind == "rollup"
+        assert len(s.group_by) == 2
+
+    def test_sensor_clauses(self, full):
+        s = select_of(full, "SELECT a FROM sensors SAMPLE PERIOD 512 EPOCH DURATION 4 LIFETIME 9")
+        assert (s.sample_period, s.epoch_duration, s.lifetime) == (512, 4, 9)
+
+
+class TestExpressions:
+    def test_precedence_mul_before_add(self, full):
+        s = select_of(full, "SELECT a + b * c FROM t")
+        expr = s.items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self, full):
+        s = select_of(full, "SELECT a FROM t WHERE p OR q AND r")
+        assert s.where.op == "OR"
+        assert s.where.right.op == "AND"
+
+    def test_not_and_comparison(self, full):
+        s = select_of(full, "SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(s.where, ast.UnaryOp)
+        assert s.where.op == "NOT"
+
+    def test_literals(self, full):
+        s = select_of(full, "SELECT 1, 2.5, 1E3, 'it''s', TRUE, DATE '2008-03-29' FROM t")
+        values = [i.expression for i in s.items]
+        assert values[0] == ast.Literal(1, "integer")
+        assert values[1] == ast.Literal(2.5, "numeric")
+        assert values[2] == ast.Literal(1000.0, "numeric")
+        assert values[3] == ast.Literal("it's", "string")
+        assert values[4] == ast.Literal(True, "boolean")
+        assert values[5] == ast.Literal("2008-03-29", "date")
+
+    def test_between_in_like_null(self, full):
+        s = select_of(
+            full,
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b NOT IN (1, 2) "
+            "AND c LIKE 'x%' AND d IS NOT NULL",
+        )
+        conjuncts = []
+        expr = s.where
+        while isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            conjuncts.append(expr.right)
+            expr = expr.left
+        conjuncts.append(expr)
+        kinds = {type(c).__name__ for c in conjuncts}
+        assert kinds == {"Between", "InList", "Like", "IsNull"}
+        in_pred = next(c for c in conjuncts if isinstance(c, ast.InList))
+        assert in_pred.negated
+
+    def test_subquery_predicates(self, full):
+        s = select_of(
+            full,
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u) "
+            "AND b IN (SELECT b FROM u) AND c > ALL (SELECT c FROM u)",
+        )
+        text = str(s.where)
+        assert "Exists" in text and "InSubquery" in text and "Quantified" in text
+
+    def test_case_and_functions(self, full):
+        s = select_of(
+            full,
+            "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END, COALESCE(a, 0), ABS(a) FROM t",
+        )
+        case = s.items[0].expression
+        assert isinstance(case, ast.CaseExpr)
+        assert case.operand is None
+        assert s.items[1].expression.name == "COALESCE"
+        assert s.items[2].expression.name == "ABS"
+
+    def test_simple_case_has_operand(self, full):
+        case = select_of(full, "SELECT CASE a WHEN 1 THEN 'x' END FROM t").items[0].expression
+        assert case.operand == ast.ColumnRef(("a",))
+
+    def test_cast(self, full):
+        cast = select_of(full, "SELECT CAST(a AS INTEGER) FROM t").items[0].expression
+        assert cast == ast.Cast(ast.ColumnRef(("a",)), "integer")
+
+    def test_aggregates(self, full):
+        s = select_of(full, "SELECT COUNT(*), SUM(DISTINCT x) FROM t")
+        count, total = (i.expression for i in s.items)
+        assert count == ast.AggregateCall("COUNT", None)
+        assert total.function == "SUM"
+        assert total.quantifier == "DISTINCT"
+
+    def test_window_call(self, full):
+        s = select_of(
+            full, "SELECT RANK() OVER (PARTITION BY a ORDER BY b DESC) FROM t"
+        )
+        call = s.items[0].expression
+        assert isinstance(call, ast.WindowCall)
+        assert call.window.partition_by == (ast.ColumnRef(("a",)),)
+        assert call.window.order_by[0].descending
+
+    def test_is_distinct_from(self, full):
+        s = select_of(full, "SELECT a FROM t WHERE x IS NOT DISTINCT FROM y")
+        assert isinstance(s.where, ast.IsDistinctFrom)
+        assert s.where.negated
+
+
+class TestQueryWrappers:
+    def test_set_operations_fold_left(self, full):
+        q = first_statement(
+            full, "SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v"
+        ).query
+        assert isinstance(q.body, ast.SetOperation)
+        assert q.body.kind == "except"
+        assert q.body.left.kind == "union"
+
+    def test_intersect_binds_tighter(self, full):
+        q = first_statement(
+            full, "SELECT a FROM t UNION SELECT b FROM u INTERSECT SELECT c FROM v"
+        ).query
+        assert q.body.kind == "union"
+        assert q.body.right.kind == "intersect"
+
+    def test_order_limit_offset(self, full):
+        q = first_statement(
+            full, "SELECT a FROM t ORDER BY a DESC NULLS LAST LIMIT 5 OFFSET 2"
+        ).query
+        assert q.order_by[0].descending
+        assert q.order_by[0].nulls_last is True
+        assert (q.limit, q.offset) == (5, 2)
+
+    def test_ctes(self, full):
+        q = first_statement(
+            full,
+            "WITH RECURSIVE nums (n) AS (SELECT a FROM t) SELECT n FROM nums",
+        ).query
+        assert q.recursive
+        assert q.ctes[0].name == "nums"
+        assert q.ctes[0].columns == ("n",)
+
+
+class TestDmlDdlAst:
+    def test_insert_values(self, full):
+        stmt = first_statement(full, "INSERT INTO t (a, b) VALUES (1, DEFAULT)")
+        assert stmt.table == ("t",)
+        assert stmt.columns == ("a", "b")
+        assert stmt.source.rows[0][1] == ast.Default()
+
+    def test_insert_from_query(self, full):
+        stmt = first_statement(full, "INSERT INTO t SELECT a FROM u")
+        assert isinstance(stmt.source, ast.Query)
+
+    def test_insert_default_values(self, full):
+        assert first_statement(full, "INSERT INTO t DEFAULT VALUES").source is None
+
+    def test_update(self, full):
+        stmt = first_statement(full, "UPDATE t SET a = 1, b = DEFAULT WHERE c = 2")
+        assert stmt.assignments[0] == ("a", ast.Literal(1, "integer"))
+        assert stmt.assignments[1] == ("b", ast.Default())
+        assert stmt.where is not None
+
+    def test_delete(self, full):
+        stmt = first_statement(full, "DELETE FROM t")
+        assert stmt.where is None
+
+    def test_create_table_constraints(self, full):
+        stmt = first_statement(
+            full,
+            "CREATE TABLE t (id INTEGER NOT NULL PRIMARY KEY, "
+            "name VARCHAR(20) DEFAULT 'x' UNIQUE, "
+            "ref INTEGER REFERENCES u (id), "
+            "score NUMERIC CHECK (score >= 0), "
+            "FOREIGN KEY (ref) REFERENCES u (id) ON DELETE CASCADE)",
+        )
+        id_col, name_col, ref_col, score_col = stmt.columns
+        assert id_col.not_null and id_col.primary_key
+        assert name_col.default == ast.Literal("x", "string")
+        assert name_col.unique
+        assert ref_col.references == ("u",)
+        assert score_col.check is not None
+        fk = stmt.constraints[0]
+        assert fk.kind == "foreign key"
+        assert fk.on_delete == "cascade"
+
+    def test_type_normalization(self, full):
+        stmt = first_statement(
+            full,
+            "CREATE TABLE t (a INT, b CHARACTER VARYING (5), c DOUBLE PRECISION, "
+            "d DECIMAL (8, 2), e BOOLEAN)",
+        )
+        names = [c.type.name for c in stmt.columns]
+        assert names == ["integer", "varchar", "real", "numeric", "boolean"]
+        assert stmt.columns[3].type.parameters == (8, 2)
+
+    def test_drop_behavior(self, full):
+        stmt = first_statement(full, "DROP TABLE t CASCADE")
+        assert (stmt.kind, stmt.behavior) == ("table", "cascade")
+
+    def test_merge(self, full):
+        stmt = first_statement(
+            full,
+            "MERGE INTO t AS target USING u ON target.id = u.id "
+            "WHEN MATCHED THEN UPDATE SET a = u.a "
+            "WHEN NOT MATCHED THEN INSERT (id, a) VALUES (u.id, u.a)",
+        )
+        assert stmt.target_alias == "target"
+        assert stmt.matched_assignments[0][0] == "a"
+        assert stmt.not_matched_columns == ("id", "a")
+
+    def test_transactions(self, full):
+        script = build_ast(
+            full.parse("SAVEPOINT s1; ROLLBACK TO SAVEPOINT s1; COMMIT")
+        )
+        kinds = [type(s).__name__ for s in script]
+        assert kinds == ["Savepoint", "Rollback", "Commit"]
+        assert script.statements[1].savepoint == "s1"
+
+    def test_generic_statements(self, full):
+        stmt = first_statement(full, "GRANT SELECT ON TABLE t TO PUBLIC")
+        assert isinstance(stmt, ast.GenericStatement)
+        assert stmt.kind == "grant_statement"
+        assert "GRANT" in stmt.text

@@ -1,0 +1,128 @@
+"""Structural reproduction of the paper's Figure 1 and Figure 2.
+
+Experiments E1/E2: the Query Specification and Table Expression feature
+diagrams, and the §3.2 worked example built from them.
+"""
+
+import pytest
+
+from repro.features import GroupType, render_feature
+from repro.sql import build_sql_product_line, configure_sql
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_sql_product_line().model
+
+
+class TestFigure1QuerySpecification:
+    def test_set_quantifier_optional_with_all_distinct(self, model):
+        quantifier = model.feature("SetQuantifier")
+        assert quantifier.optional
+        children = {c.name for c in quantifier.children}
+        assert children == {"SetQuantifier.ALL", "SetQuantifier.DISTINCT"}
+
+    def test_select_list_mandatory(self, model):
+        assert model.feature("SelectList").mandatory
+        assert model.feature("SelectList").parent.name == "QuerySpecification"
+
+    def test_select_sublist_cardinality_many(self, model):
+        card = model.feature("SelectSublist").cardinality
+        assert card.min == 1 and card.max is None  # [1..*]
+
+    def test_derived_column_with_optional_as(self, model):
+        derived = model.feature("DerivedColumn")
+        assert derived.parent.name == "SelectSublist"
+        assert model.feature("DerivedColumn.As").optional
+
+    def test_asterisk_or_sublist_group(self, model):
+        options = model.feature("SelectListOptions")
+        assert options.group is GroupType.OR
+        names = {c.name for c in options.children}
+        assert {"Asterisk", "SelectSublist"} <= names
+
+    def test_table_expression_mandatory_child(self, model):
+        te = model.feature("TableExpression")
+        assert te.mandatory
+        assert te.parent.name == "QuerySpecification"
+
+    def test_render_shows_figure1_shape(self, model):
+        text = render_feature(model.feature("QuerySpecification"))
+        assert "[SetQuantifier]" in text
+        assert "SelectSublist [1..*]" in text
+        assert "TableExpression" in text
+
+
+class TestFigure2TableExpression:
+    def test_from_mandatory(self, model):
+        assert model.feature("From").mandatory
+
+    @pytest.mark.parametrize("clause", ["Where", "GroupBy", "Having", "Window"])
+    def test_optional_clauses(self, model, clause):
+        feature = model.feature(clause)
+        assert feature.optional
+        ancestors = [a.name for a in feature.ancestors()]
+        assert "TableExpression" in ancestors
+
+    def test_render_shows_figure2_shape(self, model):
+        text = render_feature(model.feature("TableExpression"))
+        for label in ("From", "[Where]", "[GroupBy]", "[Having]", "[Window]"):
+            assert label in text, label
+
+
+class TestWorkedExample:
+    """§3.2: {Query Specification, Select List, Select Sublist (card. 1),
+    Table Expression} with {Table Expression, From, Table Reference (1)} —
+    plus optional Set Quantifier and Where — parses exactly SELECT of one
+    column from one table with optional quantifier and where clause."""
+
+    @pytest.fixture(scope="class")
+    def parser(self):
+        product = configure_sql(
+            [
+                "QuerySpecification",
+                "SelectSublist",
+                "SetQuantifier.ALL",
+                "SetQuantifier.DISTINCT",
+                "Where",
+                "ComparisonPredicate",
+                "Literals",
+            ],
+            counts={"SelectSublist": 1},
+        )
+        return product.parser()
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT a FROM t",
+            "SELECT DISTINCT a FROM t",
+            "SELECT ALL a FROM t",
+            "SELECT a FROM t WHERE b = 1",
+            "SELECT DISTINCT a FROM t WHERE b = 'x'",
+        ],
+    )
+    def test_accepts_the_described_language(self, parser, query):
+        assert parser.accepts(query)
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "SELECT a, b FROM t",  # cardinality 1: single column only
+            "SELECT * FROM t",  # Asterisk not selected
+            "SELECT a FROM t, u",  # single table reference
+            "SELECT a FROM t GROUP BY a",  # GroupBy not selected
+            "SELECT a FROM t ORDER BY a",  # OrderBy not selected
+            "SELECT a AS x FROM t",  # alias not selected
+        ],
+    )
+    def test_rejects_everything_else(self, parser, query):
+        assert not parser.accepts(query)
+
+    def test_cardinality_greater_one_enables_lists(self):
+        product = configure_sql(
+            ["QuerySpecification", "SelectSublist"],
+            counts={"SelectSublist": 3},
+        )
+        parser = product.parser()
+        assert parser.accepts("SELECT a, b, c FROM t")

@@ -1,0 +1,89 @@
+"""Tests for the SQL:2003 decomposition registry (experiment E3's basis)."""
+
+import pytest
+
+from repro.features import model_statistics
+from repro.sql import build_sql_product_line, sql_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return sql_registry()
+
+
+@pytest.fixture(scope="module")
+def line():
+    return build_sql_product_line()
+
+
+class TestDecompositionScale:
+    """The paper reports 40 feature diagrams and 500+ features."""
+
+    def test_at_least_40_foundation_diagrams(self, registry):
+        assert registry.statistics()["diagrams"] >= 40
+
+    def test_extension_diagrams_exist(self, registry):
+        assert registry.statistics()["extension_diagrams"] >= 2
+
+    def test_diagram_names_unique(self, registry):
+        names = [d.name for d in registry.diagrams]
+        assert len(names) == len(set(names))
+
+    def test_report_renders(self, registry):
+        report = registry.report()
+        assert "query_specification" in report
+        assert "foundation diagrams" in report
+
+    def test_model_depth_reasonable(self, registry):
+        stats = model_statistics(registry.build_model())
+        assert stats["depth"] >= 4
+
+
+class TestProductLineAssembly:
+    def test_every_unit_has_a_feature(self, line):
+        for name in line.features_with_units():
+            assert line.model.has_feature(name)
+
+    def test_every_unit_requires_only_known_features(self, line):
+        for u in line.units():
+            for req in u.requires:
+                assert line.model.has_feature(req), (u.feature, req)
+            for aft in u.after:
+                assert line.model.has_feature(aft), (u.feature, aft)
+
+    def test_registry_builds_repeatedly(self, registry):
+        # grafting must not mutate registered subtrees
+        first = registry.build_model()
+        second = registry.build_model()
+        assert len(first) == len(second)
+
+    def test_figure_features_present(self, line):
+        for name in (
+            "QuerySpecification",
+            "SetQuantifier",
+            "SelectList",
+            "TableExpression",
+            "Where",
+            "GroupBy",
+            "Having",
+            "Window",
+            "From",
+        ):
+            assert line.model.has_feature(name), name
+
+
+class TestSubGrammarSanity:
+    def test_unit_grammars_parse_and_have_rules(self, line):
+        for u in line.units():
+            if u.grammar is not None and len(u.grammar) == 0:
+                # token-only units are allowed; anything else is a mistake
+                assert len(u.grammar.tokens) > 0, u.feature
+
+    def test_unit_token_conflicts_absent_across_whole_line(self, line):
+        """Composing *all* token files must never conflict."""
+        from repro.lexer import TokenSet
+
+        merged = TokenSet("all")
+        for u in line.units():
+            merged = merged.merge(u.tokens)
+        assert len(merged) > 100

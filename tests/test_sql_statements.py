@@ -1,0 +1,229 @@
+"""Parsing coverage for the full statement surface of the decomposition.
+
+One test class per statement family, all against the FULL dialect.  These
+pin down that every registered unit actually contributes usable syntax.
+"""
+
+import pytest
+
+from repro.sql import build_dialect
+
+
+@pytest.fixture(scope="module")
+def full():
+    return build_dialect("full").parser()
+
+
+def assert_accepts(parser, queries):
+    failures = [q for q in queries if not parser.accepts(q)]
+    assert not failures, failures
+
+
+class TestCursorStatements:
+    def test_cursor_lifecycle(self, full):
+        assert_accepts(full, [
+            "DECLARE c CURSOR FOR SELECT a FROM t",
+            "DECLARE c INSENSITIVE SCROLL CURSOR WITH HOLD WITH RETURN "
+            "FOR SELECT a FROM t",
+            "OPEN c",
+            "FETCH c",
+            "FETCH NEXT FROM c",
+            "FETCH ABSOLUTE 5 FROM c INTO x, y",
+            "FETCH RELATIVE -2 FROM c",
+            "CLOSE c",
+        ])
+
+    def test_positioned_dml(self, full):
+        assert_accepts(full, [
+            "UPDATE t SET a = 1 WHERE CURRENT OF c",
+            "DELETE FROM t WHERE CURRENT OF c",
+        ])
+
+
+class TestDynamicSql:
+    def test_prepare_execute(self, full):
+        assert_accepts(full, [
+            "PREPARE s FROM 'SELECT * FROM t'",
+            "EXECUTE s",
+            "EXECUTE s USING 1, 'x'",
+            "EXECUTE s INTO a, b USING 1",
+            "EXECUTE IMMEDIATE 'DELETE FROM t'",
+            "DEALLOCATE PREPARE s",
+            "DESCRIBE OUTPUT s",
+        ])
+
+
+class TestRoutines:
+    def test_procedures_and_functions(self, full):
+        assert_accepts(full, [
+            "CREATE PROCEDURE p (x INTEGER) BEGIN DELETE FROM t; END",
+            "CREATE PROCEDURE p (IN x INTEGER, OUT y VARCHAR (5)) "
+            "DETERMINISTIC READS SQL DATA BEGIN DELETE FROM t; END",
+            "CREATE FUNCTION f (x INTEGER) RETURNS INTEGER "
+            "BEGIN RETURN 1; END",
+            "CALL p (1, 'x')",
+            "CALL schema2.p ()",
+            "RETURN NULL",
+            "DROP PROCEDURE p RESTRICT",
+        ])
+
+
+class TestTriggers:
+    def test_trigger_definition(self, full):
+        assert_accepts(full, [
+            "CREATE TRIGGER trg AFTER INSERT ON t DELETE FROM log",
+            "CREATE TRIGGER trg BEFORE UPDATE OF (a, b) ON t "
+            "REFERENCING OLD ROW AS o NEW ROW AS n "
+            "FOR EACH ROW WHEN (1 = 1) DELETE FROM log",
+            "DROP TRIGGER trg",
+        ])
+
+
+class TestRolesAndAccess:
+    def test_roles(self, full):
+        assert_accepts(full, [
+            "CREATE ROLE auditor",
+            "GRANT auditor TO alice WITH ADMIN OPTION",
+            "SET ROLE auditor",
+            "SET ROLE NONE",
+            "DROP ROLE auditor",
+        ])
+
+    def test_grant_object_kinds(self, full):
+        assert_accepts(full, [
+            "GRANT USAGE ON DOMAIN money TO PUBLIC",
+            "GRANT USAGE ON SEQUENCE seq TO alice",
+            "GRANT ALL PRIVILEGES ON TABLE t TO alice, bob",
+        ])
+
+
+class TestConnections:
+    def test_connection_statements(self, full):
+        assert_accepts(full, [
+            "CONNECT TO 'server1' AS conn1 USER 'u'",
+            "CONNECT TO DEFAULT",
+            "SET CONNECTION conn1",
+            "SET CONNECTION DEFAULT",
+            "DISCONNECT ALL",
+            "DISCONNECT CURRENT",
+            "DISCONNECT conn1",
+        ])
+
+
+class TestSchemaObjects:
+    def test_assertions_types_charsets(self, full):
+        assert_accepts(full, [
+            "CREATE ASSERTION positive CHECK (1 > 0)",
+            "DROP ASSERTION positive",
+            "CREATE TYPE money AS NUMERIC (10, 2) FINAL",
+            "CREATE TYPE point AS (x INTEGER, y INTEGER)",
+            "DROP TYPE money RESTRICT",
+            "CREATE CHARACTER SET cs AS GET latin1",
+            "CREATE COLLATION c FOR cs FROM def",
+            "CREATE TRANSLATION tr FOR cs TO cs FROM ident",
+            "DROP TRANSLATION tr",
+        ])
+
+    def test_schema_with_elements(self, full):
+        assert_accepts(full, [
+            "CREATE SCHEMA app AUTHORIZATION owner "
+            "CREATE TABLE t (a INTEGER) "
+            "CREATE VIEW v AS SELECT a FROM t",
+        ])
+
+    def test_temporary_tables(self, full):
+        assert_accepts(full, [
+            "CREATE GLOBAL TEMPORARY TABLE t (a INTEGER) "
+            "ON COMMIT DELETE ROWS",
+            "DECLARE LOCAL TEMPORARY TABLE t (a INTEGER)",
+        ])
+
+    def test_identity_and_row_types(self, full):
+        assert_accepts(full, [
+            "CREATE TABLE t (id INTEGER GENERATED ALWAYS AS IDENTITY)",
+            "CREATE TABLE t (p ROW (x INTEGER, y INTEGER))",
+            "CREATE TABLE t (s NCHAR VARYING (10), b NCLOB (64))",
+            "CREATE TABLE t (c CHAR (3) CHARACTER SET latin1)",
+        ])
+
+    def test_alter_statements(self, full):
+        assert_accepts(full, [
+            "ALTER TABLE t DROP CONSTRAINT fk1 CASCADE",
+            "ALTER DOMAIN money SET DEFAULT 0",
+            "ALTER DOMAIN money DROP DEFAULT",
+            "ALTER SEQUENCE seq RESTART WITH 10",
+        ])
+
+
+class TestSessionAndDiagnostics:
+    def test_session_statements(self, full):
+        assert_accepts(full, [
+            "SET SESSION AUTHORIZATION 'app'",
+            "SET SESSION CHARACTERISTICS AS TRANSACTION ISOLATION LEVEL "
+            "READ COMMITTED",
+            "SET CONSTRAINTS ALL DEFERRED",
+            "SET CONSTRAINTS c1, c2 IMMEDIATE",
+            "GET DIAGNOSTICS n = ROW_COUNT",
+            "WHENEVER SQLERROR GOTO handler",
+            "WHENEVER NOT FOUND CONTINUE",
+        ])
+
+
+class TestExpressionsExtras:
+    def test_user_and_conversion_functions(self, full):
+        assert_accepts(full, [
+            "SELECT CURRENT_USER, SESSION_USER, CURRENT_ROLE FROM t",
+            "SELECT TRANSLATE(name USING t1), CONVERT(name USING c1) FROM t",
+            "SELECT NORMALIZE(name), CARDINALITY(tags) FROM t",
+            "SELECT WIDTH_BUCKET(x, 0, 100, 10) FROM t",
+            "SELECT OVERLAY(s PLACING 'x' FROM 2 FOR 1) FROM t",
+            "SELECT GROUPING(region) FROM t GROUP BY region",
+        ])
+
+    def test_at_time_zone_and_predicates(self, full):
+        assert_accepts(full, [
+            "SELECT ts AT LOCAL FROM t",
+            "SELECT ts AT TIME ZONE tz FROM t",
+            "SELECT a FROM t WHERE name SIMILAR TO 'x%'",
+            "SELECT a FROM t WHERE b BETWEEN SYMMETRIC 2 AND 1",
+            "SELECT a FROM t WHERE (a) MATCH UNIQUE FULL (SELECT b FROM u)",
+        ])
+
+    def test_corresponding_and_quantifiers(self, full):
+        assert_accepts(full, [
+            "SELECT a FROM t UNION DISTINCT CORRESPONDING SELECT a FROM u",
+            "SELECT a FROM t UNION CORRESPONDING BY (a) SELECT a FROM u",
+            "SELECT a FROM t INTERSECT ALL SELECT a FROM u",
+            "SELECT a FROM t WHERE x > SOME (SELECT y FROM u)",
+            "SELECT a FROM t WHERE x = ANY (SELECT y FROM u)",
+        ])
+
+    def test_statistical_aggregates(self, full):
+        assert_accepts(full, [
+            "SELECT STDDEV_POP(x), VAR_SAMP(y) FROM t",
+            "SELECT SUM(x) FILTER (WHERE y > 0) FROM t",
+        ])
+
+    def test_select_into_and_lateral(self, full):
+        assert_accepts(full, [
+            "SELECT a INTO v1, v2 FROM t",
+            "SELECT a FROM t, LATERAL (SELECT b FROM u) AS x",
+        ])
+
+    def test_window_frame_extras(self, full):
+        assert_accepts(full, [
+            "SELECT SUM(x) OVER (PARTITION BY r ROWS BETWEEN UNBOUNDED "
+            "PRECEDING AND CURRENT ROW EXCLUDE TIES) FROM t",
+            "SELECT RANK() OVER (RANGE 3 PRECEDING) FROM t",
+            "SELECT NTILE(4) OVER (ORDER BY x) FROM t",
+            "SELECT PERCENT_RANK() OVER (ORDER BY x) FROM t",
+        ])
+
+
+class TestSensorExtensions:
+    def test_tinydb_statements(self, full):
+        assert_accepts(full, [
+            "ON EVENT fire : SELECT nodeid FROM sensors",
+            "STOP QUERY 7",
+            "SELECT nodeid FROM sensors OUTPUT ACTION alarm",
+        ])

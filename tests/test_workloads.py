@@ -1,0 +1,34 @@
+"""Every generated workload query must parse in its own dialect."""
+
+import pytest
+
+from repro.sql import build_dialect
+from repro.workloads import generate_workload, workload_dialects
+
+
+@pytest.mark.parametrize("dialect", workload_dialects())
+def test_workload_parses_in_own_dialect(dialect):
+    parser = build_dialect(dialect).parser()
+    failures = []
+    for query in generate_workload(dialect, count=120, seed=7):
+        if not parser.accepts(query):
+            failures.append(query)
+    assert not failures, f"{len(failures)} rejected, e.g. {failures[:3]}"
+
+
+def test_workload_is_deterministic():
+    assert generate_workload("core", 20, seed=1) == generate_workload("core", 20, seed=1)
+    assert generate_workload("core", 20, seed=1) != generate_workload("core", 20, seed=2)
+
+
+def test_unknown_dialect_rejected():
+    with pytest.raises(ValueError):
+        generate_workload("nope")
+
+
+def test_smaller_dialect_rejects_larger_workload():
+    """E8's negative direction: SCQL rejects most core-workload queries."""
+    scql = build_dialect("scql").parser()
+    core_queries = generate_workload("core", count=80, seed=3)
+    rejected = sum(1 for q in core_queries if not scql.accepts(q))
+    assert rejected > len(core_queries) // 2
