@@ -1,0 +1,78 @@
+"""Error-path performance: diagnostics must not tax the happy path.
+
+Three costs are measured per dialect:
+
+* the *clean* diagnostics pass over a valid workload (overhead of the
+  resilient pipeline vs. plain ``accepts``);
+* multi-error recovery over a seeded corrupted workload (cost of
+  panic-mode synchronization plus hint lookup);
+* rendering caret excerpts for the collected diagnostics.
+"""
+
+import random
+
+import pytest
+
+from repro.workloads import generate_workload
+
+WORKLOAD_SIZE = 60
+_GARBAGE = ["@@", "FRM", ";;", "((", "'oops"]
+
+
+def corrupt(queries, seed=23):
+    """Inject one deterministic mutation into every query."""
+    rng = random.Random(seed)
+    mutated = []
+    for query in queries:
+        words = query.split()
+        op = rng.randrange(3)
+        if op == 0 and len(words) > 2:
+            del words[rng.randrange(1, len(words))]
+        elif op == 1:
+            words.insert(rng.randrange(len(words) + 1), rng.choice(_GARBAGE))
+        else:
+            words = words[: max(1, len(words) - 2)]
+        mutated.append(" ".join(words))
+    return mutated
+
+
+@pytest.mark.parametrize("dialect", ["scql", "core", "full"])
+def test_diagnostics_pass_on_valid_input(benchmark, dialect, dialect_parsers):
+    parser = dialect_parsers[dialect]
+    queries = generate_workload(dialect, WORKLOAD_SIZE, seed=17)
+
+    def diagnose_all():
+        return sum(
+            1 for q in queries if parser.parse_with_diagnostics(q).ok
+        )
+
+    clean = benchmark(diagnose_all)
+    assert clean == len(queries)
+    print(f"\n[error-path] {dialect}: {clean}/{len(queries)} clean passes")
+
+
+@pytest.mark.parametrize("dialect", ["scql", "core"])
+def test_multi_error_recovery(benchmark, dialect, dialect_parsers):
+    parser = dialect_parsers[dialect]
+    corrupted = corrupt(generate_workload(dialect, WORKLOAD_SIZE, seed=17))
+
+    def recover_all():
+        return sum(
+            len(parser.parse_with_diagnostics(q, max_errors=5).diagnostics)
+            for q in corrupted
+        )
+
+    total = benchmark(recover_all)
+    print(f"\n[error-path] {dialect}: {total} diagnostics recovered")
+
+
+def test_render_cost(benchmark, dialect_parsers):
+    parser = dialect_parsers["core"]
+    corrupted = corrupt(generate_workload("core", WORKLOAD_SIZE, seed=17))
+    outcomes = [parser.parse_with_diagnostics(q) for q in corrupted]
+
+    rendered = benchmark(
+        lambda: sum(len(o.render()) for o in outcomes)
+    )
+    assert rendered > 0
+    print(f"\n[error-path] rendered {rendered} characters of diagnostics")

@@ -20,8 +20,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .diagnostics import render_diagnostic, render_diagnostics
 from .engine import Database
-from .errors import ReproError
+from .errors import InvalidConfigurationError, ReproError
 from .features import render_feature
 from .parsing import SentenceGenerator
 from .sql import (
@@ -101,12 +102,15 @@ def _cmd_compose(args: argparse.Namespace) -> int:
               f"({len(source.splitlines())} lines)")
     if args.query:
         parser = product.parser()
-        try:
-            tree = parser.parse(args.query)
+        outcome = parser.parse_with_diagnostics(
+            args.query, max_errors=args.max_errors
+        )
+        if outcome.ok:
             print("accepted:")
-            print(tree.pretty())
-        except ReproError as error:
-            print(f"rejected: {error}")
+            print(outcome.tree.pretty())
+        else:
+            print("rejected:")
+            print(outcome.render(filename="<query>"))
             return 1
     return 0
 
@@ -137,10 +141,20 @@ def _cmd_shell(args: argparse.Namespace) -> int:
         if line == ".tables":
             print(", ".join(db.table_names()) or "(no tables)")
             continue
+        # resilient pre-flight: report *every* syntax problem with carets
+        # and feature hints instead of dying on the first one
+        report = db.diagnose(line, max_errors=args.max_errors)
+        if not report.ok:
+            print(report.render(filename="<shell>"))
+            continue
         try:
             outcome = db.execute(line)
         except ReproError as error:
-            print(f"error: {error}")
+            print(render_diagnostic(error.to_diagnostic(), source=line,
+                                    filename="<shell>"))
+            continue
+        except Exception as error:  # a bug must not kill the session
+            print(f"internal error: {type(error).__name__}: {error}")
             continue
         if outcome is None:
             print("ok")
@@ -179,6 +193,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     compose.add_argument("--emit", metavar="FILE",
                          help="write generated parser source")
     compose.add_argument("-q", "--query", help="try parsing this query")
+    compose.add_argument("--max-errors", type=int, default=25, metavar="N",
+                         help="stop reporting after N syntax errors")
     compose.set_defaults(fn=_cmd_compose)
 
     sample = sub.add_parser("sample", help="random sentences of a dialect")
@@ -190,6 +206,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive SQL shell")
     shell.add_argument("dialect", choices=dialect_names(), nargs="?",
                        default="core")
+    shell.add_argument("--max-errors", type=int, default=25, metavar="N",
+                       help="stop reporting after N syntax errors")
     shell.set_defaults(fn=_cmd_shell)
 
     return parser
@@ -199,8 +217,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     try:
         return args.fn(args)
+    except InvalidConfigurationError as error:
+        # one diagnostic per violation, each with a suggested fix
+        print(render_diagnostics(error.diagnostics(), filename="<config>"),
+              file=sys.stderr)
+        return 1
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(render_diagnostic(error.to_diagnostic()), file=sys.stderr)
         return 1
 
 

@@ -27,6 +27,7 @@ Token files merge via :meth:`repro.lexer.TokenSet.merge`.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from ..errors import CompositionOrderError
@@ -238,8 +239,15 @@ def _interleave_optionals(
     merged: list[Element] = []
     for bucket_index in range(len(old_core) + 1):
         run = list(old_buckets[bucket_index])
+        # Multiplicity-aware union: an optional already present consumes
+        # one existing occurrence (re-composing the same feature stays
+        # idempotent), but ``[b] [b]`` merged over ``[a]`` must keep both
+        # copies of ``[b]`` — dropping duplicates loses language.
+        available = Counter(run)
         for element in new_buckets[bucket_index]:
-            if element not in run:
+            if available[element] > 0:
+                available[element] -= 1
+            else:
                 run.append(element)
         merged.extend(run)
         if bucket_index < len(old_core):
@@ -380,7 +388,14 @@ class GrammarComposer:
                     raise CompositionOrderError(
                         f"rule {rule.name!r}: optional/list extension "
                         f"{offending[0]} was composed before its base "
-                        f"{new_alt}; the paper requires base-first order"
+                        f"{new_alt}; the paper requires base-first order",
+                        hints=(
+                            "reorder the composition sequence so the unit "
+                            f"contributing '{rule.name} : {new_alt}' comes "
+                            "first (add an 'after' edge to the extension "
+                            "unit, or compose with strict_order=False to "
+                            "let containment resolve it)",
+                        ),
                     )
             trace.retained.append(
                 (

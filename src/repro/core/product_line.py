@@ -38,12 +38,34 @@ class ComposedProduct:
     sequence: tuple[str, ...]
     grammar: Grammar
     trace: CompositionTrace
+    #: The product line this product was configured from; lets parsers
+    #: explain rejections in terms of *unselected* features.  ``None`` for
+    #: hand-built products.
+    line: "GrammarProductLine | None" = None
 
-    def parser(self, strict: bool = False):
-        """Build an interpreting parser for this product."""
+    def parser(self, strict: bool = False, hints: bool = True):
+        """Build an interpreting parser for this product.
+
+        With ``hints`` on (and a known product line), syntax errors are
+        enriched with feature-aware suggestions: when the offending token
+        is a keyword of an unselected feature's sub-grammar, the
+        diagnostic says "enable feature 'X'".
+        """
         from ..parsing.parser import Parser
 
-        return Parser(self.grammar, strict=strict)
+        return Parser(self.grammar, strict=strict,
+                      hint_provider=self.hint_provider() if hints else None)
+
+    def hint_provider(self):
+        """Feature-hint callback over the line's unselected units."""
+        if self.line is None:
+            return None
+        from ..diagnostics.hints import feature_hint_provider
+
+        return feature_hint_provider(
+            self.line.units(), self.configuration.selected,
+            grammar=self.grammar,
+        )
 
     def generate_source(self) -> str:
         """Emit standalone Python parser source for this product."""
@@ -172,6 +194,7 @@ class GrammarProductLine:
             sequence=tuple(u.feature for u in sequence),
             grammar=grammar,
             trace=trace,
+            line=self,
         )
 
     def __repr__(self) -> str:

@@ -1,0 +1,50 @@
+"""Resilient diagnostics: spans, error codes, caret rendering, feature hints.
+
+Public API::
+
+    from repro.diagnostics import (
+        Diagnostic, DiagnosticBag, Severity, Span,
+        render_diagnostic, render_diagnostics,
+        FeatureHinter, feature_hint_provider, keyword_index,
+    )
+
+This package sits below every other subsystem (it imports nothing from
+the rest of the library), so the scanner, parser, composer, engine and
+CLI can all produce :class:`Diagnostic` objects without import cycles.
+"""
+
+from .hints import FeatureHinter, HintProvider, feature_hint_provider, keyword_index
+from .model import (
+    COMPOSITION_ORDER,
+    CONFIG_INVALID,
+    GENERIC_ERROR,
+    PARSE_BUDGET_EXCEEDED,
+    PARSE_ERROR,
+    SCAN_ERROR,
+    TOO_MANY_ERRORS,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    Span,
+)
+from .render import render_diagnostic, render_diagnostics
+
+__all__ = [
+    "COMPOSITION_ORDER",
+    "CONFIG_INVALID",
+    "Diagnostic",
+    "DiagnosticBag",
+    "FeatureHinter",
+    "GENERIC_ERROR",
+    "HintProvider",
+    "PARSE_BUDGET_EXCEEDED",
+    "PARSE_ERROR",
+    "SCAN_ERROR",
+    "Severity",
+    "Span",
+    "TOO_MANY_ERRORS",
+    "feature_hint_provider",
+    "keyword_index",
+    "render_diagnostic",
+    "render_diagnostics",
+]

@@ -1,0 +1,107 @@
+"""Caret-annotated rendering of diagnostics against their source text.
+
+The renderer prints compiler-style excerpts::
+
+    <input>:1:17: error[E0201]: syntax error: found 'WINDOW', expected ...
+      1 | SELECT a FROM t WINDOW w AS ()
+        |                 ^^^^^^
+      hint: enable feature 'Window' ("WINDOW" is one of its keywords)
+
+Tabs are expanded to a fixed stop so the caret line always aligns with
+the excerpt, and multi-line spans underline every covered line (eliding
+the middle of very tall spans).
+"""
+
+from __future__ import annotations
+
+from .model import Diagnostic, DiagnosticBag, Span
+
+#: Tab stop used when expanding source lines for display.
+TABSTOP = 4
+
+#: Multi-line spans taller than this show only their first and last lines.
+_MAX_SPAN_LINES = 3
+
+
+def _expand_tabs(text: str) -> str:
+    """Expand tabs to :data:`TABSTOP`-aligned spaces."""
+    return text.expandtabs(TABSTOP)
+
+
+def _expanded_column(text: str, column: int) -> int:
+    """Translate a 1-based source column into the tab-expanded line."""
+    prefix = text[: column - 1]
+    return len(_expand_tabs(prefix)) + 1
+
+
+def _caret_line(text: str, start_col: int, end_col: int) -> str:
+    """Build the ``^^^`` underline for one source line.
+
+    ``start_col``/``end_col`` are 1-based columns into the *raw* line
+    (``end_col`` exclusive); the result aligns with the tab-expanded line.
+    """
+    lo = _expanded_column(text, start_col)
+    hi = _expanded_column(text, max(end_col, start_col + 1))
+    width = max(1, hi - lo)
+    return " " * (lo - 1) + "^" * width
+
+
+def render_diagnostic(
+    diagnostic: Diagnostic,
+    source: str | None = None,
+    filename: str = "<input>",
+) -> str:
+    """Render one diagnostic, with a source excerpt when possible."""
+    span = diagnostic.span
+    head_pos = f"{filename}:{span}: " if span is not None else f"{filename}: "
+    lines = [
+        f"{head_pos}{diagnostic.severity.label()}"
+        f"[{diagnostic.code}]: {diagnostic.message}"
+    ]
+    if source is not None and span is not None:
+        lines.extend(_excerpt(source, span))
+    for hint in diagnostic.hints:
+        lines.append(f"  hint: {hint}")
+    return "\n".join(lines)
+
+
+def render_diagnostics(
+    diagnostics,
+    source: str | None = None,
+    filename: str = "<input>",
+) -> str:
+    """Render many diagnostics in source order, blank-line separated."""
+    if isinstance(diagnostics, DiagnosticBag):
+        diagnostics = diagnostics.sorted()
+    return "\n\n".join(
+        render_diagnostic(d, source=source, filename=filename)
+        for d in diagnostics
+    )
+
+
+def _excerpt(source: str, span: Span) -> list[str]:
+    """Gutter-numbered source lines with caret underlines for ``span``."""
+    source_lines = source.splitlines() or [""]
+    first = min(span.line, len(source_lines))
+    last = min(span.end_line, len(source_lines))
+    covered = list(range(first, last + 1))
+    elide = len(covered) > _MAX_SPAN_LINES
+    shown = [covered[0], covered[-1]] if elide else covered
+
+    gutter = len(str(last))
+    out: list[str] = []
+    previous = None
+    for lineno in shown:
+        if previous is not None and lineno != previous + 1:
+            out.append(f"  {'.' * gutter} | ({lineno - previous - 1} more lines)")
+        raw = source_lines[lineno - 1]
+        out.append(f"  {lineno:>{gutter}} | {_expand_tabs(raw)}")
+        start_col = span.column if lineno == span.line else 1
+        if lineno == span.end_line:
+            end_col = span.end_column
+        else:
+            end_col = len(raw) + 1
+        # an empty or EOL-pointing span still gets one caret past the text
+        out.append(f"  {' ' * gutter} | {_caret_line(raw, start_col, end_col)}")
+        previous = lineno
+    return out

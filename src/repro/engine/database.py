@@ -86,6 +86,15 @@ class Database:
         """Does this dialect's grammar accept the text? (No execution.)"""
         return self.parser.accepts(sql)
 
+    def diagnose(self, sql: str, max_errors: int | None = 25):
+        """Resilient parse-only check: partial tree plus every diagnostic.
+
+        Never raises on malformed input; syntax errors carry feature-aware
+        hints ("enable feature 'Window'") when the offending construct
+        belongs to a feature outside this dialect.
+        """
+        return self.parser.parse_with_diagnostics(sql, max_errors=max_errors)
+
     # -- transactions ----------------------------------------------------------------
 
     def _execute_statement(self, statement: ast.Statement):

@@ -4,13 +4,72 @@ Every error raised by the library derives from :class:`ReproError` so that
 callers can catch one base class.  Sub-hierarchies mirror the subsystems:
 lexing, grammar handling, parser generation, feature modeling, and feature
 composition.
+
+Positioned errors (:class:`ScanError`, :class:`GrammarSyntaxError`,
+:class:`ParseError`) expose a uniform ``.span`` property — a
+:class:`~repro.diagnostics.model.Span` with start *and* end line/column —
+and every :class:`ReproError` converts to a structured
+:class:`~repro.diagnostics.model.Diagnostic` via :meth:`~ReproError.to_diagnostic`.
+Message formats are unchanged from earlier releases.
 """
 
 from __future__ import annotations
 
+from .diagnostics.model import (
+    COMPOSITION_ORDER,
+    CONFIG_INVALID,
+    GENERIC_ERROR,
+    PARSE_BUDGET_EXCEEDED,
+    PARSE_ERROR,
+    SCAN_ERROR,
+    Diagnostic,
+    Severity,
+    Span,
+)
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
+
+    #: Stable diagnostic code; subclasses override.
+    code: str = GENERIC_ERROR
+
+    #: Actionable follow-ups attached when the error was raised.
+    hints: tuple[str, ...] = ()
+
+    @property
+    def span(self) -> Span | None:
+        """Source region of the error, when one is known."""
+        return None
+
+    def to_diagnostic(self) -> Diagnostic:
+        """Structured form of this error for rendering and tooling."""
+        message = getattr(self, "bare_message", None) or str(self)
+        return Diagnostic(
+            message=message,
+            span=self.span,
+            severity=Severity.ERROR,
+            code=self.code,
+            hints=tuple(self.hints),
+        )
+
+
+class _PositionedMixin:
+    """Shared ``.span`` plumbing for errors that carry line/column info.
+
+    Subclasses set ``line``/``column`` (1-based start) and optionally
+    ``end_line``/``end_column``; a missing end collapses to a
+    one-character span.
+    """
+
+    line: int
+    column: int
+    end_line: int
+    end_column: int
+
+    @property
+    def span(self) -> Span:
+        return Span(self.line, self.column, self.end_line, self.end_column)
 
 
 class LexerError(ReproError):
@@ -21,26 +80,48 @@ class TokenConflictError(LexerError):
     """Two token definitions with the same name but different patterns."""
 
 
-class ScanError(LexerError):
+class ScanError(_PositionedMixin, LexerError):
     """Input text contains a character sequence no token matches."""
 
-    def __init__(self, message: str, line: int, column: int) -> None:
+    code = SCAN_ERROR
+
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        end_line: int = 0,
+        end_column: int = 0,
+    ) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
+        self.bare_message = message
         self.line = line
         self.column = column
+        self.end_line = end_line or line
+        self.end_column = end_column or column + 1
 
 
 class GrammarError(ReproError):
     """Base class for grammar construction and validation errors."""
 
 
-class GrammarSyntaxError(GrammarError):
+class GrammarSyntaxError(_PositionedMixin, GrammarError):
     """The textual grammar DSL could not be parsed."""
 
-    def __init__(self, message: str, line: int, column: int) -> None:
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        end_line: int = 0,
+        end_column: int = 0,
+    ) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
+        self.bare_message = message
         self.line = line
         self.column = column
+        self.end_line = end_line or line
+        self.end_column = end_column or column + 1
 
 
 class UndefinedNonterminalError(GrammarError):
@@ -63,8 +144,10 @@ class LLConflictError(ParserGenerationError):
         self.conflicts = conflicts or []
 
 
-class ParseError(ReproError):
+class ParseError(_PositionedMixin, ReproError):
     """Input text does not conform to the composed grammar."""
+
+    code = PARSE_ERROR
 
     def __init__(
         self,
@@ -73,12 +156,42 @@ class ParseError(ReproError):
         column: int = 0,
         expected: frozenset[str] = frozenset(),
         found: str | None = None,
+        end_line: int = 0,
+        end_column: int = 0,
+        hints: tuple[str, ...] = (),
     ) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
+        self.bare_message = message
         self.line = line
         self.column = column
         self.expected = expected
         self.found = found
+        self.end_line = end_line or line
+        self.end_column = end_column or column + 1
+        self.hints = tuple(hints)
+
+
+class ParseBudgetExceeded(ParseError):
+    """The parser's fuel/step budget ran out before the input was decided.
+
+    Raised instead of letting pathological (usually adversarial) non-LL(1)
+    backtracking run unbounded.  Being a :class:`ParseError`, existing
+    ``except ParseError`` handlers and :meth:`Parser.accepts` treat it as
+    a clean rejection rather than a hang.
+    """
+
+    code = PARSE_BUDGET_EXCEEDED
+
+    def __init__(
+        self,
+        message: str,
+        line: int = 0,
+        column: int = 0,
+        steps: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(message, line=line, column=column, **kwargs)
+        self.steps = steps
 
 
 class FeatureModelError(ReproError):
@@ -96,11 +209,50 @@ class InvalidConfigurationError(FeatureModelError):
     them at once rather than one at a time.
     """
 
+    code = CONFIG_INVALID
+
     def __init__(self, violations: list[str]) -> None:
         super().__init__(
             "invalid feature configuration:\n  - " + "\n  - ".join(violations)
         )
         self.violations = list(violations)
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """One diagnostic per violation, each with a suggested fix."""
+        return [
+            Diagnostic(
+                message=violation,
+                severity=Severity.ERROR,
+                code=self.code,
+                hints=_configuration_fix(violation),
+            )
+            for violation in self.violations
+        ]
+
+
+def _configuration_fix(violation: str) -> tuple[str, ...]:
+    """Suggest a fix for one textual configuration violation."""
+    import re
+
+    match = re.search(r"feature '([^']+)' requires feature '([^']+)'", violation)
+    if match:
+        return (f"add feature '{match.group(2)}' to the selection "
+                f"(or drop '{match.group(1)}')",)
+    match = re.search(r"feature '([^']+)' excludes feature '([^']+)'", violation)
+    if match:
+        return (f"remove either '{match.group(1)}' or '{match.group(2)}' "
+                "from the selection",)
+    match = re.search(r"mandatory feature '([^']+)' of '([^']+)'", violation)
+    if match:
+        return (f"add mandatory feature '{match.group(1)}'",)
+    match = re.search(r"feature '([^']+)' selected without its parent '([^']+)'",
+                      violation)
+    if match:
+        return (f"add parent feature '{match.group(2)}'",)
+    match = re.search(r"unknown feature '([^']+)'", violation)
+    if match:
+        return ("check the feature name against `python -m repro.cli diagrams`",)
+    return ()
 
 
 class CompositionError(ReproError):
@@ -114,6 +266,12 @@ class CompositionOrderError(CompositionError):
     non-optional base ``A : B``, or a complex list arriving before its
     sublist.
     """
+
+    code = COMPOSITION_ORDER
+
+    def __init__(self, message: str, hints: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.hints = tuple(hints)
 
 
 class ConstraintViolationError(CompositionError):

@@ -15,10 +15,11 @@ from .spec import (
     pattern,
     standard_skip_tokens,
 )
-from .token import EOF, Token, eof_token
+from .token import EOF, ERROR, Token, eof_token
 
 __all__ = [
     "EOF",
+    "ERROR",
     "Scanner",
     "Token",
     "TokenDef",

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..diagnostics.model import SCAN_ERROR, Diagnostic, Severity, Span
 from ..errors import ScanError
 from .spec import TokenSet, compile_master_pattern
-from .token import Token, eof_token
+from .token import ERROR, Token, eof_token
 
 
 class Scanner:
@@ -35,22 +36,38 @@ class Scanner:
         self._keywords = token_set.keywords
         self._skip_names = frozenset(d.name for d in token_set if d.skip)
 
-    def tokens(self, text: str) -> Iterator[Token]:
+    def tokens(self, text: str, recover: bool = False) -> Iterator[Token]:
         """Yield tokens for ``text``, ending with a single EOF token.
 
+        With ``recover=True`` unmatchable input does not raise: each
+        maximal run of unmatchable characters is emitted as a single
+        :data:`~repro.lexer.token.ERROR` token and scanning continues, so
+        one bad character can no longer kill the whole scan.
+
         Raises:
-            ScanError: when no token matches at the current position.
+            ScanError: when no token matches and ``recover`` is False.
         """
         pos = 0
         line = 1
         col = 1
         n = len(text)
+        bad_start: int | None = None
+        bad_line = bad_col = 0
         while pos < n:
             match = self._master.match(text, pos)
             if match is None or match.end() == pos:
-                raise ScanError(
-                    f"unexpected character {text[pos]!r}", line=line, column=col
-                )
+                if not recover:
+                    raise ScanError(
+                        f"unexpected character {text[pos]!r}", line=line, column=col
+                    )
+                if bad_start is None:
+                    bad_start, bad_line, bad_col = pos, line, col
+                line, col = _advance(text[pos], line, col)
+                pos += 1
+                continue
+            if bad_start is not None:
+                yield Token(ERROR, text[bad_start:pos], bad_line, bad_col, bad_start)
+                bad_start = None
             name = match.lastgroup or ""
             lexeme = match.group()
             if name not in self._skip_names:
@@ -60,11 +77,40 @@ class Scanner:
                 yield Token(token_type, lexeme, line, col, pos)
             line, col = _advance(lexeme, line, col)
             pos = match.end()
+        if bad_start is not None:
+            yield Token(ERROR, text[bad_start:pos], bad_line, bad_col, bad_start)
         yield eof_token(line, col, pos)
 
     def scan(self, text: str) -> list[Token]:
         """Tokenize the full input eagerly (EOF token included)."""
         return list(self.tokens(text))
+
+    def scan_with_diagnostics(
+        self, text: str
+    ) -> tuple[list[Token], list[Diagnostic]]:
+        """Tokenize in recovery mode: never raises on bad input.
+
+        Returns the token list (ERROR tokens included, EOF terminated)
+        plus one diagnostic per run of unmatchable characters.
+        """
+        tokens = list(self.tokens(text, recover=True))
+        diagnostics = [
+            Diagnostic(
+                message=_describe_bad_run(token.text),
+                span=Span.of_token(token),
+                severity=Severity.ERROR,
+                code=SCAN_ERROR,
+            )
+            for token in tokens
+            if token.type == ERROR
+        ]
+        return tokens, diagnostics
+
+
+def _describe_bad_run(text: str) -> str:
+    if len(text) == 1:
+        return f"unexpected character {text!r}"
+    return f"unexpected characters {text!r} ({len(text)} characters skipped)"
 
 
 def _advance(lexeme: str, line: int, col: int) -> tuple[int, int]:

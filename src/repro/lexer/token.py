@@ -12,6 +12,11 @@ from dataclasses import dataclass
 #: Terminal name used for the synthetic end-of-input token.
 EOF = "EOF"
 
+#: Terminal name used for unmatchable input in recovery mode.  No grammar
+#: rule ever references it, so an ERROR token can never be silently
+#: accepted; the diagnostics pipeline reports and drops it.
+ERROR = "ERROR"
+
 
 @dataclass(frozen=True, slots=True)
 class Token:

@@ -16,7 +16,7 @@ from .codegen import (
 )
 from .first_follow import GrammarAnalysis
 from .ll1 import LLConflict, LLTable
-from .parser import Parser
+from .parser import Parser, ParseOutcome
 from .sentences import SentenceGenerator, generate_sentences
 from .tree import Node
 
@@ -25,6 +25,7 @@ __all__ = [
     "LLConflict",
     "LLTable",
     "Node",
+    "ParseOutcome",
     "Parser",
     "ParserCodeGenerator",
     "SentenceGenerator",

@@ -10,19 +10,54 @@ equivalent of ANTLR refusing a grammar).
 Error reporting keeps the *furthest* failure position and the union of
 expected terminals there, which is what a user of a tailored dialect needs
 to see ("expected WHERE or end of input").
+
+Beyond the classic raise-on-first-error entry points, the parser offers a
+**resilient pipeline**: :meth:`Parser.parse_with_diagnostics` scans in
+recovery mode, panic-mode-recovers on syntax errors by synchronizing on
+FOLLOW-derived sync-token sets (statement boundaries ``;``, closing
+parens), and returns a partial tree together with *every* diagnostic in
+the input.  A fuel/step budget bounds pathological backtracking with a
+clean :class:`~repro.errors.ParseBudgetExceeded` instead of a hang.
 """
 
 from __future__ import annotations
 
-from ..errors import LLConflictError, ParseError
+from dataclasses import dataclass, field
+
+from ..diagnostics.model import (
+    TOO_MANY_ERRORS,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    Span,
+)
+from ..errors import LLConflictError, ParseBudgetExceeded, ParseError
 from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
 from ..grammar.grammar import Grammar
 from ..grammar.validate import validate
 from ..lexer.scanner import Scanner
-from ..lexer.token import EOF, Token
+from ..lexer.token import EOF, ERROR, Token
 from .first_follow import GrammarAnalysis
 from .ll1 import LLTable
 from .tree import Node
+
+#: Fuel granted per input token when no explicit budget is configured on
+#: the diagnostics path; generous for real grammars, small enough that
+#: exponential backtracking on adversarial input dies quickly.
+DEFAULT_STEPS_PER_TOKEN = 4000
+
+#: Budget floor so tiny inputs still get room to fail informatively.
+DEFAULT_STEP_FLOOR = 20_000
+
+#: Sync terminals the recovery loop may *consume* (they can never start a
+#: new top-level construct, so skipping past them is always safe).
+_CONSUMABLE_SYNC = ("SEMICOLON", "RPAREN")
+
+#: Maximum simultaneous rule activations.  Kept well under Python's own
+#: recursion limit (each activation costs a handful of interpreter
+#: frames) so deeply nested input surfaces as ParseBudgetExceeded rather
+#: than RecursionError.
+DEFAULT_MAX_DEPTH = 200
 
 
 class _Failure(Exception):
@@ -35,6 +70,37 @@ class _Failure(Exception):
         self.expected = expected
 
 
+@dataclass
+class ParseOutcome:
+    """Result of :meth:`Parser.parse_with_diagnostics`.
+
+    Attributes:
+        tree: The (possibly partial) parse tree — every input region the
+            recovering parser could make sense of, in source order.
+            ``None`` only when the grammar has no start rule.
+        diagnostics: Every scan/parse diagnostic found in one pass.
+        source: The original text, kept so diagnostics can render caret
+            excerpts.
+    """
+
+    tree: Node | None
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+    source: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the input parse without a single error?"""
+        return not self.diagnostics.has_errors
+
+    def render(self, filename: str = "<input>") -> str:
+        """All diagnostics as caret-annotated text."""
+        from ..diagnostics.render import render_diagnostics
+
+        return render_diagnostics(
+            self.diagnostics, source=self.source, filename=filename
+        )
+
+
 class Parser:
     """A ready-to-use parser for one composed grammar.
 
@@ -43,6 +109,15 @@ class Parser:
         scanner: Optional custom scanner; defaults to one built from the
             grammar's token set.
         strict: Refuse non-LL(1) grammars instead of backtracking.
+        max_steps: Fuel budget for every parse: the maximum number of
+            element-expansion steps before :class:`ParseBudgetExceeded`
+            is raised.  ``None`` (default) means unlimited for
+            :meth:`parse`/:meth:`parse_tokens`; the diagnostics path
+            always applies an input-scaled default.
+        hint_provider: Optional callback ``token -> tuple[str, ...]``
+            consulted when a syntax error is built; returned hints (e.g.
+            "enable feature 'Window'") are attached to the error and its
+            diagnostic.
     """
 
     def __init__(
@@ -50,6 +125,9 @@ class Parser:
         grammar: Grammar,
         scanner: Scanner | None = None,
         strict: bool = False,
+        max_steps: int | None = None,
+        hint_provider=None,
+        max_depth: int = DEFAULT_MAX_DEPTH,
     ) -> None:
         validate(grammar).raise_if_failed()
         self.grammar = grammar
@@ -63,11 +141,18 @@ class Parser:
                 + "; ".join(str(c) for c in self.table.conflicts[:5]),
                 conflicts=self.table.conflicts,
             )
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.hint_provider = hint_provider
+        self._sync_sets: dict[str, frozenset[str]] = {}
         # parse state (reset per parse call)
         self._tokens: list[Token] = []
         self._index = 0
         self._furthest_index = 0
         self._furthest_expected: set[str] = set()
+        self._steps = 0
+        self._depth = 0
+        self._budget: int | None = None
 
     # -- public API -----------------------------------------------------------
 
@@ -80,8 +165,17 @@ class Parser:
         """
         return self.parse_tokens(self.scanner.scan(text), start=start)
 
-    def parse_tokens(self, tokens: list[Token], start: str | None = None) -> Node:
-        """Parse an already-scanned token list (must end with EOF)."""
+    def parse_tokens(
+        self,
+        tokens: list[Token],
+        start: str | None = None,
+        max_steps: int | None = None,
+    ) -> Node:
+        """Parse an already-scanned token list (must end with EOF).
+
+        ``max_steps`` overrides the parser-level fuel budget for this
+        call; exceeding it raises :class:`~repro.errors.ParseBudgetExceeded`.
+        """
         start_rule = start if start is not None else self.grammar.start
         if start_rule is None:
             raise ParseError("grammar has no start rule")
@@ -89,6 +183,9 @@ class Parser:
         self._index = 0
         self._furthest_index = 0
         self._furthest_expected = set()
+        self._steps = 0
+        self._depth = 0
+        self._budget = max_steps if max_steps is not None else self.max_steps
         try:
             node = self._parse_rule(start_rule)
             if not self._current.is_eof:
@@ -96,6 +193,124 @@ class Parser:
             return node
         except _Failure:
             raise self._build_error() from None
+        finally:
+            self._budget = None
+
+    def parse_with_diagnostics(
+        self,
+        text: str,
+        start: str | None = None,
+        max_errors: int | None = 25,
+        max_steps: int | None = None,
+    ) -> ParseOutcome:
+        """Resilient one-pass parse: partial tree plus *every* diagnostic.
+
+        The pipeline never raises on malformed input:
+
+        1. the scanner runs in recovery mode, reporting unmatchable
+           characters as diagnostics instead of dying on the first one;
+        2. on a syntax error the parser records a diagnostic (with
+           feature hints when a ``hint_provider`` is configured), then
+           panic-mode-synchronizes: tokens are skipped up to the start
+           rule's FOLLOW-derived sync set (``;``, closing parens, EOF)
+           and parsing resumes, so later errors are found in the same
+           pass;
+        3. a fuel budget (input-scaled unless overridden) turns
+           pathological backtracking into a diagnostic instead of a hang.
+
+        Args:
+            text: Source text.
+            start: Start rule override.
+            max_errors: Stop recovering after this many errors
+                (``None`` = unlimited; values below 1 are clamped to 1,
+                since a zero-capacity bag would skip parsing entirely
+                and report garbage as accepted).
+            max_steps: Fuel override; defaults to
+                ``DEFAULT_STEPS_PER_TOKEN * tokens + DEFAULT_STEP_FLOOR``.
+        """
+        if max_errors is not None and max_errors < 1:
+            max_errors = 1
+        tokens, scan_diagnostics = self.scanner.scan_with_diagnostics(text)
+        bag = DiagnosticBag(max_errors=max_errors)
+        bag.extend(scan_diagnostics)
+        # ERROR tokens are already diagnosed; drop them so the parser sees
+        # the best-effort remainder of the stream.
+        tokens = [t for t in tokens if t.type != ERROR]
+
+        start_rule = start if start is not None else self.grammar.start
+        if start_rule is None:
+            bag.add(Diagnostic("grammar has no start rule"))
+            return ParseOutcome(None, bag, text)
+
+        rule = self.grammar.rule(start_rule)
+        sync = self._sync_set(start_rule)
+        self._tokens = tokens
+        self._index = 0
+        self._steps = 0
+        self._depth = 0
+        if max_steps is None:
+            max_steps = DEFAULT_STEPS_PER_TOKEN * len(tokens) + DEFAULT_STEP_FLOOR
+        self._budget = max_steps
+
+        root = Node(start_rule)
+        try:
+            while not bag.full():
+                iteration_start = self._index
+                self._furthest_index = self._index
+                self._furthest_expected = set()
+                segment = Node(start_rule)
+                failed = False
+                try:
+                    self._parse_alternatives(
+                        rule.alternatives, segment.children, rule_name=start_rule
+                    )
+                except _Failure:
+                    failed = True
+                # keep whatever the attempt managed to build — for a
+                # single-alternative start rule the children up to the
+                # failure point survive backtracking
+                root.children.extend(segment.children)
+                if not failed and self._current.is_eof:
+                    break
+                if not failed:
+                    # a segment parsed but trailing input remains
+                    if self._index > self._furthest_index:
+                        self._furthest_index = self._index
+                        self._furthest_expected = set()
+                    if self._index == self._furthest_index:
+                        self._furthest_expected.add(EOF)
+                bag.add(self._build_error().to_diagnostic())
+                # panic-mode synchronization: skip to a sync token
+                self._index = max(self._index, self._furthest_index)
+                while (
+                    not self._current.is_eof and self._current.type not in sync
+                ):
+                    self._index += 1
+                while (
+                    not self._current.is_eof
+                    and self._current.type in _CONSUMABLE_SYNC
+                ):
+                    self._index += 1
+                if self._current.is_eof:
+                    break
+                if self._index == iteration_start:
+                    self._index += 1  # always make progress
+        except ParseBudgetExceeded as exceeded:
+            bag.add(exceeded.to_diagnostic())
+        finally:
+            self._budget = None
+        if bag.full() and not self._current.is_eof:
+            bag.truncated = True
+        if bag.truncated:
+            bag.items.append(
+                Diagnostic(
+                    "too many errors; giving up on the rest of the input",
+                    span=Span.of_token(self._current),
+                    severity=Severity.NOTE,
+                    code=TOO_MANY_ERRORS,
+                )
+            )
+        return ParseOutcome(root, bag, text)
 
     def accepts(self, text: str, start: str | None = None) -> bool:
         """True when the text parses; scan and parse errors both count as no."""
@@ -125,19 +340,66 @@ class Parser:
         token = self._tokens[min(self._furthest_index, len(self._tokens) - 1)]
         found = "end of input" if token.is_eof else repr(token.text)
         expected = ", ".join(sorted(self._furthest_expected))
+        span = Span.of_token(token)
+        hints: tuple[str, ...] = ()
+        if self.hint_provider is not None and not token.is_eof:
+            expected_set = frozenset(self._furthest_expected)
+            try:
+                hints = tuple(self.hint_provider(token, expected_set))
+            except TypeError:
+                try:  # provider may take the token alone
+                    hints = tuple(self.hint_provider(token))
+                except Exception:
+                    hints = ()
+            except Exception:  # a hint must never mask the real error
+                hints = ()
         return ParseError(
             f"syntax error: found {found}, expected one of: {expected}",
             line=token.line,
             column=token.column,
             expected=frozenset(self._furthest_expected),
             found=token.type,
+            end_line=span.end_line,
+            end_column=span.end_column,
+            hints=hints,
         )
 
+    def _sync_set(self, start_rule: str) -> frozenset[str]:
+        """FOLLOW-derived synchronization terminals for panic-mode recovery.
+
+        The set is FOLLOW(start) plus the universal statement boundaries
+        present in this grammar's token set (``;`` between statements,
+        ``)`` closing a nesting level), plus EOF.
+        """
+        cached = self._sync_sets.get(start_rule)
+        if cached is not None:
+            return cached
+        follow = self.analysis.follow.get(start_rule, frozenset())
+        names = self.grammar.tokens.names()
+        boundaries = frozenset(t for t in _CONSUMABLE_SYNC if t in names)
+        sync = follow | boundaries | frozenset((EOF,))
+        self._sync_sets[start_rule] = sync
+        return sync
+
     def _parse_rule(self, name: str) -> Node:
-        rule = self.grammar.rule(name)
-        node = Node(name)
-        self._parse_alternatives(rule.alternatives, node.children, rule_name=name)
-        return node
+        self._depth += 1
+        if self._depth > self.max_depth:
+            self._depth = 0  # unwind fully; outer finally blocks re-raise
+            token = self._current
+            raise ParseBudgetExceeded(
+                f"parser recursion depth limit of {self.max_depth} exceeded "
+                f"(input nested too deeply near {token.type})",
+                line=token.line,
+                column=token.column,
+                steps=self._steps,
+            )
+        try:
+            rule = self.grammar.rule(name)
+            node = Node(name)
+            self._parse_alternatives(rule.alternatives, node.children, rule_name=name)
+            return node
+        finally:
+            self._depth = max(0, self._depth - 1)
 
     def _parse_alternatives(
         self,
@@ -182,6 +444,17 @@ class Parser:
         raise last_failure
 
     def _parse_element(self, element: Element, children: list) -> None:
+        if self._budget is not None:
+            self._steps += 1
+            if self._steps > self._budget:
+                token = self._current
+                raise ParseBudgetExceeded(
+                    f"parse budget of {self._budget} steps exceeded "
+                    f"(pathological backtracking near {token.type})",
+                    line=token.line,
+                    column=token.column,
+                    steps=self._steps,
+                )
         if isinstance(element, Tok):
             token = self._current
             if token.type != element.name:

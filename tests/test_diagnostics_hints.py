@@ -1,0 +1,167 @@
+"""Tests for feature-aware hints: "enable feature 'X'" diagnostics."""
+
+import pytest
+
+from repro.diagnostics.hints import FeatureHinter, keyword_index
+from repro.lexer.token import Token
+from repro.sql import build_dialect, build_sql_product_line
+
+
+@pytest.fixture(scope="module")
+def scql_parser():
+    return build_dialect("scql").parser()
+
+
+@pytest.fixture(scope="module")
+def full_line():
+    return build_sql_product_line()
+
+
+def hint_texts(outcome):
+    return [h for d in outcome.diagnostics for h in d.hints]
+
+
+class TestEndToEndHints:
+    """Acceptance: rejected constructs name the feature that would accept them."""
+
+    def test_window_clause_hints_window_feature(self, scql_parser):
+        outcome = scql_parser.parse_with_diagnostics(
+            "SELECT a FROM t WINDOW w AS (PARTITION BY a)"
+        )
+        assert not outcome.ok
+        assert any("enable feature 'Window'" in h for h in hint_texts(outcome))
+
+    def test_with_clause_hints_with_feature(self, scql_parser):
+        outcome = scql_parser.parse_with_diagnostics(
+            "WITH x AS (SELECT a FROM t) SELECT a FROM x"
+        )
+        assert not outcome.ok
+        assert any(
+            "enable feature 'WithClause'" in h for h in hint_texts(outcome)
+        )
+
+    def test_case_expression_hints_case_family(self, scql_parser):
+        outcome = scql_parser.parse_with_diagnostics(
+            "SELECT CASE WHEN a = 1 THEN b ELSE c END FROM t"
+        )
+        assert not outcome.ok
+        hints = hint_texts(outcome)
+        assert any(
+            "enable feature 'SimpleCase'" in h
+            or "enable feature 'SearchedCase'" in h
+            for h in hints
+        )
+
+    def test_accepted_construct_yields_no_hint(self, scql_parser):
+        outcome = scql_parser.parse_with_diagnostics("SELECT a FROM t")
+        assert outcome.ok
+        assert hint_texts(outcome) == []
+
+    def test_hints_can_be_disabled(self):
+        parser = build_dialect("scql").parser(hints=False)
+        outcome = parser.parse_with_diagnostics("SELECT a FROM t WINDOW w AS ()")
+        assert not outcome.ok
+        assert hint_texts(outcome) == []
+
+    def test_rendered_output_contains_hint_line(self, scql_parser):
+        outcome = scql_parser.parse_with_diagnostics(
+            "SELECT a FROM t WINDOW w AS (PARTITION BY a)"
+        )
+        assert "hint: enable feature 'Window'" in outcome.render()
+
+
+class TestKeywordIndex:
+    def test_index_is_uppercased_and_deduplicated(self, full_line):
+        index = keyword_index(full_line.units())
+        assert "WINDOW" in index
+        assert all(text == text.upper() for text in index)
+        for owners in index.values():
+            assert len(owners) == len(set(owners))
+
+    def test_every_feature_with_keywords_is_indexed(self, full_line):
+        index = keyword_index(full_line.units())
+        indexed_features = {f for owners in index.values() for f in owners}
+        for unit in full_line.units():
+            if unit.tokens.keywords:
+                assert unit.feature in indexed_features
+
+
+class TestRegistryWideHints:
+    """Every feature's distinguishing keyword maps back to that feature."""
+
+    def test_uniquely_owned_keywords_hint_their_feature(self, full_line):
+        units = full_line.units()
+        index = keyword_index(units)
+        hinter = FeatureHinter(units, selected=())
+        unique = {
+            text: owners[0]
+            for text, owners in index.items()
+            if len(owners) == 1
+        }
+        assert unique, "registry should have uniquely-owned keywords"
+        for text, owner in unique.items():
+            token = Token("IDENTIFIER", text.lower(), 1, 1, 0)
+            hints = hinter.hints_for_token(token)
+            assert hints, f"no hint for uniquely-owned keyword {text!r}"
+            assert f"enable feature '{owner}'" in hints[0], (
+                f"keyword {text!r}: expected owner {owner!r}, got {hints[0]!r}"
+            )
+
+    def test_every_unit_keyword_yields_some_hint(self, full_line):
+        units = full_line.units()
+        hinter = FeatureHinter(units, selected=())
+        for unit in units:
+            for text in unit.tokens.keywords:
+                token = Token("IDENTIFIER", text, 1, 1, 0)
+                hints = hinter.hints_for_token(token)
+                assert hints, (
+                    f"keyword {text!r} of feature {unit.feature!r} "
+                    "produced no hint"
+                )
+
+    def test_selected_features_are_never_suggested(self, full_line):
+        units = full_line.units()
+        all_features = [u.feature for u in units]
+        hinter = FeatureHinter(units, selected=all_features)
+        for unit in units:
+            for text in unit.tokens.keywords:
+                token = Token("IDENTIFIER", text, 1, 1, 0)
+                assert hinter.hints_for_token(token) == ()
+
+
+class TestHinterDetails:
+    def test_shared_keyword_lists_runners_up(self, full_line):
+        units = full_line.units()
+        index = keyword_index(units)
+        shared = [t for t, owners in index.items() if len(owners) > 1]
+        assert shared, "registry should have shared keywords"
+        hinter = FeatureHinter(units, selected=())
+        token = Token("IDENTIFIER", shared[0], 1, 1, 0)
+        (hint,) = hinter.hints_for_token(token)
+        assert "also used by" in hint
+
+    def test_selected_dialects_own_keywords_get_no_hint(self, scql_parser):
+        # 'FROM' in the wrong position is the dialect's *own* keyword;
+        # suggesting TrimFunction/FetchCursor (which also use FROM)
+        # would be noise — no feature hint for non-IDENTIFIER tokens
+        outcome = scql_parser.parse_with_diagnostics("SELECT FROM t")
+        assert not outcome.ok
+        assert hint_texts(outcome) == []
+
+    def test_blank_token_yields_no_hint(self, full_line):
+        hinter = FeatureHinter(full_line.units(), selected=())
+        assert hinter.hints_for_token(Token("EOF", "", 1, 1, 0)) == ()
+
+    def test_grammar_aware_ranking_prefers_plug_point(self, scql_parser):
+        # the scql grammar's hinter must rank 'WithClause' over the many
+        # other features that merely mention WITH mid-production
+        provider = scql_parser.hint_provider
+        assert provider is not None
+        token = Token("IDENTIFIER", "with", 1, 1, 0)
+        candidates = provider.features_for_keyword("WITH")
+        assert candidates[0] == "WithClause"
+
+    def test_hinter_is_callable_as_provider(self, full_line):
+        hinter = FeatureHinter(full_line.units(), selected=())
+        token = Token("IDENTIFIER", "window", 1, 1, 0)
+        assert hinter(token) == hinter.hints_for_token(token)

@@ -1,0 +1,197 @@
+"""Tests for the diagnostics model and the caret-excerpt renderer."""
+
+import pytest
+
+from repro.diagnostics import (
+    PARSE_ERROR,
+    SCAN_ERROR,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    Span,
+    render_diagnostic,
+    render_diagnostics,
+)
+
+
+class TestSpan:
+    def test_point_span_covers_one_character(self):
+        span = Span.point(3, 7)
+        assert (span.end_line, span.end_column) == (3, 8)
+        assert span.contains(3, 7)
+        assert not span.contains(3, 8)
+
+    def test_degenerate_end_is_normalized(self):
+        span = Span(2, 5, 1, 1)
+        assert span.end_line == 2
+        assert span.end_column == 6
+
+    def test_of_token_covers_token_text(self):
+        from repro.lexer.token import Token
+
+        span = Span.of_token(Token("SELECT", "select", 4, 9, 0))
+        assert (span.line, span.column, span.end_line, span.end_column) == (
+            4, 9, 4, 15,
+        )
+
+    def test_of_token_multiline_text(self):
+        from repro.lexer.token import Token
+
+        span = Span.of_token(Token("STRING_LITERAL", "'a\nbb'", 1, 5, 0))
+        assert span.is_multiline
+        assert (span.end_line, span.end_column) == (2, 4)
+
+    def test_multiline_contains(self):
+        span = Span(1, 5, 3, 2)
+        assert span.contains(2, 1)
+        assert span.contains(1, 99) is True  # rest of the first line
+        assert not span.contains(3, 2)
+
+    def test_str_forms(self):
+        assert str(Span.point(1, 2)) == "1:2"
+        assert str(Span(1, 2, 3, 4)) == "1:2-3:4"
+
+
+class TestDiagnosticBag:
+    def test_cap_counts_only_errors(self):
+        bag = DiagnosticBag(max_errors=2)
+        assert bag.add(Diagnostic("w", severity=Severity.WARNING))
+        assert bag.add(Diagnostic("e1"))
+        assert bag.add(Diagnostic("e2"))
+        assert not bag.add(Diagnostic("e3"))
+        assert bag.truncated
+        assert bag.error_count() == 2
+        assert len(bag) == 3  # warning + two errors
+
+    def test_notes_pass_through_a_full_bag(self):
+        bag = DiagnosticBag(max_errors=1)
+        bag.add(Diagnostic("e1"))
+        assert bag.add(Diagnostic("fyi", severity=Severity.NOTE))
+
+    def test_sorted_orders_by_position(self):
+        bag = DiagnosticBag()
+        bag.add(Diagnostic("later", span=Span.point(2, 1)))
+        bag.add(Diagnostic("nowhere"))
+        bag.add(Diagnostic("earlier", span=Span.point(1, 4)))
+        assert [d.message for d in bag.sorted()] == [
+            "nowhere", "earlier", "later",
+        ]
+
+    def test_with_hints_deduplicates(self):
+        diag = Diagnostic("m", hints=("a",)).with_hints("a", "b", "")
+        assert diag.hints == ("a", "b")
+
+
+class TestRenderer:
+    def test_single_line_caret_excerpt(self):
+        source = "SELECT a FRM t"
+        diag = Diagnostic(
+            "syntax error: found 'FRM'",
+            span=Span(1, 10, 1, 13),
+            code=PARSE_ERROR,
+        )
+        text = render_diagnostic(diag, source=source, filename="<q>")
+        lines = text.splitlines()
+        assert lines[0] == "<q>:1:10: error[E0201]: syntax error: found 'FRM'"
+        assert lines[1] == "  1 | SELECT a FRM t"
+        # caret alignment: the carets must sit exactly under FRM
+        caret_part = lines[2].split("|", 1)[1]
+        assert caret_part == " " + " " * 9 + "^^^"
+
+    def test_tabs_are_expanded_consistently(self):
+        source = "\tSELECT\ta FRM t"
+        # FRM starts at raw column 11
+        diag = Diagnostic("bad", span=Span(1, 11, 1, 14))
+        text = render_diagnostic(diag, source=source)
+        excerpt, caret = text.splitlines()[1:3]
+        assert "\t" not in excerpt
+        caret_part = caret.split("|", 1)[1]
+        excerpt_part = excerpt.split("|", 1)[1]
+        assert excerpt_part[caret_part.index("^")] == "F"
+
+    def test_multiline_span_underlines_every_line(self):
+        source = "SELECT (\na,\nb FROM t"
+        diag = Diagnostic("unbalanced", span=Span(1, 8, 3, 2))
+        text = render_diagnostic(diag, source=source)
+        carets = [l for l in text.splitlines() if "^" in l]
+        assert len(carets) == 3
+
+    def test_tall_span_is_elided(self):
+        source = "\n".join(f"line{i}" for i in range(1, 8))
+        diag = Diagnostic("tall", span=Span(1, 1, 7, 6))
+        text = render_diagnostic(diag, source=source)
+        assert "(5 more lines)" in text
+        carets = [l for l in text.splitlines() if "^" in l]
+        assert len(carets) == 2
+
+    def test_hints_are_rendered(self):
+        diag = Diagnostic("m", hints=("enable feature 'Window'",))
+        assert "hint: enable feature 'Window'" in render_diagnostic(diag)
+
+    def test_position_less_diagnostic_renders_without_excerpt(self):
+        diag = Diagnostic("config invalid", code=SCAN_ERROR)
+        text = render_diagnostic(diag, source="SELECT 1")
+        assert text == "<input>: error[E0101]: config invalid"
+
+    def test_render_diagnostics_sorts_a_bag(self):
+        bag = DiagnosticBag()
+        bag.add(Diagnostic("second", span=Span.point(2, 1)))
+        bag.add(Diagnostic("first", span=Span.point(1, 1)))
+        text = render_diagnostics(bag, source="a\nb")
+        assert text.index("first") < text.index("second")
+
+    def test_caret_for_eof_column_past_line_end(self):
+        source = "SELECT a"
+        diag = Diagnostic("eof", span=Span.point(1, 9))
+        caret_line = render_diagnostic(diag, source=source).splitlines()[2]
+        assert caret_line.split("|", 1)[1] == " " + " " * 8 + "^"
+
+
+class TestErrorSpanInterface:
+    """Satellite: every positioned error exposes the same .span API."""
+
+    def test_scan_error_span(self):
+        from repro.errors import ScanError
+
+        err = ScanError("unexpected character '@'", line=2, column=7)
+        assert err.span == Span(2, 7, 2, 8)
+        assert "line 2, column 7" in str(err)  # message format unchanged
+
+    def test_grammar_syntax_error_span(self):
+        from repro.errors import GrammarSyntaxError
+
+        err = GrammarSyntaxError("bad rule", line=1, column=3, end_column=9)
+        assert err.span == Span(1, 3, 1, 9)
+        assert "line 1, column 3" in str(err)
+
+    def test_parse_error_span_and_diagnostic(self):
+        from repro.errors import ParseError
+
+        err = ParseError(
+            "syntax error", line=4, column=2, end_line=4, end_column=8,
+            hints=("enable feature 'X'",),
+        )
+        assert err.span == Span(4, 2, 4, 8)
+        diag = err.to_diagnostic()
+        assert diag.code == PARSE_ERROR
+        assert diag.span == err.span
+        assert diag.hints == ("enable feature 'X'",)
+        assert diag.message == "syntax error"  # bare, no position suffix
+
+    def test_budget_error_is_a_parse_error(self):
+        from repro.errors import ParseBudgetExceeded, ParseError
+
+        err = ParseBudgetExceeded("out of fuel", line=1, column=1, steps=99)
+        assert isinstance(err, ParseError)
+        assert err.steps == 99
+        assert err.to_diagnostic().code == "E0202"
+
+    def test_invalid_configuration_diagnostics_carry_fixes(self):
+        from repro.errors import InvalidConfigurationError
+
+        err = InvalidConfigurationError(
+            ["feature 'Having' requires feature 'GroupBy'"]
+        )
+        diags = err.diagnostics()
+        assert len(diags) == 1
+        assert any("add feature 'GroupBy'" in h for h in diags[0].hints)
