@@ -42,12 +42,21 @@ from .errors import ReproError
 from .features import Configuration, FeatureModel, read_feature_model
 from .grammar import Grammar, read_grammar, write_grammar
 from .parsing import Parser, generate_parser_source, load_generated_parser
+from .service import (
+    Fingerprint,
+    ParseRequest,
+    ParseService,
+    ParseServiceResult,
+    ParserRegistry,
+    product_fingerprint,
+)
 from .sql import (
     build_dialect,
     build_sql_product_line,
     configure_sql,
     dialect_features,
     dialect_names,
+    sql_parser_registry,
     sql_registry,
 )
 from .workloads import generate_workload
@@ -61,11 +70,16 @@ __all__ = [
     "Database",
     "FeatureModel",
     "FeatureUnit",
+    "Fingerprint",
     "Grammar",
     "GrammarComposer",
     "GrammarProductLine",
+    "ParseRequest",
+    "ParseService",
+    "ParseServiceResult",
     "Parser",
     "ParserBuilder",
+    "ParserRegistry",
     "ReproError",
     "Result",
     "build_dialect",
@@ -76,8 +90,10 @@ __all__ = [
     "generate_parser_source",
     "generate_workload",
     "load_generated_parser",
+    "product_fingerprint",
     "read_feature_model",
     "read_grammar",
+    "sql_parser_registry",
     "sql_registry",
     "unit",
     "write_grammar",

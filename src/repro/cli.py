@@ -13,11 +13,18 @@ composing these features."  This CLI is that interface, terminal-flavoured::
     python -m repro.cli compose --dialect core --emit core_parser.py
     python -m repro.cli shell core               # interactive SQL shell
     python -m repro.cli sample tinysql -n 5      # random sentences
+    python -m repro.cli stats --warm core        # parse-service cache metrics
+
+Products are resolved through the process-wide fingerprint-keyed
+registry (:mod:`repro.service`): repeated commands against the same
+selection reuse the composed parser, and ``--cache DIR`` persists
+generated parser source across processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from .diagnostics import render_diagnostic, render_diagnostics
@@ -25,10 +32,10 @@ from .engine import Database
 from .errors import InvalidConfigurationError, ReproError
 from .features import render_feature
 from .parsing import SentenceGenerator
+from .service import ParseService
 from .sql import (
     build_dialect,
     build_sql_product_line,
-    configure_sql,
     dialect_features,
     dialect_names,
     sql_registry,
@@ -76,9 +83,15 @@ def _cmd_features(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_product(args: argparse.Namespace):
+def _service(args: argparse.Namespace) -> ParseService:
+    """The command's parse service over the shared SQL registry."""
+    return ParseService(cache_dir=getattr(args, "cache", None))
+
+
+def _selection(args: argparse.Namespace) -> tuple[list[str], str | None]:
+    """The feature selection a command names, plus a display name."""
     if getattr(args, "dialect", None):
-        return build_dialect(args.dialect)
+        return dialect_features(args.dialect), f"sql-{args.dialect.lower()}"
     features = list(getattr(args, "features", []) or [])
     if not features:
         raise ReproError("select features or pass --dialect")
@@ -86,44 +99,79 @@ def _resolve_product(args: argparse.Namespace):
     selection = set(features)
     if not selection & {"QuerySpecification", "Insert", "CreateTable"}:
         selection.update(_WORKED_EXAMPLE_BASE)
-    return configure_sql(selection)
+    return sorted(selection), None
+
+
+def _resolve_product(args: argparse.Namespace, service: ParseService | None = None):
+    """Resolve a command's product through the fingerprint-keyed registry.
+
+    Repeated invocations against the same selection (and every other
+    path that composes it — dialing up a shell, ``configure_sql`` …)
+    share one composed product per fingerprint.
+    """
+    service = service if service is not None else _service(args)
+    features, name = _selection(args)
+    product = service.registry.get(features).product
+    if name is not None and product.name != name:
+        product = dataclasses.replace(product, name=name)
+    return product
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
-    product = _resolve_product(args)
+    service = _service(args)
+    features, name = _selection(args)
+    entry = service.registry.get(features)
+    product = entry.product
+    if name is not None and product.name != name:
+        product = dataclasses.replace(product, name=name)
     print(f"composed {product.name}: {product.size()}")
+    print(f"fingerprint: {entry.fingerprint.digest}")
     print(f"sequence: {' -> '.join(product.sequence)}")
     print(f"trace: {product.trace.summary()}")
     if args.emit:
-        source = product.generate_source()
+        # disk-cache aware: with --cache, an unchanged fingerprint reuses
+        # the generated source from a previous process
+        source = service.registry.generated_source(entry)
         with open(args.emit, "w") as handle:
             handle.write(source)
         print(f"wrote generated parser: {args.emit} "
               f"({len(source.splitlines())} lines)")
+    status = 0
     if args.query:
-        parser = product.parser()
-        outcome = parser.parse_with_diagnostics(
-            args.query, max_errors=args.max_errors
-        )
-        if outcome.ok:
+        result = service.parse(args.query, features, max_errors=args.max_errors)
+        if result.ok:
             print("accepted:")
-            print(outcome.tree.pretty())
+            print(result.tree.pretty())
         else:
             print("rejected:")
-            print(outcome.render(filename="<query>"))
-            return 1
-    return 0
+            print(result.render(filename="<query>"))
+            status = 1
+    if args.cache:
+        print(service.render_stats())
+    return status
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
-    product = build_dialect(args.dialect)
+    product = _resolve_product(args)
     generator = SentenceGenerator(product.grammar, seed=args.seed)
     for sentence in generator.sentences(args.count):
         print(sentence)
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    service = _service(args)
+    for dialect in args.warm or []:
+        entry, warm = service.registry.acquire(dialect_features(dialect))
+        state = "warm" if warm else "cold"
+        print(f"warmed dialect {dialect!r} ({state}): {entry.product.name}")
+    print(service.render_stats())
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:
+    service = _service(args)
+    features = dialect_features(args.dialect)
     db = Database(args.dialect)
     print(f"repro SQL shell — dialect {args.dialect!r} "
           f"({db.product.size()['rules']} grammar rules). "
@@ -141,9 +189,13 @@ def _cmd_shell(args: argparse.Namespace) -> int:
         if line == ".tables":
             print(", ".join(db.table_names()) or "(no tables)")
             continue
-        # resilient pre-flight: report *every* syntax problem with carets
-        # and feature hints instead of dying on the first one
-        report = db.diagnose(line, max_errors=args.max_errors)
+        if line == ".stats":
+            print(service.render_stats())
+            continue
+        # resilient pre-flight through the parse service: report *every*
+        # syntax problem with carets and feature hints instead of dying on
+        # the first one; repeated commands reuse the cached parser
+        report = service.parse(line, features, max_errors=args.max_errors)
         if not report.ok:
             print(report.render(filename="<shell>"))
             continue
@@ -195,6 +247,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     compose.add_argument("-q", "--query", help="try parsing this query")
     compose.add_argument("--max-errors", type=int, default=25, metavar="N",
                          help="stop reporting after N syntax errors")
+    compose.add_argument("--cache", metavar="DIR",
+                         help="persist generated parser source to DIR, keyed "
+                              "by fingerprint, and print cache stats")
     compose.set_defaults(fn=_cmd_compose)
 
     sample = sub.add_parser("sample", help="random sentences of a dialect")
@@ -208,7 +263,21 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        default="core")
     shell.add_argument("--max-errors", type=int, default=25, metavar="N",
                        help="stop reporting after N syntax errors")
+    shell.add_argument("--cache", metavar="DIR",
+                       help="on-disk artifact cache for generated parser "
+                            "source (see `.stats` inside the shell)")
     shell.set_defaults(fn=_cmd_shell)
+
+    stats = sub.add_parser(
+        "stats", help="parse-service cache and latency metrics"
+    )
+    stats.add_argument("--warm", action="append", choices=dialect_names(),
+                       metavar="DIALECT",
+                       help="compose a preset dialect first (repeatable; "
+                            "repeat the same dialect to see a cache hit)")
+    stats.add_argument("--cache", metavar="DIR",
+                       help="on-disk artifact cache directory")
+    stats.set_defaults(fn=_cmd_stats)
 
     return parser
 

@@ -42,6 +42,10 @@ class ComposedProduct:
     #: explain rejections in terms of *unselected* features.  ``None`` for
     #: hand-built products.
     line: "GrammarProductLine | None" = None
+    #: Canonical fingerprint of (line, expanded selection, counts) — the
+    #: cache key the :mod:`repro.service` layer stores this product under.
+    #: ``None`` for products composed outside a product line.
+    fingerprint: "object | None" = None
 
     def parser(self, strict: bool = False, hints: bool = True):
         """Build an interpreting parser for this product.
@@ -68,10 +72,16 @@ class ComposedProduct:
         )
 
     def generate_source(self) -> str:
-        """Emit standalone Python parser source for this product."""
+        """Emit standalone Python parser source for this product.
+
+        When the product carries a fingerprint, its digest is embedded in
+        the source so the service layer's disk cache can validate
+        artifacts across processes.
+        """
         from ..parsing.codegen import generate_parser_source
 
-        return generate_parser_source(self.grammar)
+        digest = getattr(self.fingerprint, "digest", None)
+        return generate_parser_source(self.grammar, fingerprint=digest)
 
     def size(self) -> dict[str, int]:
         """Grammar size metrics (experiment E6)."""
@@ -126,23 +136,18 @@ class GrammarProductLine:
 
     # -- configuration --------------------------------------------------------
 
-    def configure(
+    def resolve_configuration(
         self,
         features: Iterable[str],
         counts: Mapping[str, int] | None = None,
         expand: bool = True,
-        strict_order: bool = True,
-        product_name: str | None = None,
-    ) -> ComposedProduct:
-        """Compose the product for a feature selection.
+    ) -> Configuration:
+        """Resolve a (possibly sparse) selection into a full configuration.
 
-        Args:
-            features: Selected feature names (sparse when ``expand``).
-            counts: Clone counts for cardinality features.
-            expand: Grow the selection to a full valid configuration
-                (ancestors, mandatory children, requires) before checking.
-            strict_order: Enforce the paper's composition-order rules.
-            product_name: Name of the composed grammar.
+        This is the pure "what would be composed" half of
+        :meth:`configure`: equivalent sparse selections resolve to the
+        same configuration, which is what lets the service layer key
+        caches by fingerprint without composing anything.
         """
         if expand:
             # expansion closure: the model pulls in ancestors/mandatory
@@ -159,12 +164,25 @@ class GrammarProductLine:
                             req for req in u.requires if req not in config.selected
                         )
                 if not missing:
-                    break
+                    return config
                 selected = set(config.selected) | missing
-        else:
-            config = Configuration.of(features, counts)
-            check_configuration(self.model, config)
+        config = Configuration.of(features, counts)
+        check_configuration(self.model, config)
+        return config
 
+    def compose_product(
+        self,
+        config: Configuration,
+        strict_order: bool = True,
+        product_name: str | None = None,
+        fingerprint: "object | None" = None,
+    ) -> ComposedProduct:
+        """Compose an already-resolved configuration into a product.
+
+        The default product name is fingerprint-derived
+        (``"{line}@{digest[:12]}"``), so equivalent selections always get
+        the same name and different selections never collide.
+        """
         # composition sequence: model pre-order restricted to the selection,
         # refined by unit-level requires/after edges
         preorder = [
@@ -175,9 +193,14 @@ class GrammarProductLine:
         ]
         sequence = order_units(selected_units, config.selected)
 
+        if fingerprint is None:
+            from ..service.fingerprint import configuration_fingerprint
+
+            fingerprint = configuration_fingerprint(self, config)
+        name = product_name or f"{self.name}@{fingerprint.short}"
+
         trace = CompositionTrace()
         composer = GrammarComposer(strict_order=strict_order)
-        name = product_name or f"{self.name}:{len(config.selected)}-features"
         grammar = Grammar(name)
         for u in sequence:
             if u.grammar is not None:
@@ -195,6 +218,31 @@ class GrammarProductLine:
             grammar=grammar,
             trace=trace,
             line=self,
+            fingerprint=fingerprint,
+        )
+
+    def configure(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        expand: bool = True,
+        strict_order: bool = True,
+        product_name: str | None = None,
+    ) -> ComposedProduct:
+        """Compose the product for a feature selection.
+
+        Args:
+            features: Selected feature names (sparse when ``expand``).
+            counts: Clone counts for cardinality features.
+            expand: Grow the selection to a full valid configuration
+                (ancestors, mandatory children, requires) before checking.
+            strict_order: Enforce the paper's composition-order rules.
+            product_name: Name of the composed grammar; defaults to a
+                fingerprint-derived deterministic name.
+        """
+        config = self.resolve_configuration(features, counts, expand=expand)
+        return self.compose_product(
+            config, strict_order=strict_order, product_name=product_name
         )
 
     def __repr__(self) -> str:

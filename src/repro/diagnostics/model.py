@@ -94,6 +94,7 @@ class Severity(enum.IntEnum):
 SCAN_ERROR = "E0101"            #: unmatchable characters in the input
 PARSE_ERROR = "E0201"           #: token stream rejected by the grammar
 PARSE_BUDGET_EXCEEDED = "E0202"  #: fuel/step budget exhausted (pathological input)
+PARSE_TIMEOUT = "E0203"         #: a parse-service request exceeded its deadline
 CONFIG_INVALID = "E0301"        #: feature selection violates the model
 COMPOSITION_ORDER = "E0302"     #: units composed in a forbidden order
 GENERIC_ERROR = "E0000"         #: any ReproError without a more specific code

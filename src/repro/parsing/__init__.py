@@ -13,6 +13,7 @@ from .codegen import (
     ParserCodeGenerator,
     generate_parser_source,
     load_generated_parser,
+    source_fingerprint,
 )
 from .first_follow import GrammarAnalysis
 from .ll1 import LLConflict, LLTable
@@ -32,4 +33,5 @@ __all__ = [
     "generate_parser_source",
     "generate_sentences",
     "load_generated_parser",
+    "source_fingerprint",
 ]

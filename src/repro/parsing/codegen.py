@@ -158,13 +158,39 @@ def accepts(text, start=None):
 '''
 
 
+#: Module-level constant embedded in generated parsers; the service
+#: layer's on-disk artifact cache uses it to validate that a cached file
+#: still corresponds to the fingerprint it is filed under.
+FINGERPRINT_CONSTANT = "_FINGERPRINT"
+
+
+def source_fingerprint(source: str) -> str | None:
+    """Extract the embedded fingerprint digest from generated source."""
+    prefix = f"{FINGERPRINT_CONSTANT} = "
+    for line in source.splitlines():
+        if line.startswith(prefix):
+            value = line[len(prefix):].strip()
+            if len(value) >= 2 and value[0] == value[-1] and value[0] in "'\"":
+                return value[1:-1]
+            return None
+    return None
+
+
 class ParserCodeGenerator:
     """Compiles one grammar into standalone Python parser source."""
 
-    def __init__(self, grammar: Grammar, analysis: GrammarAnalysis | None = None) -> None:
-        validate(grammar).raise_if_failed()
+    def __init__(
+        self,
+        grammar: Grammar,
+        analysis: GrammarAnalysis | None = None,
+        fingerprint: str | None = None,
+    ) -> None:
+        if analysis is None:
+            validate(grammar).raise_if_failed()
+            analysis = GrammarAnalysis(grammar)
         self.grammar = grammar
-        self.analysis = analysis if analysis is not None else GrammarAnalysis(grammar)
+        self.analysis = analysis
+        self.fingerprint = fingerprint
         self._first_consts: dict[frozenset[str], str] = {}
         self._helpers: list[str] = []
         self._counter = 0
@@ -179,6 +205,8 @@ class ParserCodeGenerator:
         lines.append("")
         lines.append("Generated by repro.parsing.codegen - do not edit by hand.")
         lines.append('"""')
+        if self.fingerprint is not None:
+            lines.append(f"{FINGERPRINT_CONSTANT} = {self.fingerprint!r}")
         lines.append(_RUNTIME)
         lines.extend(self._emit_scanner_tables())
         lines.append("")
@@ -369,9 +397,20 @@ class ParserCodeGenerator:
         out.append(f"{pad}    s.fail({union_const})")
 
 
-def generate_parser_source(grammar: Grammar) -> str:
-    """One-call convenience wrapper around :class:`ParserCodeGenerator`."""
-    return ParserCodeGenerator(grammar).generate()
+def generate_parser_source(
+    grammar: Grammar,
+    analysis: GrammarAnalysis | None = None,
+    fingerprint: str | None = None,
+) -> str:
+    """One-call convenience wrapper around :class:`ParserCodeGenerator`.
+
+    ``analysis`` lets a caller that already computed FIRST/FOLLOW sets
+    (the registry) skip recomputation; ``fingerprint`` embeds provenance
+    the on-disk artifact cache validates on load.
+    """
+    return ParserCodeGenerator(
+        grammar, analysis=analysis, fingerprint=fingerprint
+    ).generate()
 
 
 def load_generated_parser(source: str, module_name: str = "generated_parser"):

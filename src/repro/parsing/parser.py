@@ -128,12 +128,19 @@ class Parser:
         max_steps: int | None = None,
         hint_provider=None,
         max_depth: int = DEFAULT_MAX_DEPTH,
+        analysis: GrammarAnalysis | None = None,
+        table: LLTable | None = None,
     ) -> None:
-        validate(grammar).raise_if_failed()
+        # ``analysis``/``table`` let a registry share the immutable compiled
+        # pieces across per-thread parser instances; passing them asserts
+        # the grammar was already validated when they were built.
+        if analysis is None:
+            validate(grammar).raise_if_failed()
+            analysis = GrammarAnalysis(grammar)
         self.grammar = grammar
         self.scanner = scanner if scanner is not None else Scanner(grammar.tokens)
-        self.analysis = GrammarAnalysis(grammar)
-        self.table = LLTable(grammar, self.analysis)
+        self.analysis = analysis
+        self.table = table if table is not None else LLTable(grammar, self.analysis)
         self.strict = strict
         if strict and self.table.conflicts:
             raise LLConflictError(

@@ -1,0 +1,49 @@
+"""Serving layer: fingerprinted parser registry, caches, batch parsing.
+
+The paper's workflow is compose-once, parse-many.  This package is the
+"parse-many" half at production scale::
+
+    from repro.service import ParseService
+
+    service = ParseService()            # serves the shared SQL registry
+    result = service.parse("SELECT a FROM t", ["QuerySpecification", "Where"])
+    result.ok, result.tree, result.diagnostics
+
+    results = service.parse_many(queries, features, timeout=0.5)
+    print(service.render_stats())
+
+Layers:
+
+* :mod:`repro.service.fingerprint` — canonical cache keys: equivalent
+  sparse selections hash to the same :class:`Fingerprint`.
+* :mod:`repro.service.registry` — thread-safe LRU of composed products
+  with single-flight composition and an on-disk artifact cache for
+  generated parser source.
+* :mod:`repro.service.service` — :class:`ParseService`:
+  ``parse``/``parse_many``/``batch`` over a worker pool, per-request
+  timeout and fuel budgets, diagnostics instead of exceptions.
+* :mod:`repro.service.metrics` — hit/miss counters and latency
+  histograms behind ``repro stats``.
+"""
+
+from .fingerprint import (
+    Fingerprint,
+    configuration_fingerprint,
+    product_fingerprint,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+from .registry import ParserRegistry, RegistryEntry
+from .service import ParseRequest, ParseService, ParseServiceResult
+
+__all__ = [
+    "Fingerprint",
+    "LatencyHistogram",
+    "ParseRequest",
+    "ParseService",
+    "ParseServiceResult",
+    "ParserRegistry",
+    "RegistryEntry",
+    "ServiceMetrics",
+    "configuration_fingerprint",
+    "product_fingerprint",
+]

@@ -1,0 +1,209 @@
+"""Serving-layer metrics: cache counters and latency histograms.
+
+"Parser Knows Best" (PAPERS.md) argues for parser-side instrumentation;
+this module is the reproduction's take.  One :class:`ServiceMetrics`
+instance is shared by a :class:`~repro.service.registry.ParserRegistry`
+and the :class:`~repro.service.service.ParseService` built on it, so a
+single :meth:`ServiceMetrics.snapshot` answers the operational questions:
+how often do we hit the cache, how expensive is a miss (compose/compile),
+and what does parse latency look like?
+
+Everything is guarded by one lock; observations are O(#buckets) and the
+snapshot is a plain ``dict`` suitable for JSON or the ``repro stats``
+CLI renderer.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds in milliseconds (log-ish scale); the
+#: final implicit bucket is +inf.
+DEFAULT_BUCKETS_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with count/sum/min/max and quantiles.
+
+    Not thread-safe on its own — callers (``ServiceMetrics``) serialize
+    access.
+    """
+
+    __slots__ = ("bounds_ms", "counts", "count", "total_ms", "min_ms", "max_ms")
+
+    def __init__(self, bounds_ms: tuple[float, ...] = DEFAULT_BUCKETS_MS) -> None:
+        self.bounds_ms = bounds_ms
+        self.counts = [0] * (len(bounds_ms) + 1)
+        self.count = 0
+        self.total_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1000.0
+        self.counts[bisect_left(self.bounds_ms, ms)] += 1
+        self.count += 1
+        self.total_ms += ms
+        if ms < self.min_ms:
+            self.min_ms = ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                if i < len(self.bounds_ms):
+                    return self.bounds_ms[i]
+                return self.max_ms
+        return self.max_ms
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total_ms": round(self.total_ms, 3),
+            "mean_ms": round(self.total_ms / self.count, 3),
+            "min_ms": round(self.min_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.quantile(0.50),
+            "p90_ms": self.quantile(0.90),
+            "p99_ms": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters + histograms for one registry/service pair."""
+
+    #: Counter names, all starting at zero.
+    COUNTERS = (
+        "hits",            # registry served an already-composed product
+        "misses",          # registry had to compose
+        "evictions",       # LRU pushed an entry out
+        "disk_hits",       # generated source served from the artifact cache
+        "disk_misses",     # artifact cache had no (valid) file
+        "disk_invalidations",  # artifact existed but its fingerprint mismatched
+        "composes",        # grammar compositions performed
+        "compiles",        # parser source generations performed
+        "parses",          # parse requests served
+        "parse_errors",    # parses whose outcome carried error diagnostics
+        "timeouts",        # batch requests that exceeded their deadline
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {name: 0 for name in self.COUNTERS}
+        self._histograms = {
+            "compose": LatencyHistogram(),
+            "compile": LatencyHistogram(),
+            "parse": LatencyHistogram(),
+        }
+
+    # -- recording --------------------------------------------------------
+
+    def incr(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += by
+
+    def observe(self, histogram: str, seconds: float) -> None:
+        with self._lock:
+            self._histograms[histogram].observe(seconds)
+
+    def time(self, histogram: str):
+        """Context manager: time a block into one histogram."""
+        return _Timer(self, histogram)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters[name]
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self._counters["hits"] + self._counters["misses"]
+            return self._counters["hits"] / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter and histogram."""
+        with self._lock:
+            total = self._counters["hits"] + self._counters["misses"]
+            return {
+                "counters": dict(self._counters),
+                "hit_rate": (
+                    round(self._counters["hits"] / total, 4) if total else 0.0
+                ),
+                "latency": {
+                    name: h.snapshot() for name, h in self._histograms.items()
+                },
+            }
+
+    def render(self) -> str:
+        """Human-readable snapshot for ``repro stats`` / the shell."""
+        snap = self.snapshot()
+        lines = ["parse service stats"]
+        counters = snap["counters"]
+        lines.append(
+            f"  cache: {counters['hits']} hits / {counters['misses']} misses "
+            f"(hit rate {snap['hit_rate']:.0%}), {counters['evictions']} evicted"
+        )
+        lines.append(
+            f"  disk:  {counters['disk_hits']} hits / {counters['disk_misses']} "
+            f"misses, {counters['disk_invalidations']} invalidated"
+        )
+        lines.append(
+            f"  work:  {counters['composes']} composes, {counters['compiles']} "
+            f"compiles, {counters['parses']} parses "
+            f"({counters['parse_errors']} with errors, "
+            f"{counters['timeouts']} timeouts)"
+        )
+        for name in ("compose", "compile", "parse"):
+            h = snap["latency"][name]
+            if not h["count"]:
+                lines.append(f"  {name:7}: (no samples)")
+                continue
+            lines.append(
+                f"  {name:7}: n={h['count']} mean={h['mean_ms']:.2f}ms "
+                f"p50={h['p50_ms']:.2f}ms p90={h['p90_ms']:.2f}ms "
+                f"max={h['max_ms']:.2f}ms"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._counters:
+                self._counters[name] = 0
+            for name in self._histograms:
+                self._histograms[name] = LatencyHistogram()
+
+
+class _Timer:
+    __slots__ = ("_metrics", "_histogram", "_t0", "seconds")
+
+    def __init__(self, metrics: ServiceMetrics, histogram: str) -> None:
+        self._metrics = metrics
+        self._histogram = histogram
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Timer":
+        import time
+
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import time
+
+        self.seconds = time.perf_counter() - self._t0
+        self._metrics.observe(self._histogram, self.seconds)

@@ -1,0 +1,353 @@
+"""Thread-safe parser registry: compose once, serve many.
+
+:class:`ParserRegistry` is the caching heart of the serving layer.  It
+maps :class:`~repro.service.fingerprint.Fingerprint` keys to
+:class:`RegistryEntry` objects holding the composed
+:class:`~repro.core.product_line.ComposedProduct` plus everything needed
+to parse with it — the (shared, immutable) grammar analysis and LL table,
+the scanner, per-thread interpreting parsers, and the generated
+standalone parser module.
+
+Three cache layers, cheapest first:
+
+1. **In-memory LRU** of composed products keyed by fingerprint, with
+   per-fingerprint build locks so N concurrent requests for the same
+   selection trigger exactly one composition.
+2. **Per-entry lazy compilation**: grammar analysis, the LL table, and
+   generated source are built on first use and shared by every parser of
+   the entry.  Interpreting parsers carry per-parse mutable state, so the
+   entry hands out one parser per thread.
+3. **On-disk artifact cache** (optional): generated parser source is
+   persisted as ``<digest>.py`` under ``cache_dir``.  Files embed their
+   fingerprint; a mismatch (stale or corrupted artifact) is detected and
+   the file regenerated, and a changed selection or sub-grammar changes
+   the digest — automatic invalidation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..core.product_line import ComposedProduct, GrammarProductLine
+from .fingerprint import Fingerprint, configuration_fingerprint
+from .metrics import ServiceMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..parsing.parser import Parser
+
+#: Default number of composed products kept in memory.
+DEFAULT_CAPACITY = 32
+
+
+class RegistryEntry:
+    """One cached product and its lazily-compiled parser artifacts.
+
+    The grammar analysis, LL table, scanner, and hint provider are
+    immutable once built and shared across threads; the interpreting
+    :class:`~repro.parsing.parser.Parser` keeps per-parse cursor state on
+    ``self``, so :meth:`thread_parser` maintains one parser per thread
+    over the shared pieces (construction is then just a few attribute
+    assignments).
+    """
+
+    def __init__(self, product: ComposedProduct, metrics: ServiceMetrics) -> None:
+        self.product = product
+        self.fingerprint: Fingerprint = product.fingerprint
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._analysis = None
+        self._table = None
+        self._scanner = None
+        self._hint_provider = None
+        self._hints_built = False
+        self._source: str | None = None
+        self._module = None
+
+    # -- shared immutable artifacts ---------------------------------------
+
+    def _compiled(self):
+        """Analysis + LL table + scanner, built once under the entry lock."""
+        if self._table is None:
+            with self._lock:
+                if self._table is None:
+                    from ..lexer.scanner import Scanner
+                    from ..parsing.first_follow import GrammarAnalysis
+                    from ..parsing.ll1 import LLTable
+
+                    grammar = self.product.grammar
+                    analysis = GrammarAnalysis(grammar)
+                    self._scanner = Scanner(grammar.tokens)
+                    self._analysis = analysis
+                    self._table = LLTable(grammar, analysis)
+        return self._analysis, self._table, self._scanner
+
+    def hint_provider(self):
+        if not self._hints_built:
+            with self._lock:
+                if not self._hints_built:
+                    self._hint_provider = self.product.hint_provider()
+                    self._hints_built = True
+        return self._hint_provider
+
+    # -- parsers -----------------------------------------------------------
+
+    def parser(self, hints: bool = True) -> "Parser":
+        """A fresh interpreting parser sharing this entry's compiled tables."""
+        from ..parsing.parser import Parser
+
+        analysis, table, scanner = self._compiled()
+        return Parser(
+            self.product.grammar,
+            scanner=scanner,
+            hint_provider=self.hint_provider() if hints else None,
+            analysis=analysis,
+            table=table,
+        )
+
+    def thread_parser(self) -> "Parser":
+        """The calling thread's parser for this product (created on demand)."""
+        parser = getattr(self._tls, "parser", None)
+        if parser is None:
+            parser = self.parser()
+            self._tls.parser = parser
+        return parser
+
+    # -- generated-code artifacts ------------------------------------------
+
+    def generated_source(self, cache_dir: Path | None = None) -> str:
+        """Standalone parser source, via the on-disk artifact cache if enabled."""
+        if self._source is not None:
+            return self._source
+        with self._lock:
+            if self._source is not None:
+                return self._source
+            source = None
+            if cache_dir is not None:
+                source = self._load_artifact(cache_dir)
+            if source is None:
+                from ..parsing.codegen import generate_parser_source
+
+                analysis = self._analysis  # reuse if already built
+                self._metrics.incr("compiles")
+                with self._metrics.time("compile"):
+                    source = generate_parser_source(
+                        self.product.grammar,
+                        analysis=analysis,
+                        fingerprint=self.fingerprint.digest,
+                    )
+                if cache_dir is not None:
+                    self._store_artifact(cache_dir, source)
+            self._source = source
+            return source
+
+    def generated_module(self, cache_dir: Path | None = None):
+        """The generated parser, loaded as a module (thread-safe to share)."""
+        if self._module is None:
+            source = self.generated_source(cache_dir)
+            with self._lock:
+                if self._module is None:
+                    from ..parsing.codegen import load_generated_parser
+
+                    self._module = load_generated_parser(
+                        source, f"repro_generated_{self.fingerprint.short}"
+                    )
+        return self._module
+
+    def _artifact_path(self, cache_dir: Path) -> Path:
+        return cache_dir / f"{self.fingerprint.digest}.py"
+
+    def _load_artifact(self, cache_dir: Path) -> str | None:
+        from ..parsing.codegen import source_fingerprint
+
+        path = self._artifact_path(cache_dir)
+        try:
+            source = path.read_text()
+        except OSError:
+            self._metrics.incr("disk_misses")
+            return None
+        if source_fingerprint(source) != self.fingerprint.digest:
+            # stale or corrupted artifact: the embedded provenance does not
+            # match the key it is filed under — regenerate
+            self._metrics.incr("disk_invalidations")
+            self._metrics.incr("disk_misses")
+            return None
+        self._metrics.incr("disk_hits")
+        return source
+
+    def _store_artifact(self, cache_dir: Path, source: str) -> None:
+        path = self._artifact_path(cache_dir)
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+            tmp.write_text(source)
+            os.replace(tmp, path)  # atomic publish: readers never see partials
+        except OSError:
+            pass  # the artifact cache is an optimization, never a failure
+
+    def __repr__(self) -> str:
+        return f"<RegistryEntry {self.product.name!r} fp={self.fingerprint.short}>"
+
+
+class ParserRegistry:
+    """LRU cache of composed products with single-flight composition.
+
+    Args:
+        line: The product line the registry serves.
+        capacity: Maximum products kept in memory (least recently used
+            evicted first).
+        cache_dir: Optional directory for the on-disk generated-source
+            artifact cache; ``None`` disables it.
+        metrics: Shared metrics sink; a fresh one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        line: GrammarProductLine,
+        capacity: int = DEFAULT_CAPACITY,
+        cache_dir: str | os.PathLike | None = None,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("registry capacity must be >= 1")
+        self.line = line
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
+        self._building: dict[str, threading.Lock] = {}
+
+    # -- lookups -----------------------------------------------------------
+
+    def fingerprint(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        expand: bool = True,
+    ) -> Fingerprint:
+        """The cache key a selection resolves to (no composition)."""
+        config = self.line.resolve_configuration(features, counts, expand=expand)
+        return configuration_fingerprint(self.line, config)
+
+    def get(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        expand: bool = True,
+        strict_order: bool = True,
+    ) -> RegistryEntry:
+        """The entry for a selection, composing at most once per fingerprint.
+
+        Concurrent callers with the same fingerprint rendezvous on a
+        per-fingerprint build lock: the first composes, the rest block
+        and then receive the cached entry.
+        """
+        return self.acquire(
+            features, counts, expand=expand, strict_order=strict_order
+        )[0]
+
+    def acquire(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        expand: bool = True,
+        strict_order: bool = True,
+    ) -> tuple[RegistryEntry, bool]:
+        """Like :meth:`get`, also reporting whether the entry was warm.
+
+        Returns ``(entry, warm)`` where ``warm`` is True when the product
+        was already composed (no composition work was done for this call).
+        """
+        config = self.line.resolve_configuration(features, counts, expand=expand)
+        fp = configuration_fingerprint(self.line, config)
+
+        entry = self._lookup(fp)
+        if entry is not None:
+            return entry, True
+
+        with self._lock:
+            build_lock = self._building.setdefault(fp.digest, threading.Lock())
+        with build_lock:
+            entry = self._lookup(fp)  # lost the race: someone composed already
+            if entry is not None:
+                return entry, True
+            self.metrics.incr("misses")
+            self.metrics.incr("composes")
+            with self.metrics.time("compose"):
+                product = self.line.compose_product(
+                    config, strict_order=strict_order, fingerprint=fp
+                )
+            entry = RegistryEntry(product, self.metrics)
+            with self._lock:
+                self._entries[fp.digest] = entry
+                self._entries.move_to_end(fp.digest)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.metrics.incr("evictions")
+                self._building.pop(fp.digest, None)
+            return entry, False
+
+    def _lookup(self, fp: Fingerprint) -> RegistryEntry | None:
+        with self._lock:
+            entry = self._entries.get(fp.digest)
+            if entry is not None:
+                self._entries.move_to_end(fp.digest)
+                self.metrics.incr("hits")
+            return entry
+
+    def peek(self, fp: Fingerprint) -> RegistryEntry | None:
+        """The cached entry, if any, without recording a hit or reordering."""
+        with self._lock:
+            return self._entries.get(fp.digest)
+
+    # -- generated-source convenience --------------------------------------
+
+    def generated_source(self, entry: RegistryEntry) -> str:
+        """Entry's standalone parser source through this registry's disk cache."""
+        return entry.generated_source(self.cache_dir)
+
+    def generated_module(self, entry: RegistryEntry):
+        return entry.generated_module(self.cache_dir)
+
+    # -- maintenance --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        with self._lock:
+            return fp.digest in self._entries
+
+    def cached_fingerprints(self) -> list[str]:
+        """Digests currently cached, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def evict(self, fp: Fingerprint) -> bool:
+        """Drop one entry (e.g. after editing a unit in a REPL session)."""
+        with self._lock:
+            if self._entries.pop(fp.digest, None) is not None:
+                self.metrics.incr("evictions")
+                return True
+            return False
+
+    def clear(self) -> None:
+        with self._lock:
+            self.metrics.incr("evictions", len(self._entries))
+            self._entries.clear()
+
+    def set_cache_dir(self, cache_dir: str | os.PathLike | None) -> None:
+        """Enable/disable the on-disk artifact cache (e.g. CLI ``--cache``)."""
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ParserRegistry {self.line.name!r}: {len(self)}/{self.capacity} "
+            f"entries, disk={'on' if self.cache_dir else 'off'}>"
+        )

@@ -1,0 +1,382 @@
+"""The parse service: a concurrent, cache-backed front door for parsing.
+
+:class:`ParseService` is what a long-running process (the CLI shell, a
+web endpoint, a batch job) talks to instead of composing parsers by hand.
+It sits on a :class:`~repro.service.registry.ParserRegistry` — compose
+once per fingerprint — and adds:
+
+* :meth:`ParseService.parse`: one text, one selection.  Never raises on
+  bad input: the result carries the (possibly partial) tree plus every
+  diagnostic, exactly like the resilient
+  :meth:`~repro.parsing.parser.Parser.parse_with_diagnostics` pipeline
+  it reuses, including its input-scaled fuel budget.
+* :meth:`ParseService.parse_many`: a homogeneous batch over a worker
+  pool, with an optional per-request wall-clock timeout.
+* :meth:`ParseService.batch`: heterogeneous :class:`ParseRequest`\\ s —
+  different selections compose concurrently, each exactly once.
+
+Every operation is recorded in the shared
+:class:`~repro.service.metrics.ServiceMetrics`; :meth:`ParseService.stats`
+returns the snapshot that ``repro stats`` renders.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as _FutureTimeout
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..diagnostics.model import PARSE_TIMEOUT, Diagnostic, DiagnosticBag, Severity
+from .fingerprint import Fingerprint
+from .metrics import ServiceMetrics
+from .registry import DEFAULT_CAPACITY, ParserRegistry, RegistryEntry
+
+#: Default worker-pool width for batch APIs.
+DEFAULT_WORKERS = min(8, (os.cpu_count() or 2))
+
+
+@dataclass(frozen=True)
+class ParseRequest:
+    """One unit of work for :meth:`ParseService.batch`.
+
+    Attributes:
+        text: The SQL text to parse.
+        features: Feature selection (sparse is fine; it is expanded and
+            fingerprinted like everywhere else).
+        counts: Clone counts for cardinality features.
+        start: Start-rule override.
+        max_errors: Diagnostic cap for error recovery.
+        max_steps: Fuel budget override (defaults to the input-scaled
+            budget of the diagnostics pipeline).
+        timeout: Per-request wall-clock deadline in seconds (``None`` =
+            no deadline).
+    """
+
+    text: str
+    features: tuple[str, ...]
+    counts: Mapping[str, int] | None = None
+    start: str | None = None
+    max_errors: int | None = 25
+    max_steps: int | None = None
+    timeout: float | None = None
+
+
+@dataclass
+class ParseServiceResult:
+    """Outcome of one service request — diagnostics instead of exceptions.
+
+    Attributes:
+        text: The input text.
+        fingerprint: Cache key of the product that served the request
+            (``None`` when the request failed before reaching a parser,
+            e.g. an invalid feature selection).
+        tree: The (possibly partial) parse tree, or ``None``.
+        diagnostics: Every diagnostic the pipeline produced.
+        warm: True when the product was already composed when the request
+            arrived — a warm request does zero composition work.
+        seconds: Wall-clock parse time (0.0 for requests that never ran).
+        timed_out: True when the request exceeded its deadline.
+    """
+
+    text: str
+    fingerprint: Fingerprint | None = None
+    tree: object | None = None
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+    warm: bool = False
+    seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics.has_errors and not self.timed_out
+
+    def render(self, filename: str = "<input>") -> str:
+        """All diagnostics as caret-annotated text."""
+        from ..diagnostics.render import render_diagnostics
+
+        return render_diagnostics(
+            self.diagnostics, source=self.text, filename=filename
+        )
+
+
+def _timeout_result(text: str, fp: Fingerprint | None, timeout: float,
+                    warm: bool) -> ParseServiceResult:
+    bag = DiagnosticBag()
+    bag.add(
+        Diagnostic(
+            message=f"parse request exceeded its {timeout:g}s deadline",
+            severity=Severity.ERROR,
+            code=PARSE_TIMEOUT,
+            hints=("raise the timeout, or bound the work with max_steps",),
+        )
+    )
+    return ParseServiceResult(
+        text=text, fingerprint=fp, diagnostics=bag, warm=warm,
+        seconds=timeout, timed_out=True,
+    )
+
+
+def _error_result(text: str, error) -> ParseServiceResult:
+    """Wrap a pre-parse failure (bad selection, composition error)."""
+    bag = DiagnosticBag()
+    bag.add(error.to_diagnostic())
+    return ParseServiceResult(text=text, diagnostics=bag)
+
+
+class ParseService:
+    """Serve parse requests from a compose-once registry and a worker pool.
+
+    Args:
+        line: Product line to serve.  ``None`` (default) serves the
+            shared SQL:2003 registry, so the service, ``configure_sql``,
+            preset dialects, and the CLI all reuse one cache.
+        registry: Explicit registry to serve (overrides ``line``).
+        capacity: LRU capacity when a fresh registry is built.
+        cache_dir: On-disk artifact cache for generated parser source;
+            applied to the shared registry too when serving it.
+        max_workers: Worker-pool width for the batch APIs.
+    """
+
+    def __init__(
+        self,
+        line=None,
+        registry: ParserRegistry | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+        cache_dir: str | os.PathLike | None = None,
+        max_workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        if registry is not None:
+            self.registry = registry
+        elif line is not None:
+            self.registry = ParserRegistry(
+                line, capacity=capacity, cache_dir=cache_dir
+            )
+        else:
+            from ..sql.product_line import sql_parser_registry
+
+            self.registry = sql_parser_registry()
+        if cache_dir is not None:
+            self.registry.set_cache_dir(cache_dir)
+        self.metrics: ServiceMetrics = self.registry.metrics
+        self.max_workers = max(1, max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    # -- single requests ----------------------------------------------------
+
+    def warm(
+        self,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+    ) -> Fingerprint:
+        """Compose (if needed) and cache a selection; returns its fingerprint."""
+        return self.registry.get(features, counts).fingerprint
+
+    def parse(
+        self,
+        text: str,
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        start: str | None = None,
+        max_errors: int | None = 25,
+        max_steps: int | None = None,
+    ) -> ParseServiceResult:
+        """Parse one text with the parser for one selection.
+
+        A warm call (selection already cached) performs zero composition
+        work: the fingerprint lookup finds the entry and the calling
+        thread's cached parser runs immediately.
+        """
+        from ..errors import ReproError
+
+        try:
+            entry, warm = self.registry.acquire(features, counts)
+        except ReproError as error:
+            return _error_result(text, error)
+        return self._parse_entry(
+            entry, text, warm, start=start,
+            max_errors=max_errors, max_steps=max_steps,
+        )
+
+    # -- batch requests -----------------------------------------------------
+
+    def parse_many(
+        self,
+        texts: Sequence[str],
+        features: Iterable[str],
+        counts: Mapping[str, int] | None = None,
+        start: str | None = None,
+        max_errors: int | None = 25,
+        max_steps: int | None = None,
+        timeout: float | None = None,
+    ) -> list[ParseServiceResult]:
+        """Parse many texts against one selection, concurrently, in order.
+
+        The selection is composed (at most) once up front, then the texts
+        fan out over the worker pool.  ``timeout`` is a per-request
+        wall-clock deadline: a request that misses it yields a
+        ``timed_out`` result carrying an ``E0203`` diagnostic instead of
+        blocking the batch forever (its worker still winds down on the
+        parser's own fuel budget).
+        """
+        from ..errors import ReproError
+
+        texts = list(texts)
+        if not texts:
+            return []
+        try:
+            entry, warm = self.registry.acquire(features, counts)
+        except ReproError as error:
+            return [_error_result(text, error) for text in texts]
+        if len(texts) == 1 or self.max_workers == 1:
+            return [
+                self._parse_entry(entry, text, warm, start=start,
+                                  max_errors=max_errors, max_steps=max_steps)
+                for text in texts
+            ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._parse_entry, entry, text, True, start,
+                        max_errors, max_steps)
+            for text in texts
+        ]
+        results = [
+            self._collect(future, text, entry.fingerprint, timeout, True)
+            for future, text in zip(futures, texts)
+        ]
+        if results:
+            # the batch's first result reports whether the *batch* was warm
+            results[0].warm = warm
+        return results
+
+    def batch(
+        self, requests: Iterable[ParseRequest], timeout: float | None = None
+    ) -> list[ParseServiceResult]:
+        """Serve heterogeneous requests concurrently, results in order.
+
+        Requests with different selections compose concurrently; requests
+        sharing a fingerprint rendezvous on the registry's build locks so
+        each distinct product is still composed exactly once.  A request's
+        own ``timeout`` takes precedence over the batch-level one.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        pool = self._ensure_pool()
+        futures = [pool.submit(self._serve_request, req) for req in requests]
+        return [
+            self._collect(
+                future, req.text, None,
+                req.timeout if req.timeout is not None else timeout, False,
+            )
+            for future, req in zip(futures, requests)
+        ]
+
+    # -- metrics ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot of cache counters and latency histograms."""
+        snapshot = self.metrics.snapshot()
+        snapshot["registry"] = {
+            "entries": len(self.registry),
+            "capacity": self.registry.capacity,
+            "disk_cache": (
+                str(self.registry.cache_dir) if self.registry.cache_dir else None
+            ),
+        }
+        return snapshot
+
+    def render_stats(self) -> str:
+        """Human-readable :meth:`stats` (the ``repro stats`` output)."""
+        reg = self.stats()["registry"]
+        lines = [self.metrics.render()]
+        lines.append(
+            f"  registry: {reg['entries']}/{reg['capacity']} products cached, "
+            f"disk cache {reg['disk_cache'] or 'off'}"
+        )
+        return "\n".join(lines)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._pool_lock:
+            self._closed = True
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+
+    def __enter__(self) -> "ParseService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("ParseService is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-parse",
+                )
+            return self._pool
+
+    def _serve_request(self, request: ParseRequest) -> ParseServiceResult:
+        from ..errors import ReproError
+
+        try:
+            entry, warm = self.registry.acquire(request.features, request.counts)
+        except ReproError as error:
+            return _error_result(request.text, error)
+        return self._parse_entry(
+            entry, request.text, warm, start=request.start,
+            max_errors=request.max_errors, max_steps=request.max_steps,
+        )
+
+    def _parse_entry(
+        self,
+        entry: RegistryEntry,
+        text: str,
+        warm: bool,
+        start: str | None = None,
+        max_errors: int | None = 25,
+        max_steps: int | None = None,
+    ) -> ParseServiceResult:
+        parser = entry.thread_parser()
+        self.metrics.incr("parses")
+        with self.metrics.time("parse") as timer:
+            outcome = parser.parse_with_diagnostics(
+                text, start=start, max_errors=max_errors, max_steps=max_steps
+            )
+        if outcome.diagnostics.has_errors:
+            self.metrics.incr("parse_errors")
+        return ParseServiceResult(
+            text=text,
+            fingerprint=entry.fingerprint,
+            tree=outcome.tree,
+            diagnostics=outcome.diagnostics,
+            warm=warm,
+            seconds=timer.seconds,
+        )
+
+    def _collect(
+        self,
+        future: "Future[ParseServiceResult]",
+        text: str,
+        fp: Fingerprint | None,
+        timeout: float | None,
+        warm: bool,
+    ) -> ParseServiceResult:
+        try:
+            return future.result(timeout=timeout)
+        except _FutureTimeout:
+            future.cancel()
+            self.metrics.incr("timeouts")
+            return _timeout_result(text, fp, timeout, warm)

@@ -17,7 +17,12 @@ from .dialects import (
     dialect_features,
     dialect_names,
 )
-from .product_line import build_sql_product_line, configure_sql, sql_registry
+from .product_line import (
+    build_sql_product_line,
+    configure_sql,
+    sql_parser_registry,
+    sql_registry,
+)
 from .registry import FeatureDiagram, SqlRegistry
 
 __all__ = [
@@ -32,5 +37,6 @@ __all__ = [
     "configure_sql",
     "dialect_features",
     "dialect_names",
+    "sql_parser_registry",
     "sql_registry",
 ]

@@ -1,0 +1,142 @@
+"""Fingerprint canonicalization: equivalent selections, one cache key."""
+
+import pytest
+
+from repro.core import GrammarProductLine, unit
+from repro.lexer import keyword, pattern, standard_skip_tokens
+from repro.service import configuration_fingerprint, product_fingerprint
+from repro.sql import build_sql_product_line
+
+from tests.test_core_product_line import mini_model, mini_units
+
+
+@pytest.fixture
+def line():
+    return GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+
+
+class TestCanonicalization:
+    def test_sparse_equals_expanded(self, line):
+        """A sparse selection and its full expansion share one fingerprint."""
+        sparse = product_fingerprint(line, ["Query", "GroupBy"])
+        config = line.resolve_configuration(["Query", "GroupBy"])
+        # GroupBy pulls in Where (unit requires) plus all ancestors
+        assert "Where" in config.selected
+        expanded = product_fingerprint(line, config.selected, dict(config.counts))
+        assert sparse == expanded
+        assert sparse.digest == expanded.digest
+
+    def test_selection_order_is_irrelevant(self, line):
+        a = product_fingerprint(line, ["Query", "Where", "MultiColumn"])
+        b = product_fingerprint(line, ["MultiColumn", "Query", "Where"])
+        assert a == b
+
+    def test_different_selections_differ(self, line):
+        a = product_fingerprint(line, ["Query", "Where"])
+        b = product_fingerprint(line, ["Query", "MultiColumn"])
+        assert a != b
+        assert a.digest != b.digest
+
+    def test_equal_size_selections_do_not_collide(self, line):
+        """The old '{name}:{len}-features' default collided on these."""
+        a = line.configure(["Query", "Where"])
+        b = line.configure(["Query", "MultiColumn"])
+        assert len(a.configuration) == len(b.configuration)
+        assert a.fingerprint != b.fingerprint
+        assert a.name != b.name
+
+    def test_deterministic_across_fresh_lines(self):
+        """Two identically-built lines agree — the disk cache relies on it."""
+        line_a = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+        line_b = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+        fp_a = product_fingerprint(line_a, ["Query", "Where"])
+        fp_b = product_fingerprint(line_b, ["Query", "Where"])
+        assert fp_a.digest == fp_b.digest
+
+    def test_line_name_participates(self):
+        line_a = GrammarProductLine(mini_model(), mini_units(), name="a")
+        line_b = GrammarProductLine(mini_model(), mini_units(), name="b")
+        assert product_fingerprint(line_a, ["Query"]) != product_fingerprint(
+            line_b, ["Query"]
+        )
+
+    def test_counts_participate(self):
+        line = build_sql_product_line()
+        features = ["QuerySpecification", "SelectSublist"]
+        one = product_fingerprint(line, features, {"SelectSublist": 1})
+        two = product_fingerprint(line, features, {"SelectSublist": 2})
+        assert one != two
+        assert two.counts == {"SelectSublist": 2}
+        assert one.counts == {}  # counts of 1 are the default: normalized away
+
+    def test_unit_content_participates(self):
+        """Editing a sub-grammar changes the key — stale artifacts never match."""
+
+        def build(where_rhs):
+            units = [
+                unit(
+                    "Query",
+                    """
+                    grammar query ;
+                    start q ;
+                    q : SELECT IDENTIFIER ;
+                    """,
+                    tokens=standard_skip_tokens()
+                    + [keyword("select"),
+                       pattern("IDENTIFIER", r"[A-Za-z_][A-Za-z0-9_]*",
+                               priority=1)],
+                ),
+                unit(
+                    "Where",
+                    f"q : SELECT IDENTIFIER {where_rhs} ;",
+                    tokens=[keyword("where")],
+                    after=("Query",),
+                ),
+            ]
+            from repro.features import FeatureModel, mandatory, optional
+
+            model = FeatureModel(mandatory("Query", optional("Where")))
+            return GrammarProductLine(model, units, name="edit-test")
+
+        original = build("(WHERE IDENTIFIER)?")
+        edited = build("(WHERE IDENTIFIER IDENTIFIER)?")
+        fp_original = product_fingerprint(original, ["Query", "Where"])
+        fp_edited = product_fingerprint(edited, ["Query", "Where"])
+        assert fp_original != fp_edited
+
+
+class TestProductIntegration:
+    def test_configure_attaches_matching_fingerprint(self, line):
+        product = line.configure(["Query", "Where"])
+        assert product.fingerprint is not None
+        assert product.fingerprint == product_fingerprint(line, ["Query", "Where"])
+
+    def test_default_name_is_fingerprint_derived(self, line):
+        product = line.configure(["Query", "Where"])
+        assert product.name == f"mini-sql@{product.fingerprint.short}"
+        again = line.configure(["Query", "Where"])
+        assert again.name == product.name
+
+    def test_explicit_name_still_wins(self, line):
+        product = line.configure(["Query"], product_name="custom")
+        assert product.name == "custom"
+        assert product.fingerprint is not None
+
+    def test_short_is_prefix_of_digest(self, line):
+        fp = product_fingerprint(line, ["Query"])
+        assert fp.digest.startswith(fp.short)
+        assert len(fp.short) == 12
+        assert len(fp.digest) == 64
+
+    def test_configuration_fingerprint_matches_product_fingerprint(self, line):
+        config = line.resolve_configuration(["Query", "GroupBy"])
+        assert configuration_fingerprint(line, config) == product_fingerprint(
+            line, ["Query", "GroupBy"]
+        )
+
+    def test_generated_source_embeds_fingerprint(self, line):
+        from repro.parsing import source_fingerprint
+
+        product = line.configure(["Query", "Where"])
+        source = product.generate_source()
+        assert source_fingerprint(source) == product.fingerprint.digest

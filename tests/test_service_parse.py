@@ -1,0 +1,215 @@
+"""ParseService: resilient results, batch concurrency, timeouts, stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import GrammarProductLine
+from repro.core.composer import GrammarComposer
+from repro.diagnostics.model import (
+    PARSE_BUDGET_EXCEEDED,
+    PARSE_TIMEOUT,
+)
+from repro.parsing.parser import Parser
+from repro.service import ParseRequest, ParseService, ParserRegistry
+
+from tests.test_core_product_line import mini_model, mini_units
+
+FULL = ["Query", "SetQuantifier", "MultiColumn", "Where", "GroupBy"]
+
+
+def make_service(**kwargs):
+    line = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+    return ParseService(line=line, **kwargs)
+
+
+@pytest.fixture
+def service():
+    with make_service() as svc:
+        yield svc
+
+
+@pytest.fixture
+def compose_calls(monkeypatch):
+    calls = []
+    original = GrammarComposer.compose
+
+    def counting(self, *args, **kwargs):
+        calls.append(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(GrammarComposer, "compose", counting)
+    return calls
+
+
+class TestParse:
+    def test_good_input(self, service):
+        result = service.parse("SELECT a FROM t WHERE x = y", ["Query", "Where"])
+        assert result.ok
+        assert result.tree is not None
+        assert not result.warm  # first request composed
+        assert result.fingerprint is not None
+        assert result.seconds >= 0.0
+
+    def test_warm_parse_does_zero_composition(self, service, compose_calls):
+        """Acceptance criterion: a warm parse performs no composition work."""
+        service.parse("SELECT a FROM t", ["Query", "Where"])
+        assert len(compose_calls) > 0
+        composed_cold = len(compose_calls)
+
+        result = service.parse("SELECT b FROM u WHERE x = y", ["Query", "Where"])
+        assert result.ok
+        assert result.warm
+        assert len(compose_calls) == composed_cold  # not one more compose
+        assert service.metrics.counter("composes") == 1
+
+    def test_bad_input_yields_diagnostics_not_exceptions(self, service):
+        result = service.parse("SELECT FROM WHERE", FULL)
+        assert not result.ok
+        assert result.diagnostics.has_errors
+        rendered = result.render(filename="<test>")
+        assert "<test>" in rendered
+        assert "error[" in rendered
+
+    def test_invalid_selection_yields_error_result(self, service):
+        result = service.parse("SELECT a FROM t", ["Query", "NoSuchFeature"])
+        assert not result.ok
+        assert result.fingerprint is None
+        assert result.tree is None
+        assert result.diagnostics.has_errors
+
+    def test_fuel_budget_override(self, service):
+        result = service.parse("SELECT a FROM t", ["Query"], max_steps=1)
+        assert not result.ok
+        assert any(
+            d.code == PARSE_BUDGET_EXCEEDED for d in result.diagnostics
+        )
+
+    def test_warm_explicitly(self, service):
+        fp = service.warm(["Query", "Where"])
+        result = service.parse("SELECT a FROM t", ["Query", "Where"])
+        assert result.warm
+        assert result.fingerprint == fp
+
+
+class TestParseMany:
+    def test_results_in_order(self, service):
+        texts = [f"SELECT c{i} FROM t{i}" for i in range(12)]
+        results = service.parse_many(texts, ["Query"])
+        assert [r.text for r in results] == texts
+        assert all(r.ok for r in results)
+
+    def test_one_compose_across_threads(self, compose_calls):
+        """N workers, one selection: composition still happens exactly once."""
+        with make_service(max_workers=8) as service:
+            texts = [f"SELECT c{i} FROM t WHERE a = b" for i in range(32)]
+            results = service.parse_many(texts, ["Query", "Where"])
+            assert all(r.ok for r in results)
+            assert service.metrics.counter("composes") == 1
+            assert service.metrics.counter("parses") == 32
+            assert not results[0].warm  # the batch composed
+            again = service.parse_many(texts[:4], ["Query", "Where"])
+            assert again[0].warm
+            assert service.metrics.counter("composes") == 1
+
+    def test_mixed_outcomes_keep_positions(self, service):
+        texts = ["SELECT a FROM t", "SELECT !! nonsense", "SELECT b FROM u"]
+        results = service.parse_many(texts, ["Query"])
+        assert results[0].ok
+        assert not results[1].ok
+        assert results[2].ok
+
+    def test_empty_batch(self, service):
+        assert service.parse_many([], ["Query"]) == []
+
+    def test_invalid_selection_fails_whole_batch(self, service):
+        results = service.parse_many(["SELECT a FROM t"] * 3, ["Bogus"])
+        assert len(results) == 3
+        assert all(not r.ok for r in results)
+
+    def test_timeout_yields_e0203(self, monkeypatch):
+        original = Parser.parse_with_diagnostics
+
+        def slow(self, text, **kwargs):
+            if "SLOW" in text:
+                time.sleep(2.0)
+            return original(self, text, **kwargs)
+
+        monkeypatch.setattr(Parser, "parse_with_diagnostics", slow)
+        # >= 2 texts and >= 2 workers so the pooled (timeout-aware) path runs
+        with make_service(max_workers=2) as service:
+            results = service.parse_many(
+                ["SELECT a FROM t -- SLOW", "SELECT b FROM u"],
+                ["Query"],
+                timeout=0.2,
+            )
+        assert results[0].timed_out
+        assert not results[0].ok
+        assert any(d.code == PARSE_TIMEOUT for d in results[0].diagnostics)
+        assert results[1].ok
+        assert service.metrics.counter("timeouts") == 1
+
+
+class TestBatch:
+    def test_heterogeneous_selections(self, service):
+        requests = [
+            ParseRequest("SELECT a FROM t", ("Query",)),
+            ParseRequest("SELECT a FROM t WHERE x = y", ("Query", "Where")),
+            ParseRequest("SELECT a, b FROM t", ("Query", "MultiColumn")),
+            ParseRequest("SELECT a FROM t", ("Query",)),
+        ]
+        results = service.batch(requests)
+        assert all(r.ok for r in results)
+        fingerprints = {r.fingerprint.digest for r in results}
+        assert len(fingerprints) == 3  # requests 0 and 3 share a product
+        assert results[0].fingerprint == results[3].fingerprint
+        assert service.metrics.counter("composes") == 3
+
+    def test_request_level_knobs(self, service):
+        requests = [
+            ParseRequest("SELECT a FROM t", ("Query",), max_steps=1),
+            ParseRequest("SELECT a FROM t", ("Query",)),
+        ]
+        results = service.batch(requests)
+        assert not results[0].ok
+        assert results[1].ok
+
+    def test_empty(self, service):
+        assert service.batch([]) == []
+
+
+class TestLifecycleAndStats:
+    def test_stats_snapshot_shape(self, service):
+        service.parse("SELECT a FROM t", ["Query"])
+        snap = service.stats()
+        assert set(snap) == {"counters", "hit_rate", "latency", "registry"}
+        assert snap["counters"]["parses"] == 1
+        assert snap["registry"]["entries"] == 1
+        assert snap["registry"]["capacity"] == service.registry.capacity
+        assert snap["registry"]["disk_cache"] is None
+        assert snap["latency"]["parse"]["count"] == 1
+        assert "parse service stats" in service.render_stats()
+
+    def test_closed_service_refuses_batches(self):
+        service = make_service(max_workers=2)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.parse_many(["a", "b"], ["Query"])
+
+    def test_default_service_uses_shared_sql_registry(self):
+        from repro.sql import sql_parser_registry
+
+        service = ParseService()
+        assert service.registry is sql_parser_registry()
+
+    def test_explicit_registry_is_honored(self):
+        line = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+        registry = ParserRegistry(line, capacity=4)
+        service = ParseService(registry=registry)
+        assert service.registry is registry
+        assert service.metrics is registry.metrics
+
+    def test_cache_dir_reaches_registry(self, tmp_path):
+        service = make_service(cache_dir=tmp_path)
+        assert service.registry.cache_dir == tmp_path

@@ -1,0 +1,247 @@
+"""ParserRegistry: LRU behavior, disk artifacts, single-flight composition."""
+
+import threading
+
+import pytest
+
+from repro.core import GrammarProductLine
+from repro.core.composer import GrammarComposer
+from repro.parsing.codegen import FINGERPRINT_CONSTANT
+from repro.service import ParserRegistry
+
+from tests.test_core_product_line import mini_model, mini_units
+
+
+def make_registry(capacity=8, cache_dir=None):
+    line = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+    return ParserRegistry(line, capacity=capacity, cache_dir=cache_dir)
+
+
+@pytest.fixture
+def registry():
+    return make_registry()
+
+
+@pytest.fixture
+def compose_calls(monkeypatch):
+    """Count grammar compositions performed anywhere in the process."""
+    calls = []
+    original = GrammarComposer.compose
+
+    def counting(self, *args, **kwargs):
+        calls.append(threading.get_ident())
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(GrammarComposer, "compose", counting)
+    return calls
+
+
+class TestLookup:
+    def test_miss_then_hit(self, registry):
+        first = registry.get(["Query", "Where"])
+        assert registry.metrics.counter("misses") == 1
+        assert registry.metrics.counter("hits") == 0
+        second = registry.get(["Query", "Where"])
+        assert second is first
+        assert registry.metrics.counter("hits") == 1
+        assert registry.metrics.counter("composes") == 1
+
+    def test_sparse_and_expanded_share_an_entry(self, registry):
+        sparse = registry.get(["Query", "GroupBy"])
+        config = registry.line.resolve_configuration(["Query", "GroupBy"])
+        expanded = registry.get(config.selected, dict(config.counts))
+        assert expanded is sparse
+        assert registry.metrics.counter("composes") == 1
+
+    def test_acquire_reports_warmth(self, registry):
+        _, warm = registry.acquire(["Query"])
+        assert warm is False
+        _, warm = registry.acquire(["Query"])
+        assert warm is True
+
+    def test_entry_parses(self, registry):
+        entry = registry.get(["Query", "Where"])
+        parser = entry.parser()
+        assert parser.accepts("SELECT a FROM t WHERE x = y")
+        assert not parser.accepts("SELECT a, b FROM t")
+
+    def test_peek_does_not_count_or_reorder(self, registry):
+        entry = registry.get(["Query"])
+        hits = registry.metrics.counter("hits")
+        assert registry.peek(entry.fingerprint) is entry
+        assert registry.metrics.counter("hits") == hits
+
+    def test_contains_and_len(self, registry):
+        assert len(registry) == 0
+        entry = registry.get(["Query"])
+        assert len(registry) == 1
+        assert entry.fingerprint in registry
+
+    def test_capacity_must_be_positive(self, registry):
+        with pytest.raises(ValueError):
+            ParserRegistry(registry.line, capacity=0)
+
+
+class TestLRU:
+    def test_eviction_order_respects_recency(self):
+        registry = make_registry(capacity=2)
+        a = registry.get(["Query"])
+        b = registry.get(["Query", "Where"])
+        # touch A so B becomes the least recently used
+        assert registry.get(["Query"]) is a
+        c = registry.get(["Query", "MultiColumn"])
+        assert a.fingerprint in registry
+        assert c.fingerprint in registry
+        assert b.fingerprint not in registry
+        assert registry.metrics.counter("evictions") == 1
+
+    def test_evicted_entry_is_recomposed_on_return(self):
+        registry = make_registry(capacity=1)
+        registry.get(["Query"])
+        registry.get(["Query", "Where"])  # evicts ["Query"]
+        registry.get(["Query"])
+        assert registry.metrics.counter("composes") == 3
+
+    def test_manual_evict_and_clear(self, registry):
+        entry = registry.get(["Query"])
+        assert registry.evict(entry.fingerprint) is True
+        assert registry.evict(entry.fingerprint) is False
+        registry.get(["Query"])
+        registry.get(["Query", "Where"])
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestDiskCache:
+    def test_artifact_round_trip_across_registries(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        source = first.generated_source(entry)
+        assert first.metrics.counter("compiles") == 1
+        assert first.metrics.counter("disk_misses") == 1
+        artifact = tmp_path / f"{entry.fingerprint.digest}.py"
+        assert artifact.exists()
+
+        # a fresh registry (fresh process, in spirit) reuses the artifact
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        source2 = second.generated_source(entry2)
+        assert source2 == source
+        assert second.metrics.counter("disk_hits") == 1
+        assert second.metrics.counter("compiles") == 0
+
+        module = second.generated_module(entry2)
+        assert module.accepts("SELECT a FROM t WHERE x = y")
+
+    def test_tampered_artifact_is_invalidated(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        first.generated_source(entry)
+        artifact = tmp_path / f"{entry.fingerprint.digest}.py"
+
+        # corrupt the embedded provenance: stale-file simulation
+        text = artifact.read_text()
+        assert FINGERPRINT_CONSTANT in text
+        artifact.write_text(
+            text.replace(entry.fingerprint.digest, "0" * 64, 1)
+        )
+
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        source = second.generated_source(entry2)
+        assert second.metrics.counter("disk_invalidations") == 1
+        assert second.metrics.counter("disk_hits") == 0
+        assert second.metrics.counter("compiles") == 1
+        # the regenerated artifact replaces the bad one
+        assert entry.fingerprint.digest in artifact.read_text()
+        assert source is not None
+
+    def test_no_cache_dir_means_no_files(self, registry, tmp_path):
+        entry = registry.get(["Query"])
+        registry.generated_source(entry)
+        assert list(tmp_path.iterdir()) == []
+        assert registry.metrics.counter("disk_misses") == 0
+
+    def test_set_cache_dir_toggles(self, registry, tmp_path):
+        registry.set_cache_dir(tmp_path)
+        entry = registry.get(["Query"])
+        registry.generated_source(entry)
+        assert (tmp_path / f"{entry.fingerprint.digest}.py").exists()
+        registry.set_cache_dir(None)
+        assert registry.cache_dir is None
+
+
+class TestConcurrency:
+    def test_single_flight_composition(self, compose_calls):
+        """16 threads race for one selection: exactly one composes."""
+        registry = make_registry()
+        n = 16
+        barrier = threading.Barrier(n)
+        entries = [None] * n
+        errors = []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                entries[i] = registry.get(["Query", "Where", "GroupBy"])
+            except Exception as error:  # pragma: no cover - diagnostic aid
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert registry.metrics.counter("composes") == 1
+        # all threads share the one composed entry
+        assert len({id(e) for e in entries}) == 1
+        # composition ran in exactly one thread
+        assert len({t for t in compose_calls}) == 1
+
+    def test_thread_parser_is_per_thread(self, registry):
+        entry = registry.get(["Query"])
+        main_parser = entry.thread_parser()
+        assert entry.thread_parser() is main_parser
+
+        seen = []
+
+        def worker():
+            seen.append(entry.thread_parser())
+            seen.append(entry.thread_parser())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen[0] is seen[1]
+        assert seen[0] is not main_parser
+        # both parsers share the compiled table
+        assert seen[0].table is main_parser.table
+
+    def test_concurrent_distinct_selections(self, registry):
+        selections = [
+            ["Query"],
+            ["Query", "Where"],
+            ["Query", "MultiColumn"],
+            ["Query", "SetQuantifier"],
+        ]
+        results = {}
+        barrier = threading.Barrier(len(selections))
+
+        def worker(sel):
+            barrier.wait()
+            results[tuple(sel)] = registry.get(sel)
+
+        threads = [
+            threading.Thread(target=worker, args=(sel,)) for sel in selections
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(results) == 4
+        assert registry.metrics.counter("composes") == 4
+        fingerprints = {e.fingerprint.digest for e in results.values()}
+        assert len(fingerprints) == 4
