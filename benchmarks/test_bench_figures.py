@@ -4,7 +4,7 @@ The benchmark times a full feature-model build; the assertions verify the
 diagram structure matches the paper's figures.
 """
 
-from repro.features import GroupType, render_feature
+from repro.features import render_feature
 from repro.sql import build_sql_product_line
 
 

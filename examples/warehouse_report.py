@@ -9,7 +9,6 @@ Run:  python examples/warehouse_report.py
 """
 
 from repro import Database
-from repro.errors import ParseError
 from repro.sql import dialect_features
 
 # the warehouse itself is loaded through a separate, privileged dialect;

@@ -13,6 +13,7 @@ composing these features."  This CLI is that interface, terminal-flavoured::
     python -m repro.cli compose --dialect core --emit core_parser.py
     python -m repro.cli shell core               # interactive SQL shell
     python -m repro.cli sample tinysql -n 5      # random sentences
+    python -m repro.cli ir --dialect tinysql     # compiled parse-program IR
     python -m repro.cli stats --warm core        # parse-service cache metrics
 
 Products are resolved through the process-wide fingerprint-keyed
@@ -151,6 +152,34 @@ def _cmd_compose(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_ir(args: argparse.Namespace) -> int:
+    """Dump a product's compiled parse program as a readable listing."""
+    service = _service(args)
+    features, name = _selection(args)
+    entry = service.registry.get(features)
+    program = service.registry.parse_program(entry)
+    if args.rule:
+        rule_id = program.rule_id(args.rule)
+        if rule_id is None:
+            print(f"no such rule: {args.rule!r}", file=sys.stderr)
+            return 1
+        # print the program header plus just the requested rule's block
+        lines = program.listing().splitlines()
+        keep: list[str] = []
+        collecting = False
+        for line in lines:
+            if line.startswith("rule #"):
+                collecting = line.startswith(f"rule #{rule_id} ")
+            if collecting and line.strip():
+                keep.append(line)
+        print("\n".join(lines[:5]))
+        print()
+        print("\n".join(keep))
+    else:
+        print(program.listing())
+    return 0
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
     product = _resolve_product(args)
     generator = SentenceGenerator(product.grammar, seed=args.seed)
@@ -251,6 +280,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          help="persist generated parser source to DIR, keyed "
                               "by fingerprint, and print cache stats")
     compose.set_defaults(fn=_cmd_compose)
+
+    ir = sub.add_parser(
+        "ir", help="dump a product's compiled parse-program IR"
+    )
+    ir.add_argument("features", nargs="*", help="feature names to select")
+    ir.add_argument("--dialect", choices=dialect_names())
+    ir.add_argument("--rule", metavar="NAME",
+                    help="show only this rule's instructions")
+    ir.add_argument("--cache", metavar="DIR",
+                    help="on-disk artifact cache directory (stores the "
+                         "program as <digest>.ir.json)")
+    ir.set_defaults(fn=_cmd_ir)
 
     sample = sub.add_parser("sample", help="random sentences of a dialect")
     sample.add_argument("dialect", choices=dialect_names())

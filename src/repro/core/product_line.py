@@ -47,18 +47,36 @@ class ComposedProduct:
     #: ``None`` for products composed outside a product line.
     fingerprint: "object | None" = None
 
-    def parser(self, strict: bool = False, hints: bool = True):
+    def parser(self, strict: bool = False, hints: bool = True, program=None):
         """Build an interpreting parser for this product.
 
         With ``hints`` on (and a known product line), syntax errors are
         enriched with feature-aware suggestions: when the offending token
         is a keyword of an unselected feature's sub-grammar, the
         diagnostic says "enable feature 'X'".
+
+        ``program`` lets a caller that already compiled this product's
+        parse program (the service registry) share it instead of
+        recompiling.
         """
         from ..parsing.parser import Parser
 
         return Parser(self.grammar, strict=strict,
-                      hint_provider=self.hint_provider() if hints else None)
+                      hint_provider=self.hint_provider() if hints else None,
+                      program=program)
+
+    def program(self, analysis=None):
+        """Compile this product's parse-program IR.
+
+        The program is the single compiled semantics source shared by the
+        interpreting parser, the code generator, and the service cache;
+        the product's fingerprint digest is embedded for cache validation.
+        """
+        from ..parsing.program import compile_program
+
+        digest = getattr(self.fingerprint, "digest", None)
+        return compile_program(self.grammar, analysis=analysis,
+                               fingerprint=digest)
 
     def hint_provider(self):
         """Feature-hint callback over the line's unselected units."""
@@ -71,17 +89,19 @@ class ComposedProduct:
             grammar=self.grammar,
         )
 
-    def generate_source(self) -> str:
+    def generate_source(self, program=None) -> str:
         """Emit standalone Python parser source for this product.
 
         When the product carries a fingerprint, its digest is embedded in
         the source so the service layer's disk cache can validate
-        artifacts across processes.
+        artifacts across processes.  ``program`` reuses an
+        already-compiled parse program instead of recompiling.
         """
         from ..parsing.codegen import generate_parser_source
 
         digest = getattr(self.fingerprint, "digest", None)
-        return generate_parser_source(self.grammar, fingerprint=digest)
+        return generate_parser_source(self.grammar, fingerprint=digest,
+                                      program=program)
 
     def size(self) -> dict[str, int]:
         """Grammar size metrics (experiment E6)."""

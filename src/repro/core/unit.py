@@ -15,7 +15,7 @@ selected features.  A :class:`FeatureUnit` bundles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from ..grammar.grammar import Grammar

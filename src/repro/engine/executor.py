@@ -15,7 +15,7 @@ operations.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import CatalogError, ExecutionError
 from ..sql import ast
@@ -865,7 +865,7 @@ class Executor:
 def _cross(left: _Relation, right: _Relation) -> _Relation:
     return _Relation(
         left.columns + right.columns,
-        [l + r for l, r in itertools.product(left.rows, right.rows)],
+        [a + b for a, b in itertools.product(left.rows, right.rows)],
     )
 
 

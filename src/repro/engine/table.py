@@ -7,7 +7,7 @@ correctly).  Rows are tuples aligned with the table's column list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 from ..errors import ExecutionError, TypeMismatchError

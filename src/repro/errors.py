@@ -259,6 +259,28 @@ class CompositionError(ReproError):
     """Base class for feature-composition errors."""
 
 
+class TokenMergeConflictError(CompositionError, TokenConflictError):
+    """Composing two units' token files redefined a token incompatibly.
+
+    Raised by :meth:`~repro.lexer.spec.TokenSet.merge` when the same
+    terminal name arrives with a different pattern, kind, or flags from
+    two different contributing units; the message names both units.
+    Inherits from both :class:`CompositionError` (it is a composition
+    failure) and :class:`TokenConflictError` (existing lexer-level
+    handlers keep working).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        token: str | None = None,
+        units: tuple[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.token = token
+        self.units = units or ()
+
+
 class CompositionOrderError(CompositionError):
     """Units were composed in an order the paper's rules forbid.
 

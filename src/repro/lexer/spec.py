@@ -20,10 +20,10 @@ Three kinds of token definitions exist:
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from ..errors import TokenConflictError
+from ..errors import TokenConflictError, TokenMergeConflictError
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,28 +85,69 @@ class TokenSet:
     def __init__(self, name: str = "", defs: Iterable[TokenDef] = ()) -> None:
         self.name = name
         self._defs: dict[str, TokenDef] = {}
+        # provenance: which unit (token file) contributed each definition;
+        # defaults to this set's own name.  Not part of equality — two
+        # sets with the same definitions are the same token file.
+        self._origins: dict[str, str] = {}
         for d in defs:
             self.add(d)
 
-    def add(self, definition: TokenDef) -> None:
-        """Add one definition, rejecting conflicting redefinitions."""
+    def _origin_label(self, origin: str | None) -> str:
+        return origin or self.name or "<anonymous>"
+
+    def add(self, definition: TokenDef, origin: str | None = None) -> None:
+        """Add one definition, rejecting conflicting redefinitions.
+
+        ``origin`` names the unit (token file) the definition came from;
+        it is recorded so a later conflicting redefinition can name both
+        contributors.
+        """
         existing = self._defs.get(definition.name)
         if existing is not None:
             if existing != definition:
-                raise TokenConflictError(
-                    f"token {definition.name!r} redefined with a different "
-                    f"pattern: {existing.pattern!r} vs {definition.pattern!r}"
-                )
+                self._raise_conflict(existing, definition, origin)
             return
         self._defs[definition.name] = definition
+        self._origins[definition.name] = self._origin_label(origin)
+
+    def _raise_conflict(
+        self, existing: TokenDef, definition: TokenDef, origin: str | None
+    ) -> None:
+        if existing.pattern != definition.pattern:
+            disagreement = (
+                f"pattern: {existing.pattern!r} vs {definition.pattern!r}"
+            )
+        else:
+            disagreement = f"kind: {existing.kind!r} vs {definition.kind!r}"
+        detail = (
+            f"token {definition.name!r} redefined with a different "
+            f"{disagreement}"
+        )
+        prior = self._origins.get(existing.name, self._origin_label(None))
+        incoming = self._origin_label(origin)
+        if prior != incoming:
+            # a cross-unit redefinition is a *composition* failure: name
+            # both contributing units so the selection can be fixed
+            raise TokenMergeConflictError(
+                f"cannot merge token files: unit {incoming!r} conflicts "
+                f"with unit {prior!r} ({detail})",
+                token=definition.name,
+                units=(prior, incoming),
+            )
+        raise TokenConflictError(detail)
 
     def merge(self, other: "TokenSet") -> "TokenSet":
-        """Compose two token sets into a new one (the paper's token-file merge)."""
+        """Compose two token sets into a new one (the paper's token-file merge).
+
+        A token defined by both operands must be defined identically;
+        otherwise a :class:`~repro.errors.TokenMergeConflictError` is
+        raised naming the two contributing units.
+        """
         merged = TokenSet(name=self.name or other.name)
         for d in self:
-            merged.add(d)
+            merged.add(d, origin=self._origins.get(d.name, self.name))
         for d in other:
-            merged.add(d)
+            merged.add(d, origin=other._origins.get(d.name, other.name))
         return merged
 
     def get(self, name: str) -> TokenDef | None:

@@ -4,6 +4,7 @@ Public API::
 
     from repro.parsing import (
         GrammarAnalysis, LLTable, LLConflict,
+        ParseProgram, compile_program,
         Parser, Node,
         ParserCodeGenerator, generate_parser_source, load_generated_parser,
     )
@@ -18,20 +19,30 @@ from .codegen import (
 from .first_follow import GrammarAnalysis
 from .ll1 import LLConflict, LLTable
 from .parser import Parser, ParseOutcome
+from .program import (
+    IR_VERSION,
+    ParseProgram,
+    compile_program,
+    program_fingerprint,
+)
 from .sentences import SentenceGenerator, generate_sentences
 from .tree import Node
 
 __all__ = [
     "GrammarAnalysis",
+    "IR_VERSION",
     "LLConflict",
     "LLTable",
     "Node",
     "ParseOutcome",
+    "ParseProgram",
     "Parser",
     "ParserCodeGenerator",
     "SentenceGenerator",
+    "compile_program",
     "generate_parser_source",
     "generate_sentences",
     "load_generated_parser",
+    "program_fingerprint",
     "source_fingerprint",
 ]

@@ -1,12 +1,15 @@
 """Standalone parser source generation — the reproduction's ANTLR analogue.
 
 The paper feeds composed LL(k) grammars to ANTLR and ships the generated
-parser.  :class:`ParserCodeGenerator` plays that role here: it emits a
-single self-contained Python module (no imports beyond ``re``) containing
-the scanner, FIRST-set constants, and one recursive-descent function per
-rule.  The generated parser makes exactly the same decisions as the
-interpreting :class:`~repro.parsing.parser.Parser`, so both accept the
-same language; the test suite cross-checks them.
+parser.  :class:`ParserCodeGenerator` plays that role here: it
+pretty-prints the *same* :class:`~repro.parsing.program.ParseProgram` the
+interpreting :class:`~repro.parsing.parser.Parser` drives into a single
+self-contained Python module (no imports beyond ``re``) containing the
+scanner, FIRST-set constants, and one recursive-descent function per
+rule.  Because both backends consume one compiled program, the generated
+parser makes exactly the same decisions as the interpreter by
+construction — the test suite's cross-checks guard the printer, not two
+parallel encodings of the LL decision procedure.
 
 Typical use::
 
@@ -17,12 +20,22 @@ Typical use::
 
 from __future__ import annotations
 
+import re
 import types
 
-from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
 from ..grammar.grammar import Grammar
-from ..grammar.validate import validate
 from .first_follow import GrammarAnalysis
+from .program import (
+    OP_CALL,
+    OP_CHOICE,
+    OP_LOOP,
+    OP_MATCH,
+    OP_OPT,
+    OP_SEPLOOP,
+    OP_SEQ,
+    ParseProgram,
+    compile_program,
+)
 
 _RUNTIME = '''
 import re
@@ -177,20 +190,27 @@ def source_fingerprint(source: str) -> str | None:
 
 
 class ParserCodeGenerator:
-    """Compiles one grammar into standalone Python parser source."""
+    """Pretty-prints one parse program into standalone Python source."""
 
     def __init__(
         self,
         grammar: Grammar,
         analysis: GrammarAnalysis | None = None,
         fingerprint: str | None = None,
+        program: ParseProgram | None = None,
     ) -> None:
-        if analysis is None:
-            validate(grammar).raise_if_failed()
-            analysis = GrammarAnalysis(grammar)
+        if program is None:
+            program = compile_program(
+                grammar,
+                analysis=analysis,
+                fingerprint=fingerprint,
+            )
         self.grammar = grammar
         self.analysis = analysis
-        self.fingerprint = fingerprint
+        self.program = program
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else program.fingerprint
+        )
         self._first_consts: dict[frozenset[str], str] = {}
         self._helpers: list[str] = []
         self._counter = 0
@@ -199,9 +219,13 @@ class ParserCodeGenerator:
 
     def generate(self) -> str:
         """Emit the complete module source."""
-        rule_sources = [self._emit_rule(rule) for rule in self.grammar]
+        program = self.program
+        rule_sources = [
+            self._emit_rule(rid, name)
+            for rid, name in enumerate(program.rule_names)
+        ]
         lines: list[str] = []
-        lines.append('"""Parser for grammar %r.' % self.grammar.name)
+        lines.append('"""Parser for grammar %r.' % program.grammar_name)
         lines.append("")
         lines.append("Generated by repro.parsing.codegen - do not edit by hand.")
         lines.append('"""')
@@ -220,10 +244,10 @@ class ParserCodeGenerator:
         lines.extend(rule_sources)
         lines.append("")
         rule_map = ", ".join(
-            f"{name!r}: _parse_{name}" for name in self.grammar.rule_names()
+            f"{name!r}: _parse_{name}" for name in program.rule_names
         )
         lines.append(f"_RULES = {{{rule_map}}}")
-        lines.append(f"_START = {self.grammar.start!r}")
+        lines.append(f"_START = {program.start_name()!r}")
         return "\n".join(lines) + "\n"
 
     # -- scanner tables ----------------------------------------------------------
@@ -234,9 +258,7 @@ class ParserCodeGenerator:
         for d in tokens.patterns:
             parts.append(f"(?P<{d.name}>{d.pattern})")
         for d in tokens.literals:
-            import re as _re
-
-            parts.append(f"(?P<{d.name}>{_re.escape(d.pattern)})")
+            parts.append(f"(?P<{d.name}>{re.escape(d.pattern)})")
         if not parts:
             parts.append(r"(?P<_NOTHING_>(?!))")
         master = "|".join(parts)
@@ -261,66 +283,66 @@ class ParserCodeGenerator:
             self._first_consts[terms] = f"_F{len(self._first_consts)}"
         return self._first_consts[terms]
 
-    def _emit_rule(self, rule) -> str:
+    def _emit_rule(self, rule_id: int, name: str) -> str:
         body: list[str] = []
-        if len(rule.alternatives) == 1:
-            self._emit_element(rule.alternatives[0], body, 1)
-        else:
-            self._emit_dispatch(list(rule.alternatives), body, 1)
+        self._emit_instr(self.program.code[rule_id], body, 1)
         stmts = "\n".join(body) if body else "    pass"
         return (
-            f"\n\ndef _parse_{rule.name}(s):\n"
-            f"    node = Node({rule.name!r})\n"
+            f"\n\ndef _parse_{name}(s):\n"
+            f"    node = Node({name!r})\n"
             f"{stmts}\n"
             f"    return node"
         )
 
-    def _emit_element(self, element: Element, out: list[str], depth: int) -> None:
+    def _emit_instr(self, instr, out: list[str], depth: int) -> None:
         pad = "    " * depth
-        if isinstance(element, Tok):
-            out.append(f"{pad}s.match(node, {element.name!r})")
+        op = instr[0]
+        if op == OP_MATCH:
+            out.append(f"{pad}s.match(node, {instr[1]!r})")
             return
-        if isinstance(element, Ref):
-            out.append(f"{pad}node.children.append(_parse_{element.name}(s))")
+        if op == OP_CALL:
+            callee = self.program.rule_names[instr[1]]
+            out.append(f"{pad}node.children.append(_parse_{callee}(s))")
             return
-        if isinstance(element, Seq):
-            if not element.items:
+        if op == OP_SEQ:
+            if not instr[1]:
                 out.append(f"{pad}pass")
-            for item in element.items:
-                self._emit_element(item, out, depth)
+            for item in instr[1]:
+                self._emit_instr(item, out, depth)
             return
-        if isinstance(element, Opt):
-            self._emit_optional(element.inner, out, depth)
+        if op == OP_OPT:
+            self._emit_optional(instr, out, depth)
             return
-        if isinstance(element, Rep):
-            self._emit_repetition(element, out, depth)
+        if op in (OP_LOOP, OP_SEPLOOP):
+            self._emit_repetition(instr, out, depth)
             return
-        if isinstance(element, Choice):
-            self._emit_dispatch(list(element.alternatives), out, depth)
+        if op == OP_CHOICE:
+            self._emit_dispatch(instr, out, depth)
             return
-        raise TypeError(f"unknown element: {element!r}")
+        raise TypeError(f"unknown opcode: {op!r}")
 
-    def _emit_optional(self, inner: Element, out: list[str], depth: int) -> None:
+    def _emit_optional(self, instr, out: list[str], depth: int) -> None:
         pad = "    " * depth
         uid = self._fresh()
-        first = self._first_const(self.analysis.first_of(inner))
+        first = self._first_const(instr[2])
         out.append(f"{pad}if s.la() in {first}:")
         out.append(f"{pad}    _m{uid} = (s.i, len(node.children))")
         out.append(f"{pad}    try:")
-        self._emit_element(inner, out, depth + 2)
+        self._emit_instr(instr[1], out, depth + 2)
         out.append(f"{pad}    except _Fail:")
         out.append(f"{pad}        s.i = _m{uid}[0]; del node.children[_m{uid}[1]:]")
 
-    def _emit_repetition(self, rep: Rep, out: list[str], depth: int) -> None:
+    def _emit_repetition(self, instr, out: list[str], depth: int) -> None:
         pad = "    " * depth
         uid = self._fresh()
-        first = self._first_const(self.analysis.first_of(rep.inner))
-        if rep.separator is None:
+        if instr[0] == OP_LOOP:
+            inner, first_set, minimum = instr[1], instr[2], instr[3]
+            first = self._first_const(first_set)
             out.append(f"{pad}_n{uid} = 0")
             out.append(f"{pad}while s.la() in {first}:")
             out.append(f"{pad}    _m{uid} = (s.i, len(node.children))")
             out.append(f"{pad}    try:")
-            self._emit_element(rep.inner, out, depth + 2)
+            self._emit_instr(inner, out, depth + 2)
             out.append(f"{pad}    except _Fail:")
             out.append(
                 f"{pad}        s.i = _m{uid}[0]; del node.children[_m{uid}[1]:]; break"
@@ -328,52 +350,52 @@ class ParserCodeGenerator:
             out.append(f"{pad}    if s.i == _m{uid}[0]:")
             out.append(f"{pad}        break")
             out.append(f"{pad}    _n{uid} += 1")
-            if rep.min == 1:
+            if minimum == 1:
                 out.append(f"{pad}if _n{uid} < 1:")
                 out.append(f"{pad}    s.fail({first})")
             return
-        sep_first = self._first_const(self.analysis.first_of(rep.separator))
+        # OP_SEPLOOP: (op, inner, sep, first, sep_first, min)
+        inner, sep, first_set, sep_first_set, minimum = instr[1:6]
+        first = self._first_const(first_set)
+        sep_first = self._first_const(sep_first_set)
         inner_depth = depth
-        if rep.min == 0:
+        if minimum == 0:
             out.append(f"{pad}if s.la() in {first}:")
             inner_depth = depth + 1
         pad2 = "    " * inner_depth
-        self._emit_element(rep.inner, out, inner_depth)
+        self._emit_instr(inner, out, inner_depth)
         out.append(f"{pad2}while s.la() in {sep_first}:")
         out.append(f"{pad2}    _m{uid} = (s.i, len(node.children))")
         out.append(f"{pad2}    try:")
-        self._emit_element(rep.separator, out, inner_depth + 2)
-        self._emit_element(rep.inner, out, inner_depth + 2)
+        self._emit_instr(sep, out, inner_depth + 2)
+        self._emit_instr(inner, out, inner_depth + 2)
         out.append(f"{pad2}    except _Fail:")
         out.append(
             f"{pad2}        s.i = _m{uid}[0]; del node.children[_m{uid}[1]:]; break"
         )
 
-    def _emit_dispatch(
-        self, alternatives: list[Element], out: list[str], depth: int
-    ) -> None:
+    def _emit_dispatch(self, instr, out: list[str], depth: int) -> None:
         """Ordered-choice dispatch matching the interpreter's strategy."""
         pad = "    " * depth
         uid = self._fresh()
+        # (op, dispatch, default, expected, blocks, firsts, nullables)
+        blocks, firsts, nullables = instr[4], instr[5], instr[6]
         helper_names: list[str] = []
-        for alt in alternatives:
+        for block in blocks:
             helper = f"_a{self._fresh()}"
             body: list[str] = []
-            self._emit_element(alt, body, 1)
+            self._emit_instr(block, body, 1)
             stmts = "\n".join(body) if body else "    pass"
             self._helpers.append(f"\n\ndef {helper}(s, node):\n{stmts}\n")
             helper_names.append(helper)
 
-        union: set[str] = set()
-        for alt in alternatives:
-            union |= self.analysis.first_of(alt)
-        union_const = self._first_const(frozenset(union))
+        union_const = self._first_const(instr[3])
 
         out.append(f"{pad}_ok{uid} = False")
         out.append(f"{pad}_m{uid} = (s.i, len(node.children))")
         # pass 1: alternatives whose FIRST contains the lookahead, in order
-        for alt, helper in zip(alternatives, helper_names):
-            first = self._first_const(self.analysis.first_of(alt))
+        for index, helper in enumerate(helper_names):
+            first = self._first_const(firsts[index])
             out.append(f"{pad}if not _ok{uid} and s.la() in {first}:")
             out.append(f"{pad}    try:")
             out.append(f"{pad}        {helper}(s, node); _ok{uid} = True")
@@ -382,10 +404,10 @@ class ParserCodeGenerator:
                 f"{pad}        s.i = _m{uid}[0]; del node.children[_m{uid}[1]:]"
             )
         # pass 2: nullable alternatives as epsilon fallbacks
-        for alt, helper in zip(alternatives, helper_names):
-            if not self.analysis.nullable_of(alt):
+        for index, helper in enumerate(helper_names):
+            if not nullables[index]:
                 continue
-            first = self._first_const(self.analysis.first_of(alt))
+            first = self._first_const(firsts[index])
             out.append(f"{pad}if not _ok{uid} and s.la() not in {first}:")
             out.append(f"{pad}    try:")
             out.append(f"{pad}        {helper}(s, node); _ok{uid} = True")
@@ -401,15 +423,16 @@ def generate_parser_source(
     grammar: Grammar,
     analysis: GrammarAnalysis | None = None,
     fingerprint: str | None = None,
+    program: ParseProgram | None = None,
 ) -> str:
     """One-call convenience wrapper around :class:`ParserCodeGenerator`.
 
-    ``analysis`` lets a caller that already computed FIRST/FOLLOW sets
-    (the registry) skip recomputation; ``fingerprint`` embeds provenance
-    the on-disk artifact cache validates on load.
+    ``analysis``/``program`` let a caller that already compiled the
+    product (the registry) skip recomputation; ``fingerprint`` embeds
+    provenance the on-disk artifact cache validates on load.
     """
     return ParserCodeGenerator(
-        grammar, analysis=analysis, fingerprint=fingerprint
+        grammar, analysis=analysis, fingerprint=fingerprint, program=program
     ).generate()
 
 

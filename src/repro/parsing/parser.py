@@ -1,9 +1,15 @@
-"""Predictive recursive-descent parser interpreter.
+"""Predictive recursive-descent parser: a driver over the parse-program IR.
 
 Given a composed grammar, :class:`Parser` parses token streams into
-concrete parse trees.  Decisions are FIRST-directed (LL(1)); where the
-grammar is not LL(1) the parser falls back to ordered backtracking among
-the candidate alternatives (disable with ``strict=True``, which instead
+concrete parse trees.  The grammar is first lowered (once, at
+construction) into a flat :class:`~repro.parsing.program.ParseProgram`;
+parsing is then a tight interpretation loop over tuple-encoded
+instructions with precomputed FIRST-set dispatch tables — no ``Element``
+pattern-matching or FIRST-set recomputation on the hot path.
+
+Decisions are FIRST-directed (LL(1)); where the grammar is not LL(1) the
+driver falls back to ordered backtracking among the candidate blocks the
+dispatch table hands it (disable with ``strict=True``, which instead
 raises :class:`~repro.errors.LLConflictError` at construction time — the
 equivalent of ANTLR refusing a grammar).
 
@@ -14,7 +20,7 @@ to see ("expected WHERE or end of input").
 Beyond the classic raise-on-first-error entry points, the parser offers a
 **resilient pipeline**: :meth:`Parser.parse_with_diagnostics` scans in
 recovery mode, panic-mode-recovers on syntax errors by synchronizing on
-FOLLOW-derived sync-token sets (statement boundaries ``;``, closing
+the program's per-rule sync sets (statement boundaries ``;``, closing
 parens), and returns a partial tree together with *every* diagnostic in
 the input.  A fuel/step budget bounds pathological backtracking with a
 clean :class:`~repro.errors.ParseBudgetExceeded` instead of a hang.
@@ -32,13 +38,24 @@ from ..diagnostics.model import (
     Span,
 )
 from ..errors import LLConflictError, ParseBudgetExceeded, ParseError
-from ..grammar.expr import Choice, Element, Opt, Ref, Rep, Seq, Tok
 from ..grammar.grammar import Grammar
 from ..grammar.validate import validate
 from ..lexer.scanner import Scanner
 from ..lexer.token import EOF, ERROR, Token
 from .first_follow import GrammarAnalysis
 from .ll1 import LLTable
+from .program import (
+    CONSUMABLE_SYNC,
+    OP_CALL,
+    OP_CHOICE,
+    OP_LOOP,
+    OP_MATCH,
+    OP_OPT,
+    OP_SEPLOOP,
+    OP_SEQ,
+    ParseProgram,
+    compile_program,
+)
 from .tree import Node
 
 #: Fuel granted per input token when no explicit budget is configured on
@@ -49,9 +66,8 @@ DEFAULT_STEPS_PER_TOKEN = 4000
 #: Budget floor so tiny inputs still get room to fail informatively.
 DEFAULT_STEP_FLOOR = 20_000
 
-#: Sync terminals the recovery loop may *consume* (they can never start a
-#: new top-level construct, so skipping past them is always safe).
-_CONSUMABLE_SYNC = ("SEMICOLON", "RPAREN")
+#: Backwards-compatible alias; the canonical definition lives with the IR.
+_CONSUMABLE_SYNC = CONSUMABLE_SYNC
 
 #: Maximum simultaneous rule activations.  Kept well under Python's own
 #: recursion limit (each activation costs a handful of interpreter
@@ -110,7 +126,7 @@ class Parser:
             grammar's token set.
         strict: Refuse non-LL(1) grammars instead of backtracking.
         max_steps: Fuel budget for every parse: the maximum number of
-            element-expansion steps before :class:`ParseBudgetExceeded`
+            instruction-execution steps before :class:`ParseBudgetExceeded`
             is raised.  ``None`` (default) means unlimited for
             :meth:`parse`/:meth:`parse_tokens`; the diagnostics path
             always applies an input-scaled default.
@@ -118,6 +134,10 @@ class Parser:
             consulted when a syntax error is built; returned hints (e.g.
             "enable feature 'Window'") are attached to the error and its
             diagnostic.
+        analysis / table / program: Let a registry share the immutable
+            compiled pieces across per-thread parser instances; passing
+            them asserts the grammar was already validated when they were
+            built.  When ``program`` is omitted it is compiled here.
     """
 
     def __init__(
@@ -130,17 +150,18 @@ class Parser:
         max_depth: int = DEFAULT_MAX_DEPTH,
         analysis: GrammarAnalysis | None = None,
         table: LLTable | None = None,
+        program: ParseProgram | None = None,
     ) -> None:
-        # ``analysis``/``table`` let a registry share the immutable compiled
-        # pieces across per-thread parser instances; passing them asserts
-        # the grammar was already validated when they were built.
-        if analysis is None:
-            validate(grammar).raise_if_failed()
-            analysis = GrammarAnalysis(grammar)
+        if program is None:
+            if analysis is None:
+                validate(grammar).raise_if_failed()
+                analysis = GrammarAnalysis(grammar)
+            program = compile_program(grammar, analysis)
         self.grammar = grammar
         self.scanner = scanner if scanner is not None else Scanner(grammar.tokens)
-        self.analysis = analysis
-        self.table = table if table is not None else LLTable(grammar, self.analysis)
+        self.program = program
+        self._analysis = analysis
+        self._table = table
         self.strict = strict
         if strict and self.table.conflicts:
             raise LLConflictError(
@@ -151,7 +172,9 @@ class Parser:
         self.max_steps = max_steps
         self.max_depth = max_depth
         self.hint_provider = hint_provider
-        self._sync_sets: dict[str, frozenset[str]] = {}
+        # hot-path aliases into the program
+        self._code = program.code
+        self._rule_names = program.rule_names
         # parse state (reset per parse call)
         self._tokens: list[Token] = []
         self._index = 0
@@ -160,6 +183,21 @@ class Parser:
         self._steps = 0
         self._depth = 0
         self._budget: int | None = None
+
+    # -- shared compiled artifacts (lazy: a program-driven parser does not
+    # -- need them unless a caller asks for conflict metrics or FIRST sets)
+
+    @property
+    def analysis(self) -> GrammarAnalysis:
+        if self._analysis is None:
+            self._analysis = GrammarAnalysis(self.grammar)
+        return self._analysis
+
+    @property
+    def table(self) -> LLTable:
+        if self._table is None:
+            self._table = LLTable(self.grammar, self.analysis)
+        return self._table
 
     # -- public API -----------------------------------------------------------
 
@@ -183,9 +221,7 @@ class Parser:
         ``max_steps`` overrides the parser-level fuel budget for this
         call; exceeding it raises :class:`~repro.errors.ParseBudgetExceeded`.
         """
-        start_rule = start if start is not None else self.grammar.start
-        if start_rule is None:
-            raise ParseError("grammar has no start rule")
+        rule_id = self._start_rule_id(start)
         self._tokens = tokens
         self._index = 0
         self._furthest_index = 0
@@ -194,8 +230,8 @@ class Parser:
         self._depth = 0
         self._budget = max_steps if max_steps is not None else self.max_steps
         try:
-            node = self._parse_rule(start_rule)
-            if not self._current.is_eof:
+            node = self._call_rule(rule_id)
+            if not self._tokens[self._index].is_eof:
                 self._fail(frozenset((EOF,)))
             return node
         except _Failure:
@@ -219,7 +255,7 @@ class Parser:
         2. on a syntax error the parser records a diagnostic (with
            feature hints when a ``hint_provider`` is configured), then
            panic-mode-synchronizes: tokens are skipped up to the start
-           rule's FOLLOW-derived sync set (``;``, closing parens, EOF)
+           rule's sync set from the program (``;``, closing parens, EOF)
            and parsing resumes, so later errors are found in the same
            pass;
         3. a fuel budget (input-scaled unless overridden) turns
@@ -249,8 +285,10 @@ class Parser:
             bag.add(Diagnostic("grammar has no start rule"))
             return ParseOutcome(None, bag, text)
 
-        rule = self.grammar.rule(start_rule)
-        sync = self._sync_set(start_rule)
+        rule_id = self._start_rule_id(start)
+        body = self._code[rule_id]
+        sync = self.program.sync[rule_id]
+        consumable = self.program.consumable
         self._tokens = tokens
         self._index = 0
         self._steps = 0
@@ -268,16 +306,14 @@ class Parser:
                 segment = Node(start_rule)
                 failed = False
                 try:
-                    self._parse_alternatives(
-                        rule.alternatives, segment.children, rule_name=start_rule
-                    )
+                    # execute the start rule's body directly into the
+                    # segment (no depth frame) so a partially parsed
+                    # single-alternative rule keeps its children
+                    self._exec(body, segment.children)
                 except _Failure:
                     failed = True
-                # keep whatever the attempt managed to build — for a
-                # single-alternative start rule the children up to the
-                # failure point survive backtracking
                 root.children.extend(segment.children)
-                if not failed and self._current.is_eof:
+                if not failed and self._tokens[self._index].is_eof:
                     break
                 if not failed:
                     # a segment parsed but trailing input remains
@@ -295,7 +331,7 @@ class Parser:
                     self._index += 1
                 while (
                     not self._current.is_eof
-                    and self._current.type in _CONSUMABLE_SYNC
+                    and self._current.type in consumable
                 ):
                     self._index += 1
                 if self._current.is_eof:
@@ -319,12 +355,27 @@ class Parser:
             )
         return ParseOutcome(root, bag, text)
 
-    def accepts(self, text: str, start: str | None = None) -> bool:
-        """True when the text parses; scan and parse errors both count as no."""
+    def accepts(
+        self,
+        text: str,
+        start: str | None = None,
+        max_steps: int | None = None,
+    ) -> bool:
+        """True when the text parses; scan and parse errors both count as no.
+
+        Resource-limit exhaustion — the fuel budget (``max_steps`` here or
+        the parser-level one) or the recursion-depth cap — also counts as
+        rejection: an input this parser refuses to spend more resources on
+        is an input it does not accept (E0202 never escapes as a crash).
+        """
         from ..errors import ScanError
 
         try:
-            self.parse(text, start=start)
+            self.parse_tokens(self.scanner.scan(text), start=start,
+                              max_steps=max_steps)
+        except ParseBudgetExceeded:
+            # explicit: budget/depth exhaustion is a rejection, not an error
+            return False
         except (ParseError, ScanError):
             return False
         return True
@@ -334,6 +385,26 @@ class Parser:
     @property
     def _current(self) -> Token:
         return self._tokens[self._index]
+
+    def _start_rule_id(self, start: str | None) -> int:
+        """Resolve a start-rule override to its interned program id."""
+        start_rule = start if start is not None else self.grammar.start
+        if start_rule is None:
+            raise ParseError("grammar has no start rule")
+        rule_id = self.program.rule_ids.get(start_rule)
+        if rule_id is None:
+            # unknown rule: delegate for the canonical GrammarError
+            self.grammar.rule(start_rule)
+            raise ParseError(f"grammar has no rule {start_rule!r}")
+        return rule_id
+
+    def _sync_set(self, start_rule: str) -> frozenset[str]:
+        """Panic-mode synchronization terminals for a rule (from the program)."""
+        rule_id = self.program.rule_ids.get(start_rule)
+        if rule_id is None:
+            self.grammar.rule(start_rule)  # canonical GrammarError
+            return frozenset((EOF,))
+        return self.program.sync[rule_id]
 
     def _fail(self, expected: frozenset[str]) -> None:
         if self._index > self._furthest_index:
@@ -371,28 +442,21 @@ class Parser:
             hints=hints,
         )
 
-    def _sync_set(self, start_rule: str) -> frozenset[str]:
-        """FOLLOW-derived synchronization terminals for panic-mode recovery.
+    def _budget_exceeded(self) -> ParseBudgetExceeded:
+        token = self._tokens[self._index]
+        return ParseBudgetExceeded(
+            f"parse budget of {self._budget} steps exceeded "
+            f"(pathological backtracking near {token.type})",
+            line=token.line,
+            column=token.column,
+            steps=self._steps,
+        )
 
-        The set is FOLLOW(start) plus the universal statement boundaries
-        present in this grammar's token set (``;`` between statements,
-        ``)`` closing a nesting level), plus EOF.
-        """
-        cached = self._sync_sets.get(start_rule)
-        if cached is not None:
-            return cached
-        follow = self.analysis.follow.get(start_rule, frozenset())
-        names = self.grammar.tokens.names()
-        boundaries = frozenset(t for t in _CONSUMABLE_SYNC if t in names)
-        sync = follow | boundaries | frozenset((EOF,))
-        self._sync_sets[start_rule] = sync
-        return sync
-
-    def _parse_rule(self, name: str) -> Node:
+    def _call_rule(self, rule_id: int) -> Node:
         self._depth += 1
         if self._depth > self.max_depth:
             self._depth = 0  # unwind fully; outer finally blocks re-raise
-            token = self._current
+            token = self._tokens[self._index]
             raise ParseBudgetExceeded(
                 f"parser recursion depth limit of {self.max_depth} exceeded "
                 f"(input nested too deeply near {token.type})",
@@ -401,115 +465,76 @@ class Parser:
                 steps=self._steps,
             )
         try:
-            rule = self.grammar.rule(name)
-            node = Node(name)
-            self._parse_alternatives(rule.alternatives, node.children, rule_name=name)
+            node = Node(self._rule_names[rule_id])
+            self._exec(self._code[rule_id], node.children)
             return node
         finally:
             self._depth = max(0, self._depth - 1)
 
-    def _parse_alternatives(
-        self,
-        alternatives: list[Element] | tuple[Element, ...],
-        children: list,
-        rule_name: str | None = None,
-    ) -> None:
-        lookahead = self._current.type
-        viable: list[Element] = []
-        nullable_fallbacks: list[Element] = []
-        expected: set[str] = set()
-        for alt in alternatives:
-            first = self.analysis.first_of(alt)
-            expected |= first
-            if lookahead in first:
-                viable.append(alt)
-            elif self.analysis.nullable_of(alt):
-                nullable_fallbacks.append(alt)
-
-        # Token-consuming candidates first (in declaration order), then
-        # epsilon-deriving ones: epsilon must only win when nothing else can.
-        candidates = viable + nullable_fallbacks
-        if not candidates:
-            self._fail(frozenset(expected))
-
-        if len(candidates) == 1:
-            self._parse_element(candidates[0], children)
-            return
-
-        saved_index = self._index
-        saved_len = len(children)
-        last_failure: _Failure | None = None
-        for alt in candidates:
-            try:
-                self._parse_element(alt, children)
-                return
-            except _Failure as failure:
-                last_failure = failure
-                self._index = saved_index
-                del children[saved_len:]
-        assert last_failure is not None
-        raise last_failure
-
-    def _parse_element(self, element: Element, children: list) -> None:
+    def _exec(self, instr, children: list) -> None:
+        """Execute one tuple-encoded instruction against the token stream."""
         if self._budget is not None:
             self._steps += 1
             if self._steps > self._budget:
-                token = self._current
-                raise ParseBudgetExceeded(
-                    f"parse budget of {self._budget} steps exceeded "
-                    f"(pathological backtracking near {token.type})",
-                    line=token.line,
-                    column=token.column,
-                    steps=self._steps,
-                )
-        if isinstance(element, Tok):
-            token = self._current
-            if token.type != element.name:
-                self._fail(frozenset((element.name,)))
+                raise self._budget_exceeded()
+        op = instr[0]
+        if op == OP_MATCH:
+            token = self._tokens[self._index]
+            if token.type != instr[1]:
+                self._fail(instr[2])
             children.append(token)
             self._index += 1
-            return
-        if isinstance(element, Ref):
-            children.append(self._parse_rule(element.name))
-            return
-        if isinstance(element, Seq):
-            for item in element.items:
-                self._parse_element(item, children)
-            return
-        if isinstance(element, Opt):
-            self._parse_optional(element.inner, children)
-            return
-        if isinstance(element, Rep):
-            self._parse_repetition(element, children)
-            return
-        if isinstance(element, Choice):
-            self._parse_alternatives(element.alternatives, children)
-            return
-        raise TypeError(f"unknown element: {element!r}")
-
-    def _parse_optional(self, inner: Element, children: list) -> None:
-        first = self.analysis.first_of(inner)
-        if self._current.type not in first:
-            return
-        saved_index = self._index
-        saved_len = len(children)
-        try:
-            self._parse_element(inner, children)
-        except _Failure:
-            # the optional content looked plausible but did not parse;
-            # treat as absent and let the continuation decide
-            self._index = saved_index
-            del children[saved_len:]
-
-    def _parse_repetition(self, rep: Rep, children: list) -> None:
-        first = self.analysis.first_of(rep.inner)
-        if rep.separator is None:
+        elif op == OP_SEQ:
+            for item in instr[1]:
+                self._exec(item, children)
+        elif op == OP_CALL:
+            children.append(self._call_rule(instr[1]))
+        elif op == OP_CHOICE:
+            # (op, dispatch, default, expected, blocks, firsts, nullables)
+            candidates = instr[1].get(self._tokens[self._index].type)
+            if candidates is None:
+                candidates = instr[2]
+            if not candidates:
+                self._fail(instr[3])
+            if len(candidates) == 1:
+                self._exec(candidates[0], children)
+                return
+            saved_index = self._index
+            saved_len = len(children)
+            last_failure: _Failure | None = None
+            for block in candidates:
+                try:
+                    self._exec(block, children)
+                    return
+                except _Failure as failure:
+                    last_failure = failure
+                    self._index = saved_index
+                    del children[saved_len:]
+            assert last_failure is not None
+            raise last_failure
+        elif op == OP_OPT:
+            # (op, inner, first)
+            if self._tokens[self._index].type not in instr[2]:
+                return
+            saved_index = self._index
+            saved_len = len(children)
+            try:
+                self._exec(instr[1], children)
+            except _Failure:
+                # the optional content looked plausible but did not parse;
+                # treat as absent and let the continuation decide
+                self._index = saved_index
+                del children[saved_len:]
+        elif op == OP_LOOP:
+            # (op, inner, first, min)
+            inner = instr[1]
+            first = instr[2]
             count = 0
-            while self._current.type in first:
+            while self._tokens[self._index].type in first:
                 saved_index = self._index
                 saved_len = len(children)
                 try:
-                    self._parse_element(rep.inner, children)
+                    self._exec(inner, children)
                 except _Failure:
                     self._index = saved_index
                     del children[saved_len:]
@@ -517,23 +542,21 @@ class Parser:
                 if self._index == saved_index:
                     break  # inner matched empty input; avoid infinite loop
                 count += 1
-            if count < rep.min:
+            if count < instr[3]:
                 self._fail(first)
-            return
-
-        # separated list: item (SEP item)*
-        if rep.min == 0 and self._current.type not in first:
-            return
-        self._parse_element(rep.inner, children)
-        sep_first = self.analysis.first_of(rep.separator)
-        while self._current.type in sep_first:
-            saved_index = self._index
-            saved_len = len(children)
-            try:
-                self._parse_element(rep.separator, children)
-                self._parse_element(rep.inner, children)
-            except _Failure:
-                # the separator belonged to the surrounding context
-                self._index = saved_index
-                del children[saved_len:]
-                break
+        else:  # OP_SEPLOOP: (op, inner, sep, first, sep_first, min)
+            if instr[5] == 0 and self._tokens[self._index].type not in instr[3]:
+                return
+            self._exec(instr[1], children)
+            sep_first = instr[4]
+            while self._tokens[self._index].type in sep_first:
+                saved_index = self._index
+                saved_len = len(children)
+                try:
+                    self._exec(instr[2], children)
+                    self._exec(instr[1], children)
+                except _Failure:
+                    # the separator belonged to the surrounding context
+                    self._index = saved_index
+                    del children[saved_len:]
+                    break

@@ -95,6 +95,10 @@ class ServiceMetrics:
         "disk_invalidations",  # artifact existed but its fingerprint mismatched
         "composes",        # grammar compositions performed
         "compiles",        # parser source generations performed
+        "ir_compiles",     # parse-program IR compilations performed
+        "ir_disk_hits",    # parse program served from the artifact cache
+        "ir_disk_misses",  # IR artifact cache had no (valid) file
+        "ir_disk_invalidations",  # IR artifact fingerprint mismatched
         "parses",          # parse requests served
         "parse_errors",    # parses whose outcome carried error diagnostics
         "timeouts",        # batch requests that exceeded their deadline
@@ -106,6 +110,7 @@ class ServiceMetrics:
         self._histograms = {
             "compose": LatencyHistogram(),
             "compile": LatencyHistogram(),
+            "ir_compile": LatencyHistogram(),
             "parse": LatencyHistogram(),
         }
 
@@ -161,6 +166,12 @@ class ServiceMetrics:
         lines.append(
             f"  disk:  {counters['disk_hits']} hits / {counters['disk_misses']} "
             f"misses, {counters['disk_invalidations']} invalidated"
+        )
+        lines.append(
+            f"  ir:    {counters['ir_compiles']} compiles, "
+            f"{counters['ir_disk_hits']} disk hits / "
+            f"{counters['ir_disk_misses']} misses, "
+            f"{counters['ir_disk_invalidations']} invalidated"
         )
         lines.append(
             f"  work:  {counters['composes']} composes, {counters['compiles']} "

@@ -17,11 +17,13 @@ Three cache layers, cheapest first:
    generated source are built on first use and shared by every parser of
    the entry.  Interpreting parsers carry per-parse mutable state, so the
    entry hands out one parser per thread.
-3. **On-disk artifact cache** (optional): generated parser source is
-   persisted as ``<digest>.py`` under ``cache_dir``.  Files embed their
-   fingerprint; a mismatch (stale or corrupted artifact) is detected and
-   the file regenerated, and a changed selection or sub-grammar changes
-   the digest — automatic invalidation.
+3. **On-disk artifact cache** (optional): two artifact kinds are
+   persisted under ``cache_dir`` — generated parser source as
+   ``<digest>.py`` and the compiled parse-program IR as
+   ``<digest>.ir.json``.  Both embed their fingerprint; a mismatch
+   (stale or corrupted artifact) is detected and the file rebuilt, and a
+   changed selection or sub-grammar changes the digest — automatic
+   invalidation.
 """
 
 from __future__ import annotations
@@ -54,17 +56,24 @@ class RegistryEntry:
     assignments).
     """
 
-    def __init__(self, product: ComposedProduct, metrics: ServiceMetrics) -> None:
+    def __init__(
+        self,
+        product: ComposedProduct,
+        metrics: ServiceMetrics,
+        cache_dir: Path | None = None,
+    ) -> None:
         self.product = product
         self.fingerprint: Fingerprint = product.fingerprint
         self._metrics = metrics
-        self._lock = threading.Lock()
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._lock = threading.RLock()
         self._tls = threading.local()
         self._analysis = None
         self._table = None
         self._scanner = None
         self._hint_provider = None
         self._hints_built = False
+        self._program = None
         self._source: str | None = None
         self._module = None
 
@@ -94,6 +103,73 @@ class RegistryEntry:
                     self._hints_built = True
         return self._hint_provider
 
+    # -- parse program -------------------------------------------------------
+
+    def program(self, cache_dir: Path | None = None):
+        """This product's compiled parse program, shared across threads.
+
+        The program is loaded from the on-disk IR cache
+        (``<digest>.ir.json``, fingerprint-validated) when one is
+        configured, and compiled from the composed grammar otherwise.
+        ``cache_dir`` overrides the entry's default directory.
+        """
+        if self._program is not None:
+            return self._program
+        with self._lock:
+            if self._program is not None:
+                return self._program
+            directory = (
+                Path(cache_dir) if cache_dir is not None else self._cache_dir
+            )
+            program = None
+            if directory is not None:
+                program = self._load_program_artifact(directory)
+            if program is None:
+                self._metrics.incr("ir_compiles")
+                with self._metrics.time("ir_compile"):
+                    program = self.product.program(analysis=self._analysis)
+                if directory is not None:
+                    self._store_program_artifact(directory, program)
+            self._program = program
+            return program
+
+    def _program_artifact_path(self, cache_dir: Path) -> Path:
+        return cache_dir / f"{self.fingerprint.digest}.ir.json"
+
+    def _load_program_artifact(self, cache_dir: Path):
+        from ..parsing.program import ParseProgram, program_fingerprint
+
+        path = self._program_artifact_path(cache_dir)
+        try:
+            text = path.read_text()
+        except OSError:
+            self._metrics.incr("ir_disk_misses")
+            return None
+        if program_fingerprint(text) != self.fingerprint.digest:
+            # stale or corrupted artifact: the embedded provenance does
+            # not match the key it is filed under — recompile
+            self._metrics.incr("ir_disk_invalidations")
+            self._metrics.incr("ir_disk_misses")
+            return None
+        try:
+            program = ParseProgram.from_json(text)
+        except ValueError:
+            self._metrics.incr("ir_disk_invalidations")
+            self._metrics.incr("ir_disk_misses")
+            return None
+        self._metrics.incr("ir_disk_hits")
+        return program
+
+    def _store_program_artifact(self, cache_dir: Path, program) -> None:
+        path = self._program_artifact_path(cache_dir)
+        try:
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+            tmp.write_text(program.to_json())
+            os.replace(tmp, path)  # atomic publish: readers never see partials
+        except OSError:
+            pass  # the artifact cache is an optimization, never a failure
+
     # -- parsers -----------------------------------------------------------
 
     def parser(self, hints: bool = True) -> "Parser":
@@ -107,6 +183,7 @@ class RegistryEntry:
             hint_provider=self.hint_provider() if hints else None,
             analysis=analysis,
             table=table,
+            program=self.program(),
         )
 
     def thread_parser(self) -> "Parser":
@@ -132,13 +209,16 @@ class RegistryEntry:
             if source is None:
                 from ..parsing.codegen import generate_parser_source
 
-                analysis = self._analysis  # reuse if already built
+                # both backends print from one compiled program (the
+                # entry lock is reentrant, so sharing it here is safe)
+                program = self.program(cache_dir)
                 self._metrics.incr("compiles")
                 with self._metrics.time("compile"):
                     source = generate_parser_source(
                         self.product.grammar,
-                        analysis=analysis,
+                        analysis=self._analysis,
                         fingerprint=self.fingerprint.digest,
+                        program=program,
                     )
                 if cache_dir is not None:
                     self._store_artifact(cache_dir, source)
@@ -282,7 +362,7 @@ class ParserRegistry:
                 product = self.line.compose_product(
                     config, strict_order=strict_order, fingerprint=fp
                 )
-            entry = RegistryEntry(product, self.metrics)
+            entry = RegistryEntry(product, self.metrics, cache_dir=self.cache_dir)
             with self._lock:
                 self._entries[fp.digest] = entry
                 self._entries.move_to_end(fp.digest)
@@ -313,6 +393,10 @@ class ParserRegistry:
 
     def generated_module(self, entry: RegistryEntry):
         return entry.generated_module(self.cache_dir)
+
+    def parse_program(self, entry: RegistryEntry):
+        """Entry's compiled parse program through this registry's disk cache."""
+        return entry.program(self.cache_dir)
 
     # -- maintenance --------------------------------------------------------
 

@@ -13,8 +13,8 @@ parsable dialect still round-trips through the builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Union
 
 # ---------------------------------------------------------------------------
 # scalar expressions

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from ...core.unit import unit
 from ...features.constraints import Requires
-from ...features.model import GroupType, mandatory, optional
+from ...features.model import GroupType, optional
 from ..registry import FeatureDiagram, SqlRegistry
 from ..tokens import NUMERIC_LITERAL_TOKENS
 from ._helpers import kws

@@ -13,7 +13,7 @@ from ...core.unit import unit
 from ...features.model import GroupType, mandatory, optional
 from ..registry import FeatureDiagram, SqlRegistry
 from ..tokens import STRING_LITERAL_TOKENS
-from ._helpers import COLUMN_LIST_RULE, kws
+from ._helpers import kws
 
 
 def register(registry: SqlRegistry) -> None:

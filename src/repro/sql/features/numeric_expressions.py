@@ -7,7 +7,7 @@ numeric set of scalar functions (``numeric_functions``).
 from __future__ import annotations
 
 from ...core.unit import unit
-from ...features.model import GroupType, mandatory, optional
+from ...features.model import GroupType, optional
 from ..registry import FeatureDiagram, SqlRegistry
 from ..tokens import ARITHMETIC_TOKENS
 from ._helpers import kws

@@ -162,8 +162,8 @@ def _analytics(rng: random.Random) -> str:
             f"WHERE {_comparison(rng, ['id', 'price'])}"
         )
     return (
-        f"SELECT region, COUNT(DISTINCT id) FROM orders "
-        f"GROUP BY region ORDER BY region ASC NULLS LAST"
+        "SELECT region, COUNT(DISTINCT id) FROM orders "
+        "GROUP BY region ORDER BY region ASC NULLS LAST"
     )
 
 

@@ -1,6 +1,5 @@
 """Tests for the command-line configurator."""
 
-import pytest
 
 from repro.cli import main
 

@@ -157,7 +157,6 @@ class TestHinterDetails:
         # other features that merely mention WITH mid-production
         provider = scql_parser.hint_provider
         assert provider is not None
-        token = Token("IDENTIFIER", "with", 1, 1, 0)
         candidates = provider.features_for_keyword("WITH")
         assert candidates[0] == "WithClause"
 

@@ -1,6 +1,5 @@
 """Tests for the diagnostics model and the caret-excerpt renderer."""
 
-import pytest
 
 from repro.diagnostics import (
     PARSE_ERROR,
@@ -113,7 +112,7 @@ class TestRenderer:
         source = "SELECT (\na,\nb FROM t"
         diag = Diagnostic("unbalanced", span=Span(1, 8, 3, 2))
         text = render_diagnostic(diag, source=source)
-        carets = [l for l in text.splitlines() if "^" in l]
+        carets = [ln for ln in text.splitlines() if "^" in ln]
         assert len(carets) == 3
 
     def test_tall_span_is_elided(self):
@@ -121,7 +120,7 @@ class TestRenderer:
         diag = Diagnostic("tall", span=Span(1, 1, 7, 6))
         text = render_diagnostic(diag, source=source)
         assert "(5 more lines)" in text
-        carets = [l for l in text.splitlines() if "^" in l]
+        carets = [ln for ln in text.splitlines() if "^" in ln]
         assert len(carets) == 2
 
     def test_hints_are_rendered(self):

@@ -1,0 +1,105 @@
+"""Differential equivalence: IR-driven interpreter vs generated parser.
+
+Both backends print/execute the *same* compiled
+:class:`~repro.parsing.program.ParseProgram`, so for every preset
+dialect, over a grammar-guided fuzz corpus (valid sentences, workload
+queries, and mutated/invalid inputs) they must agree exactly:
+
+* on accepted inputs, identical s-expression parse trees;
+* on rejected inputs, identical error line/column and identical
+  expected-terminal sets at the furthest failure point.
+
+``REPRO_FUZZ_SEED`` / ``REPRO_FUZZ_ITERATIONS`` scale the corpus the
+same way as the recovery fuzzer.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import ParseError, ScanError
+from repro.parsing import SentenceGenerator, load_generated_parser
+from repro.sql import build_dialect, dialect_names
+from repro.workloads.generator import generate_workload
+
+from tests.test_fuzz_recovery import GARBAGE, mutate
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERATIONS", "40"))
+
+REJECTED_FIXED = [
+    "SELECT FROM t",
+    "SELECT a FROM",
+    "SELECT a FROM t WHERE",
+    "SELECT a,, b FROM t",
+    "SELECT a FROM t GROUP WHERE",
+    ";",
+    "",
+]
+
+
+@pytest.fixture(scope="module", params=dialect_names())
+def backends(request):
+    """(dialect, interpreter parser, generated module, corpus) per dialect."""
+    dialect = request.param
+    product = build_dialect(dialect)
+    program = product.program()
+    parser = product.parser(hints=False, program=program)
+    module = load_generated_parser(
+        product.generate_source(program=program),
+        f"differential_{dialect}",
+    )
+    rng = random.Random(SEED)
+    corpus = list(generate_workload(dialect, 25, seed=11))
+    corpus += SentenceGenerator(product.grammar, seed=SEED).sentences(
+        ITERATIONS
+    )
+    corpus += [mutate(s, rng) for s in corpus[:ITERATIONS]]
+    corpus += REJECTED_FIXED + GARBAGE
+    return dialect, parser, module, corpus
+
+
+def interpreter_outcome(parser, text):
+    try:
+        return ("ok", parser.parse(text).to_sexpr())
+    except ScanError:
+        return ("scan-error", None)
+    except ParseError as error:
+        return ("error", (error.line, error.column, error.expected))
+
+
+def generated_outcome(module, text):
+    try:
+        return ("ok", module.parse(text).to_sexpr())
+    except module.ScanError:
+        return ("scan-error", None)
+    except module.ParseError as error:
+        return ("error", (error.line, error.column, error.expected))
+
+
+class TestDifferentialEquivalence:
+    def test_backends_agree_on_whole_corpus(self, backends):
+        dialect, parser, module, corpus = backends
+        accepted = rejected = 0
+        for text in corpus:
+            expected = interpreter_outcome(parser, text)
+            actual = generated_outcome(module, text)
+            assert actual == expected, (
+                f"[{dialect}] backends disagree on {text!r}:\n"
+                f"  interpreter: {expected}\n"
+                f"  generated:   {actual}"
+            )
+            if expected[0] == "ok":
+                accepted += 1
+            else:
+                rejected += 1
+        # the corpus must genuinely exercise both paths
+        assert accepted > 0, f"[{dialect}] corpus had no accepted inputs"
+        assert rejected > 0, f"[{dialect}] corpus had no rejected inputs"
+
+    def test_workload_fully_accepted_by_both(self, backends):
+        dialect, parser, module, _ = backends
+        for query in generate_workload(dialect, 25, seed=77):
+            assert parser.accepts(query), f"[{dialect}] interpreter: {query!r}"
+            assert module.accepts(query), f"[{dialect}] generated: {query!r}"

@@ -7,7 +7,7 @@ from repro.errors import (
     LeftRecursionError,
     UndefinedNonterminalError,
 )
-from repro.grammar import Grammar, Rule, read_grammar, seq, Tok, Ref, validate
+from repro.grammar import Grammar, Rule, read_grammar, Tok, validate
 from repro.lexer import TokenSet, keyword, literal
 
 

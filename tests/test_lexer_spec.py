@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import TokenConflictError
+from repro.errors import (
+    CompositionError,
+    TokenConflictError,
+    TokenMergeConflictError,
+)
 from repro.lexer import (
     TokenDef,
     TokenSet,
@@ -64,6 +68,44 @@ class TestTokenSet:
         b = TokenSet("b", [literal("OP", "-")])
         with pytest.raises(TokenConflictError):
             a.merge(b)
+
+    def test_merge_conflict_names_both_units(self):
+        a = TokenSet("WhereClause", [literal("OP", "+")])
+        b = TokenSet("Window", [literal("OP", "-")])
+        with pytest.raises(TokenMergeConflictError) as exc_info:
+            a.merge(b)
+        error = exc_info.value
+        # the composition error names both contributing units
+        assert "WhereClause" in str(error)
+        assert "Window" in str(error)
+        assert error.token == "OP"
+        assert set(error.units) == {"WhereClause", "Window"}
+        # and is catchable as either a composition or a lexer failure
+        assert isinstance(error, CompositionError)
+        assert isinstance(error, TokenConflictError)
+
+    def test_merge_conflict_on_kind_disagreement(self):
+        a = TokenSet("a", [literal("NUM", "0")])
+        b = TokenSet("b", [pattern("NUM", "0")])
+        with pytest.raises(TokenMergeConflictError) as exc_info:
+            a.merge(b)
+        assert "kind" in str(exc_info.value)
+
+    def test_merge_conflict_survives_a_prior_merge(self):
+        # provenance follows definitions through intermediate merges
+        base = TokenSet("Core", [keyword("select")])
+        ext = TokenSet("GroupBy", [literal("SEMI", ";")])
+        merged = base.merge(ext)
+        clash = TokenSet("Window", [literal("SEMI", ",")])
+        with pytest.raises(TokenMergeConflictError) as exc_info:
+            merged.merge(clash)
+        assert set(exc_info.value.units) == {"GroupBy", "Window"}
+
+    def test_same_set_conflict_stays_a_token_conflict(self):
+        ts = TokenSet("t", [literal("COMMA", ",")])
+        with pytest.raises(TokenConflictError) as exc_info:
+            ts.add(literal("COMMA", ";"))
+        assert not isinstance(exc_info.value, CompositionError)
 
     def test_merge_is_commutative_on_disjoint_sets(self):
         a = TokenSet("a", [keyword("select")])

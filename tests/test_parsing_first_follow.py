@@ -1,6 +1,6 @@
 """Tests for nullable/FIRST/FOLLOW computation."""
 
-from repro.grammar import read_grammar, Tok, Ref, opt, seq, star, plus
+from repro.grammar import read_grammar, Tok, opt, seq, star, plus
 from repro.lexer import EOF
 from repro.parsing import GrammarAnalysis
 

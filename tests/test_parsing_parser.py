@@ -211,3 +211,44 @@ class TestParseTreeShape:
         tree = parser.parse("SELECT a, b FROM t")
         texts = [t.text for t in tree.tokens()]
         assert texts == ["SELECT", "a", ",", "b", "FROM", "t"]
+
+
+class TestAcceptsResourceLimits:
+    """Resource exhaustion (E0202) counts as rejection, never a crash."""
+
+    def test_accepts_with_per_call_step_budget(self, parser):
+        text = "SELECT a FROM t WHERE x = 1"
+        assert parser.accepts(text)
+        assert parser.accepts(text, max_steps=2) is False
+
+    def test_accepts_with_constructor_step_budget(self):
+        from repro.grammar import read_grammar
+
+        limited = Parser(read_grammar(TINY_SQL, tokens=tiny_tokens()),
+                         max_steps=2)
+        assert limited.accepts("SELECT a FROM t") is False
+
+    def test_parse_raises_where_accepts_rejects(self, parser):
+        from repro.errors import ParseBudgetExceeded
+
+        tokens = parser.scanner.scan("SELECT a FROM t")
+        with pytest.raises(ParseBudgetExceeded):
+            parser.parse_tokens(tokens, max_steps=2)
+        assert parser.accepts("SELECT a FROM t", max_steps=2) is False
+
+    def test_accepts_treats_depth_limit_as_rejection(self):
+        from repro.grammar import read_grammar
+
+        nest = read_grammar(
+            "grammar nest ;\nstart expr ;\n"
+            "expr : NUMBER | LPAREN expr RPAREN ;",
+            tokens=tiny_tokens(),
+        )
+        shallow = Parser(nest, max_depth=10)
+        assert shallow.accepts("((1))")
+        deep = "(" * 50 + "1" + ")" * 50
+        assert shallow.accepts(deep) is False
+
+    def test_generous_budget_still_accepts(self, parser):
+        assert parser.accepts("SELECT a, b FROM t WHERE x = y",
+                              max_steps=100_000)

@@ -1,6 +1,5 @@
 """ParseService: resilient results, batch concurrency, timeouts, stats."""
 
-import threading
 import time
 
 import pytest

@@ -245,3 +245,89 @@ class TestConcurrency:
         assert registry.metrics.counter("composes") == 4
         fingerprints = {e.fingerprint.digest for e in results.values()}
         assert len(fingerprints) == 4
+
+
+class TestProgramDiskCache:
+    """ParseProgram artifacts (`<digest>.ir.json`) round-trip across processes."""
+
+    def test_program_round_trip_across_registries(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        program = first.parse_program(entry)
+        assert first.metrics.counter("ir_compiles") == 1
+        assert first.metrics.counter("ir_disk_misses") == 1
+        artifact = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        assert artifact.exists()
+
+        # a fresh registry (fresh process, in spirit) reuses the artifact
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        program2 = second.parse_program(entry2)
+        assert second.metrics.counter("ir_disk_hits") == 1
+        assert second.metrics.counter("ir_compiles") == 0
+        assert program2.fingerprint == program.fingerprint
+        assert program2.code == program.code
+        assert program2.sync == program.sync
+
+        # the revived program actually drives a parser
+        parser = entry2.parser()
+        assert parser.program is program2
+        assert parser.accepts("SELECT a FROM t WHERE x = y")
+        assert not parser.accepts("SELECT a, b FROM t")
+
+    def test_stale_program_artifact_is_rebuilt_not_loaded(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        first.parse_program(entry)
+        artifact = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+
+        # corrupt the embedded provenance: stale-file simulation
+        text = artifact.read_text()
+        assert entry.fingerprint.digest in text
+        artifact.write_text(
+            text.replace(entry.fingerprint.digest, "0" * 64, 1)
+        )
+
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        program = second.parse_program(entry2)
+        assert second.metrics.counter("ir_disk_invalidations") == 1
+        assert second.metrics.counter("ir_disk_hits") == 0
+        assert second.metrics.counter("ir_compiles") == 1
+        # the rebuilt artifact replaces the stale one and carries the
+        # correct provenance again
+        assert entry.fingerprint.digest in artifact.read_text()
+        assert program.fingerprint == entry.fingerprint.digest
+
+    def test_undecodable_program_artifact_is_rebuilt(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query"])
+        artifact = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        artifact.write_text("{not json")
+        assert first.parse_program(entry) is not None
+        assert first.metrics.counter("ir_disk_invalidations") == 1
+        assert first.metrics.counter("ir_compiles") == 1
+
+    def test_generated_source_shares_the_entry_program(self, tmp_path):
+        registry = make_registry(cache_dir=tmp_path)
+        entry = registry.get(["Query", "GroupBy"])
+        registry.generated_source(entry)
+        # codegen compiled (and cached) the one shared program
+        assert registry.metrics.counter("ir_compiles") == 1
+        assert (tmp_path / f"{entry.fingerprint.digest}.ir.json").exists()
+        assert registry.parse_program(entry) is entry.program()
+
+    def test_thread_parsers_share_one_program(self, registry):
+        entry = registry.get(["Query"])
+        main_parser = entry.thread_parser()
+        seen = []
+
+        def worker():
+            seen.append(entry.thread_parser())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert seen[0] is not main_parser
+        assert seen[0].program is main_parser.program
+        assert registry.metrics.counter("ir_compiles") == 1
