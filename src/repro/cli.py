@@ -15,6 +15,8 @@ composing these features."  This CLI is that interface, terminal-flavoured::
     python -m repro.cli sample tinysql -n 5      # random sentences
     python -m repro.cli ir --dialect tinysql     # compiled parse-program IR
     python -m repro.cli stats --warm core        # parse-service cache metrics
+    python -m repro.cli conformance --json       # corpus, both backends
+    python -m repro.cli coverage --fail-under 90 # grammar-coverage gate
 
 Products are resolved through the process-wide fingerprint-keyed
 registry (:mod:`repro.service`): repeated commands against the same
@@ -198,6 +200,75 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    """Run the conformance corpus: every case, both backends."""
+    from .conformance import ConformanceRunner, load_corpus
+
+    corpus = load_corpus(args.corpus)
+    runner = ConformanceRunner(corpus=corpus, dialects=args.dialect or None)
+    report = runner.run()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    """Measure grammar coverage per preset dialect, with an optional gate.
+
+    The conformance corpus runs first (instrumented interpreter); unless
+    ``--no-generate``, the coverage-guided workload generator then keeps
+    producing inputs until coverage stops improving, so the report shows
+    what the *reachable* grammar looks like, not just what the corpus
+    happens to touch.
+    """
+    from .conformance import (
+        ConformanceRunner,
+        CoverageReport,
+        CoverageSuiteReport,
+        load_corpus,
+    )
+    from .conformance.runner import INTERPRETER
+    from .workloads.guided import CoverageGuidedGenerator
+
+    corpus = load_corpus(args.corpus)
+    runner = ConformanceRunner(
+        corpus=corpus,
+        dialects=args.dialect or None,
+        backends=(INTERPRETER,),
+        collect_coverage=True,
+    )
+    runner.run()
+    reports = []
+    for dialect in runner.dialects:
+        product = runner.products[dialect]
+        collector = runner.collectors[dialect]
+        inputs = len(corpus.for_dialect(dialect))
+        if not args.no_generate:
+            generator = CoverageGuidedGenerator(
+                product,
+                program=runner.programs[dialect],
+                collector=collector,
+                seed=args.seed,
+            )
+            inputs += len(generator.generate_until_dry())
+        reports.append(CoverageReport.of(product, collector, inputs=inputs))
+    suite = CoverageSuiteReport(reports)
+    if args.json:
+        print(suite.to_json())
+    else:
+        print(suite.render())
+    if args.fail_under is not None and not suite.gate(args.fail_under):
+        print(
+            f"coverage gate failed: rule coverage "
+            f"{suite.rule_coverage_pct():.2f}% < {args.fail_under:g}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:
     service = _service(args)
     features = dialect_features(args.dialect)
@@ -308,6 +379,43 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="on-disk artifact cache for generated parser "
                             "source (see `.stats` inside the shell)")
     shell.set_defaults(fn=_cmd_shell)
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="run the conformance corpus (interpreter + generated backends)",
+    )
+    conformance.add_argument("--dialect", action="append",
+                             choices=dialect_names(), metavar="DIALECT",
+                             help="restrict to a preset dialect (repeatable; "
+                                  "default: every dialect the corpus names)")
+    conformance.add_argument("--corpus", metavar="DIR",
+                             help="corpus directory (default: the in-repo "
+                                  "corpus/)")
+    conformance.add_argument("--json", action="store_true",
+                             help="emit the versioned JSON report")
+    conformance.set_defaults(fn=_cmd_conformance)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="grammar coverage per dialect, with an optional CI gate",
+    )
+    coverage.add_argument("--dialect", action="append",
+                          choices=dialect_names(), metavar="DIALECT",
+                          help="restrict to a preset dialect (repeatable)")
+    coverage.add_argument("--corpus", metavar="DIR",
+                          help="corpus directory (default: the in-repo "
+                               "corpus/)")
+    coverage.add_argument("--json", action="store_true",
+                          help="emit the versioned JSON report")
+    coverage.add_argument("--fail-under", type=float, metavar="PCT",
+                          help="exit 1 when aggregate rule coverage is below "
+                               "PCT")
+    coverage.add_argument("--no-generate", action="store_true",
+                          help="measure the corpus only; skip coverage-guided "
+                               "generation")
+    coverage.add_argument("--seed", type=int, default=0,
+                          help="seed for the coverage-guided generator")
+    coverage.set_defaults(fn=_cmd_coverage)
 
     stats = sub.add_parser(
         "stats", help="parse-service cache and latency metrics"

@@ -1,0 +1,54 @@
+"""Grammar-coverage–guided conformance: corpus, runner, coverage reports.
+
+Public API::
+
+    from repro.conformance import (
+        ConformanceCase, Corpus, load_corpus, parse_case_file,
+        ConformanceRunner, ConformanceReport, run_conformance,
+        CoverageReport, CoverageSuiteReport,
+    )
+"""
+
+from .corpus import (
+    CASE_SUFFIX,
+    ConformanceCase,
+    Corpus,
+    CorpusError,
+    default_corpus_dir,
+    load_corpus,
+    parse_case_file,
+)
+from .report import (
+    COVERAGE_REPORT_VERSION,
+    CoverageReport,
+    CoverageSuiteReport,
+    DimensionCount,
+    FeatureRollup,
+)
+from .runner import (
+    CONFORMANCE_REPORT_VERSION,
+    CaseResult,
+    ConformanceReport,
+    ConformanceRunner,
+    run_conformance,
+)
+
+__all__ = [
+    "CASE_SUFFIX",
+    "CONFORMANCE_REPORT_VERSION",
+    "COVERAGE_REPORT_VERSION",
+    "CaseResult",
+    "ConformanceCase",
+    "ConformanceReport",
+    "ConformanceRunner",
+    "Corpus",
+    "CorpusError",
+    "CoverageReport",
+    "CoverageSuiteReport",
+    "DimensionCount",
+    "FeatureRollup",
+    "default_corpus_dir",
+    "load_corpus",
+    "parse_case_file",
+    "run_conformance",
+]

@@ -1,0 +1,283 @@
+"""The conformance corpus: ``corpus/*.case`` files.
+
+A case file holds one or more cases separated by ``---`` lines.  Each
+case is a header block of ``key: value`` lines, a blank line, then the
+SQL text (which may span several lines)::
+
+    case: window-function-needs-window-feature
+    dialects: scql tinysql core
+    expect: reject
+    hint: enable feature 'Window'
+
+    SELECT RANK() OVER (PARTITION BY region) FROM orders
+    ---
+    case: plain-projection
+    dialects: *
+    expect: accept
+
+    SELECT a FROM t
+
+Header keys:
+
+``case`` (required)
+    Case name, unique within the corpus.
+``dialects`` (required)
+    Space-separated preset dialect names the case applies to; ``*``
+    means every preset.  Prefix a name with ``!`` to exclude it from a
+    ``*`` selection (``dialects: * !scql``).
+``expect`` (required)
+    ``accept`` or ``reject`` — the accept/reject boundary assertion,
+    checked against the interpreting *and* the generated-code backend.
+``code`` / ``message`` / ``hint`` (optional, reject cases only)
+    Substring assertions against the interpreter's diagnostics: the
+    expected error code (exact), a message fragment, a hint fragment
+    (e.g. the feature-hinter's "enable feature 'X'").
+
+Lines starting with ``#`` before the header are comments.  The format is
+deliberately line-oriented and diff-friendly: conformance cases are the
+repo's executable statement of which dialect accepts what, and review
+happens on the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ReproError
+
+#: Header keys a case block may carry.
+_KNOWN_KEYS = frozenset(
+    {"case", "dialects", "expect", "code", "message", "hint"}
+)
+
+#: Case-file extension the loader picks up.
+CASE_SUFFIX = ".case"
+
+
+class CorpusError(ReproError):
+    """A malformed case file — unknown key, missing field, bad dialect."""
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One (SQL text, dialect set, expectation) conformance assertion.
+
+    Attributes:
+        name: Unique case name.
+        path: Source file (diagnostics only).
+        dialects: Preset dialects the case applies to, resolution of the
+            header's ``*``/``!name`` syntax against the preset list.
+        expect: ``"accept"`` or ``"reject"``.
+        sql: The SQL text (may span lines).
+        code: Expected diagnostic code (reject cases; exact match).
+        message: Expected message fragment (reject cases; substring).
+        hint: Expected hint fragment (reject cases; substring).
+    """
+
+    name: str
+    path: str
+    dialects: tuple[str, ...]
+    expect: str
+    sql: str
+    code: str | None = None
+    message: str | None = None
+    hint: str | None = None
+
+    @property
+    def expects_accept(self) -> bool:
+        return self.expect == "accept"
+
+
+@dataclass
+class Corpus:
+    """Every case from one corpus directory, with name-uniqueness checked."""
+
+    cases: list[ConformanceCase] = field(default_factory=list)
+
+    def for_dialect(self, dialect: str) -> list[ConformanceCase]:
+        return [c for c in self.cases if dialect in c.dialects]
+
+    def dialects(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for case in self.cases:
+            for dialect in case.dialects:
+                seen.setdefault(dialect, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+
+def default_corpus_dir() -> Path:
+    """The in-repo ``corpus/`` directory (next to ``src/``)."""
+    return Path(__file__).resolve().parents[3] / "corpus"
+
+
+def _resolve_dialects(
+    spec: str, presets: Sequence[str], path: str, name: str
+) -> tuple[str, ...]:
+    tokens = spec.split()
+    if not tokens:
+        raise CorpusError(f"{path}: case {name!r} has an empty dialects list")
+    include: list[str] = []
+    exclude: set[str] = set()
+    starred = False
+    for token in tokens:
+        if token == "*":
+            starred = True
+        elif token.startswith("!"):
+            exclude.add(token[1:])
+        else:
+            include.append(token)
+    for dialect in [*include, *exclude]:
+        if dialect not in presets:
+            raise CorpusError(
+                f"{path}: case {name!r} names unknown dialect {dialect!r} "
+                f"(presets: {', '.join(presets)})"
+            )
+    if starred:
+        selected = [d for d in presets if d not in exclude]
+    else:
+        if exclude:
+            raise CorpusError(
+                f"{path}: case {name!r} uses !exclusions without '*'"
+            )
+        selected = include
+    if not selected:
+        raise CorpusError(
+            f"{path}: case {name!r} resolves to an empty dialect set"
+        )
+    return tuple(selected)
+
+
+def _parse_block(
+    block: str, presets: Sequence[str], path: str
+) -> ConformanceCase | None:
+    lines = block.splitlines()
+    headers: dict[str, str] = {}
+    body_start = None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            if headers:
+                body_start = index + 1
+                break
+            continue  # leading blank lines before the header
+        if stripped.startswith("#") and not headers:
+            continue  # leading comments
+        if ":" not in stripped:
+            raise CorpusError(
+                f"{path}: malformed header line {stripped!r} "
+                "(expected 'key: value')"
+            )
+        key, _, value = stripped.partition(":")
+        key = key.strip().lower()
+        if key not in _KNOWN_KEYS:
+            raise CorpusError(
+                f"{path}: unknown case key {key!r} "
+                f"(known: {', '.join(sorted(_KNOWN_KEYS))})"
+            )
+        if key in headers:
+            raise CorpusError(f"{path}: duplicate case key {key!r}")
+        headers[key] = value.strip()
+    if not headers:
+        return None  # an empty block (e.g. trailing separator)
+    name = headers.get("case")
+    if not name:
+        raise CorpusError(f"{path}: case block without a 'case:' name")
+    if body_start is None:
+        raise CorpusError(f"{path}: case {name!r} has no SQL body")
+    sql = "\n".join(lines[body_start:]).strip()
+    if not sql:
+        raise CorpusError(f"{path}: case {name!r} has an empty SQL body")
+    expect = headers.get("expect", "").lower()
+    if expect not in ("accept", "reject"):
+        raise CorpusError(
+            f"{path}: case {name!r} must set 'expect: accept' or "
+            "'expect: reject'"
+        )
+    if expect == "accept":
+        for key in ("code", "message", "hint"):
+            if key in headers:
+                raise CorpusError(
+                    f"{path}: case {name!r} is an accept case; "
+                    f"{key!r} assertions only apply to rejections"
+                )
+    if "dialects" not in headers:
+        raise CorpusError(f"{path}: case {name!r} has no 'dialects:' line")
+    dialects = _resolve_dialects(headers["dialects"], presets, path, name)
+    return ConformanceCase(
+        name=name,
+        path=path,
+        dialects=dialects,
+        expect=expect,
+        sql=sql,
+        code=headers.get("code"),
+        message=headers.get("message"),
+        hint=headers.get("hint"),
+    )
+
+
+def parse_case_file(
+    text: str, presets: Sequence[str], path: str = "<corpus>"
+) -> list[ConformanceCase]:
+    """Parse one ``.case`` file's text into its cases."""
+    cases: list[ConformanceCase] = []
+    for block in _split_blocks(text):
+        case = _parse_block(block, presets, path)
+        if case is not None:
+            cases.append(case)
+    if not cases:
+        raise CorpusError(f"{path}: no cases found")
+    return cases
+
+
+def _split_blocks(text: str) -> Iterable[str]:
+    block: list[str] = []
+    for line in text.splitlines():
+        if line.strip() == "---":
+            yield "\n".join(block)
+            block = []
+        else:
+            block.append(line)
+    yield "\n".join(block)
+
+
+def load_corpus(
+    directory: str | Path | None = None,
+    presets: Sequence[str] | None = None,
+) -> Corpus:
+    """Load every ``*.case`` file under ``directory`` (sorted by name).
+
+    ``presets`` defaults to the SQL preset dialect list; passing it
+    explicitly keeps the corpus machinery usable for non-SQL product
+    lines (and keeps tests hermetic).
+    """
+    if presets is None:
+        from ..sql import dialect_names
+
+        presets = dialect_names()
+    directory = Path(directory) if directory is not None else default_corpus_dir()
+    if not directory.is_dir():
+        raise CorpusError(
+            f"conformance corpus directory not found: {directory}"
+        )
+    corpus = Corpus()
+    seen: dict[str, str] = {}
+    for path in sorted(directory.glob(f"*{CASE_SUFFIX}")):
+        for case in parse_case_file(path.read_text(), presets, str(path)):
+            if case.name in seen:
+                raise CorpusError(
+                    f"{path}: duplicate case name {case.name!r} "
+                    f"(first defined in {seen[case.name]})"
+                )
+            seen[case.name] = str(path)
+            corpus.cases.append(case)
+    if not corpus.cases:
+        raise CorpusError(f"no *.case files under {directory}")
+    return corpus

@@ -1,0 +1,326 @@
+"""Coverage reports: what a corpus exercised of a composed grammar.
+
+:class:`CoverageReport` condenses one product's
+:class:`~repro.parsing.coverage.CoverageCollector` into the three
+coverage dimensions (rule entries, CHOICE alternatives, decision edges),
+rolls every dimension up per contributing feature using the composition
+trace's origin provenance, and names what is still uncovered — so "rule
+``with_clause`` was never entered" reads as "feature ``WithClause`` is
+untested", which is the actionable form.
+
+:class:`CoverageSuiteReport` aggregates reports across dialects and
+carries the ``--fail-under`` gate.  Both render as text and as
+versioned JSON (``kind: repro-coverage-report``, schema documented in
+DESIGN.md); the JSON form is what CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable
+
+#: JSON schema version; bump on incompatible layout changes so downstream
+#: consumers (CI trend scripts) never misread an old artifact.
+COVERAGE_REPORT_VERSION = 1
+
+#: Feature label for rules composed outside a product line (no provenance).
+UNATTRIBUTED = "<unattributed>"
+
+
+@dataclass(frozen=True)
+class DimensionCount:
+    """Covered-vs-total for one coverage dimension."""
+
+    covered: int
+    total: int
+
+    @property
+    def pct(self) -> float:
+        """Percentage covered; an empty dimension counts as fully covered."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.covered / self.total
+
+    def as_dict(self) -> dict:
+        return {
+            "covered": self.covered,
+            "total": self.total,
+            "pct": round(self.pct, 2),
+        }
+
+    def __add__(self, other: "DimensionCount") -> "DimensionCount":
+        return DimensionCount(
+            self.covered + other.covered, self.total + other.total
+        )
+
+
+@dataclass(frozen=True)
+class FeatureRollup:
+    """One feature's share of the three dimensions."""
+
+    feature: str
+    rules: DimensionCount
+    alternatives: DimensionCount
+    edges: DimensionCount
+    uncovered_rules: tuple[str, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "feature": self.feature,
+            "rules": self.rules.as_dict(),
+            "alternatives": self.alternatives.as_dict(),
+            "edges": self.edges.as_dict(),
+            "uncovered_rules": list(self.uncovered_rules),
+        }
+
+
+class CoverageReport:
+    """Coverage of one composed product, with per-feature rollups.
+
+    Build with :meth:`of`; render with :meth:`render` (text) or
+    :meth:`to_dict`/:meth:`to_json` (versioned JSON).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fingerprint: str | None,
+        rules: DimensionCount,
+        alternatives: DimensionCount,
+        edges: DimensionCount,
+        features: tuple[FeatureRollup, ...],
+        uncovered_rules: tuple[tuple[str, str], ...],
+        uncovered_alternatives: tuple[dict, ...],
+        uncovered_edges: tuple[dict, ...],
+        inputs: int = 0,
+    ) -> None:
+        self.name = name
+        self.fingerprint = fingerprint
+        self.rules = rules
+        self.alternatives = alternatives
+        self.edges = edges
+        self.features = features
+        self.uncovered_rules = uncovered_rules
+        self.uncovered_alternatives = uncovered_alternatives
+        self.uncovered_edges = uncovered_edges
+        self.inputs = inputs
+
+    @classmethod
+    def of(cls, product, collector, inputs: int = 0) -> "CoverageReport":
+        """Condense a collector over ``product``'s program into a report.
+
+        ``product`` supplies the name, fingerprint, and — when it was
+        composed through a product line — the rule-origin provenance the
+        per-feature rollups key on.
+        """
+        coverage_map = collector.map
+        program = coverage_map.program
+        rule_names = program.rule_names
+        origins = {}
+        if hasattr(product, "rule_origins"):
+            origins = product.rule_origins()
+        feature_of = {
+            name: origins.get(name, UNATTRIBUTED) for name in rule_names
+        }
+
+        counts = collector.counts()
+        per_feature: dict[str, dict[str, list[int]]] = {}
+
+        def bucket(feature: str) -> dict[str, list[int]]:
+            return per_feature.setdefault(
+                feature,
+                {"rules": [0, 0], "alternatives": [0, 0], "edges": [0, 0]},
+            )
+
+        feature_uncovered: dict[str, list[str]] = {}
+        for rule_id, name in enumerate(rule_names):
+            cell = bucket(feature_of[name])["rules"]
+            cell[1] += 1
+            if collector.rules[rule_id]:
+                cell[0] += 1
+            else:
+                feature_uncovered.setdefault(feature_of[name], []).append(name)
+        for point in coverage_map.choices:
+            cell = bucket(feature_of[rule_names[point.rule_id]])["alternatives"]
+            for offset in range(point.n_alts):
+                cell[1] += 1
+                if collector.alts[point.base + offset]:
+                    cell[0] += 1
+        for point in coverage_map.decisions:
+            cell = bucket(feature_of[rule_names[point.rule_id]])["edges"]
+            cell[1] += 2
+            if collector.taken[point.index]:
+                cell[0] += 1
+            if collector.skipped[point.index]:
+                cell[0] += 1
+
+        features = tuple(
+            FeatureRollup(
+                feature=feature,
+                rules=DimensionCount(*cells["rules"]),
+                alternatives=DimensionCount(*cells["alternatives"]),
+                edges=DimensionCount(*cells["edges"]),
+                uncovered_rules=tuple(feature_uncovered.get(feature, ())),
+            )
+            for feature, cells in sorted(per_feature.items())
+        )
+
+        uncovered_rules = tuple(
+            (name, feature_of[name]) for name in collector.uncovered_rules()
+        )
+        uncovered_alternatives = tuple(
+            {
+                "rule": rule_names[point.rule_id],
+                "feature": feature_of[rule_names[point.rule_id]],
+                "point": point.label,
+                "alternative": offset,
+                "first": sorted(point.firsts[offset]),
+            }
+            for point, offset in collector.uncovered_alternatives()
+        )
+        uncovered_edges = tuple(
+            {
+                "rule": rule_names[point.rule_id],
+                "feature": feature_of[rule_names[point.rule_id]],
+                "point": point.label,
+                "kind": point.kind,
+                "edge": edge,
+            }
+            for point, edge in collector.uncovered_edges()
+        )
+
+        fingerprint = getattr(product, "fingerprint", None)
+        digest = getattr(fingerprint, "digest", None)
+        return cls(
+            name=getattr(product, "name", program.grammar_name),
+            fingerprint=digest,
+            rules=DimensionCount(*counts["rules"]),
+            alternatives=DimensionCount(*counts["alternatives"]),
+            edges=DimensionCount(*counts["edges"]),
+            features=features,
+            uncovered_rules=uncovered_rules,
+            uncovered_alternatives=uncovered_alternatives,
+            uncovered_edges=uncovered_edges,
+            inputs=inputs,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "inputs": self.inputs,
+            "rules": self.rules.as_dict(),
+            "alternatives": self.alternatives.as_dict(),
+            "edges": self.edges.as_dict(),
+            "features": [rollup.as_dict() for rollup in self.features],
+            "uncovered": {
+                "rules": [
+                    {"rule": rule, "feature": feature}
+                    for rule, feature in self.uncovered_rules
+                ],
+                "alternatives": list(self.uncovered_alternatives),
+                "edges": list(self.uncovered_edges),
+            },
+        }
+
+    def render(self, max_uncovered: int = 12) -> str:
+        lines = [
+            f"coverage — {self.name} "
+            f"({self.inputs} inputs, fingerprint "
+            f"{self.fingerprint[:12] if self.fingerprint else '<none>'})",
+            f"  rules         {self._bar(self.rules)}",
+            f"  alternatives  {self._bar(self.alternatives)}",
+            f"  edges         {self._bar(self.edges)}",
+        ]
+        weakest = sorted(
+            (r for r in self.features if r.rules.total),
+            key=lambda r: (r.rules.pct, r.feature),
+        )[:5]
+        if weakest and weakest[0].rules.pct < 100.0:
+            lines.append("  weakest features (rule coverage):")
+            for rollup in weakest:
+                if rollup.rules.pct == 100.0:
+                    break
+                lines.append(
+                    f"    {rollup.feature:30} {rollup.rules.covered}/"
+                    f"{rollup.rules.total} rules"
+                )
+        if self.uncovered_rules:
+            lines.append(
+                f"  uncovered rules ({len(self.uncovered_rules)}):"
+            )
+            for rule, feature in self.uncovered_rules[:max_uncovered]:
+                lines.append(f"    {rule}  [from feature {feature}]")
+            if len(self.uncovered_rules) > max_uncovered:
+                lines.append(
+                    f"    … +{len(self.uncovered_rules) - max_uncovered} more"
+                )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _bar(count: DimensionCount, width: int = 20) -> str:
+        filled = int(round(width * count.pct / 100.0))
+        bar = "#" * filled + "-" * (width - filled)
+        return f"[{bar}] {count.covered:>4}/{count.total:<4} {count.pct:6.2f}%"
+
+
+class CoverageSuiteReport:
+    """Coverage across several dialects, plus the CI gate."""
+
+    def __init__(self, reports: Iterable[CoverageReport]) -> None:
+        self.reports = list(reports)
+
+    # -- aggregation -------------------------------------------------------
+
+    def overall(self) -> dict[str, DimensionCount]:
+        totals = {
+            "rules": DimensionCount(0, 0),
+            "alternatives": DimensionCount(0, 0),
+            "edges": DimensionCount(0, 0),
+        }
+        for report in self.reports:
+            totals["rules"] += report.rules
+            totals["alternatives"] += report.alternatives
+            totals["edges"] += report.edges
+        return totals
+
+    def rule_coverage_pct(self) -> float:
+        """The gated number: aggregate rule coverage across all reports."""
+        return self.overall()["rules"].pct
+
+    def gate(self, fail_under: float) -> bool:
+        """True when aggregate rule coverage meets the threshold."""
+        return self.rule_coverage_pct() >= fail_under
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        overall = self.overall()
+        return {
+            "kind": "repro-coverage-report",
+            "version": COVERAGE_REPORT_VERSION,
+            "dialects": [report.to_dict() for report in self.reports],
+            "overall": {
+                dimension: count.as_dict()
+                for dimension, count in overall.items()
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        sections = [report.render() for report in self.reports]
+        overall = self.overall()
+        sections.append(
+            "overall: "
+            + ", ".join(
+                f"{dimension} {count.covered}/{count.total} "
+                f"({count.pct:.2f}%)"
+                for dimension, count in overall.items()
+            )
+        )
+        return "\n\n".join(sections)

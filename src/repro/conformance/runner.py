@@ -1,0 +1,265 @@
+"""Drive the conformance corpus through every preset dialect.
+
+The runner is the differential half of the conformance subsystem: each
+case's SQL is pushed through the *interpreting* parser (where
+diagnostic assertions — code, message, hint — can be checked against
+:meth:`~repro.parsing.parser.Parser.parse_with_diagnostics`) and through
+the *generated-code* backend (accept/reject only, via the standalone
+module's ``accepts``).  A dialect disagreement between the two backends
+is itself a conformance failure, independent of what the case expected.
+
+With ``collect_coverage`` on, the interpreter runs instrumented and the
+per-dialect :class:`~repro.parsing.coverage.CoverageCollector`s are kept
+on the runner, so one corpus pass yields both the pass/fail verdicts and
+the coverage feeding :class:`~repro.conformance.report.CoverageReport`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .corpus import ConformanceCase, Corpus, load_corpus
+
+#: JSON schema version for conformance reports.
+CONFORMANCE_REPORT_VERSION = 1
+
+INTERPRETER = "interpreter"
+GENERATED = "generated"
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One case on one dialect through one backend."""
+
+    case: str
+    dialect: str
+    backend: str
+    expect: str
+    passed: bool
+    failures: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "dialect": self.dialect,
+            "backend": self.backend,
+            "expect": self.expect,
+            "passed": self.passed,
+            "failures": list(self.failures),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Every case result, plus the aggregate verdict."""
+
+    results: list[CaseResult] = field(default_factory=list)
+    dialects: tuple[str, ...] = ()
+    cases: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    def failed(self) -> list[CaseResult]:
+        return [result for result in self.results if not result.passed]
+
+    def counts(self) -> dict[str, int]:
+        failed = len(self.failed())
+        return {
+            "checks": len(self.results),
+            "passed": len(self.results) - failed,
+            "failed": failed,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "repro-conformance-report",
+            "version": CONFORMANCE_REPORT_VERSION,
+            "dialects": list(self.dialects),
+            "cases": self.cases,
+            **self.counts(),
+            "results": [result.as_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render(self, max_failures: int = 20) -> str:
+        counts = self.counts()
+        lines = [
+            f"conformance — {self.cases} cases × "
+            f"{len(self.dialects)} dialects: "
+            f"{counts['passed']}/{counts['checks']} checks passed"
+        ]
+        failures = self.failed()
+        for result in failures[:max_failures]:
+            lines.append(
+                f"  FAIL {result.case} [{result.dialect}/{result.backend}]"
+            )
+            for failure in result.failures:
+                lines.append(f"       {failure}")
+        if len(failures) > max_failures:
+            lines.append(f"  … +{len(failures) - max_failures} more failures")
+        return "\n".join(lines)
+
+
+class ConformanceRunner:
+    """Run a corpus against preset dialects, both backends.
+
+    Args:
+        corpus: The cases to run (defaults to the in-repo ``corpus/``).
+        dialects: Preset dialect names to drive (defaults to every
+            preset the corpus mentions, in preset order).
+        backends: Which backends to check; diagnostic assertions only
+            apply on the interpreter, the generated backend checks the
+            accept/reject boundary.
+        collect_coverage: Run the interpreter instrumented and keep the
+            per-dialect collectors on :attr:`collectors`.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus | None = None,
+        dialects: Sequence[str] | None = None,
+        backends: Iterable[str] = (INTERPRETER, GENERATED),
+        collect_coverage: bool = False,
+    ) -> None:
+        from ..sql import dialect_names
+
+        self.corpus = corpus if corpus is not None else load_corpus()
+        presets = dialect_names()
+        if dialects is None:
+            mentioned = set(self.corpus.dialects())
+            dialects = [name for name in presets if name in mentioned]
+        else:
+            unknown = [name for name in dialects if name not in presets]
+            if unknown:
+                raise ValueError(
+                    f"unknown dialects {unknown!r} "
+                    f"(presets: {', '.join(presets)})"
+                )
+        self.dialects = tuple(dialects)
+        self.backends = tuple(backends)
+        self.collect_coverage = collect_coverage
+        #: dialect -> ComposedProduct, populated by :meth:`run`.
+        self.products: dict[str, object] = {}
+        #: dialect -> compiled ParseProgram (coverage collectors are
+        #: keyed to these exact objects).
+        self.programs: dict[str, object] = {}
+        #: dialect -> CoverageCollector when ``collect_coverage``.
+        self.collectors: dict[str, object] = {}
+
+    def run(self) -> ConformanceReport:
+        report = ConformanceReport(
+            dialects=self.dialects, cases=len(self.corpus)
+        )
+        for dialect in self.dialects:
+            self._run_dialect(dialect, report)
+        return report
+
+    # -- per-dialect machinery ---------------------------------------------
+
+    def _run_dialect(self, dialect: str, report: ConformanceReport) -> None:
+        from ..parsing.codegen import load_generated_parser
+        from ..sql import build_dialect
+
+        product = build_dialect(dialect)
+        self.products[dialect] = product
+        program = product.program()
+        self.programs[dialect] = program
+        parser = product.parser(hints=True, program=program)
+        if self.collect_coverage:
+            self.collectors[dialect] = parser.enable_coverage()
+        module = None
+        if GENERATED in self.backends:
+            module = load_generated_parser(
+                product.generate_source(program=program),
+                module_name=f"conformance_{dialect}",
+            )
+        for case in self.corpus.for_dialect(dialect):
+            if INTERPRETER in self.backends:
+                report.results.append(
+                    self._check_interpreter(case, dialect, parser)
+                )
+            if module is not None:
+                report.results.append(
+                    self._check_generated(case, dialect, module)
+                )
+
+    @staticmethod
+    def _check_interpreter(
+        case: ConformanceCase, dialect: str, parser
+    ) -> CaseResult:
+        outcome = parser.parse_with_diagnostics(case.sql)
+        accepted = outcome.ok
+        failures: list[str] = []
+        if accepted != case.expects_accept:
+            if case.expects_accept:
+                first = next(
+                    (d for d in outcome.diagnostics.sorted() if d.is_error),
+                    None,
+                )
+                detail = f": {first.format()}" if first else ""
+                failures.append(f"expected accept, got rejection{detail}")
+            else:
+                failures.append("expected rejection, but the input parsed")
+        elif not case.expects_accept:
+            errors = [d for d in outcome.diagnostics if d.is_error]
+            codes = {d.code for d in errors}
+            if case.code is not None and case.code not in codes:
+                failures.append(
+                    f"expected code {case.code}, got {sorted(codes)}"
+                )
+            if case.message is not None and not any(
+                case.message in d.message for d in errors
+            ):
+                failures.append(
+                    f"no diagnostic message contains {case.message!r}"
+                )
+            if case.hint is not None and not any(
+                case.hint in hint for d in errors for hint in d.hints
+            ):
+                failures.append(f"no diagnostic hint contains {case.hint!r}")
+        return CaseResult(
+            case=case.name,
+            dialect=dialect,
+            backend=INTERPRETER,
+            expect=case.expect,
+            passed=not failures,
+            failures=tuple(failures),
+        )
+
+    @staticmethod
+    def _check_generated(
+        case: ConformanceCase, dialect: str, module
+    ) -> CaseResult:
+        accepted = module.accepts(case.sql)
+        failures: list[str] = []
+        if accepted != case.expects_accept:
+            failures.append(
+                f"generated parser {'accepted' if accepted else 'rejected'} "
+                f"but case expects {case.expect}"
+            )
+        return CaseResult(
+            case=case.name,
+            dialect=dialect,
+            backend=GENERATED,
+            expect=case.expect,
+            passed=not failures,
+            failures=tuple(failures),
+        )
+
+
+def run_conformance(
+    corpus: Corpus | None = None,
+    dialects: Sequence[str] | None = None,
+    collect_coverage: bool = False,
+) -> tuple[ConformanceReport, ConformanceRunner]:
+    """One-call convenience: build a runner, run it, return both."""
+    runner = ConformanceRunner(
+        corpus=corpus, dialects=dialects, collect_coverage=collect_coverage
+    )
+    return runner.run(), runner

@@ -45,6 +45,21 @@ class CompositionTrace:
     merged: list[tuple[str, str, str]] = field(default_factory=list)
     added_rules: list[str] = field(default_factory=list)
     removed_rules: list[str] = field(default_factory=list)
+    #: rule name -> unit (feature) that first contributed the rule; filled
+    #: when the composer is told which unit it is composing (``origin=``).
+    origins: dict[str, str] = field(default_factory=dict)
+    #: rule name -> every unit that added or refined the rule, in
+    #: composition order (the coverage report's per-feature rollup key).
+    contributors: dict[str, list[str]] = field(default_factory=dict)
+
+    def record_touch(self, rule_name: str, origin: str | None) -> None:
+        """Attribute one rule addition/refinement to a composing unit."""
+        if origin is None:
+            return
+        self.origins.setdefault(rule_name, origin)
+        touched = self.contributors.setdefault(rule_name, [])
+        if origin not in touched:
+            touched.append(origin)
 
     def summary(self) -> str:
         return (
@@ -297,8 +312,15 @@ class GrammarComposer:
         base: Grammar,
         extension: Grammar,
         trace: CompositionTrace | None = None,
+        origin: str | None = None,
     ) -> Grammar:
-        """Return a new grammar: ``base`` extended by ``extension``."""
+        """Return a new grammar: ``base`` extended by ``extension``.
+
+        ``origin`` names the feature unit the extension belongs to; when
+        given, every rule the extension adds or refines is attributed to
+        it in the trace's provenance maps (what lets coverage reports
+        say *which feature* an uncovered rule came from).
+        """
         trace = trace if trace is not None else CompositionTrace()
         result = base.copy()
         result.tokens = base.tokens.merge(extension.tokens)
@@ -307,10 +329,12 @@ class GrammarComposer:
                 self._check_order_for_new_rule(ext_rule)
                 result.add_rule(ext_rule.copy())
                 trace.added_rules.append(ext_rule.name)
+                trace.record_touch(ext_rule.name, origin)
                 continue
             target = result.rule(ext_rule.name)
             for alternative in ext_rule.alternatives:
                 self._merge_alternative(target, alternative, trace)
+            trace.record_touch(ext_rule.name, origin)
         if result.start is None:
             result.start = extension.start
         return result

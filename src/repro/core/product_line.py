@@ -89,6 +89,29 @@ class ComposedProduct:
             grammar=self.grammar,
         )
 
+    def rule_origins(self) -> dict[str, str]:
+        """Rule name -> feature that first contributed it (trace provenance).
+
+        Only rules present in the composed grammar are reported; rules a
+        later unit removed again do not appear.
+        """
+        return {
+            name: origin
+            for name, origin in self.trace.origins.items()
+            if self.grammar.has_rule(name)
+        }
+
+    def coverage_map(self, program=None):
+        """Instrumentation-point numbering for this product's parse program.
+
+        ``program`` reuses an already-compiled program (coverage point
+        ids are keyed by instruction identity, so the map must be built
+        over the *same* program object the instrumented parser drives).
+        """
+        from ..parsing.coverage import CoverageMap
+
+        return CoverageMap(program if program is not None else self.program())
+
     def generate_source(self, program=None) -> str:
         """Emit standalone Python parser source for this product.
 
@@ -224,7 +247,9 @@ class GrammarProductLine:
         grammar = Grammar(name)
         for u in sequence:
             if u.grammar is not None:
-                grammar = composer.compose(grammar, u.grammar, trace=trace)
+                grammar = composer.compose(
+                    grammar, u.grammar, trace=trace, origin=u.feature
+                )
             if u.removes:
                 grammar = composer.remove_rules(grammar, u.removes, trace=trace)
         grammar.name = name

@@ -6,6 +6,7 @@ Public API::
         GrammarAnalysis, LLTable, LLConflict,
         ParseProgram, compile_program,
         Parser, Node,
+        CoverageMap, CoverageCollector,
         ParserCodeGenerator, generate_parser_source, load_generated_parser,
     )
 """
@@ -16,6 +17,7 @@ from .codegen import (
     load_generated_parser,
     source_fingerprint,
 )
+from .coverage import CoverageCollector, CoverageMap
 from .first_follow import GrammarAnalysis
 from .ll1 import LLConflict, LLTable
 from .parser import Parser, ParseOutcome
@@ -29,6 +31,8 @@ from .sentences import SentenceGenerator, generate_sentences
 from .tree import Node
 
 __all__ = [
+    "CoverageCollector",
+    "CoverageMap",
     "GrammarAnalysis",
     "IR_VERSION",
     "LLConflict",

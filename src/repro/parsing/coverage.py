@@ -1,0 +1,315 @@
+"""Grammar coverage over the parse-program IR.
+
+The paper's composition pipeline promises that a product accepts
+*exactly* the selected feature set; this module supplies the measuring
+half of that promise.  A :class:`CoverageMap` walks a compiled
+:class:`~repro.parsing.program.ParseProgram` once and assigns a dense
+integer id to every observable decision the interpreter can make:
+
+* **rule entries** — one slot per interned rule id;
+* **CHOICE alternatives** — one slot per alternative of every CHOICE
+  instruction (the dispatch-table blocks, in declaration order);
+* **decision edges** — two edges (*taken*/*skipped*) per OPT, LOOP, and
+  SEPLOOP instruction.
+
+A :class:`CoverageCollector` is the matching bank of array counters:
+plain ``list[int]`` cells indexed by those ids, cheap enough to bump
+from the interpreter's hot loop, and mergeable across threads so a
+worker pool can count into private collectors and fold them together.
+
+The map keys instrumentation points by *instruction object identity*
+(``id(instr)``): program instruction tuples are built exactly once per
+program (both by the compiler and by the JSON decoder) and CHOICE
+dispatch tables share the very block objects the map enumerates, so an
+identity lookup is both correct and the cheapest possible key.
+
+Edge semantics (also documented in DESIGN.md):
+
+* ``OPT``: *taken* when the optional content parsed, *skipped* when the
+  guard rejected the lookahead or the attempt rolled back.
+* ``LOOP``: *taken* when more than ``min`` iterations ran (the
+  repetition was exercised beyond its floor), *skipped* when exactly
+  ``min`` ran.
+* ``SEPLOOP``: *taken* when at least two items parsed (the separator
+  continuation ran), *skipped* otherwise (zero or one item).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .program import (
+    OP_CALL,
+    OP_CHOICE,
+    OP_LOOP,
+    OP_MATCH,
+    OP_OPT,
+    OP_SEPLOOP,
+    OP_SEQ,
+    ParseProgram,
+)
+
+#: Decision-point kinds, in the order :data:`DecisionPoint.kind` uses.
+KIND_OPT = "opt"
+KIND_LOOP = "loop"
+KIND_SEPLOOP = "seploop"
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One CHOICE instruction: ``n_alts`` alternative slots from ``base``.
+
+    Attributes:
+        index: Dense id of this choice point.
+        rule_id: Interned id of the rule the instruction lives in.
+        label: Stable human-readable name (``rule/choice[k]``).
+        base: First slot in the collector's alternative-counter array.
+        firsts: FIRST set of each alternative — what a generator must
+            emit to steer the parser into that alternative.
+    """
+
+    index: int
+    rule_id: int
+    label: str
+    base: int
+    firsts: tuple[frozenset, ...]
+
+    @property
+    def n_alts(self) -> int:
+        return len(self.firsts)
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One OPT/LOOP/SEPLOOP instruction with a taken and a skipped edge."""
+
+    index: int
+    rule_id: int
+    kind: str
+    label: str
+    first: frozenset
+
+
+class CoverageMap:
+    """Dense instrumentation-point numbering for one parse program.
+
+    The map is immutable and derived deterministically from the program
+    (rules in interned order, instructions in execution order), so two
+    maps over equal programs number every point identically — which is
+    what makes serialized coverage comparable across processes.
+    """
+
+    __slots__ = (
+        "program",
+        "choices",
+        "decisions",
+        "n_alt_slots",
+        "slot_of_block",
+        "decision_of_instr",
+    )
+
+    def __init__(self, program: ParseProgram) -> None:
+        self.program = program
+        choices: list[ChoicePoint] = []
+        decisions: list[DecisionPoint] = []
+        slot_of_block: dict[int, int] = {}
+        decision_of_instr: dict[int, int] = {}
+        n_alt_slots = 0
+
+        def walk(instr, rule_id: int, rule_name: str) -> None:
+            nonlocal n_alt_slots
+            op = instr[0]
+            if op in (OP_MATCH, OP_CALL):
+                return
+            if op == OP_SEQ:
+                for item in instr[1]:
+                    walk(item, rule_id, rule_name)
+                return
+            if op == OP_CHOICE:
+                blocks, firsts = instr[4], instr[5]
+                point = ChoicePoint(
+                    index=len(choices),
+                    rule_id=rule_id,
+                    label=f"{rule_name}/choice[{len(choices)}]",
+                    base=n_alt_slots,
+                    firsts=tuple(firsts),
+                )
+                choices.append(point)
+                for offset, block in enumerate(blocks):
+                    slot_of_block[id(block)] = n_alt_slots + offset
+                n_alt_slots += len(blocks)
+                for block in blocks:
+                    walk(block, rule_id, rule_name)
+                return
+            if op == OP_OPT:
+                kind, first = KIND_OPT, instr[2]
+            elif op == OP_LOOP:
+                kind, first = KIND_LOOP, instr[2]
+            else:  # OP_SEPLOOP
+                kind, first = KIND_SEPLOOP, instr[3]
+            decision_of_instr[id(instr)] = len(decisions)
+            decisions.append(
+                DecisionPoint(
+                    index=len(decisions),
+                    rule_id=rule_id,
+                    kind=kind,
+                    label=f"{rule_name}/{kind}[{len(decisions)}]",
+                    first=first,
+                )
+            )
+            walk(instr[1], rule_id, rule_name)
+            if op == OP_SEPLOOP:
+                walk(instr[2], rule_id, rule_name)
+
+        for rule_id, body in enumerate(program.code):
+            walk(body, rule_id, program.rule_names[rule_id])
+
+        self.choices = tuple(choices)
+        self.decisions = tuple(decisions)
+        self.n_alt_slots = n_alt_slots
+        self.slot_of_block = slot_of_block
+        self.decision_of_instr = decision_of_instr
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def n_rules(self) -> int:
+        return len(self.program.rule_names)
+
+    def size(self) -> dict[str, int]:
+        return {
+            "rules": self.n_rules,
+            "choice_points": len(self.choices),
+            "alternative_slots": self.n_alt_slots,
+            "decision_points": len(self.decisions),
+            "edges": 2 * len(self.decisions),
+        }
+
+    def collector(self) -> "CoverageCollector":
+        return CoverageCollector(self)
+
+    def __repr__(self) -> str:
+        size = self.size()
+        return (
+            f"<CoverageMap {self.program.grammar_name!r}: "
+            f"{size['rules']} rules, {size['alternative_slots']} alt slots, "
+            f"{size['edges']} edges>"
+        )
+
+
+class CoverageCollector:
+    """Array counters for one :class:`CoverageMap`.
+
+    Counter cells are bumped lock-free from the interpreter (each parser
+    — and therefore each thread — owns its own collector); :meth:`merge`
+    is the synchronized rendezvous that folds a private collector into a
+    shared one.
+    """
+
+    __slots__ = ("map", "rules", "alts", "taken", "skipped", "_lock")
+
+    def __init__(self, coverage_map: CoverageMap) -> None:
+        self.map = coverage_map
+        self.rules = [0] * coverage_map.n_rules
+        self.alts = [0] * coverage_map.n_alt_slots
+        n_decisions = len(coverage_map.decisions)
+        self.taken = [0] * n_decisions
+        self.skipped = [0] * n_decisions
+        self._lock = threading.Lock()
+
+    # -- accumulation ------------------------------------------------------
+
+    def merge(self, other: "CoverageCollector") -> "CoverageCollector":
+        """Fold another collector's counts into this one (thread-safe).
+
+        Both collectors must be keyed by the same program; maps over
+        different programs number points differently, so merging them
+        would silently corrupt every counter.
+        """
+        if other.map.program is not self.map.program and (
+            other.map.program.fingerprint is None
+            or other.map.program.fingerprint != self.map.program.fingerprint
+        ):
+            raise ValueError(
+                "cannot merge coverage across different parse programs "
+                f"({other.map.program.grammar_name!r} into "
+                f"{self.map.program.grammar_name!r})"
+            )
+        with self._lock:
+            for array, incoming in (
+                (self.rules, other.rules),
+                (self.alts, other.alts),
+                (self.taken, other.taken),
+                (self.skipped, other.skipped),
+            ):
+                for index, value in enumerate(incoming):
+                    if value:
+                        array[index] += value
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            for array in (self.rules, self.alts, self.taken, self.skipped):
+                for index in range(len(array)):
+                    array[index] = 0
+
+    # -- coverage queries --------------------------------------------------
+
+    def rules_covered(self) -> int:
+        return sum(1 for count in self.rules if count)
+
+    def alts_covered(self) -> int:
+        return sum(1 for count in self.alts if count)
+
+    def edges_covered(self) -> int:
+        return sum(1 for count in self.taken if count) + sum(
+            1 for count in self.skipped if count
+        )
+
+    def counts(self) -> dict[str, tuple[int, int]]:
+        """``{dimension: (covered, total)}`` for the three dimensions."""
+        return {
+            "rules": (self.rules_covered(), len(self.rules)),
+            "alternatives": (self.alts_covered(), len(self.alts)),
+            "edges": (self.edges_covered(), 2 * len(self.taken)),
+        }
+
+    def score(self) -> int:
+        """Total distinct covered points — monotone under more parsing.
+
+        The guided generator's "coverage went dry" check compares this
+        before and after a round of inputs.
+        """
+        return self.rules_covered() + self.alts_covered() + self.edges_covered()
+
+    def uncovered_rules(self) -> list[str]:
+        names = self.map.program.rule_names
+        return [names[i] for i, count in enumerate(self.rules) if not count]
+
+    def uncovered_alternatives(self) -> list[tuple["ChoicePoint", int]]:
+        """Unselected ``(choice point, alternative index)`` pairs."""
+        missing: list[tuple[ChoicePoint, int]] = []
+        for point in self.map.choices:
+            for offset in range(point.n_alts):
+                if not self.alts[point.base + offset]:
+                    missing.append((point, offset))
+        return missing
+
+    def uncovered_edges(self) -> list[tuple["DecisionPoint", str]]:
+        """Unexercised ``(decision point, "taken"|"skipped")`` pairs."""
+        missing: list[tuple[DecisionPoint, str]] = []
+        for point in self.map.decisions:
+            if not self.taken[point.index]:
+                missing.append((point, "taken"))
+            if not self.skipped[point.index]:
+                missing.append((point, "skipped"))
+        return missing
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        parts = ", ".join(
+            f"{dim} {covered}/{total}"
+            for dim, (covered, total) in counts.items()
+        )
+        return f"<CoverageCollector {self.map.program.grammar_name!r}: {parts}>"

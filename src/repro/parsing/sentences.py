@@ -35,6 +35,27 @@ _PATTERN_SAMPLES: dict[str, list[str]] = {
 }
 
 
+def build_terminal_table(tokens) -> dict[str, list[str]]:
+    """Sample lexemes per terminal name for a grammar's token set.
+
+    Keywords and literal tokens print their fixed text; pattern tokens
+    draw from :data:`_PATTERN_SAMPLES`.  Shared by the grammar-walking
+    :class:`SentenceGenerator` and the program-walking coverage-guided
+    workload generator.
+    """
+    table: dict[str, list[str]] = {}
+    for definition in tokens:
+        if definition.skip:
+            continue
+        if definition.kind in ("keyword", "literal"):
+            table[definition.name] = [definition.pattern]
+        else:
+            samples = _PATTERN_SAMPLES.get(definition.name)
+            if samples:
+                table[definition.name] = samples
+    return table
+
+
 class SentenceGenerator:
     """Derives random sentences from a grammar.
 
@@ -69,19 +90,7 @@ class SentenceGenerator:
     # -- terminal text -----------------------------------------------------------
 
     def _build_terminal_table(self) -> dict[str, list[str]]:
-        table: dict[str, list[str]] = {}
-        for definition in self.grammar.tokens:
-            if definition.skip:
-                continue
-            if definition.kind == "keyword":
-                table[definition.name] = [definition.pattern]
-            elif definition.kind == "literal":
-                table[definition.name] = [definition.pattern]
-            else:
-                samples = _PATTERN_SAMPLES.get(definition.name)
-                if samples:
-                    table[definition.name] = samples
-        return table
+        return build_terminal_table(self.grammar.tokens)
 
     def _terminal(self, name: str) -> str:
         try:

@@ -74,6 +74,7 @@ class RegistryEntry:
         self._hint_provider = None
         self._hints_built = False
         self._program = None
+        self._coverage_map = None
         self._source: str | None = None
         self._module = None
 
@@ -170,6 +171,27 @@ class RegistryEntry:
         except OSError:
             pass  # the artifact cache is an optimization, never a failure
 
+    # -- coverage ----------------------------------------------------------
+
+    def coverage_map(self):
+        """The instrumentation-point numbering for this entry's program.
+
+        Built once and shared: every collector handed out by
+        :meth:`coverage_collector` is keyed to the same map (and so to
+        the same program object), which is what makes them mergeable.
+        """
+        if self._coverage_map is None:
+            with self._lock:
+                if self._coverage_map is None:
+                    from ..parsing.coverage import CoverageMap
+
+                    self._coverage_map = CoverageMap(self.program())
+        return self._coverage_map
+
+    def coverage_collector(self):
+        """A fresh collector over this entry's shared coverage map."""
+        return self.coverage_map().collector()
+
     # -- parsers -----------------------------------------------------------
 
     def parser(self, hints: bool = True) -> "Parser":
@@ -192,6 +214,22 @@ class RegistryEntry:
         if parser is None:
             parser = self.parser()
             self._tls.parser = parser
+        return parser
+
+    def thread_coverage_parser(self) -> "Parser":
+        """The calling thread's *instrumented* parser for this product.
+
+        Kept strictly separate from :meth:`thread_parser`: flipping a
+        parser in and out of coverage mode permanently de-optimizes that
+        instance's attribute storage on CPython 3.11+ (the ``__class__``
+        flip materializes the inline-values dict), so coverage requests
+        get their own per-thread parser and the plain one is never
+        touched.
+        """
+        parser = getattr(self._tls, "coverage_parser", None)
+        if parser is None:
+            parser = self.parser()
+            self._tls.coverage_parser = parser
         return parser
 
     # -- generated-code artifacts ------------------------------------------

@@ -183,12 +183,19 @@ class ParseService:
         start: str | None = None,
         max_errors: int | None = 25,
         max_steps: int | None = None,
+        coverage=None,
     ) -> ParseServiceResult:
         """Parse one text with the parser for one selection.
 
         A warm call (selection already cached) performs zero composition
         work: the fingerprint lookup finds the entry and the calling
         thread's cached parser runs immediately.
+
+        ``coverage`` accepts a
+        :class:`~repro.parsing.coverage.CoverageCollector` from the
+        entry's :meth:`~repro.service.registry.RegistryEntry.coverage_collector`;
+        what this parse exercised is merged into it.  Parsing without a
+        collector stays on the uninstrumented fast path.
         """
         from ..errors import ReproError
 
@@ -198,7 +205,7 @@ class ParseService:
             return _error_result(text, error)
         return self._parse_entry(
             entry, text, warm, start=start,
-            max_errors=max_errors, max_steps=max_steps,
+            max_errors=max_errors, max_steps=max_steps, coverage=coverage,
         )
 
     # -- batch requests -----------------------------------------------------
@@ -212,6 +219,7 @@ class ParseService:
         max_errors: int | None = 25,
         max_steps: int | None = None,
         timeout: float | None = None,
+        coverage=None,
     ) -> list[ParseServiceResult]:
         """Parse many texts against one selection, concurrently, in order.
 
@@ -221,6 +229,11 @@ class ParseService:
         ``timed_out`` result carrying an ``E0203`` diagnostic instead of
         blocking the batch forever (its worker still winds down on the
         parser's own fuel budget).
+
+        With a ``coverage`` collector, every worker counts into a
+        private per-parse collector and merges it in — the batch's
+        aggregate coverage accumulates correctly no matter how the texts
+        were spread over threads.
         """
         from ..errors import ReproError
 
@@ -234,13 +247,14 @@ class ParseService:
         if len(texts) == 1 or self.max_workers == 1:
             return [
                 self._parse_entry(entry, text, warm, start=start,
-                                  max_errors=max_errors, max_steps=max_steps)
+                                  max_errors=max_errors, max_steps=max_steps,
+                                  coverage=coverage)
                 for text in texts
             ]
         pool = self._ensure_pool()
         futures = [
             pool.submit(self._parse_entry, entry, text, True, start,
-                        max_errors, max_steps)
+                        max_errors, max_steps, coverage)
             for text in texts
         ]
         results = [
@@ -348,13 +362,30 @@ class ParseService:
         start: str | None = None,
         max_errors: int | None = 25,
         max_steps: int | None = None,
+        coverage=None,
     ) -> ParseServiceResult:
-        parser = entry.thread_parser()
+        private = None
+        if coverage is not None:
+            # count into a per-call private collector on the dedicated
+            # instrumented parser and merge at the end: the caller's
+            # collector may be shared across workers, and the plain
+            # thread parser must never be flipped into coverage mode
+            parser = entry.thread_coverage_parser()
+            private = entry.coverage_collector()
+            parser.enable_coverage(private)
+        else:
+            parser = entry.thread_parser()
         self.metrics.incr("parses")
-        with self.metrics.time("parse") as timer:
-            outcome = parser.parse_with_diagnostics(
-                text, start=start, max_errors=max_errors, max_steps=max_steps
-            )
+        try:
+            with self.metrics.time("parse") as timer:
+                outcome = parser.parse_with_diagnostics(
+                    text, start=start, max_errors=max_errors,
+                    max_steps=max_steps
+                )
+        finally:
+            if private is not None:
+                parser.disable_coverage()
+                coverage.merge(private)
         if outcome.diagnostics.has_errors:
             self.metrics.incr("parse_errors")
         return ParseServiceResult(

@@ -2,9 +2,18 @@
 
 Public API::
 
-    from repro.workloads import generate_workload, workload_dialects
+    from repro.workloads import (
+        generate_workload, workload_dialects,
+        CoverageGuidedGenerator, coverage_guided_workload,
+    )
 """
 
 from .generator import generate_workload, workload_dialects
+from .guided import CoverageGuidedGenerator, coverage_guided_workload
 
-__all__ = ["generate_workload", "workload_dialects"]
+__all__ = [
+    "CoverageGuidedGenerator",
+    "coverage_guided_workload",
+    "generate_workload",
+    "workload_dialects",
+]

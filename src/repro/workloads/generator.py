@@ -17,8 +17,30 @@ _SENSOR_COLUMNS = ["nodeid", "light", "temp", "accel", "mag", "roomno"]
 _REGIONS = ["'EU'", "'US'", "'APAC'"]
 
 
-def generate_workload(dialect: str, count: int = 100, seed: int = 42) -> list[str]:
-    """Generate ``count`` random queries valid in the given dialect."""
+def generate_workload(
+    dialect: str,
+    count: int = 100,
+    seed: int = 42,
+    mode: str = "plain",
+) -> list[str]:
+    """Generate ``count`` random queries valid in the given dialect.
+
+    ``mode="plain"`` (the default) draws from the hand-written templates
+    below — realistic query shapes for throughput benchmarks.
+    ``mode="coverage"`` composes the dialect and walks its parse program
+    biased toward uncovered grammar regions (see
+    :mod:`repro.workloads.guided`) — broader grammar reach at the price
+    of composing the product.  Both modes are deterministic per seed.
+    """
+    if mode == "coverage":
+        from ..sql import build_dialect
+        from .guided import coverage_guided_workload
+
+        return coverage_guided_workload(build_dialect(dialect), count, seed=seed)
+    if mode != "plain":
+        raise ValueError(
+            f"unknown workload mode {mode!r} (choose 'plain' or 'coverage')"
+        )
     try:
         generator = _GENERATORS[dialect.lower()]
     except KeyError:

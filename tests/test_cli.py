@@ -90,3 +90,95 @@ class TestCli:
         for line in out.splitlines():
             if line.strip():
                 assert parser.accepts(line), line[:120]
+
+
+class TestConformanceCli:
+    def test_conformance_single_dialect(self, capsys):
+        code, out, __ = run(capsys, "conformance", "--dialect", "scql")
+        assert code == 0
+        assert "checks passed" in out
+
+    def test_conformance_json(self, capsys):
+        import json
+
+        code, out, __ = run(capsys, "conformance", "--dialect", "scql", "--json")
+        assert code == 0
+        data = json.loads(out)
+        assert data["kind"] == "repro-conformance-report"
+        assert data["version"] == 1
+        assert data["failed"] == 0
+
+    def test_conformance_failure_exits_nonzero(self, capsys, tmp_path):
+        (tmp_path / "broken.case").write_text(
+            "case: wrong-expectation\n"
+            "dialects: scql\n"
+            "expect: reject\n"
+            "\n"
+            "SELECT a FROM t\n"
+        )
+        code, out, __ = run(
+            capsys, "conformance", "--corpus", str(tmp_path)
+        )
+        assert code == 1
+        assert "FAIL wrong-expectation" in out
+
+    def test_conformance_bad_corpus_reported(self, capsys, tmp_path):
+        code, __, err = run(
+            capsys, "conformance", "--corpus", str(tmp_path / "missing")
+        )
+        assert code == 1
+        assert "corpus" in err
+
+
+class TestCoverageCli:
+    def test_coverage_text_report(self, capsys):
+        code, out, __ = run(
+            capsys, "coverage", "--dialect", "tinysql", "--no-generate"
+        )
+        assert code == 0
+        assert "coverage — " in out
+        assert "overall:" in out
+
+    def test_coverage_json_report(self, capsys):
+        import json
+
+        code, out, __ = run(
+            capsys, "coverage", "--dialect", "tinysql", "--no-generate",
+            "--json",
+        )
+        assert code == 0
+        data = json.loads(out)
+        assert data["kind"] == "repro-coverage-report"
+        assert data["version"] == 1
+        assert [d["name"] for d in data["dialects"]]
+
+    def test_coverage_guided_generation_closes_gap(self, capsys):
+        """Without --no-generate the guided generator runs until dry and
+        lifts rule coverage to (near) the reachable maximum."""
+        code, out, __ = run(
+            capsys, "coverage", "--dialect", "scql", "--json",
+            "--fail-under", "95",
+        )
+        assert code == 0
+        import json
+
+        (scql,) = json.loads(out)["dialects"]
+        assert scql["rules"]["pct"] >= 95.0
+        # generated inputs were counted on top of the corpus cases
+        assert scql["inputs"] > 20
+
+    def test_gate_passes_at_threshold(self, capsys):
+        code, __, err = run(
+            capsys, "coverage", "--dialect", "tinysql", "--no-generate",
+            "--fail-under", "50",
+        )
+        assert code == 0
+        assert err == ""
+
+    def test_gate_fails_below_threshold(self, capsys):
+        code, __, err = run(
+            capsys, "coverage", "--dialect", "tinysql", "--no-generate",
+            "--fail-under", "99.5",
+        )
+        assert code == 1
+        assert "coverage gate failed" in err

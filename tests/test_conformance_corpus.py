@@ -1,0 +1,186 @@
+"""The ``*.case`` corpus format: parsing, resolution, and validation."""
+
+import pytest
+
+from repro.conformance import (
+    CorpusError,
+    load_corpus,
+    parse_case_file,
+)
+
+PRESETS = ["alpha", "beta", "gamma"]
+
+MINIMAL = """\
+case: one
+dialects: alpha
+expect: accept
+
+SELECT a FROM t
+"""
+
+
+def parse(text):
+    return parse_case_file(text, PRESETS, path="test.case")
+
+
+class TestParseCaseFile:
+    def test_minimal_accept_case(self):
+        (case,) = parse(MINIMAL)
+        assert case.name == "one"
+        assert case.dialects == ("alpha",)
+        assert case.expect == "accept"
+        assert case.expects_accept
+        assert case.sql == "SELECT a FROM t"
+        assert case.code is None and case.message is None and case.hint is None
+
+    def test_reject_case_with_assertions(self):
+        (case,) = parse(
+            "case: two\n"
+            "dialects: alpha beta\n"
+            "expect: reject\n"
+            "code: E0201\n"
+            "message: syntax error\n"
+            "hint: enable feature 'X'\n"
+            "\n"
+            "SELECT\n"
+        )
+        assert not case.expects_accept
+        assert case.code == "E0201"
+        assert case.message == "syntax error"
+        assert case.hint == "enable feature 'X'"
+
+    def test_multiline_sql_preserved(self):
+        (case,) = parse(
+            "case: multi\ndialects: alpha\nexpect: accept\n\n"
+            "SELECT a\nFROM t\nWHERE a = 1\n"
+        )
+        assert case.sql == "SELECT a\nFROM t\nWHERE a = 1"
+
+    def test_multiple_blocks_and_trailing_separator(self):
+        cases = parse(MINIMAL + "---\n" + MINIMAL.replace("one", "two") + "---\n")
+        assert [c.name for c in cases] == ["one", "two"]
+
+    def test_leading_comments_ignored(self):
+        cases = parse("# a comment\n# another\n" + MINIMAL)
+        assert cases[0].name == "one"
+
+    def test_star_selects_all_presets(self):
+        (case,) = parse(MINIMAL.replace("dialects: alpha", "dialects: *"))
+        assert case.dialects == tuple(PRESETS)
+
+    def test_star_with_exclusion(self):
+        (case,) = parse(MINIMAL.replace("dialects: alpha", "dialects: * !beta"))
+        assert case.dialects == ("alpha", "gamma")
+
+    def test_exclusion_without_star_rejected(self):
+        with pytest.raises(CorpusError, match="without '\\*'"):
+            parse(MINIMAL.replace("dialects: alpha", "dialects: alpha !beta"))
+
+    def test_star_excluding_everything_rejected(self):
+        with pytest.raises(CorpusError, match="empty dialect set"):
+            parse(
+                MINIMAL.replace(
+                    "dialects: alpha", "dialects: * !alpha !beta !gamma"
+                )
+            )
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(CorpusError, match="unknown dialect 'delta'"):
+            parse(MINIMAL.replace("dialects: alpha", "dialects: delta"))
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CorpusError, match="unknown case key"):
+            parse("case: x\ndialects: alpha\nexpect: accept\nbogus: y\n\nSQL\n")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(CorpusError, match="duplicate case key"):
+            parse("case: x\ncase: y\ndialects: alpha\nexpect: accept\n\nSQL\n")
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(CorpusError, match="without a 'case:' name"):
+            parse("dialects: alpha\nexpect: accept\n\nSQL\n")
+
+    def test_missing_dialects_rejected(self):
+        with pytest.raises(CorpusError, match="no 'dialects:'"):
+            parse("case: x\nexpect: accept\n\nSQL\n")
+
+    def test_bad_expect_rejected(self):
+        with pytest.raises(CorpusError, match="accept.*reject"):
+            parse("case: x\ndialects: alpha\nexpect: maybe\n\nSQL\n")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(CorpusError, match="empty SQL body"):
+            parse("case: x\ndialects: alpha\nexpect: accept\n\n\n")
+
+    def test_missing_body_rejected(self):
+        with pytest.raises(CorpusError, match="no SQL body"):
+            parse("case: x\ndialects: alpha\nexpect: accept\n")
+
+    def test_diagnostic_keys_on_accept_case_rejected(self):
+        with pytest.raises(CorpusError, match="only apply to rejections"):
+            parse(
+                "case: x\ndialects: alpha\nexpect: accept\ncode: E0201\n\nSQL\n"
+            )
+
+    def test_malformed_header_line_rejected(self):
+        with pytest.raises(CorpusError, match="malformed header"):
+            parse("case: x\nnot-a-header\n\nSQL\n")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(CorpusError, match="no cases"):
+            parse("# only a comment\n")
+
+
+class TestLoadCorpus:
+    def write(self, tmp_path, name, text):
+        (tmp_path / name).write_text(text)
+
+    def test_loads_sorted_files(self, tmp_path):
+        self.write(tmp_path, "b.case", MINIMAL.replace("one", "from-b"))
+        self.write(tmp_path, "a.case", MINIMAL.replace("one", "from-a"))
+        corpus = load_corpus(tmp_path, presets=PRESETS)
+        assert [c.name for c in corpus] == ["from-a", "from-b"]
+        assert len(corpus) == 2
+
+    def test_duplicate_names_across_files_rejected(self, tmp_path):
+        self.write(tmp_path, "a.case", MINIMAL)
+        self.write(tmp_path, "b.case", MINIMAL)
+        with pytest.raises(CorpusError, match="duplicate case name 'one'"):
+            load_corpus(tmp_path, presets=PRESETS)
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(CorpusError, match="not found"):
+            load_corpus(tmp_path / "nope", presets=PRESETS)
+
+    def test_directory_without_case_files_rejected(self, tmp_path):
+        (tmp_path / "readme.txt").write_text("not a case file")
+        with pytest.raises(CorpusError, match="no \\*\\.case files"):
+            load_corpus(tmp_path, presets=PRESETS)
+
+    def test_for_dialect_and_dialects(self, tmp_path):
+        self.write(
+            tmp_path,
+            "a.case",
+            MINIMAL
+            + "---\n"
+            + MINIMAL.replace("one", "two").replace(
+                "dialects: alpha", "dialects: beta"
+            ),
+        )
+        corpus = load_corpus(tmp_path, presets=PRESETS)
+        assert [c.name for c in corpus.for_dialect("alpha")] == ["one"]
+        assert [c.name for c in corpus.for_dialect("beta")] == ["two"]
+        assert corpus.dialects() == ["alpha", "beta"]
+
+
+class TestShippedCorpus:
+    def test_loads_against_real_presets(self):
+        corpus = load_corpus()
+        assert len(corpus) >= 30
+        names = [c.name for c in corpus]
+        assert len(names) == len(set(names))
+        # every preset dialect has both sides of the boundary covered
+        for dialect in ("scql", "tinysql", "core", "analytics", "full"):
+            cases = corpus.for_dialect(dialect)
+            expects = {c.expect for c in cases}
+            assert expects == {"accept", "reject"}, dialect
