@@ -17,6 +17,7 @@ composing these features."  This CLI is that interface, terminal-flavoured::
     python -m repro.cli stats --warm core        # parse-service cache metrics
     python -m repro.cli conformance --json       # corpus, both backends
     python -m repro.cli coverage --fail-under 90 # grammar-coverage gate
+    python -m repro.cli lint --baseline lint-baseline.txt  # static analysis
 
 Products are resolved through the process-wide fingerprint-keyed
 registry (:mod:`repro.service`): repeated commands against the same
@@ -269,6 +270,58 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis of preset dialects (or an explicit selection).
+
+    With no selection, every preset dialect is analyzed plus the pairwise
+    feature-interaction pass over the whole product line — the CI
+    ``lint-grammar`` entry point.
+    """
+    from .lint import Baseline, lint_products, lint_sql_dialects, render_baseline
+    from .sql.product_line import build_sql_product_line
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    if args.features:
+        product = _resolve_product(args)
+        report = lint_products(
+            [product],
+            line=build_sql_product_line(),
+            interactions=not args.no_interactions,
+            baseline=baseline,
+        )
+    else:
+        report = lint_sql_dialects(
+            args.dialect or None,
+            interactions=not args.no_interactions,
+            baseline=baseline,
+        )
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as handle:
+            handle.write(render_baseline(report.all_findings()))
+        print(f"wrote baseline: {args.write_baseline} "
+              f"({len(report.all_findings())} entries)")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    if baseline is not None:
+        for entry in baseline.unused_entries():
+            print(
+                f"note: baseline entry matched nothing and can be removed: "
+                f"{entry.pattern!r} (line {entry.line})",
+                file=sys.stderr,
+            )
+    if not report.gate(args.fail_on):
+        counts = report.counts()
+        print(
+            f"lint gate failed (--fail-on {args.fail_on}): "
+            f"{counts['error']} error(s), {counts['warning']} warning(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:
     service = _service(args)
     features = dialect_features(args.dialect)
@@ -379,6 +432,32 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="on-disk artifact cache for generated parser "
                             "source (see `.stats` inside the shell)")
     shell.set_defaults(fn=_cmd_shell)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of grammars and the product line",
+    )
+    lint.add_argument("features", nargs="*",
+                      help="lint one explicit feature selection instead of "
+                           "the preset dialects")
+    lint.add_argument("--dialect", action="append", choices=dialect_names(),
+                      metavar="DIALECT",
+                      help="restrict to a preset dialect (repeatable; "
+                           "default: all presets)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the versioned JSON report")
+    lint.add_argument("--fail-on", choices=("error", "warning"),
+                      default="error",
+                      help="exit 1 when findings at or above this grade "
+                           "remain (default: error)")
+    lint.add_argument("--baseline", metavar="FILE",
+                      help="suppression file of reviewed finding keys")
+    lint.add_argument("--write-baseline", metavar="FILE",
+                      help="seed FILE from the current (unsuppressed) "
+                           "findings and continue")
+    lint.add_argument("--no-interactions", action="store_true",
+                      help="skip the pairwise feature-interaction pass")
+    lint.set_defaults(fn=_cmd_lint)
 
     conformance = sub.add_parser(
         "conformance",

@@ -28,6 +28,37 @@ COVERAGE_REPORT_VERSION = 1
 UNATTRIBUTED = "<unattributed>"
 
 
+def report_envelope(kind: str, version: int, payload: dict) -> dict:
+    """Wrap a report payload in the shared ``kind``/``version`` envelope.
+
+    Every versioned JSON report this repo emits (coverage, conformance,
+    lint) leads with the same two discriminator fields so CI artifact
+    consumers can dispatch on ``kind`` and refuse layouts they predate.
+    """
+    return {"kind": kind, "version": version, **payload}
+
+
+def parse_report_envelope(text: str, kind: str, version: int) -> dict:
+    """Decode and validate one versioned report artifact.
+
+    Raises ``ValueError`` when ``text`` is not JSON, is not a report of
+    the expected ``kind``, or carries an incompatible ``version`` — the
+    same contract :meth:`repro.parsing.program.ParseProgram.from_json`
+    applies to IR artifacts.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a {kind} artifact: {error}") from None
+    if not isinstance(payload, dict) or payload.get("kind") != kind:
+        raise ValueError(f"not a {kind} artifact")
+    if payload.get("version") != version:
+        raise ValueError(
+            f"{kind} version {payload.get('version')!r} != {version}"
+        )
+    return payload
+
+
 @dataclass(frozen=True)
 class DimensionCount:
     """Covered-vs-total for one coverage dimension."""
@@ -299,15 +330,17 @@ class CoverageSuiteReport:
 
     def to_dict(self) -> dict:
         overall = self.overall()
-        return {
-            "kind": "repro-coverage-report",
-            "version": COVERAGE_REPORT_VERSION,
-            "dialects": [report.to_dict() for report in self.reports],
-            "overall": {
-                dimension: count.as_dict()
-                for dimension, count in overall.items()
+        return report_envelope(
+            "repro-coverage-report",
+            COVERAGE_REPORT_VERSION,
+            {
+                "dialects": [report.to_dict() for report in self.reports],
+                "overall": {
+                    dimension: count.as_dict()
+                    for dimension, count in overall.items()
+                },
             },
-        }
+        )
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -75,14 +75,18 @@ class ConformanceReport:
         }
 
     def to_dict(self) -> dict:
-        return {
-            "kind": "repro-conformance-report",
-            "version": CONFORMANCE_REPORT_VERSION,
-            "dialects": list(self.dialects),
-            "cases": self.cases,
-            **self.counts(),
-            "results": [result.as_dict() for result in self.results],
-        }
+        from .report import report_envelope
+
+        return report_envelope(
+            "repro-conformance-report",
+            CONFORMANCE_REPORT_VERSION,
+            {
+                "dialects": list(self.dialects),
+                "cases": self.cases,
+                **self.counts(),
+                "results": [result.as_dict() for result in self.results],
+            },
+        )
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -16,7 +16,8 @@ selected features.  A :class:`FeatureUnit` bundles:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from functools import lru_cache
+from typing import Iterable, Mapping
 
 from ..grammar.grammar import Grammar
 from ..grammar.reader import read_grammar
@@ -45,6 +46,60 @@ class FeatureUnit:
     def __repr__(self) -> str:
         rules = 0 if self.grammar is None else len(self.grammar)
         return f"<FeatureUnit {self.feature!r}: {rules} rules>"
+
+
+@dataclass(frozen=True)
+class UnitSignature:
+    """The composition-relevant surface of one feature unit.
+
+    A signature is everything another unit could *collide* with without
+    composing full grammars: the token definitions the unit contributes
+    (name -> ``(kind, pattern, priority, skip)``), the rule names it
+    defines or refines, the rules it removes, and its model-level
+    constraints.  The :mod:`repro.lint` pairwise interaction pass
+    compares signatures instead of products, which is what makes
+    checking every valid 2-feature combination affordable.
+    """
+
+    feature: str
+    tokens: Mapping[str, tuple[str, str, int, bool]]
+    rules: frozenset[str]
+    removes: frozenset[str]
+    requires: frozenset[str]
+    excludes: frozenset[str]
+
+    def token_conflicts(self, other: "UnitSignature") -> list[str]:
+        """Token names the two units define incompatibly."""
+        return sorted(
+            name
+            for name, shape in self.tokens.items()
+            if name in other.tokens and other.tokens[name] != shape
+        )
+
+
+@lru_cache(maxsize=None)
+def unit_signature(unit: FeatureUnit) -> UnitSignature:
+    """Compute (and cache per unit instance) a unit's signature.
+
+    Units are immutable and the SQL registry reuses the same objects
+    across product-line builds, so each signature is derived once per
+    process — the same caching contract as
+    :func:`repro.service.fingerprint.unit_digest`.
+    """
+    tokens: dict[str, tuple[str, str, int, bool]] = {
+        d.name: (d.kind, d.pattern, d.priority, d.skip) for d in unit.tokens
+    }
+    rules: frozenset[str] = frozenset(
+        unit.grammar.rule_names() if unit.grammar is not None else ()
+    )
+    return UnitSignature(
+        feature=unit.feature,
+        tokens=tokens,
+        rules=rules,
+        removes=frozenset(unit.removes),
+        requires=frozenset(unit.requires),
+        excludes=frozenset(unit.excludes),
+    )
 
 
 def unit(

@@ -97,6 +97,7 @@ PARSE_BUDGET_EXCEEDED = "E0202"  #: fuel/step budget exhausted (pathological inp
 PARSE_TIMEOUT = "E0203"         #: a parse-service request exceeded its deadline
 CONFIG_INVALID = "E0301"        #: feature selection violates the model
 COMPOSITION_ORDER = "E0302"     #: units composed in a forbidden order
+LINT_GATE_FAILED = "E0303"      #: composed product rejected by the lint gate
 GENERIC_ERROR = "E0000"         #: any ReproError without a more specific code
 TOO_MANY_ERRORS = "N0001"       #: note emitted when max_errors truncates
 

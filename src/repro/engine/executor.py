@@ -68,11 +68,11 @@ class Result:
             for index, cell in enumerate(row):
                 widths[index] = max(widths[index], len(cell))
         lines = [
-            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths)),
+            " | ".join(c.ljust(w) for c, w in zip(self.columns, widths, strict=True)),
             "-+-".join("-" * w for w in widths),
         ]
         for row in rendered:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=False)))
         lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
         return "\n".join(lines)
 
@@ -605,7 +605,7 @@ class Executor:
                     f"got {len(source_row)}"
                 )
             provided = {}
-            for name, value in zip(target_columns, source_row):
+            for name, value in zip(target_columns, source_row, strict=True):
                 column = table.column(name)
                 if evaluate:
                     if isinstance(value, ast.Default):
@@ -759,7 +759,7 @@ class Executor:
                 values_row = statement.not_matched_values.rows[0]
                 provided = {
                     name: self.evaluator.eval(expr, env)
-                    for name, expr in zip(insert_columns, values_row)
+                    for name, expr in zip(insert_columns, values_row, strict=False)
                 }
                 row = tuple(
                     provided.get(c.name, self._default_for(c)) for c in target.columns
@@ -894,7 +894,7 @@ def _dedupe(rows: list[tuple]) -> list[tuple]:
 def _dedupe_with(rows: list[tuple], companions: list) -> tuple[list[tuple], list]:
     seen = set()
     out_rows, out_companions = [], []
-    for row, companion in zip(rows, companions):
+    for row, companion in zip(rows, companions, strict=False):
         key = tuple(_hashable(v) for v in row)
         if key not in seen:
             seen.add(key)
@@ -909,7 +909,7 @@ def _hashable(value):
 
 def _sort_key(values: list, specs) -> tuple:
     key = []
-    for value, spec in zip(values, specs):
+    for value, spec in zip(values, specs, strict=False):
         descending = getattr(spec, "descending", False)
         nulls_last = getattr(spec, "nulls_last", None)
         if nulls_last is None:

@@ -127,7 +127,7 @@ class Table:
                 f"got {len(row)}"
             )
         checked = []
-        for column, value in zip(self.columns, row):
+        for column, value in zip(self.columns, row, strict=True):
             if value is None and column.not_null:
                 raise ExecutionError(
                     f"column {column.name!r} of {self.name!r} is NOT NULL"

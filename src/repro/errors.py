@@ -19,6 +19,7 @@ from .diagnostics.model import (
     COMPOSITION_ORDER,
     CONFIG_INVALID,
     GENERIC_ERROR,
+    LINT_GATE_FAILED,
     PARSE_BUDGET_EXCEEDED,
     PARSE_ERROR,
     SCAN_ERROR,
@@ -298,6 +299,23 @@ class CompositionOrderError(CompositionError):
 
 class ConstraintViolationError(CompositionError):
     """A requires/excludes constraint between features is violated."""
+
+
+class LintGateError(CompositionError):
+    """A composed product was rejected by the static-analysis gate.
+
+    Raised by a :class:`~repro.service.registry.ParserRegistry` built
+    with ``lint_gate=True`` when the :mod:`repro.lint` program passes
+    find error-grade defects (nullable loops, shadowed tokens) in a
+    freshly composed product.  Carries the findings so callers can
+    render them with full rule/feature provenance.
+    """
+
+    code = LINT_GATE_FAILED
+
+    def __init__(self, message: str, findings: tuple = ()) -> None:
+        super().__init__(message)
+        self.findings = tuple(findings)
 
 
 class EngineError(ReproError):

@@ -1,0 +1,121 @@
+"""Baseline (suppression) files for ``repro lint``.
+
+A baseline is the reviewed debt list: findings a human looked at and
+decided to live with.  The file is plain text, one pattern per line,
+matched against each finding's stable ``key`` (``CODE:target:anchor``).
+Patterns are simplified globs: ``*`` matches any run of characters,
+``?`` any single character, everything else is literal — in particular
+``[`` / ``]`` are ordinary characters, because anchors like
+``rule/choice[0][2]`` contain them::
+
+    # repro lint baseline — keep a comment on every entry
+    L0104:sql-core:query_expression/choice[0]   # backtracking resolves it
+    L0107:sql-*:DOLLAR                          # reserved for extensions
+    L0102:*                                     # blanket (discouraged)
+
+``#`` starts a comment (full-line or trailing); blank lines are ignored.
+Entries that never match anything are reported by
+:meth:`Baseline.unused_entries` so stale suppressions rot visibly, not
+silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from os import PathLike
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .report import Finding
+
+
+@lru_cache(maxsize=1024)
+def _compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile a baseline glob: ``*``/``?`` wildcards, all else literal.
+
+    Deliberately *not* :mod:`fnmatch`: finding keys contain ``[k]``
+    anchor indices, which fnmatch would misread as character classes.
+    """
+    escaped = re.escape(pattern).replace(r"\*", ".*").replace(r"\?", ".")
+    return re.compile(escaped + r"\Z")
+
+
+@dataclass
+class BaselineEntry:
+    """One suppression pattern plus its provenance in the file."""
+
+    pattern: str
+    comment: str = ""
+    line: int = 0
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, key: str) -> bool:
+        if _compile_pattern(self.pattern).match(key):
+            self.used = True
+            return True
+        return False
+
+
+class Baseline:
+    """A parsed baseline file."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+
+    @classmethod
+    def parse(cls, text: str) -> "Baseline":
+        entries = []
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            body, _, comment = raw.partition("#")
+            pattern = body.strip()
+            if not pattern:
+                continue
+            entries.append(
+                BaselineEntry(
+                    pattern=pattern, comment=comment.strip(), line=line_no
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | PathLike) -> "Baseline":
+        return cls.parse(Path(path).read_text())
+
+    def matches(self, finding: "Finding") -> bool:
+        """Does any entry suppress this finding?
+
+        Every entry is consulted (not just the first match) so *all*
+        entries covering a finding are marked used.
+        """
+        key = finding.key
+        hit = False
+        for entry in self.entries:
+            if entry.matches(key):
+                hit = True
+        return hit
+
+    def unused_entries(self) -> list[BaselineEntry]:
+        """Entries that matched nothing — candidates for deletion."""
+        return [entry for entry in self.entries if not entry.used]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def render_baseline(findings: Iterable["Finding"]) -> str:
+    """Seed a baseline file from current findings (``--write-baseline``).
+
+    Each entry is emitted with the finding's message as the trailing
+    comment, so the reviewed-debt requirement ("a comment per entry")
+    starts satisfied rather than empty.
+    """
+    lines = [
+        "# repro lint baseline — one pattern per line, matched against",
+        "# CODE:target:anchor keys; keep a comment on every entry.",
+    ]
+    for finding in findings:
+        lines.append(f"{finding.key}  # {finding.message}")
+    return "\n".join(lines) + "\n"

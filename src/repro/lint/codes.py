@@ -1,0 +1,118 @@
+"""The lint code registry: every finding the analyzer can emit.
+
+Codes follow the ``E``-code convention of :mod:`repro.diagnostics` but
+live in their own ``L01xx`` range: an ``E`` code is a runtime failure of
+one parse, an ``L`` code is a *static* defect of the grammar or product
+line itself, discovered before any input is parsed.  Program-level codes
+occupy ``L0101``–``L0107``; product-line (feature-interaction) codes
+start at ``L0120``.
+
+Every code carries a default :class:`~repro.diagnostics.model.Severity`:
+
+* **error** — the product misbehaves on some input (diverges, drops a
+  keyword); composition should refuse it.
+* **warning** — the grammar is suspicious but the ordered-backtracking
+  parser gives it a defined meaning (e.g. FIRST/FIRST overlaps).
+* **info** — hygiene findings (unused declarations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..diagnostics.model import Severity
+
+
+@dataclass(frozen=True, slots=True)
+class LintCode:
+    """One lint rule: stable code, slug, default severity, summary."""
+
+    code: str
+    name: str
+    severity: Severity
+    summary: str
+
+    def __str__(self) -> str:
+        return self.code
+
+
+def severity_label(severity: Severity) -> str:
+    """Lint-report label for a severity (``NOTE`` reads as ``info``)."""
+    return "info" if severity is Severity.NOTE else severity.label()
+
+
+def severity_from_label(label: str) -> Severity:
+    """Inverse of :func:`severity_label` (for JSON round-trips)."""
+    if label == "info":
+        return Severity.NOTE
+    if label == "warning":
+        return Severity.WARNING
+    return Severity.ERROR
+
+
+# -- program-level passes ------------------------------------------------------
+
+UNREACHABLE_RULE = LintCode(
+    "L0101", "unreachable-rule", Severity.WARNING,
+    "rule cannot be reached from the start rule",
+)
+DEAD_ALTERNATIVE = LintCode(
+    "L0102", "dead-choice-alternative", Severity.WARNING,
+    "every FIRST terminal of the alternative is claimed earlier",
+)
+NULLABLE_LOOP = LintCode(
+    "L0103", "nullable-loop", Severity.ERROR,
+    "repetition body can match the empty string (divergence risk)",
+)
+FIRST_FIRST_CONFLICT = LintCode(
+    "L0104", "first-first-conflict", Severity.WARNING,
+    "alternatives of one choice compete for a lookahead terminal",
+)
+FIRST_FOLLOW_CONFLICT = LintCode(
+    "L0105", "first-follow-conflict", Severity.WARNING,
+    "nullable rule whose FIRST and FOLLOW sets overlap",
+)
+SHADOWED_TOKEN = LintCode(
+    "L0106", "shadowed-token", Severity.ERROR,
+    "the scanner can never emit the token (masked by another pattern)",
+)
+UNUSED_TOKEN = LintCode(
+    "L0107", "unused-token", Severity.NOTE,
+    "token is declared but no grammar rule references it",
+)
+
+# -- product-line passes -------------------------------------------------------
+
+FEATURE_TOKEN_CONFLICT = LintCode(
+    "L0120", "feature-token-conflict", Severity.ERROR,
+    "two co-selectable features define one token incompatibly",
+)
+FEATURE_REMOVES_RULE = LintCode(
+    "L0121", "feature-removes-rule", Severity.WARNING,
+    "one feature removes a rule another co-selectable feature contributes",
+)
+
+#: Every registered code, by code string (the ``repro lint`` docs table).
+ALL_CODES: dict[str, LintCode] = {
+    c.code: c
+    for c in (
+        UNREACHABLE_RULE,
+        DEAD_ALTERNATIVE,
+        NULLABLE_LOOP,
+        FIRST_FIRST_CONFLICT,
+        FIRST_FOLLOW_CONFLICT,
+        SHADOWED_TOKEN,
+        UNUSED_TOKEN,
+        FEATURE_TOKEN_CONFLICT,
+        FEATURE_REMOVES_RULE,
+    )
+}
+
+
+def code_for(code: str) -> LintCode:
+    """Look up a registered code; unknown codes (newer reports read by
+    older tooling) degrade to a generic warning-grade stand-in."""
+    known = ALL_CODES.get(code)
+    if known is not None:
+        return known
+    return LintCode(code, "unknown", Severity.WARNING, "unknown lint code")

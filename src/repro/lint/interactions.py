@@ -1,0 +1,128 @@
+"""Product-line pass: pairwise feature-interaction analysis.
+
+The product line defines exponentially many products, so lint cannot
+compose them all.  Instead this pass checks every *valid 2-feature
+combination* — the classical pairwise-coverage cut of the configuration
+space — using per-unit :class:`~repro.core.unit.UnitSignature` summaries
+only.  No grammar is composed: two units interact badly exactly when
+their composition-relevant surfaces collide, and that surface (token
+definitions, rule names, removals) is visible from the signatures.
+
+A feature pair is *valid* (co-selectable) unless
+
+* a model-level ``Excludes`` constraint separates the two features,
+* a unit-level ``excludes`` does,
+* or the features are siblings in an ALTERNATIVE (XOR) group.
+
+Findings carry both features and the colliding unit elements, so the
+report reads "features A and B define token T incompatibly" with full
+provenance and without ever building product A+B.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.product_line import GrammarProductLine
+from ..core.unit import UnitSignature, unit_signature
+from ..features.constraints import Excludes
+from ..features.model import FeatureModel, GroupType
+from .codes import FEATURE_REMOVES_RULE, FEATURE_TOKEN_CONFLICT
+from .report import LINE_TARGET_PREFIX, Finding
+
+
+def excluded_pairs(model: FeatureModel) -> set[frozenset[str]]:
+    """Feature pairs the model itself rules out.
+
+    Covers cross-tree ``Excludes`` constraints and ALTERNATIVE-group
+    siblinghood (XOR children are never selected together).
+    """
+    pairs: set[frozenset[str]] = set()
+    for constraint in model.constraints:
+        if isinstance(constraint, Excludes):
+            pairs.add(frozenset((constraint.feature, constraint.excluded)))
+    for feature in model:
+        if feature.group is GroupType.ALTERNATIVE and len(feature.children) > 1:
+            names = [child.name for child in feature.children]
+            pairs.update(frozenset(p) for p in combinations(names, 2))
+    return pairs
+
+
+def pair_is_valid(
+    left: UnitSignature,
+    right: UnitSignature,
+    excluded: set[frozenset[str]],
+) -> bool:
+    """Can the two features appear in one valid configuration?"""
+    if frozenset((left.feature, right.feature)) in excluded:
+        return False
+    if right.feature in left.excludes or left.feature in right.excludes:
+        return False
+    return True
+
+
+def check_feature_interactions(
+    line: GrammarProductLine,
+) -> tuple[list[Finding], int]:
+    """L0120 / L0121 over all valid 2-feature combinations of ``line``.
+
+    Returns ``(findings, pairs_checked)`` where ``pairs_checked`` counts
+    the valid pairs actually examined.
+    """
+    target = f"{LINE_TARGET_PREFIX}{line.name}"
+    signatures = [unit_signature(u) for u in line.units()]
+    excluded = excluded_pairs(line.model)
+
+    findings: list[Finding] = []
+    pairs_checked = 0
+    for left, right in combinations(signatures, 2):
+        if not pair_is_valid(left, right, excluded):
+            continue
+        pairs_checked += 1
+        pair = f"{left.feature}+{right.feature}"
+        for token_name in left.token_conflicts(right):
+            findings.append(
+                Finding(
+                    code=FEATURE_TOKEN_CONFLICT,
+                    message=(
+                        f"features '{left.feature}' and '{right.feature}' "
+                        f"define token '{token_name}' incompatibly — any "
+                        "product selecting both fails token-merge"
+                    ),
+                    target=target,
+                    anchor=f"{pair}/{token_name}",
+                    feature=left.feature,
+                    detail={
+                        "features": [left.feature, right.feature],
+                        "token": token_name,
+                        "definitions": [
+                            list(left.tokens[token_name]),
+                            list(right.tokens[token_name]),
+                        ],
+                    },
+                )
+            )
+        for remover, contributor in ((left, right), (right, left)):
+            removed = sorted(remover.removes & contributor.rules)
+            for rule_name in removed:
+                findings.append(
+                    Finding(
+                        code=FEATURE_REMOVES_RULE,
+                        message=(
+                            f"feature '{remover.feature}' removes rule "
+                            f"'{rule_name}' that co-selectable feature "
+                            f"'{contributor.feature}' contributes — the "
+                            "outcome depends on composition order"
+                        ),
+                        target=target,
+                        anchor=f"{pair}/{rule_name}",
+                        rule=rule_name,
+                        feature=remover.feature,
+                        detail={
+                            "remover": remover.feature,
+                            "contributor": contributor.feature,
+                            "rule": rule_name,
+                        },
+                    )
+                )
+    return findings, pairs_checked

@@ -1,0 +1,276 @@
+"""Lint findings and the versioned ``repro-lint-report`` artifact.
+
+A :class:`Finding` is one static defect, carrying the
+:class:`~repro.lint.codes.LintCode`, the product (or product line) it was
+found in, the rule/feature provenance the PR-4 composition trace
+supplies, and a stable suppression ``key`` the baseline file matches
+against.  Findings convert to
+:class:`~repro.diagnostics.model.Diagnostic` objects, so every renderer
+that understands parse errors understands lint output too.
+
+:class:`AnalysisReport` aggregates per-target findings plus the
+product-line interaction pass and serializes as versioned JSON
+(``kind: repro-lint-report``, v1) through the same envelope plumbing the
+coverage and conformance reports use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from ..conformance.report import parse_report_envelope, report_envelope
+from ..diagnostics.model import Diagnostic, Severity
+from .codes import LintCode, code_for, severity_from_label, severity_label
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .baseline import Baseline
+
+#: JSON schema version of the lint report artifact.
+LINT_REPORT_VERSION = 1
+
+LINT_REPORT_KIND = "repro-lint-report"
+
+#: Target name used for product-line (pairwise interaction) findings.
+LINE_TARGET_PREFIX = "line:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    Attributes:
+        code: The lint rule that fired.
+        message: Human-readable, single-line description.
+        target: Product name (program-level passes) or
+            ``line:<product-line>`` (interaction pass).
+        anchor: Stable location within the target — a rule name, a
+            ``rule/choice[k]`` decision label, a token name, or a
+            ``FeatureA+FeatureB/token`` pair key.  Together with the code
+            and target it forms the suppression :attr:`key`.
+        rule: Grammar rule the finding is about, when one exists.
+        feature: Originating feature (composition-trace provenance for
+            rules; the contributing unit for token findings).
+        detail: Structured extras (terminal lists, pattern texts).
+        severity: Graded severity; defaults to the code's default.
+    """
+
+    code: LintCode
+    message: str
+    target: str
+    anchor: str
+    rule: str | None = None
+    feature: str | None = None
+    detail: Mapping[str, object] = field(default_factory=dict)
+    severity: Severity | None = None
+
+    @property
+    def graded(self) -> Severity:
+        return self.severity if self.severity is not None else self.code.severity
+
+    @property
+    def key(self) -> str:
+        """Stable identity the baseline file matches against."""
+        return f"{self.code.code}:{self.target}:{self.anchor}"
+
+    def to_diagnostic(self) -> Diagnostic:
+        """The finding as a standard positionless diagnostic."""
+        return Diagnostic(
+            message=f"{self.target}: {self.message}",
+            span=None,
+            severity=self.graded,
+            code=self.code.code,
+        )
+
+    def format(self) -> str:
+        """One text line, mirroring ``Diagnostic.format`` for lint codes."""
+        origin = f" [from feature {self.feature}]" if self.feature else ""
+        return (
+            f"{severity_label(self.graded)}[{self.code.code}] "
+            f"{self.target}: {self.message}{origin}"
+        )
+
+    def as_dict(self) -> dict:
+        payload: dict[str, object] = {
+            "code": self.code.code,
+            "severity": severity_label(self.graded),
+            "message": self.message,
+            "target": self.target,
+            "anchor": self.anchor,
+            "key": self.key,
+        }
+        if self.rule is not None:
+            payload["rule"] = self.rule
+        if self.feature is not None:
+            payload["feature"] = self.feature
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Finding":
+        code = code_for(str(payload["code"]))
+        return cls(
+            code=code,
+            message=str(payload["message"]),
+            target=str(payload["target"]),
+            anchor=str(payload.get("anchor", "")),
+            rule=payload.get("rule"),  # type: ignore[arg-type]
+            feature=payload.get("feature"),  # type: ignore[arg-type]
+            detail=dict(payload.get("detail", {})),  # type: ignore[arg-type]
+            severity=severity_from_label(str(payload["severity"])),
+        )
+
+
+@dataclass(frozen=True)
+class TargetReport:
+    """Findings of one analysis target (a product, or the line itself)."""
+
+    target: str
+    fingerprint: str | None
+    findings: tuple[Finding, ...]
+    #: Findings a baseline entry suppressed (kept out of gating and text
+    #: rendering but counted, so reports show what the baseline hides).
+    suppressed: int = 0
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for finding in self.findings:
+            counts[severity_label(finding.graded)] += 1
+        return counts
+
+    def as_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "fingerprint": self.fingerprint,
+            "counts": self.counts(),
+            "suppressed": self.suppressed,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TargetReport":
+        return cls(
+            target=str(payload["target"]),
+            fingerprint=payload.get("fingerprint"),  # type: ignore[arg-type]
+            findings=tuple(
+                Finding.from_dict(f) for f in payload.get("findings", ())  # type: ignore[union-attr]
+            ),
+            suppressed=int(payload.get("suppressed", 0)),  # type: ignore[arg-type]
+        )
+
+
+class AnalysisReport:
+    """The full output of one ``repro lint`` run."""
+
+    def __init__(
+        self,
+        targets: Iterable[TargetReport],
+        pairs_checked: int = 0,
+    ) -> None:
+        self.targets = list(targets)
+        #: Number of valid 2-feature combinations the interaction pass
+        #: examined (0 when the pass did not run).
+        self.pairs_checked = pairs_checked
+
+    # -- aggregation -------------------------------------------------------
+
+    def all_findings(self) -> list[Finding]:
+        return [f for target in self.targets for f in target.findings]
+
+    def counts(self) -> dict[str, int]:
+        counts = {"error": 0, "warning": 0, "info": 0}
+        for target in self.targets:
+            for label, n in target.counts().items():
+                counts[label] += n
+        return counts
+
+    def suppressed(self) -> int:
+        return sum(target.suppressed for target in self.targets)
+
+    def gate(self, fail_on: str = "error") -> bool:
+        """True when no finding is at or above the ``fail_on`` grade."""
+        counts = self.counts()
+        if counts["error"]:
+            return False
+        return not (fail_on == "warning" and counts["warning"])
+
+    def apply_baseline(self, baseline: "Baseline") -> "AnalysisReport":
+        """A copy with baseline-matched findings moved into ``suppressed``."""
+        filtered = []
+        for target in self.targets:
+            kept = tuple(
+                f for f in target.findings if not baseline.matches(f)
+            )
+            filtered.append(
+                replace(
+                    target,
+                    findings=kept,
+                    suppressed=target.suppressed
+                    + len(target.findings)
+                    - len(kept),
+                )
+            )
+        return AnalysisReport(filtered, pairs_checked=self.pairs_checked)
+
+    # -- rendering ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return report_envelope(
+            LINT_REPORT_KIND,
+            LINT_REPORT_VERSION,
+            {
+                "counts": self.counts(),
+                "suppressed": self.suppressed(),
+                "pairs_checked": self.pairs_checked,
+                "targets": [target.as_dict() for target in self.targets],
+            },
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnalysisReport":
+        payload = parse_report_envelope(
+            text, LINT_REPORT_KIND, LINT_REPORT_VERSION
+        )
+        return cls(
+            targets=[TargetReport.from_dict(t) for t in payload["targets"]],
+            pairs_checked=int(payload.get("pairs_checked", 0)),
+        )
+
+    def render(self, max_findings: int = 50) -> str:
+        lines = []
+        shown = 0
+        for target in self.targets:
+            counts = target.counts()
+            summary = ", ".join(
+                f"{n} {label}{'s' if n != 1 and label != 'info' else ''}"
+                for label, n in counts.items()
+                if n
+            )
+            suppressed = (
+                f" ({target.suppressed} baselined)" if target.suppressed else ""
+            )
+            lines.append(
+                f"lint — {target.target}: {summary or 'clean'}{suppressed}"
+            )
+            for finding in target.findings:
+                if shown >= max_findings:
+                    break
+                lines.append(f"  {finding.format()}")
+                shown += 1
+        remaining = len(self.all_findings()) - shown
+        if remaining > 0:
+            lines.append(f"  … +{remaining} more findings")
+        totals = self.counts()
+        overall = ", ".join(f"{n} {label}" for label, n in totals.items())
+        tail = f"overall: {overall}"
+        if self.pairs_checked:
+            tail += f"; {self.pairs_checked} feature pairs checked"
+        if self.suppressed():
+            tail += f"; {self.suppressed()} baselined"
+        lines.append(tail)
+        return "\n".join(lines)

@@ -264,13 +264,12 @@ class ParserCodeGenerator:
         master = "|".join(parts)
         skip = sorted(d.name for d in tokens if d.skip)
         keywords = tokens.keywords
-        lines = [
+        return [
             f"_MASTER = re.compile({master!r})",
             f"_SKIP = frozenset({skip!r})",
             f"_KEYWORDS = {keywords!r}",
             "_IDENT_RULES = ('IDENTIFIER',)",
         ]
-        return lines
 
     # -- emission helpers -----------------------------------------------------------
 

@@ -113,6 +113,20 @@ class GrammarAnalysis:
                 break
         return frozenset(result)
 
+    def first_follow_overlap(self, name: str) -> frozenset[str]:
+        """Terminals in both FIRST and FOLLOW of a *nullable* rule.
+
+        For non-nullable rules the overlap is harmless (the rule always
+        consumes input), so the empty set is returned; for nullable rules
+        a non-empty overlap is the classical FIRST/FOLLOW conflict the
+        :mod:`repro.lint` passes grade as L0105.
+        """
+        if not self.nullable.get(name, False):
+            return frozenset()
+        return self.first.get(name, frozenset()) & self.follow.get(
+            name, frozenset()
+        )
+
     # -- fixpoint computations ----------------------------------------------
 
     def _compute_nullable(self) -> None:

@@ -469,6 +469,101 @@ def compile_program(
     return _Compiler(grammar, analysis).compile(fingerprint)
 
 
+# -- static-analysis helpers ---------------------------------------------------
+
+
+def walk_instructions(instr):
+    """Yield ``instr`` and every nested instruction, execution order.
+
+    CHOICE yields its alternative blocks (declaration order); SEPLOOP
+    yields item before separator.  This is the traversal both the
+    coverage map and the :mod:`repro.lint` passes rely on.
+    """
+    yield instr
+    op = instr[0]
+    if op == OP_SEQ:
+        for item in instr[1]:
+            yield from walk_instructions(item)
+    elif op == OP_CHOICE:
+        for block in instr[4]:
+            yield from walk_instructions(block)
+    elif op in (OP_OPT, OP_LOOP):
+        yield from walk_instructions(instr[1])
+    elif op == OP_SEPLOOP:
+        yield from walk_instructions(instr[1])
+        yield from walk_instructions(instr[2])
+
+
+def called_rules(instr) -> frozenset[int]:
+    """Rule ids a compiled instruction tree can CALL into."""
+    return frozenset(
+        nested[1]
+        for nested in walk_instructions(instr)
+        if nested[0] == OP_CALL
+    )
+
+
+def reachable_rules(program: "ParseProgram") -> frozenset[int]:
+    """Rule ids reachable from the program's start rule via CALLs.
+
+    A program without a start rule reports every rule reachable — there
+    is no root to be unreachable *from*.
+    """
+    if program.start is None:
+        return frozenset(range(len(program.rule_names)))
+    seen = {program.start}
+    frontier = [program.start]
+    while frontier:
+        rid = frontier.pop()
+        for callee in called_rules(program.code[rid]):
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return frozenset(seen)
+
+
+def rule_nullability(program: "ParseProgram") -> tuple[bool, ...]:
+    """Per-rule "can derive epsilon" flags, recomputed from the program.
+
+    The IR does not persist the grammar analysis it was compiled from, so
+    consumers that only hold a deserialized program (the lint passes, a
+    cache-loaded service entry) re-derive nullability by fixpoint over
+    the instruction form.
+    """
+    nullable = [False] * len(program.rule_names)
+    changed = True
+    while changed:
+        changed = False
+        for rid, body in enumerate(program.code):
+            if not nullable[rid] and instruction_nullable(body, nullable):
+                nullable[rid] = True
+                changed = True
+    return tuple(nullable)
+
+
+def instruction_nullable(instr, rule_nullable) -> bool:
+    """Can an instruction tree match the empty token sequence?
+
+    ``rule_nullable`` maps rule id -> nullability for CALL instructions
+    (a sequence or list of bools, as produced by :func:`rule_nullability`).
+    """
+    op = instr[0]
+    if op == OP_MATCH:
+        return False
+    if op == OP_CALL:
+        return bool(rule_nullable[instr[1]])
+    if op == OP_SEQ:
+        return all(instruction_nullable(i, rule_nullable) for i in instr[1])
+    if op == OP_CHOICE:
+        return any(instruction_nullable(b, rule_nullable) for b in instr[4])
+    if op == OP_OPT:
+        return True
+    if op == OP_LOOP:
+        return instr[3] == 0 or instruction_nullable(instr[1], rule_nullable)
+    # OP_SEPLOOP: nullable when zero items are allowed or the item is nullable
+    return instr[5] == 0 or instruction_nullable(instr[1], rule_nullable)
+
+
 # -- listing / metrics helpers ------------------------------------------------
 
 

@@ -102,6 +102,8 @@ class ServiceMetrics:
         "parses",          # parse requests served
         "parse_errors",    # parses whose outcome carried error diagnostics
         "timeouts",        # batch requests that exceeded their deadline
+        "lint_checks",     # products analyzed by the registry lint gate
+        "lint_rejections",  # products the lint gate refused to serve
     )
 
     def __init__(self) -> None:
@@ -112,6 +114,7 @@ class ServiceMetrics:
             "compile": LatencyHistogram(),
             "ir_compile": LatencyHistogram(),
             "parse": LatencyHistogram(),
+            "lint": LatencyHistogram(),
         }
 
     # -- recording --------------------------------------------------------

@@ -321,6 +321,12 @@ class ParserRegistry:
         cache_dir: Optional directory for the on-disk generated-source
             artifact cache; ``None`` disables it.
         metrics: Shared metrics sink; a fresh one is created if omitted.
+        lint_gate: Refuse to serve products the :mod:`repro.lint` program
+            passes find error-grade defects in (nullable loops, shadowed
+            tokens).  The check runs once per composition, inside the
+            single-flight build lock, and a rejected product is never
+            cached — every request for the selection fails with
+            :class:`~repro.errors.LintGateError` (code E0303).
     """
 
     def __init__(
@@ -329,6 +335,7 @@ class ParserRegistry:
         capacity: int = DEFAULT_CAPACITY,
         cache_dir: str | os.PathLike | None = None,
         metrics: ServiceMetrics | None = None,
+        lint_gate: bool = False,
     ) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be >= 1")
@@ -336,6 +343,7 @@ class ParserRegistry:
         self.capacity = capacity
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.lint_gate = lint_gate
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._building: dict[str, threading.Lock] = {}
@@ -400,6 +408,8 @@ class ParserRegistry:
                 product = self.line.compose_product(
                     config, strict_order=strict_order, fingerprint=fp
                 )
+            if self.lint_gate:
+                self._check_lint_gate(product)
             entry = RegistryEntry(product, self.metrics, cache_dir=self.cache_dir)
             with self._lock:
                 self._entries[fp.digest] = entry
@@ -409,6 +419,27 @@ class ParserRegistry:
                     self.metrics.incr("evictions")
                 self._building.pop(fp.digest, None)
             return entry, False
+
+    def _check_lint_gate(self, product: ComposedProduct) -> None:
+        """Reject a freshly composed product with error-grade lint findings."""
+        from ..diagnostics.model import Severity
+        from ..errors import LintGateError
+        from ..lint.analyzer import analyze_product
+
+        self.metrics.incr("lint_checks")
+        with self.metrics.time("lint"):
+            target = analyze_product(product)
+        errors = [
+            f for f in target.findings if f.graded is Severity.ERROR
+        ]
+        if errors:
+            self.metrics.incr("lint_rejections")
+            details = "; ".join(f.format() for f in errors[:5])
+            raise LintGateError(
+                f"product {product.name!r} rejected by the lint gate: "
+                f"{len(errors)} error-grade finding(s) — {details}",
+                findings=tuple(errors),
+            )
 
     def _lookup(self, fp: Fingerprint) -> RegistryEntry | None:
         with self._lock:

@@ -259,7 +259,7 @@ class ParseService:
         ]
         results = [
             self._collect(future, text, entry.fingerprint, timeout, True)
-            for future, text in zip(futures, texts)
+            for future, text in zip(futures, texts, strict=True)
         ]
         if results:
             # the batch's first result reports whether the *batch* was warm
@@ -286,7 +286,7 @@ class ParseService:
                 future, req.text, None,
                 req.timeout if req.timeout is not None else timeout, False,
             )
-            for future, req in zip(futures, requests)
+            for future, req in zip(futures, requests, strict=True)
         ]
 
     # -- metrics ------------------------------------------------------------

@@ -9,7 +9,7 @@ from __future__ import annotations
 from ...core.unit import unit
 from ...features.model import mandatory, optional
 from ..registry import FeatureDiagram, SqlRegistry
-from ..tokens import IDENTIFIER_TOKENS
+from ..tokens import DOT_TOKEN, IDENTIFIER_TOKENS
 
 
 def register(registry: SqlRegistry) -> None:
@@ -42,6 +42,7 @@ def register(registry: SqlRegistry) -> None:
         unit(
             "QualifiedNames",
             "identifier_chain : identifier (DOT identifier)* ;",
+            tokens=[DOT_TOKEN],
             description="Upgrades identifier chains to dotted paths "
             "(the sublist-to-complex-list composition).",
         ),

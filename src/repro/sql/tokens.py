@@ -26,10 +26,14 @@ CORE_PUNCTUATION: list[TokenDef] = [
     literal("LPAREN", "("),
     literal("RPAREN", ")"),
     literal("COMMA", ","),
-    literal("DOT", "."),
     literal("SEMICOLON", ";"),
     literal("ASTERISK", "*"),
 ]
+
+#: The dotted-path separator.  Not part of :func:`base_tokens`: only the
+#: QualifiedNames unit references it, and a dialect without qualified
+#: names should not scan ``.`` at all (lint L0107).
+DOT_TOKEN: TokenDef = literal("DOT", ".")
 
 #: Numeric literal patterns; approximate > decimal > integer precedence.
 NUMERIC_LITERAL_TOKENS: list[TokenDef] = [
@@ -73,5 +77,11 @@ CONCAT_TOKENS: list[TokenDef] = [
 
 
 def base_tokens() -> list[TokenDef]:
-    """The token file of the product-line root: skip + identifiers + core."""
-    return SKIP_TOKENS + IDENTIFIER_TOKENS + CORE_PUNCTUATION
+    """The token file of the product-line root: skip + identifiers + core.
+
+    Only the *regular* identifier pattern is part of the root;
+    QUOTED_IDENTIFIER belongs to the DelimitedIdentifiers unit and DOT to
+    QualifiedNames, so dialects without those features do not scan them
+    (lint L0107: every declared token must be referenced).
+    """
+    return SKIP_TOKENS + [IDENTIFIER_TOKENS[0]] + CORE_PUNCTUATION

@@ -224,7 +224,7 @@ class CoverageGuidedGenerator:
         if self._exhausted(depth):
             costs = [self._instr_cost(b, self._rule_cost) for b in blocks]
             cheapest = min(costs)
-            pool = [b for b, c in zip(blocks, costs) if c == cheapest]
+            pool = [b for b, c in zip(blocks, costs, strict=True) if c == cheapest]
             return self.rng.choice(pool)
         alts = self.collector.alts
         picked = self._picked

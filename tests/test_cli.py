@@ -182,3 +182,103 @@ class TestCoverageCli:
         )
         assert code == 1
         assert "coverage gate failed" in err
+
+
+class TestLintCommand:
+    BASELINE = "lint-baseline.txt"
+
+    def baseline_path(self):
+        from pathlib import Path
+
+        return str(Path(__file__).resolve().parent.parent / self.BASELINE)
+
+    def test_clean_dialect_exits_zero(self, capsys):
+        code, out, err = run(capsys, "lint", "--dialect", "scql")
+        assert code == 0
+        assert "lint — sql-scql: clean" in out
+        assert err == ""
+
+    def test_warnings_pass_default_gate(self, capsys):
+        code, out, __ = run(capsys, "lint", "--dialect", "tinysql")
+        assert code == 0
+        assert "warning[" in out
+
+    def test_fail_on_warning_exits_one(self, capsys):
+        code, __, err = run(
+            capsys, "lint", "--dialect", "tinysql", "--fail-on", "warning",
+        )
+        assert code == 1
+        assert "lint gate failed (--fail-on warning)" in err
+
+    def test_json_report_round_trips(self, capsys):
+        from repro.lint import AnalysisReport
+
+        code, out, __ = run(
+            capsys, "lint", "--dialect", "scql", "--dialect", "tinysql",
+            "--json",
+        )
+        assert code == 0
+        report = AnalysisReport.from_json(out)
+        targets = [t.target for t in report.targets]
+        assert "sql-scql" in targets and "sql-tinysql" in targets
+        assert "line:sql2003" in targets  # interaction pass included
+        assert report.pairs_checked > 0
+
+    def test_repo_baseline_makes_warning_gate_pass(self, capsys):
+        code, __, err = run(
+            capsys, "lint", "--fail-on", "warning",
+            "--baseline", self.baseline_path(),
+        )
+        assert code == 0
+        assert "matched nothing" not in err
+
+    def test_unused_baseline_entry_noted(self, capsys, tmp_path):
+        stale = tmp_path / "baseline.txt"
+        stale.write_text("L0199:never:anything  # stale\n")
+        code, __, err = run(
+            capsys, "lint", "--dialect", "scql", "--baseline", str(stale),
+        )
+        assert code == 0
+        assert "matched nothing" in err
+
+    def test_write_baseline_suppresses_itself(self, capsys, tmp_path):
+        from repro.lint import Baseline
+
+        written = tmp_path / "seed.txt"
+        code, out, __ = run(
+            capsys, "lint", "--dialect", "tinysql", "--write-baseline",
+            str(written),
+        )
+        assert code == 0
+        assert "wrote baseline" in out
+        baseline = Baseline.load(written)
+        code, __, err = run(
+            capsys, "lint", "--dialect", "tinysql", "--fail-on", "warning",
+            "--baseline", str(written),
+        )
+        assert code == 0
+        assert len(baseline) > 0
+
+    def test_no_interactions_skips_line_target(self, capsys):
+        from repro.lint import AnalysisReport
+
+        code, out, __ = run(
+            capsys, "lint", "--dialect", "scql", "--json",
+            "--no-interactions",
+        )
+        assert code == 0
+        report = AnalysisReport.from_json(out)
+        assert [t.target for t in report.targets] == ["sql-scql"]
+        assert report.pairs_checked == 0
+
+    def test_explicit_feature_selection(self, capsys):
+        from repro.lint import AnalysisReport
+
+        code, out, __ = run(
+            capsys, "lint", "QuerySpecification", "--json",
+            "--no-interactions",
+        )
+        assert code == 0
+        report = AnalysisReport.from_json(out)
+        assert len(report.targets) == 1
+        assert report.targets[0].target.startswith("sql2003@")
