@@ -201,6 +201,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Service health: breaker states, degradation counters, queue, timeouts."""
+    import json as _json
+
+    service = _service(args)
+    for dialect in args.warm or []:
+        entry, warm = service.registry.acquire(dialect_features(dialect))
+        state = "warm" if warm else "cold"
+        print(f"warmed dialect {dialect!r} ({state}): {entry.product.name}")
+    health = service.health()
+    if args.json:
+        print(_json.dumps(health, indent=2, sort_keys=True))
+    else:
+        print(service.render_health())
+    return 0 if health["status"] == "ok" else 1
+
+
 def _cmd_conformance(args: argparse.Namespace) -> int:
     """Run the conformance corpus: every case, both backends."""
     from .conformance import ConformanceRunner, load_corpus
@@ -506,6 +523,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     stats.add_argument("--cache", metavar="DIR",
                        help="on-disk artifact cache directory")
     stats.set_defaults(fn=_cmd_stats)
+
+    health = sub.add_parser(
+        "health",
+        help="parse-service health: breakers, degradation, queue "
+             "(exit 0 iff status is ok)",
+    )
+    health.add_argument("--json", action="store_true",
+                        help="emit the machine-readable health payload")
+    health.add_argument("--warm", action="append", choices=dialect_names(),
+                        metavar="DIALECT",
+                        help="compose a preset dialect first (repeatable)")
+    health.add_argument("--cache", metavar="DIR",
+                        help="on-disk artifact cache directory")
+    health.set_defaults(fn=_cmd_health)
 
     return parser
 

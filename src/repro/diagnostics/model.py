@@ -95,9 +95,11 @@ SCAN_ERROR = "E0101"            #: unmatchable characters in the input
 PARSE_ERROR = "E0201"           #: token stream rejected by the grammar
 PARSE_BUDGET_EXCEEDED = "E0202"  #: fuel/step budget exhausted (pathological input)
 PARSE_TIMEOUT = "E0203"         #: a parse-service request exceeded its deadline
+SERVICE_OVERLOADED = "E0204"    #: request shed by service admission control
 CONFIG_INVALID = "E0301"        #: feature selection violates the model
 COMPOSITION_ORDER = "E0302"     #: units composed in a forbidden order
 LINT_GATE_FAILED = "E0303"      #: composed product rejected by the lint gate
+CIRCUIT_OPEN = "E0304"          #: fingerprint failing fast (circuit breaker open)
 GENERIC_ERROR = "E0000"         #: any ReproError without a more specific code
 TOO_MANY_ERRORS = "N0001"       #: note emitted when max_errors truncates
 

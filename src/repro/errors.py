@@ -16,13 +16,16 @@ Message formats are unchanged from earlier releases.
 from __future__ import annotations
 
 from .diagnostics.model import (
+    CIRCUIT_OPEN,
     COMPOSITION_ORDER,
     CONFIG_INVALID,
     GENERIC_ERROR,
     LINT_GATE_FAILED,
     PARSE_BUDGET_EXCEEDED,
     PARSE_ERROR,
+    PARSE_TIMEOUT,
     SCAN_ERROR,
+    SERVICE_OVERLOADED,
     Diagnostic,
     Severity,
     Span,
@@ -195,6 +198,35 @@ class ParseBudgetExceeded(ParseError):
         self.steps = steps
 
 
+class ParseDeadlineExceeded(ParseBudgetExceeded):
+    """A cooperative deadline check fired inside the parse driver.
+
+    Subclasses :class:`ParseBudgetExceeded` so every existing handler
+    (``accepts``, the recovery loop, the service's outcome mapping)
+    already treats a deadline abort as a clean bounded rejection — but
+    with the service-timeout code so callers can tell "input was
+    pathological" (E0202) apart from "request ran out of time" (E0203).
+    """
+
+    code = PARSE_TIMEOUT
+
+
+class ServiceOverloadedError(ReproError):
+    """The parse service shed this request at admission.
+
+    Raised (and immediately converted to an E0204 diagnostic) when the
+    bounded request queue is full; callers should back off and retry.
+    """
+
+    code = SERVICE_OVERLOADED
+
+    def __init__(self, message: str, in_flight: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.in_flight = in_flight
+        self.limit = limit
+        self.hints = ("the service is at capacity; retry with backoff",)
+
+
 class FeatureModelError(ReproError):
     """Base class for feature-model construction errors."""
 
@@ -316,6 +348,28 @@ class LintGateError(CompositionError):
     def __init__(self, message: str, findings: tuple = ()) -> None:
         super().__init__(message)
         self.findings = tuple(findings)
+
+
+class CircuitOpenError(CompositionError):
+    """A fingerprint's circuit breaker is open: failing fast.
+
+    After ``threshold`` consecutive composition/lint-gate failures for
+    the same fingerprint, the registry stops re-running the expensive
+    pipeline and raises this instead until the cooldown elapses.
+    """
+
+    code = CIRCUIT_OPEN
+
+    def __init__(
+        self, message: str, fingerprint: str = "", retry_after: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.retry_after = retry_after
+        self.hints = (
+            f"circuit breaker cools down in {retry_after:.1f}s; "
+            "fix the underlying composition failure or wait",
+        )
 
 
 class EngineError(ReproError):

@@ -37,7 +37,12 @@ from ..diagnostics.model import (
     Severity,
     Span,
 )
-from ..errors import LLConflictError, ParseBudgetExceeded, ParseError
+from ..errors import (
+    LLConflictError,
+    ParseBudgetExceeded,
+    ParseDeadlineExceeded,
+    ParseError,
+)
 from ..grammar.grammar import Grammar
 from ..grammar.validate import validate
 from ..lexer.scanner import Scanner
@@ -68,6 +73,13 @@ DEFAULT_STEP_FLOOR = 20_000
 
 #: Backwards-compatible alias; the canonical definition lives with the IR.
 _CONSUMABLE_SYNC = CONSUMABLE_SYNC
+
+#: How often (in interpreter steps) the driver consults a propagated
+#: wall-clock deadline.  Checks piggyback on the fuel counter with a
+#: power-of-two mask, so the hot path pays one extra AND + branch per
+#: step; at >1M steps/s a timed-out parse aborts within ~1 ms.
+DEADLINE_CHECK_INTERVAL = 1024
+_DEADLINE_MASK = DEADLINE_CHECK_INTERVAL - 1
 
 #: Maximum simultaneous rule activations.  Kept well under Python's own
 #: recursion limit (each activation costs a handful of interpreter
@@ -185,6 +197,7 @@ class Parser:
         self._steps = 0
         self._depth = 0
         self._budget: int | None = None
+        self._deadline = None
 
     # -- shared compiled artifacts (lazy: a program-driven parser does not
     # -- need them unless a caller asks for conflict metrics or FIRST sets)
@@ -217,11 +230,17 @@ class Parser:
         tokens: list[Token],
         start: str | None = None,
         max_steps: int | None = None,
+        deadline=None,
     ) -> Node:
         """Parse an already-scanned token list (must end with EOF).
 
         ``max_steps`` overrides the parser-level fuel budget for this
         call; exceeding it raises :class:`~repro.errors.ParseBudgetExceeded`.
+        ``deadline`` is an optional
+        :class:`~repro.resilience.deadline.Deadline`; the driver checks it
+        every :data:`DEADLINE_CHECK_INTERVAL` steps and aborts with
+        :class:`~repro.errors.ParseDeadlineExceeded` (E0203) once expired,
+        so a timed-out service request releases its worker promptly.
         """
         rule_id = self._start_rule_id(start)
         self._tokens = tokens
@@ -231,6 +250,13 @@ class Parser:
         self._steps = 0
         self._depth = 0
         self._budget = max_steps if max_steps is not None else self.max_steps
+        if deadline is not None and self._budget is None:
+            # deadline checks piggyback on the fuel counter; give the
+            # counter the input-scaled default so it actually runs
+            self._budget = (
+                DEFAULT_STEPS_PER_TOKEN * len(tokens) + DEFAULT_STEP_FLOOR
+            )
+        self._deadline = deadline
         try:
             node = self._call_rule(rule_id)
             if not self._tokens[self._index].is_eof:
@@ -240,6 +266,7 @@ class Parser:
             raise self._build_error() from None
         finally:
             self._budget = None
+            self._deadline = None
 
     def parse_with_diagnostics(
         self,
@@ -247,6 +274,7 @@ class Parser:
         start: str | None = None,
         max_errors: int | None = 25,
         max_steps: int | None = None,
+        deadline=None,
     ) -> ParseOutcome:
         """Resilient one-pass parse: partial tree plus *every* diagnostic.
 
@@ -272,6 +300,9 @@ class Parser:
                 and report garbage as accepted).
             max_steps: Fuel override; defaults to
                 ``DEFAULT_STEPS_PER_TOKEN * tokens + DEFAULT_STEP_FLOOR``.
+            deadline: Optional propagated
+                :class:`~repro.resilience.deadline.Deadline`; expiry
+                surfaces as an E0203 diagnostic, not an exception.
         """
         if max_errors is not None and max_errors < 1:
             max_errors = 1
@@ -298,6 +329,7 @@ class Parser:
         if max_steps is None:
             max_steps = DEFAULT_STEPS_PER_TOKEN * len(tokens) + DEFAULT_STEP_FLOOR
         self._budget = max_steps
+        self._deadline = deadline
 
         root = Node(start_rule)
         coverage = self._coverage
@@ -349,6 +381,7 @@ class Parser:
             bag.add(exceeded.to_diagnostic())
         finally:
             self._budget = None
+            self._deadline = None
         if bag.full() and not self._current.is_eof:
             bag.truncated = True
         if bag.truncated:
@@ -508,6 +541,16 @@ class Parser:
             steps=self._steps,
         )
 
+    def _deadline_exceeded(self) -> ParseDeadlineExceeded:
+        token = self._tokens[min(self._index, len(self._tokens) - 1)]
+        return ParseDeadlineExceeded(
+            f"parse aborted: request deadline expired after {self._steps} "
+            f"steps (near {token.type})",
+            line=token.line,
+            column=token.column,
+            steps=self._steps,
+        )
+
     def _call_rule(self, rule_id: int) -> Node:
         self._depth += 1
         if self._depth > self.max_depth:
@@ -530,9 +573,16 @@ class Parser:
     def _exec(self, instr, children: list) -> None:
         """Execute one tuple-encoded instruction against the token stream."""
         if self._budget is not None:
-            self._steps += 1
-            if self._steps > self._budget:
+            steps = self._steps + 1
+            self._steps = steps
+            if steps > self._budget:
                 raise self._budget_exceeded()
+            # mask test first: the deadline attributes are only touched
+            # once per check interval, keeping the hot path branch-cheap
+            if not (steps & _DEADLINE_MASK) and (
+                self._deadline is not None and self._deadline.expired()
+            ):
+                raise self._deadline_exceeded()
         op = instr[0]
         if op == OP_MATCH:
             token = self._tokens[self._index]
@@ -638,9 +688,14 @@ class Parser:
         if op < OP_CHOICE:  # OP_MATCH, OP_CALL, OP_SEQ: no decision here
             return Parser._exec(self, instr, children)
         if self._budget is not None:
-            self._steps += 1
-            if self._steps > self._budget:
+            steps = self._steps + 1
+            self._steps = steps
+            if steps > self._budget:
                 raise self._budget_exceeded()
+            if not (steps & _DEADLINE_MASK) and (
+                self._deadline is not None and self._deadline.expired()
+            ):
+                raise self._deadline_exceeded()
         cov = self._coverage
         if op == OP_CHOICE:
             slot_of_block = cov.map.slot_of_block

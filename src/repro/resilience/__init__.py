@@ -1,0 +1,55 @@
+"""Resilience primitives for the parse service.
+
+Four independent building blocks, composed by ``repro.service``:
+
+- :mod:`~repro.resilience.faults` — deterministic, seedable fault
+  injection at named sites, for reproducible chaos testing;
+- :mod:`~repro.resilience.deadline` — absolute monotonic deadlines
+  propagated from admission down into the IR parse driver;
+- :mod:`~repro.resilience.breaker` — per-fingerprint circuit breakers
+  that fail poison-pill configurations fast;
+- :mod:`~repro.resilience.retry` — bounded exponential backoff with
+  jitter for transient artifact-I/O failures.
+
+Each module is dependency-free (stdlib only) and usable on its own.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    DEFAULT_BREAKER_POLICY,
+    HALF_OPEN,
+    OPEN,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    SITES,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    is_transient_io_error,
+    retry_call,
+)
+
+__all__ = [
+    "CLOSED",
+    "DEFAULT_BREAKER_POLICY",
+    "DEFAULT_RETRY_POLICY",
+    "HALF_OPEN",
+    "OPEN",
+    "SITES",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "Deadline",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "is_transient_io_error",
+    "retry_call",
+]

@@ -1,0 +1,140 @@
+"""Per-key circuit breakers for the composition pipeline.
+
+A poison-pill feature selection — one whose composition or lint gate
+deterministically fails — would otherwise re-run the whole expensive
+compose/lint pipeline on *every* request for that fingerprint.  A
+:class:`CircuitBreaker` trips after ``threshold`` consecutive failures
+and fails fast for a ``cooldown`` window; after the cooldown a single
+probe request is let through (half-open) to test whether the underlying
+problem was fixed (e.g. a grammar unit was corrected and re-registered).
+
+The classic three-state machine:
+
+    closed --(threshold consecutive failures)--> open
+    open --(cooldown elapsed)--> half-open (one probe allowed)
+    half-open --(probe succeeds)--> closed
+    half-open --(probe fails)--> open (cooldown restarts)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Trip threshold and cooldown for one breaker.
+
+    The default threshold is deliberately generous: legitimate callers
+    sometimes probe a known-bad selection a few times in a row (tests
+    assert the same E0303 twice), and only a sustained failure streak
+    should shift them to fast-fail.
+    """
+
+    threshold: int = 5
+    cooldown: float = 30.0
+
+
+DEFAULT_BREAKER_POLICY = BreakerPolicy()
+
+
+class CircuitBreaker:
+    """Thread-safe three-state breaker guarding one fingerprint."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy = DEFAULT_BREAKER_POLICY,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        # caller holds the lock
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.policy.cooldown
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the half-open window only one probe is admitted at a time;
+        concurrent requests keep failing fast until the probe reports.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._state = HALF_OPEN
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Record one failure; returns True when this one trips the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # failed probe: reopen and restart the cooldown
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                return True
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.policy.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe is admitted (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            remaining = self.policy.cooldown - (self._clock() - self._opened_at)
+            return max(0.0, remaining)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "failures": self._failures,
+                "retry_after": (
+                    max(
+                        0.0,
+                        self.policy.cooldown
+                        - (self._clock() - self._opened_at),
+                    )
+                    if self._state == OPEN
+                    else 0.0
+                ),
+            }
+
+    def __repr__(self) -> str:
+        return f"<CircuitBreaker {self.state} failures={self._failures}>"

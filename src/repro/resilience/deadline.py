@@ -1,0 +1,49 @@
+"""Propagatable wall-clock deadlines.
+
+A :class:`Deadline` is an absolute point on a monotonic clock, created
+once at admission time and handed down through the service, the
+registry, and into the IR parse driver.  Passing the *absolute* point —
+rather than a relative timeout — means every layer that checks it agrees
+on how much time is actually left, no matter how long the request queued
+before a worker picked it up.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+
+class Deadline:
+    """An absolute monotonic-clock deadline.
+
+    The clock is injectable so breaker/deadline tests can advance time
+    explicitly instead of sleeping.
+    """
+
+    __slots__ = ("at", "_clock")
+
+    def __init__(
+        self, at: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.at = at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(clock() + seconds, clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self.at - self._clock()
+
+    def expired(self) -> bool:
+        return self._clock() >= self.at
+
+    def __repr__(self) -> str:
+        return f"<Deadline remaining={self.remaining():.4f}s>"

@@ -104,6 +104,17 @@ class ServiceMetrics:
         "timeouts",        # batch requests that exceeded their deadline
         "lint_checks",     # products analyzed by the registry lint gate
         "lint_rejections",  # products the lint gate refused to serve
+        # -- resilience ----------------------------------------------------
+        "ir_corrupt",      # IR artifacts found corrupt (not merely stale)
+        "source_corrupt",  # generated-source artifacts found corrupt
+        "quarantined",     # corrupt artifacts renamed aside (.bad)
+        "retries",         # transient artifact-I/O attempts retried
+        "breaker_trips",   # circuit breakers that tripped open
+        "breaker_fast_fails",  # requests failed fast by an open breaker
+        "shed",            # requests refused by admission control (E0204)
+        "degraded_backend",  # parses served by the fallback interpreter
+        "degraded_hints",  # hint-provider failures (served hint-less)
+        "internal_errors",  # unexpected worker failures turned into E0000
     )
 
     def __init__(self) -> None:
@@ -115,6 +126,9 @@ class ServiceMetrics:
             "ir_compile": LatencyHistogram(),
             "parse": LatencyHistogram(),
             "lint": LatencyHistogram(),
+            # timed-out parses, recorded separately so the main parse
+            # series is not polluted while p99 still reflects reality
+            "timeouts": LatencyHistogram(),
         }
 
     # -- recording --------------------------------------------------------
@@ -182,7 +196,22 @@ class ServiceMetrics:
             f"({counters['parse_errors']} with errors, "
             f"{counters['timeouts']} timeouts)"
         )
-        for name in ("compose", "compile", "parse"):
+        resilience_bits = []
+        for name, label in (
+            ("quarantined", "quarantined"),
+            ("retries", "retries"),
+            ("breaker_trips", "breaker trips"),
+            ("breaker_fast_fails", "fast fails"),
+            ("shed", "shed"),
+            ("degraded_backend", "degraded backend"),
+            ("degraded_hints", "degraded hints"),
+            ("internal_errors", "internal errors"),
+        ):
+            if counters[name]:
+                resilience_bits.append(f"{counters[name]} {label}")
+        if resilience_bits:
+            lines.append("  resil: " + ", ".join(resilience_bits))
+        for name in ("compose", "compile", "parse", "timeouts"):
             h = snap["latency"][name]
             if not h["count"]:
                 lines.append(f"  {name:7}: (no samples)")

@@ -35,6 +35,13 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from ..core.product_line import ComposedProduct, GrammarProductLine
+from ..resilience.breaker import (
+    DEFAULT_BREAKER_POLICY,
+    BreakerPolicy,
+    CircuitBreaker,
+)
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 from .fingerprint import Fingerprint, configuration_fingerprint
 from .metrics import ServiceMetrics
 
@@ -43,6 +50,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Default number of composed products kept in memory.
 DEFAULT_CAPACITY = 32
+
+#: Suffix appended to a quarantined (corrupt) on-disk artifact.
+QUARANTINE_SUFFIX = ".bad"
 
 
 class RegistryEntry:
@@ -61,10 +71,14 @@ class RegistryEntry:
         product: ComposedProduct,
         metrics: ServiceMetrics,
         cache_dir: Path | None = None,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.product = product
         self.fingerprint: Fingerprint = product.fingerprint
         self._metrics = metrics
+        self._faults = faults
+        self._retry_policy = retry_policy
         self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._lock = threading.RLock()
         self._tls = threading.local()
@@ -96,12 +110,28 @@ class RegistryEntry:
                     self._table = LLTable(grammar, analysis)
         return self._analysis, self._table, self._scanner
 
+    def _fault(self, site: str) -> None:
+        if self._faults is not None:
+            self._faults.check(site)
+
     def hint_provider(self):
+        """The product's feature-hint provider, or ``None`` when degraded.
+
+        Hints are the lowest rung of the degradation ladder: if building
+        the provider fails (or a fault is injected at ``hints.build``),
+        the entry serves hint-less parsers and retries the build on the
+        next request rather than caching the failure.
+        """
         if not self._hints_built:
             with self._lock:
                 if not self._hints_built:
-                    self._hint_provider = self.product.hint_provider()
-                    self._hints_built = True
+                    try:
+                        self._fault("hints.build")
+                        self._hint_provider = self.product.hint_provider()
+                        self._hints_built = True
+                    except Exception:
+                        self._metrics.incr("degraded_hints")
+                        return None
         return self._hint_provider
 
     # -- parse program -------------------------------------------------------
@@ -127,6 +157,7 @@ class RegistryEntry:
                 program = self._load_program_artifact(directory)
             if program is None:
                 self._metrics.incr("ir_compiles")
+                self._fault("program.compile")
                 with self._metrics.time("ir_compile"):
                     program = self.product.program(analysis=self._analysis)
                 if directory is not None:
@@ -142,34 +173,95 @@ class RegistryEntry:
 
         path = self._program_artifact_path(cache_dir)
         try:
-            text = path.read_text()
-        except OSError:
+            text = self._read_artifact_text(path, "artifact.read.ir")
+        except FileNotFoundError:
+            # a definitive answer, not a failure: plain cold-cache miss
             self._metrics.incr("ir_disk_misses")
             return None
-        if program_fingerprint(text) != self.fingerprint.digest:
-            # stale or corrupted artifact: the embedded provenance does
-            # not match the key it is filed under — recompile
+        except Exception:
+            # unreadable artifact (I/O error that survived retries, or an
+            # injected fault): quarantine and recompile from the grammar
+            self._metrics.incr("ir_disk_misses")
+            self._quarantine(path, "ir_corrupt")
+            return None
+        embedded = program_fingerprint(text)
+        if embedded != self.fingerprint.digest:
+            # the embedded provenance does not match the key the file is
+            # filed under: stale (valid but different digest) or corrupt
+            # (undecodable, truncated, empty — no digest at all)
             self._metrics.incr("ir_disk_invalidations")
             self._metrics.incr("ir_disk_misses")
+            self._quarantine(path, "ir_corrupt" if embedded is None else None)
             return None
         try:
             program = ParseProgram.from_json(text)
         except ValueError:
             self._metrics.incr("ir_disk_invalidations")
             self._metrics.incr("ir_disk_misses")
+            self._quarantine(path, "ir_corrupt")
             return None
         self._metrics.incr("ir_disk_hits")
         return program
 
     def _store_program_artifact(self, cache_dir: Path, program) -> None:
-        path = self._program_artifact_path(cache_dir)
-        try:
-            cache_dir.mkdir(parents=True, exist_ok=True)
+        self._write_artifact_text(
+            self._program_artifact_path(cache_dir),
+            program.to_json(),
+            "artifact.write.ir",
+        )
+
+    # -- resilient artifact I/O --------------------------------------------
+
+    def _read_artifact_text(self, path: Path, site: str) -> str:
+        """Read one artifact with bounded retry on transient I/O errors.
+
+        ``FileNotFoundError`` propagates immediately (a miss is a
+        definitive answer); other ``OSError`` flavors are retried with
+        backoff before giving up.
+        """
+
+        def attempt() -> str:
+            self._fault(site)
+            return path.read_text()
+
+        return retry_call(
+            attempt,
+            self._retry_policy,
+            on_retry=lambda _attempt, _error: self._metrics.incr("retries"),
+        )
+
+    def _write_artifact_text(self, path: Path, text: str, site: str) -> None:
+        def attempt() -> None:
+            self._fault(site)
+            path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-            tmp.write_text(program.to_json())
+            tmp.write_text(text)
             os.replace(tmp, path)  # atomic publish: readers never see partials
-        except OSError:
+
+        try:
+            retry_call(
+                attempt,
+                self._retry_policy,
+                on_retry=lambda _a, _e: self._metrics.incr("retries"),
+            )
+        except Exception:
             pass  # the artifact cache is an optimization, never a failure
+
+    def _quarantine(self, path: Path, counter: str | None) -> None:
+        """Move a bad artifact aside so the rebuild starts from a clean slot.
+
+        The ``.bad`` file is kept for post-mortems instead of deleted;
+        ``counter`` (``ir_corrupt``/``source_corrupt``) distinguishes true
+        corruption from mere staleness.  Best-effort: a failed rename
+        never blocks the rebuild (the fresh artifact overwrites in place).
+        """
+        if counter is not None:
+            self._metrics.incr(counter)
+        try:
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+            self._metrics.incr("quarantined")
+        except OSError:
+            pass
 
     # -- coverage ----------------------------------------------------------
 
@@ -214,6 +306,24 @@ class RegistryEntry:
         if parser is None:
             parser = self.parser()
             self._tls.parser = parser
+        return parser
+
+    def thread_fallback_parser(self) -> "Parser":
+        """The calling thread's clean-room parser: the degradation backstop.
+
+        Shares *nothing* with the cached artifacts — the grammar is
+        re-validated and the parse program re-compiled directly in the
+        :class:`~repro.parsing.parser.Parser` constructor — so a corrupt
+        shared program, a failing artifact cache, or a broken hint
+        provider cannot poison it.  Used by the service when the primary
+        backend raises unexpectedly.
+        """
+        from ..parsing.parser import Parser
+
+        parser = getattr(self._tls, "fallback_parser", None)
+        if parser is None:
+            parser = Parser(self.product.grammar)
+            self._tls.fallback_parser = parser
         return parser
 
     def thread_coverage_parser(self) -> "Parser":
@@ -284,28 +394,31 @@ class RegistryEntry:
 
         path = self._artifact_path(cache_dir)
         try:
-            source = path.read_text()
-        except OSError:
+            source = self._read_artifact_text(path, "artifact.read.source")
+        except FileNotFoundError:
             self._metrics.incr("disk_misses")
             return None
-        if source_fingerprint(source) != self.fingerprint.digest:
-            # stale or corrupted artifact: the embedded provenance does not
-            # match the key it is filed under — regenerate
+        except Exception:
+            self._metrics.incr("disk_misses")
+            self._quarantine(path, "source_corrupt")
+            return None
+        embedded = source_fingerprint(source)
+        if embedded != self.fingerprint.digest:
+            # the embedded provenance does not match the key the file is
+            # filed under: stale (different digest) or corrupt (none)
             self._metrics.incr("disk_invalidations")
             self._metrics.incr("disk_misses")
+            self._quarantine(
+                path, "source_corrupt" if embedded is None else None
+            )
             return None
         self._metrics.incr("disk_hits")
         return source
 
     def _store_artifact(self, cache_dir: Path, source: str) -> None:
-        path = self._artifact_path(cache_dir)
-        try:
-            cache_dir.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
-            tmp.write_text(source)
-            os.replace(tmp, path)  # atomic publish: readers never see partials
-        except OSError:
-            pass  # the artifact cache is an optimization, never a failure
+        self._write_artifact_text(
+            self._artifact_path(cache_dir), source, "artifact.write.source"
+        )
 
     def __repr__(self) -> str:
         return f"<RegistryEntry {self.product.name!r} fp={self.fingerprint.short}>"
@@ -327,6 +440,18 @@ class ParserRegistry:
             single-flight build lock, and a rejected product is never
             cached — every request for the selection fails with
             :class:`~repro.errors.LintGateError` (code E0303).
+        breaker_policy: Circuit-breaker policy applied per fingerprint:
+            after ``threshold`` *consecutive* composition or lint-gate
+            failures for one selection the registry stops re-running the
+            pipeline and fails fast with
+            :class:`~repro.errors.CircuitOpenError` (code E0304) until
+            the cooldown elapses.  ``None`` disables breakers.
+        retry_policy: Backoff schedule for transient artifact-I/O
+            failures on the disk-cache read/write paths.
+        fault_plan: Optional deterministic
+            :class:`~repro.resilience.faults.FaultPlan` consulted at
+            every guarded site (chaos testing); ``None`` (production)
+            costs one ``is None`` check per site.
     """
 
     def __init__(
@@ -336,6 +461,9 @@ class ParserRegistry:
         cache_dir: str | os.PathLike | None = None,
         metrics: ServiceMetrics | None = None,
         lint_gate: bool = False,
+        breaker_policy: BreakerPolicy | None = DEFAULT_BREAKER_POLICY,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("registry capacity must be >= 1")
@@ -344,9 +472,13 @@ class ParserRegistry:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.lint_gate = lint_gate
+        self.breaker_policy = breaker_policy
+        self.retry_policy = retry_policy
+        self.faults = fault_plan
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, RegistryEntry]" = OrderedDict()
         self._building: dict[str, threading.Lock] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
 
     # -- lookups -----------------------------------------------------------
 
@@ -402,15 +534,42 @@ class ParserRegistry:
             entry = self._lookup(fp)  # lost the race: someone composed already
             if entry is not None:
                 return entry, True
+            breaker = self._breaker(fp.digest)
+            if breaker is not None and not breaker.allow():
+                from ..errors import CircuitOpenError
+
+                self.metrics.incr("breaker_fast_fails")
+                raise CircuitOpenError(
+                    f"circuit breaker open for fingerprint {fp.short}: "
+                    "composition keeps failing for this selection",
+                    fingerprint=fp.digest,
+                    retry_after=breaker.retry_after(),
+                )
             self.metrics.incr("misses")
             self.metrics.incr("composes")
-            with self.metrics.time("compose"):
-                product = self.line.compose_product(
-                    config, strict_order=strict_order, fingerprint=fp
-                )
-            if self.lint_gate:
-                self._check_lint_gate(product)
-            entry = RegistryEntry(product, self.metrics, cache_dir=self.cache_dir)
+            try:
+                if self.faults is not None:
+                    self.faults.check("compose")
+                with self.metrics.time("compose"):
+                    product = self.line.compose_product(
+                        config, strict_order=strict_order, fingerprint=fp
+                    )
+                if self.lint_gate:
+                    self._check_lint_gate(product)
+            except Exception:
+                breaker = self._breaker(fp.digest, create=True)
+                if breaker is not None and breaker.record_failure():
+                    self.metrics.incr("breaker_trips")
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            entry = RegistryEntry(
+                product,
+                self.metrics,
+                cache_dir=self.cache_dir,
+                faults=self.faults,
+                retry_policy=self.retry_policy,
+            )
             with self._lock:
                 self._entries[fp.digest] = entry
                 self._entries.move_to_end(fp.digest)
@@ -440,6 +599,28 @@ class ParserRegistry:
                 f"{len(errors)} error-grade finding(s) — {details}",
                 findings=tuple(errors),
             )
+
+    def _breaker(
+        self, digest: str, create: bool = False
+    ) -> CircuitBreaker | None:
+        """The digest's breaker; created lazily on the failure path only,
+        so the happy path allocates nothing per fingerprint."""
+        if self.breaker_policy is None:
+            return None
+        with self._lock:
+            breaker = self._breakers.get(digest)
+            if breaker is None and create:
+                breaker = CircuitBreaker(self.breaker_policy)
+                self._breakers[digest] = breaker
+            return breaker
+
+    def breaker_snapshot(self) -> dict[str, dict]:
+        """State of every fingerprint breaker that has seen a failure."""
+        with self._lock:
+            return {
+                digest: breaker.snapshot()
+                for digest, breaker in self._breakers.items()
+            }
 
     def _lookup(self, fp: Fingerprint) -> RegistryEntry | None:
         with self._lock:

@@ -28,13 +28,27 @@ from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as _Futu
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from ..diagnostics.model import PARSE_TIMEOUT, Diagnostic, DiagnosticBag, Severity
+from ..diagnostics.model import (
+    GENERIC_ERROR,
+    PARSE_TIMEOUT,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+)
+from ..resilience.deadline import Deadline
+from ..resilience.faults import FaultPlan
 from .fingerprint import Fingerprint
 from .metrics import ServiceMetrics
 from .registry import DEFAULT_CAPACITY, ParserRegistry, RegistryEntry
 
 #: Default worker-pool width for batch APIs.
 DEFAULT_WORKERS = min(8, (os.cpu_count() or 2))
+
+#: Extra seconds :meth:`ParseService._collect` waits past a request's
+#: deadline before giving up on the worker.  The cooperative deadline
+#: inside the parse driver normally aborts the worker within ~1 ms of
+#: expiry, so the grace only matters for non-cooperative stalls.
+COLLECT_GRACE = 0.1
 
 
 @dataclass(frozen=True)
@@ -78,6 +92,10 @@ class ParseServiceResult:
             arrived — a warm request does zero composition work.
         seconds: Wall-clock parse time (0.0 for requests that never ran).
         timed_out: True when the request exceeded its deadline.
+        degraded: Which degradation-ladder rungs served this request
+            (``"backend"``: the primary backend failed and the clean-room
+            interpreter answered; ``"internal-error"``: nothing could) —
+            empty for a fully healthy request.
     """
 
     text: str
@@ -87,6 +105,7 @@ class ParseServiceResult:
     warm: bool = False
     seconds: float = 0.0
     timed_out: bool = False
+    degraded: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -125,6 +144,25 @@ def _error_result(text: str, error) -> ParseServiceResult:
     return ParseServiceResult(text=text, diagnostics=bag)
 
 
+def _internal_error_result(
+    text: str, fp: Fingerprint | None = None, warm: bool = False
+) -> ParseServiceResult:
+    """The never-crash guard's last answer: an E0000 result, not a raise."""
+    bag = DiagnosticBag()
+    bag.add(
+        Diagnostic(
+            message="internal service error; the request was not parsed",
+            severity=Severity.ERROR,
+            code=GENERIC_ERROR,
+            hints=("check `repro health` and the server logs",),
+        )
+    )
+    return ParseServiceResult(
+        text=text, fingerprint=fp, diagnostics=bag, warm=warm,
+        degraded=("internal-error",),
+    )
+
+
 class ParseService:
     """Serve parse requests from a compose-once registry and a worker pool.
 
@@ -137,6 +175,17 @@ class ParseService:
         cache_dir: On-disk artifact cache for generated parser source;
             applied to the shared registry too when serving it.
         max_workers: Worker-pool width for the batch APIs.
+        max_queue: Admission-control bound: maximum requests in flight
+            (queued + executing) before new ones are shed with an E0204
+            result.  Defaults to ``max(256, max_workers * 32)``.
+        backend: ``"interpreter"`` (default) parses with the shared-IR
+            interpreting parser; ``"generated"`` parses with the
+            generated standalone module, falling back to the interpreter
+            (and recording ``degraded_backend``) if the module fails.
+        fault_plan: Optional deterministic
+            :class:`~repro.resilience.faults.FaultPlan` for chaos
+            testing; threaded into a registry constructed here, and
+            consulted at the service's own sites either way.
     """
 
     def __init__(
@@ -146,12 +195,21 @@ class ParseService:
         capacity: int = DEFAULT_CAPACITY,
         cache_dir: str | os.PathLike | None = None,
         max_workers: int = DEFAULT_WORKERS,
+        max_queue: int | None = None,
+        backend: str = "interpreter",
+        fault_plan: FaultPlan | None = None,
     ) -> None:
+        if backend not in ("interpreter", "generated"):
+            raise ValueError(
+                f"unknown backend {backend!r} "
+                "(expected 'interpreter' or 'generated')"
+            )
         if registry is not None:
             self.registry = registry
         elif line is not None:
             self.registry = ParserRegistry(
-                line, capacity=capacity, cache_dir=cache_dir
+                line, capacity=capacity, cache_dir=cache_dir,
+                fault_plan=fault_plan,
             )
         else:
             from ..sql.product_line import sql_parser_registry
@@ -161,6 +219,18 @@ class ParseService:
             self.registry.set_cache_dir(cache_dir)
         self.metrics: ServiceMetrics = self.registry.metrics
         self.max_workers = max(1, max_workers)
+        self.backend = backend
+        # never mutate a caller-provided registry's plan; the service's
+        # own sites use whichever plan is in effect
+        self._faults = fault_plan if fault_plan is not None else self.registry.faults
+        self.max_queue = (
+            max_queue if max_queue is not None
+            else max(256, self.max_workers * 32)
+        )
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._in_flight = 0
+        self._admission_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
@@ -184,6 +254,7 @@ class ParseService:
         max_errors: int | None = 25,
         max_steps: int | None = None,
         coverage=None,
+        timeout: float | None = None,
     ) -> ParseServiceResult:
         """Parse one text with the parser for one selection.
 
@@ -196,17 +267,45 @@ class ParseService:
         entry's :meth:`~repro.service.registry.RegistryEntry.coverage_collector`;
         what this parse exercised is merged into it.  Parsing without a
         collector stays on the uninstrumented fast path.
+
+        ``timeout`` (seconds) becomes a cooperative deadline propagated
+        into the parse driver: expiry surfaces as a ``timed_out`` result
+        with an E0203 diagnostic.
+        """
+        if not self._admit():
+            return self._shed_result(text)
+        try:
+            deadline = Deadline.after(timeout) if timeout is not None else None
+            entry, warm, failure = self._acquire_entry(text, features, counts)
+            if failure is not None:
+                return failure
+            return self._parse_entry(
+                entry, text, warm, start=start,
+                max_errors=max_errors, max_steps=max_steps,
+                coverage=coverage, deadline=deadline,
+            )
+        finally:
+            self._release_admission()
+
+    def _acquire_entry(self, text, features, counts):
+        """Acquire through the registry, mapping every failure to a result.
+
+        Returns ``(entry, warm, None)`` on success or ``(None, False,
+        result)`` when acquisition failed — :class:`~repro.errors.ReproError`
+        (invalid selection, lint gate, open breaker) becomes its own
+        diagnostic; anything else becomes an internal-error result rather
+        than a crash.
         """
         from ..errors import ReproError
 
         try:
             entry, warm = self.registry.acquire(features, counts)
         except ReproError as error:
-            return _error_result(text, error)
-        return self._parse_entry(
-            entry, text, warm, start=start,
-            max_errors=max_errors, max_steps=max_steps, coverage=coverage,
-        )
+            return None, False, _error_result(text, error)
+        except Exception:
+            self.metrics.incr("internal_errors")
+            return None, False, _internal_error_result(text)
+        return entry, warm, None
 
     # -- batch requests -----------------------------------------------------
 
@@ -235,35 +334,52 @@ class ParseService:
         aggregate coverage accumulates correctly no matter how the texts
         were spread over threads.
         """
-        from ..errors import ReproError
-
         texts = list(texts)
         if not texts:
             return []
-        try:
-            entry, warm = self.registry.acquire(features, counts)
-        except ReproError as error:
-            return [_error_result(text, error) for text in texts]
+        entry, warm, failure = self._acquire_entry(texts[0], features, counts)
+        if failure is not None:
+            return [
+                ParseServiceResult(
+                    text=text,
+                    diagnostics=failure.diagnostics,
+                    degraded=failure.degraded,
+                )
+                for text in texts
+            ]
         if len(texts) == 1 or self.max_workers == 1:
             return [
-                self._parse_entry(entry, text, warm, start=start,
-                                  max_errors=max_errors, max_steps=max_steps,
-                                  coverage=coverage)
+                self._parse_entry(
+                    entry, text, warm, start=start,
+                    max_errors=max_errors, max_steps=max_steps,
+                    coverage=coverage,
+                    deadline=(
+                        Deadline.after(timeout) if timeout is not None else None
+                    ),
+                )
                 for text in texts
             ]
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(self._parse_entry, entry, text, True, start,
-                        max_errors, max_steps, coverage)
-            for text in texts
-        ]
-        results = [
-            self._collect(future, text, entry.fingerprint, timeout, True)
-            for future, text in zip(futures, texts, strict=True)
-        ]
-        if results:
-            # the batch's first result reports whether the *batch* was warm
-            results[0].warm = warm
+        results: list[ParseServiceResult | None] = [None] * len(texts)
+        submitted = []
+        for i, text in enumerate(texts):
+            if not self._admit():
+                results[i] = self._shed_result(text)
+                continue
+            # the deadline starts at submission: queueing time counts
+            deadline = Deadline.after(timeout) if timeout is not None else None
+            future = pool.submit(
+                self._parse_entry, entry, text, True, start,
+                max_errors, max_steps, coverage, deadline,
+            )
+            future.add_done_callback(lambda _f: self._release_admission())
+            submitted.append((i, text, future, deadline))
+        for i, text, future, deadline in submitted:
+            results[i] = self._collect(
+                future, text, entry.fingerprint, timeout, True, deadline
+            )
+        # the batch's first result reports whether the *batch* was warm
+        results[0].warm = warm
         return results
 
     def batch(
@@ -280,14 +396,24 @@ class ParseService:
         if not requests:
             return []
         pool = self._ensure_pool()
-        futures = [pool.submit(self._serve_request, req) for req in requests]
-        return [
-            self._collect(
-                future, req.text, None,
-                req.timeout if req.timeout is not None else timeout, False,
+        results: list[ParseServiceResult | None] = [None] * len(requests)
+        submitted = []
+        for i, req in enumerate(requests):
+            if not self._admit():
+                results[i] = self._shed_result(req.text)
+                continue
+            effective = req.timeout if req.timeout is not None else timeout
+            deadline = (
+                Deadline.after(effective) if effective is not None else None
             )
-            for future, req in zip(futures, requests, strict=True)
-        ]
+            future = pool.submit(self._serve_request, req, deadline)
+            future.add_done_callback(lambda _f: self._release_admission())
+            submitted.append((i, req, future, effective, deadline))
+        for i, req, future, effective, deadline in submitted:
+            results[i] = self._collect(
+                future, req.text, None, effective, False, deadline
+            )
+        return results
 
     # -- metrics ------------------------------------------------------------
 
@@ -311,6 +437,90 @@ class ParseService:
             f"  registry: {reg['entries']}/{reg['capacity']} products cached, "
             f"disk cache {reg['disk_cache'] or 'off'}"
         )
+        return "\n".join(lines)
+
+    def health(self) -> dict:
+        """Operational health snapshot (the ``repro health`` payload).
+
+        ``status`` is ``"ok"`` when no breaker is open and no
+        degradation has been recorded since startup, ``"degraded"``
+        otherwise — degradation means requests were (or are being)
+        served on a fallback path, quarantined artifacts were found, or
+        load was shed; it does not mean requests are failing.
+        """
+        snap = self.metrics.snapshot()
+        counters = snap["counters"]
+        breakers = self.registry.breaker_snapshot()
+        open_breakers = sorted(
+            digest for digest, state in breakers.items()
+            if state["state"] != "closed"
+        )
+        degradation = {
+            name: counters[name]
+            for name in (
+                "quarantined", "ir_corrupt", "source_corrupt",
+                "degraded_backend", "degraded_hints", "internal_errors",
+                "shed", "breaker_fast_fails", "retries",
+            )
+            if counters[name]
+        }
+        status = "ok" if not degradation and not open_breakers else "degraded"
+        return {
+            "status": status,
+            "breakers": {
+                "tracked": len(breakers),
+                "open": open_breakers,
+                "states": breakers,
+            },
+            "degradation": degradation,
+            "queue": {
+                "in_flight": self.in_flight,
+                "limit": self.max_queue,
+                "shed": counters["shed"],
+            },
+            "timeouts": {
+                "count": counters["timeouts"],
+                "latency": snap["latency"]["timeouts"],
+            },
+            "registry": {
+                "entries": len(self.registry),
+                "capacity": self.registry.capacity,
+            },
+        }
+
+    def render_health(self) -> str:
+        """Human-readable :meth:`health` (the ``repro health`` output)."""
+        health = self.health()
+        lines = [f"parse service health: {health['status']}"]
+        queue = health["queue"]
+        lines.append(
+            f"  queue: {queue['in_flight']}/{queue['limit']} in flight, "
+            f"{queue['shed']} shed"
+        )
+        breakers = health["breakers"]
+        if breakers["tracked"]:
+            lines.append(
+                f"  breakers: {breakers['tracked']} tracked, "
+                f"{len(breakers['open'])} open"
+            )
+            for digest in breakers["open"]:
+                state = breakers["states"][digest]
+                lines.append(
+                    f"    {digest[:12]}: {state['state']} "
+                    f"(retry in {state['retry_after']:.1f}s)"
+                )
+        else:
+            lines.append("  breakers: none tracked")
+        if health["degradation"]:
+            bits = ", ".join(
+                f"{count} {name}"
+                for name, count in sorted(health["degradation"].items())
+            )
+            lines.append(f"  degradation: {bits}")
+        else:
+            lines.append("  degradation: none")
+        timeouts = health["timeouts"]
+        lines.append(f"  timeouts: {timeouts['count']}")
         return "\n".join(lines)
 
     # -- lifecycle ----------------------------------------------------------
@@ -342,16 +552,49 @@ class ParseService:
                 )
             return self._pool
 
-    def _serve_request(self, request: ParseRequest) -> ParseServiceResult:
-        from ..errors import ReproError
+    def _admit(self) -> bool:
+        """Admission control: reserve one in-flight slot or shed."""
+        with self._admission_lock:
+            if self._in_flight >= self.max_queue:
+                self.metrics.incr("shed")
+                return False
+            self._in_flight += 1
+            return True
 
-        try:
-            entry, warm = self.registry.acquire(request.features, request.counts)
-        except ReproError as error:
-            return _error_result(request.text, error)
+    def _release_admission(self) -> None:
+        with self._admission_lock:
+            self._in_flight = max(0, self._in_flight - 1)
+
+    @property
+    def in_flight(self) -> int:
+        with self._admission_lock:
+            return self._in_flight
+
+    def _shed_result(self, text: str) -> ParseServiceResult:
+        from ..errors import ServiceOverloadedError
+
+        return _error_result(
+            text,
+            ServiceOverloadedError(
+                f"service overloaded: {self.max_queue} requests already "
+                "in flight; request shed",
+                in_flight=self.max_queue,
+                limit=self.max_queue,
+            ),
+        )
+
+    def _serve_request(
+        self, request: ParseRequest, deadline: Deadline | None = None
+    ) -> ParseServiceResult:
+        entry, warm, failure = self._acquire_entry(
+            request.text, request.features, request.counts
+        )
+        if failure is not None:
+            return failure
         return self._parse_entry(
             entry, request.text, warm, start=request.start,
             max_errors=request.max_errors, max_steps=request.max_steps,
+            deadline=deadline,
         )
 
     def _parse_entry(
@@ -363,8 +606,41 @@ class ParseService:
         max_errors: int | None = 25,
         max_steps: int | None = None,
         coverage=None,
+        deadline: Deadline | None = None,
     ) -> ParseServiceResult:
-        private = None
+        """Never-crash guard around one worker's parse.
+
+        Whatever goes wrong below — an injected fault, a corrupt shared
+        artifact, a bug in a backend — the caller gets a result, never an
+        exception.
+        """
+        try:
+            if self._faults is not None:
+                self._faults.check("worker.execute")
+            return self._run_backend(
+                entry, text, warm, start, max_errors, max_steps,
+                coverage, deadline,
+            )
+        except Exception:
+            self.metrics.incr("internal_errors")
+            return _internal_error_result(text, entry.fingerprint, warm)
+
+    def _run_backend(
+        self, entry, text, warm, start, max_errors, max_steps,
+        coverage, deadline,
+    ) -> ParseServiceResult:
+        """One parse through the degradation ladder.
+
+        Primary backend (interpreter, or the generated module when
+        configured) first; if it *raises* — as opposed to returning a
+        result with diagnostics — the clean-room fallback interpreter
+        answers and the result is marked ``degraded=("backend",)``.
+        """
+        self.metrics.incr("parses")
+        degraded: list[str] = []
+        outcome = None
+        seconds = 0.0
+
         if coverage is not None:
             # count into a per-call private collector on the dedicated
             # instrumented parser and merge at the end: the caller's
@@ -373,29 +649,97 @@ class ParseService:
             parser = entry.thread_coverage_parser()
             private = entry.coverage_collector()
             parser.enable_coverage(private)
-        else:
-            parser = entry.thread_parser()
-        self.metrics.incr("parses")
-        try:
-            with self.metrics.time("parse") as timer:
-                outcome = parser.parse_with_diagnostics(
-                    text, start=start, max_errors=max_errors,
-                    max_steps=max_steps
+            try:
+                outcome, seconds = self._interpret(
+                    parser, text, start, max_errors, max_steps, deadline
                 )
-        finally:
-            if private is not None:
+            finally:
                 parser.disable_coverage()
                 coverage.merge(private)
+        else:
+            if self.backend == "generated":
+                try:
+                    outcome, seconds = self._parse_generated(
+                        entry, text, start, max_errors
+                    )
+                except Exception:
+                    degraded.append("backend")
+                    self.metrics.incr("degraded_backend")
+                    outcome = None
+            if outcome is None:
+                try:
+                    if self.backend != "generated" and self._faults is not None:
+                        # the generated path already checked this site
+                        self._faults.check("backend.parse")
+                    parser = entry.thread_parser()
+                    outcome, seconds = self._interpret(
+                        parser, text, start, max_errors, max_steps, deadline
+                    )
+                except Exception:
+                    # primary interpreter path failed unexpectedly:
+                    # last rung before the never-crash guard — the
+                    # clean-room parser shares nothing with the cache
+                    if "backend" not in degraded:
+                        degraded.append("backend")
+                        self.metrics.incr("degraded_backend")
+                    parser = entry.thread_fallback_parser()
+                    outcome, seconds = self._interpret(
+                        parser, text, start, max_errors, max_steps, deadline
+                    )
+
         if outcome.diagnostics.has_errors:
             self.metrics.incr("parse_errors")
+        timed_out = any(
+            d.code == PARSE_TIMEOUT for d in outcome.diagnostics
+        )
+        if timed_out:
+            self.metrics.incr("timeouts")
+            # the dedicated series keeps the main parse histogram clean
+            # while still letting p99 reflect requests that hit the wall
+            self.metrics.observe("timeouts", seconds)
         return ParseServiceResult(
             text=text,
             fingerprint=entry.fingerprint,
             tree=outcome.tree,
             diagnostics=outcome.diagnostics,
             warm=warm,
-            seconds=timer.seconds,
+            seconds=seconds,
+            timed_out=timed_out,
+            degraded=tuple(degraded),
         )
+
+    def _interpret(
+        self, parser, text, start, max_errors, max_steps, deadline
+    ):
+        with self.metrics.time("parse") as timer:
+            outcome = parser.parse_with_diagnostics(
+                text, start=start, max_errors=max_errors,
+                max_steps=max_steps, deadline=deadline,
+            )
+        return outcome, timer.seconds
+
+    def _parse_generated(self, entry, text, start, max_errors):
+        """Parse with the generated standalone module.
+
+        Returns ``(outcome, seconds)``; raises when the module cannot be
+        produced or fails unexpectedly (the caller degrades to the
+        interpreter).  A clean syntax rejection is a *result*, not a
+        failure.
+        """
+        from ..errors import ReproError
+        from ..parsing.parser import ParseOutcome
+
+        if self._faults is not None:
+            self._faults.check("backend.parse")
+        module = self.registry.generated_module(entry)
+        bag = DiagnosticBag(max_errors=max_errors)
+        tree = None
+        with self.metrics.time("parse") as timer:
+            try:
+                tree = module.parse(text, start=start)
+            except ReproError as error:
+                bag.add(error.to_diagnostic())
+        return ParseOutcome(tree, bag, text), timer.seconds
 
     def _collect(
         self,
@@ -404,10 +748,26 @@ class ParseService:
         fp: Fingerprint | None,
         timeout: float | None,
         warm: bool,
+        deadline: Deadline | None = None,
     ) -> ParseServiceResult:
+        """Await one worker, with a hard backstop past the deadline.
+
+        The cooperative in-driver deadline normally returns a
+        ``timed_out`` result on its own; the backstop only fires for
+        non-cooperative stalls (native hangs, pathological scanners),
+        and those workers are abandoned exactly as before.
+        """
+        if timeout is None:
+            return future.result()
+        wait = (
+            deadline.remaining() + COLLECT_GRACE
+            if deadline is not None
+            else timeout + COLLECT_GRACE
+        )
         try:
-            return future.result(timeout=timeout)
+            return future.result(timeout=max(0.0, wait))
         except _FutureTimeout:
             future.cancel()
             self.metrics.incr("timeouts")
+            self.metrics.observe("timeouts", timeout)
             return _timeout_result(text, fp, timeout, warm)

@@ -148,6 +148,10 @@ class TestParseMany:
         assert any(d.code == PARSE_TIMEOUT for d in results[0].diagnostics)
         assert results[1].ok
         assert service.metrics.counter("timeouts") == 1
+        # timed-out requests land in the dedicated latency series instead
+        # of silently bypassing the histograms
+        snapshot = service.metrics.snapshot()
+        assert snapshot["latency"]["timeouts"]["count"] == 1
 
 
 class TestBatch:

@@ -331,3 +331,130 @@ class TestProgramDiskCache:
         assert seen[0] is not main_parser
         assert seen[0].program is main_parser.program
         assert registry.metrics.counter("ir_compiles") == 1
+
+class TestQuarantine:
+    """Corrupt disk artifacts are renamed aside (``.bad``), counted as
+    corruption (distinct from staleness), and rebuilt — the caller
+    never sees an error."""
+
+    def test_truncated_ir_artifact_is_quarantined_and_rebuilt(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        first.parse_program(entry)
+        artifact = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        text = artifact.read_text()
+        artifact.write_text(text[: len(text) // 2])  # torn write simulation
+
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        program = second.parse_program(entry2)
+        assert program is not None
+        assert second.metrics.counter("ir_corrupt") == 1
+        assert second.metrics.counter("quarantined") == 1
+        # the bad bytes are kept aside for post-mortems...
+        bad = tmp_path / f"{entry.fingerprint.digest}.ir.json.bad"
+        assert bad.exists()
+        assert bad.read_text() == text[: len(text) // 2]
+        # ...and a valid artifact is rebuilt in the clean slot
+        assert entry.fingerprint.digest in artifact.read_text()
+
+    def test_zero_byte_artifacts_are_quarantined_and_rebuilt(self, tmp_path):
+        registry = make_registry(cache_dir=tmp_path)
+        entry = registry.get(["Query"])
+        ir_path = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        src_path = tmp_path / f"{entry.fingerprint.digest}.py"
+        ir_path.write_text("")
+        src_path.write_text("")
+
+        assert registry.parse_program(entry) is not None
+        source = registry.generated_source(entry)
+        assert FINGERPRINT_CONSTANT in source
+        assert registry.metrics.counter("ir_corrupt") == 1
+        assert registry.metrics.counter("source_corrupt") == 1
+        assert registry.metrics.counter("quarantined") == 2
+        # both slots hold fresh, valid artifacts again
+        assert entry.fingerprint.digest in ir_path.read_text()
+        assert entry.fingerprint.digest in src_path.read_text()
+
+    def test_mismatched_fingerprint_is_stale_not_corrupt(self, tmp_path):
+        first = make_registry(cache_dir=tmp_path)
+        entry = first.get(["Query", "Where"])
+        first.parse_program(entry)
+        artifact = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        artifact.write_text(
+            artifact.read_text().replace(entry.fingerprint.digest, "0" * 64, 1)
+        )
+
+        second = make_registry(cache_dir=tmp_path)
+        entry2 = second.get(["Query", "Where"])
+        assert second.parse_program(entry2) is not None
+        # stale provenance is quarantined but NOT counted as corruption
+        assert second.metrics.counter("ir_disk_invalidations") == 1
+        assert second.metrics.counter("ir_corrupt") == 0
+        assert second.metrics.counter("quarantined") == 1
+        assert (tmp_path / f"{entry.fingerprint.digest}.ir.json.bad").exists()
+
+    def test_unreadable_artifact_is_retried_then_quarantined(self, tmp_path):
+        """An OSError on read (here: a directory squatting on the
+        artifact path) is retried as transient, then treated as
+        corruption and rebuilt — not surfaced as a crash."""
+        from repro.resilience import RetryPolicy
+
+        line = GrammarProductLine(mini_model(), mini_units(), name="mini-sql")
+        registry = ParserRegistry(
+            line,
+            cache_dir=tmp_path,
+            retry_policy=RetryPolicy(attempts=3, base_delay=0.001),
+        )
+        entry = registry.get(["Query"])
+        ir_path = tmp_path / f"{entry.fingerprint.digest}.ir.json"
+        ir_path.mkdir()
+
+        assert registry.parse_program(entry) is not None
+        assert registry.metrics.counter("retries") == 2  # attempts - 1
+        assert registry.metrics.counter("ir_corrupt") == 1
+        assert registry.metrics.counter("quarantined") == 1
+        # the squatter was moved aside and a real file rebuilt in place
+        assert (tmp_path / f"{entry.fingerprint.digest}.ir.json.bad").is_dir()
+        assert ir_path.is_file()
+
+
+class TestConcurrentEviction:
+    def test_entry_evicted_while_another_thread_parses_through_it(self):
+        """Eviction only drops the registry's reference: a thread
+        holding the entry keeps parsing, and re-acquiring the selection
+        composes a fresh, equally valid entry."""
+        registry = make_registry(capacity=1)
+        entry = registry.get(["Query"])
+        errors = []
+        stop = threading.Event()
+
+        def parse_forever():
+            try:
+                while not stop.is_set():
+                    assert entry.thread_parser().accepts("SELECT a FROM t")
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        def churn():
+            try:
+                for _ in range(25):
+                    # capacity 1: each get evicts the previous entry
+                    registry.get(["Query", "Where"])
+                    registry.get(["Query", "GroupBy"])
+                    revived = registry.get(["Query"])
+                    assert revived.thread_parser().accepts("SELECT a FROM t")
+            except Exception as error:  # pragma: no cover - the assertion
+                errors.append(error)
+
+        workers = [threading.Thread(target=parse_forever) for _ in range(2)]
+        churner = threading.Thread(target=churn)
+        for t in workers:
+            t.start()
+        churner.start()
+        churner.join()
+        stop.set()
+        for t in workers:
+            t.join()
+        assert errors == []
+        assert registry.metrics.counter("evictions") > 0
