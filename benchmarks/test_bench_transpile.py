@@ -1,0 +1,123 @@
+"""E13 — transpilation cost: rendering and translation vs a warm parse.
+
+The transpiler's budget claims:
+
+* **render** — walking the AST and emitting SQL must stay a small
+  fraction of parsing: < 25% of a warm ``parser.parse`` on the same
+  workload.  Rendering is pure tree traversal; if it ever approaches
+  parse cost something structural regressed.
+* **translate** — the full pipeline (source parse, AST build, capability
+  analysis, render, verify re-parse) must cost < 2 warm parses through
+  the serving path (``ParseService.parse`` on a warmed service).  A
+  translation *contains* two raw parses (source + verify) by
+  construction, so the serving-path parse — the cost of one warm parse
+  request end to end — is the unit of comparison.  The assertion has
+  teeth: before translation memoized dialect resolution, every call
+  re-ran ``build_dialect`` + registry fingerprinting and landed near
+  3x this baseline.
+"""
+
+import time
+
+from repro.service import ParseService
+from repro.sql import build_ast, build_dialect, dialect_features
+from repro.transpile import RenderOptions, SqlRenderer, translate
+from repro.workloads import generate_workload
+
+DIALECT = "core"
+COUNT = 150
+SEED = 11
+REPS = 5
+
+RENDER_BUDGET = 0.25   # render < 25% of a warm raw parse
+TRANSLATE_BUDGET = 2.0  # translate < 2 warm serving-path parses
+
+
+def median_pass_seconds(fn, items, reps=REPS):
+    """Median wall time of ``reps`` passes of ``fn`` over ``items``."""
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for item in items:
+            fn(item)
+        samples.append(time.perf_counter() - t0)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_render_cost_vs_warm_parse():
+    """Acceptance criterion: render < 25% of a warm raw parse."""
+    product = build_dialect(DIALECT)
+    parser = product.parser()
+    queries = generate_workload(DIALECT, COUNT, seed=SEED)
+    scripts = [build_ast(parser.parse(q)) for q in queries]
+    options = RenderOptions.for_product(product)
+
+    parse_seconds = median_pass_seconds(parser.parse, queries)
+    render_seconds = median_pass_seconds(
+        lambda script: SqlRenderer(options).render(script), scripts
+    )
+
+    ratio = render_seconds / parse_seconds
+    print(
+        f"\n[E13] warm parse={parse_seconds * 1000:.1f}ms "
+        f"render={render_seconds * 1000:.1f}ms "
+        f"({COUNT} queries, {DIALECT}) ratio={ratio:.2f}"
+    )
+    assert ratio < RENDER_BUDGET, (
+        f"render cost is {ratio:.0%} of a warm parse "
+        f"(budget {RENDER_BUDGET:.0%})"
+    )
+
+
+def test_translate_cost_vs_warm_parse():
+    """Acceptance criterion: translate < 2 warm serving-path parses."""
+    features = dialect_features(DIALECT)
+    queries = generate_workload(DIALECT, COUNT, seed=SEED)
+
+    with ParseService() as service:
+        service.warm(features)
+        for q in queries[:10]:  # warm thread-local parsers and caches
+            service.parse(q, features)
+        translate(queries[0], DIALECT, DIALECT)
+
+        parse_seconds = median_pass_seconds(
+            lambda q: service.parse(q, features), queries
+        )
+        translate_seconds = median_pass_seconds(
+            lambda q: translate(q, DIALECT, DIALECT), queries
+        )
+
+    ratio = translate_seconds / parse_seconds
+    print(
+        f"\n[E13] warm service parse={parse_seconds * 1000:.1f}ms "
+        f"translate={translate_seconds * 1000:.1f}ms "
+        f"({COUNT} queries, {DIALECT}->{DIALECT}) ratio={ratio:.2f}"
+    )
+    assert ratio < TRANSLATE_BUDGET, (
+        f"translate costs {ratio:.2f} warm parses "
+        f"(budget {TRANSLATE_BUDGET})"
+    )
+
+
+def test_bench_render(benchmark, dialect_products):
+    product = dialect_products["full"]
+    parser = product.parser()
+    script = build_ast(
+        parser.parse("SELECT a, SUM(b) FROM t JOIN u ON a = c "
+                     "GROUP BY a ORDER BY a FETCH FIRST 5 ROWS ONLY")
+    )
+    options = RenderOptions.for_product(product)
+    sql = benchmark(lambda: SqlRenderer(options).render(script))
+    assert sql.startswith("SELECT")
+
+
+def test_bench_translate_cross_dialect(benchmark):
+    translate("SELECT 1 FROM t", "full", "core")  # warm dialect state
+    result = benchmark(
+        lambda: translate(
+            "SELECT a FROM t INNER JOIN u ON a = b WHERE a > 1",
+            "full", "core",
+        )
+    )
+    assert "JOIN u ON" in result.sql

@@ -18,6 +18,7 @@ composing these features."  This CLI is that interface, terminal-flavoured::
     python -m repro.cli conformance --json       # corpus, both backends
     python -m repro.cli coverage --fail-under 90 # grammar-coverage gate
     python -m repro.cli lint --baseline lint-baseline.txt  # static analysis
+    python -m repro.cli translate --from full --to core "SELECT a FROM t"
 
 Products are resolved through the process-wide fingerprint-keyed
 registry (:mod:`repro.service`): repeated commands against the same
@@ -339,6 +340,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_translate(args: argparse.Namespace) -> int:
+    """Translate one query between preset dialects.
+
+    Success prints the translated SQL (rewrite notes on stderr); a
+    feature gap prints the ``E0401`` diagnostic with its per-unit
+    "enable feature" hints and exits 1 — malformed SQL is never emitted.
+    """
+    import json as _json
+
+    service = _service(args)
+    sql = args.sql
+    if sql == "-":
+        sql = sys.stdin.read()
+    result = service.translate(sql, args.source, args.target)
+    if not result.ok:
+        print(result.render(filename="<translate>"), file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(result.result.report(), indent=2, sort_keys=True))
+    else:
+        print(result.sql)
+        for note in result.rewrites:
+            print(f"note: {note}", file=sys.stderr)
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:
     service = _service(args)
     features = dialect_features(args.dialect)
@@ -361,6 +388,21 @@ def _cmd_shell(args: argparse.Namespace) -> int:
             continue
         if line == ".stats":
             print(service.render_stats())
+            continue
+        if line.startswith(".translate"):
+            rest = line[len(".translate"):].strip()
+            target, _, text = rest.partition(" ")
+            if target not in dialect_names() or not text.strip():
+                print("usage: .translate <dialect> <sql>  "
+                      f"(dialects: {', '.join(dialect_names())})")
+                continue
+            result = service.translate(text.strip(), args.dialect, target)
+            if result.ok:
+                print(result.sql)
+                for note in result.rewrites:
+                    print(f"note: {note}")
+            else:
+                print(result.render(filename="<shell>"))
             continue
         # resilient pre-flight through the parse service: report *every*
         # syntax problem with carets and feature hints instead of dying on
@@ -512,6 +554,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--seed", type=int, default=0,
                           help="seed for the coverage-guided generator")
     coverage.set_defaults(fn=_cmd_coverage)
+
+    translate = sub.add_parser(
+        "translate",
+        help="translate a query between preset dialects",
+    )
+    translate.add_argument("sql", help="SQL text ('-' reads stdin)")
+    translate.add_argument("--from", dest="source", required=True,
+                           choices=dialect_names(), metavar="DIALECT",
+                           help="dialect the input is written in")
+    translate.add_argument("--to", dest="target", required=True,
+                           choices=dialect_names(), metavar="DIALECT",
+                           help="dialect to render the output for")
+    translate.add_argument("--json", action="store_true",
+                           help="print the versioned transpile report")
+    translate.add_argument("--cache", metavar="DIR",
+                           help="persist generated parser source under DIR")
+    translate.set_defaults(fn=_cmd_translate)
 
     stats = sub.add_parser(
         "stats", help="parse-service cache and latency metrics"

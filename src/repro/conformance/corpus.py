@@ -27,11 +27,21 @@ Header keys:
     ``*`` selection (``dialects: * !scql``).
 ``expect`` (required)
     ``accept`` or ``reject`` — the accept/reject boundary assertion,
-    checked against the interpreting *and* the generated-code backend.
-``code`` / ``message`` / ``hint`` (optional, reject cases only)
-    Substring assertions against the interpreter's diagnostics: the
-    expected error code (exact), a message fragment, a hint fragment
-    (e.g. the feature-hinter's "enable feature 'X'").
+    checked against the interpreting *and* the generated-code backend —
+    or a translation assertion: ``translates-to`` (the case's SQL, parsed
+    in each listed dialect, must translate to the ``to:`` dialect) or
+    ``untranslatable`` (the translation must be refused with a
+    structured error, never malformed SQL).
+``code`` / ``message`` / ``hint`` (optional, reject/untranslatable only)
+    Substring assertions against the diagnostics: the expected error
+    code (exact), a message fragment, a hint fragment (e.g. the
+    feature-hinter's "enable feature 'X'").
+``to`` (required for translation cases)
+    Target preset dialect of ``translates-to`` / ``untranslatable``.
+``output`` (optional, ``translates-to`` only)
+    The exact translated SQL expected.
+``rewrite`` (optional, ``translates-to`` only)
+    Substring expected in the renderer's lossless-rewrite notes.
 
 Lines starting with ``#`` before the header are comments.  The format is
 deliberately line-oriented and diff-friendly: conformance cases are the
@@ -49,8 +59,12 @@ from ..errors import ReproError
 
 #: Header keys a case block may carry.
 _KNOWN_KEYS = frozenset(
-    {"case", "dialects", "expect", "code", "message", "hint"}
+    {"case", "dialects", "expect", "code", "message", "hint",
+     "to", "output", "rewrite"}
 )
+
+#: Valid values of the ``expect:`` header.
+_EXPECTATIONS = ("accept", "reject", "translates-to", "untranslatable")
 
 #: Case-file extension the loader picks up.
 CASE_SUFFIX = ".case"
@@ -69,11 +83,15 @@ class ConformanceCase:
         path: Source file (diagnostics only).
         dialects: Preset dialects the case applies to, resolution of the
             header's ``*``/``!name`` syntax against the preset list.
-        expect: ``"accept"`` or ``"reject"``.
+        expect: ``"accept"``, ``"reject"``, ``"translates-to"`` or
+            ``"untranslatable"``.
         sql: The SQL text (may span lines).
-        code: Expected diagnostic code (reject cases; exact match).
-        message: Expected message fragment (reject cases; substring).
-        hint: Expected hint fragment (reject cases; substring).
+        code: Expected diagnostic code (reject/untranslatable; exact).
+        message: Expected message fragment (substring).
+        hint: Expected hint fragment (substring).
+        to: Target dialect of a translation case.
+        output: Exact translated SQL expected (``translates-to`` only).
+        rewrite: Expected rewrite-note fragment (``translates-to`` only).
     """
 
     name: str
@@ -84,10 +102,17 @@ class ConformanceCase:
     code: str | None = None
     message: str | None = None
     hint: str | None = None
+    to: str | None = None
+    output: str | None = None
+    rewrite: str | None = None
 
     @property
     def expects_accept(self) -> bool:
         return self.expect == "accept"
+
+    @property
+    def is_translation(self) -> bool:
+        return self.expect in ("translates-to", "untranslatable")
 
 
 @dataclass
@@ -196,17 +221,44 @@ def _parse_block(
     if not sql:
         raise CorpusError(f"{path}: case {name!r} has an empty SQL body")
     expect = headers.get("expect", "").lower()
-    if expect not in ("accept", "reject"):
+    if expect not in _EXPECTATIONS:
         raise CorpusError(
-            f"{path}: case {name!r} must set 'expect: accept' or "
-            "'expect: reject'"
+            f"{path}: case {name!r} must set 'expect:' to one of "
+            f"{', '.join(_EXPECTATIONS)}"
         )
-    if expect == "accept":
+    if expect in ("accept", "translates-to"):
         for key in ("code", "message", "hint"):
             if key in headers:
                 raise CorpusError(
-                    f"{path}: case {name!r} is an accept case; "
-                    f"{key!r} assertions only apply to rejections"
+                    f"{path}: case {name!r} expects {expect}; "
+                    f"{key!r} assertions only apply to failures"
+                )
+    translation = expect in ("translates-to", "untranslatable")
+    if translation:
+        target = headers.get("to")
+        if not target:
+            raise CorpusError(
+                f"{path}: case {name!r} expects {expect} but has no "
+                "'to:' target dialect"
+            )
+        if target not in presets:
+            raise CorpusError(
+                f"{path}: case {name!r} names unknown target dialect "
+                f"{target!r} (presets: {', '.join(presets)})"
+            )
+    else:
+        for key in ("to", "output", "rewrite"):
+            if key in headers:
+                raise CorpusError(
+                    f"{path}: case {name!r} sets {key!r}, which only "
+                    "applies to translation cases"
+                )
+    if expect == "untranslatable":
+        for key in ("output", "rewrite"):
+            if key in headers:
+                raise CorpusError(
+                    f"{path}: case {name!r} is untranslatable; "
+                    f"{key!r} only applies to 'translates-to'"
                 )
     if "dialects" not in headers:
         raise CorpusError(f"{path}: case {name!r} has no 'dialects:' line")
@@ -220,6 +272,9 @@ def _parse_block(
         code=headers.get("code"),
         message=headers.get("message"),
         hint=headers.get("hint"),
+        to=headers.get("to"),
+        output=headers.get("output"),
+        rewrite=headers.get("rewrite"),
     )
 
 

@@ -27,6 +27,9 @@ CONFORMANCE_REPORT_VERSION = 1
 
 INTERPRETER = "interpreter"
 GENERATED = "generated"
+#: Backend label for translation cases (they run through the transpiler
+#: pipeline, not a raw parse).
+TRANSPILER = "transpiler"
 
 
 @dataclass(frozen=True)
@@ -184,6 +187,15 @@ class ConformanceRunner:
                 module_name=f"conformance_{dialect}",
             )
         for case in self.corpus.for_dialect(dialect):
+            if case.is_translation:
+                # translation cases assert on the transpiler pipeline
+                # (source parse → capability gap → render → verify);
+                # the listed dialect is the translation's *source*
+                if INTERPRETER in self.backends:
+                    report.results.append(
+                        self._check_translation(case, dialect)
+                    )
+                continue
             if INTERPRETER in self.backends:
                 report.results.append(
                     self._check_interpreter(case, dialect, parser)
@@ -231,6 +243,69 @@ class ConformanceRunner:
             case=case.name,
             dialect=dialect,
             backend=INTERPRETER,
+            expect=case.expect,
+            passed=not failures,
+            failures=tuple(failures),
+        )
+
+    @staticmethod
+    def _check_translation(case: ConformanceCase, dialect: str) -> CaseResult:
+        from ..errors import ReproError
+        from ..transpile import translate
+
+        failures: list[str] = []
+        error: ReproError | None = None
+        result = None
+        try:
+            result = translate(case.sql, dialect, case.to)
+        except ReproError as exc:
+            error = exc
+        if case.expect == "translates-to":
+            if error is not None:
+                diag = error.to_diagnostic()
+                failures.append(
+                    f"expected translation to {case.to!r}, got "
+                    f"[{diag.code}] {diag.message}"
+                )
+            else:
+                if case.output is not None and result.sql != case.output:
+                    failures.append(
+                        f"expected output {case.output!r}, got {result.sql!r}"
+                    )
+                if case.rewrite is not None and not any(
+                    case.rewrite in note for note in result.rewrites
+                ):
+                    failures.append(
+                        f"no rewrite note contains {case.rewrite!r} "
+                        f"(notes: {list(result.rewrites)})"
+                    )
+        else:  # untranslatable
+            if error is None:
+                failures.append(
+                    f"expected the translation to {case.to!r} to be "
+                    f"refused, but it produced {result.sql!r}"
+                )
+            else:
+                diag = error.to_diagnostic()
+                if case.code is not None and diag.code != case.code:
+                    failures.append(
+                        f"expected code {case.code}, got {diag.code}"
+                    )
+                if case.message is not None and case.message not in diag.message:
+                    failures.append(
+                        f"diagnostic message does not contain "
+                        f"{case.message!r}"
+                    )
+                if case.hint is not None and not any(
+                    case.hint in hint for hint in diag.hints
+                ):
+                    failures.append(
+                        f"no diagnostic hint contains {case.hint!r}"
+                    )
+        return CaseResult(
+            case=case.name,
+            dialect=dialect,
+            backend=TRANSPILER,
             expect=case.expect,
             passed=not failures,
             failures=tuple(failures),

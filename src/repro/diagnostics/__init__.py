@@ -22,6 +22,8 @@ from .model import (
     PARSE_ERROR,
     SCAN_ERROR,
     TOO_MANY_ERRORS,
+    UNRENDERABLE,
+    UNTRANSLATABLE,
     Diagnostic,
     DiagnosticBag,
     Severity,
@@ -43,6 +45,8 @@ __all__ = [
     "Severity",
     "Span",
     "TOO_MANY_ERRORS",
+    "UNRENDERABLE",
+    "UNTRANSLATABLE",
     "feature_hint_provider",
     "keyword_index",
     "render_diagnostic",

@@ -33,7 +33,12 @@ from .fingerprint import (
 )
 from .metrics import LatencyHistogram, ServiceMetrics
 from .registry import ParserRegistry, RegistryEntry
-from .service import ParseRequest, ParseService, ParseServiceResult
+from .service import (
+    ParseRequest,
+    ParseService,
+    ParseServiceResult,
+    TranslateServiceResult,
+)
 
 __all__ = [
     "Fingerprint",
@@ -44,6 +49,7 @@ __all__ = [
     "ParserRegistry",
     "RegistryEntry",
     "ServiceMetrics",
+    "TranslateServiceResult",
     "configuration_fingerprint",
     "product_fingerprint",
 ]

@@ -115,6 +115,10 @@ class ServiceMetrics:
         "degraded_backend",  # parses served by the fallback interpreter
         "degraded_hints",  # hint-provider failures (served hint-less)
         "internal_errors",  # unexpected worker failures turned into E0000
+        # -- transpilation -------------------------------------------------
+        "renders",         # AST-to-SQL renders performed
+        "translates",      # cross-dialect translations served
+        "translate_errors",  # translations rejected (E0401/E0402 or parse)
     )
 
     def __init__(self) -> None:
@@ -129,6 +133,8 @@ class ServiceMetrics:
             # timed-out parses, recorded separately so the main parse
             # series is not polluted while p99 still reflects reality
             "timeouts": LatencyHistogram(),
+            "render": LatencyHistogram(),
+            "translate": LatencyHistogram(),
         }
 
     # -- recording --------------------------------------------------------

@@ -120,6 +120,49 @@ class ParseServiceResult:
         )
 
 
+@dataclass
+class TranslateServiceResult:
+    """Outcome of one :meth:`ParseService.translate` call.
+
+    Like :class:`ParseServiceResult`, failures arrive as diagnostics —
+    an untranslatable query yields an ``E0401`` diagnostic (one "enable
+    feature" hint per missing unit), a source-side syntax error yields
+    the usual parse diagnostics, and nothing raises.
+
+    Attributes:
+        source_sql: The input text.
+        source_dialect: Dialect the input was parsed with.
+        target_dialect: Dialect the output was rendered for.
+        sql: The translated SQL (``None`` when translation failed).
+        rewrites: Lossless spelling changes the renderer applied.
+        diagnostics: Every diagnostic the pipeline produced.
+        seconds: Wall-clock translation time.
+        result: The full :class:`~repro.transpile.TranslationResult`
+            (report envelope and capability analysis) when successful.
+    """
+
+    source_sql: str
+    source_dialect: str
+    target_dialect: str
+    sql: str | None = None
+    rewrites: tuple[str, ...] = ()
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+    seconds: float = 0.0
+    result: object | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.sql is not None and not self.diagnostics.has_errors
+
+    def render(self, filename: str = "<input>") -> str:
+        """All diagnostics as caret-annotated text."""
+        from ..diagnostics.render import render_diagnostics
+
+        return render_diagnostics(
+            self.diagnostics, source=self.source_sql, filename=filename
+        )
+
+
 def _timeout_result(text: str, fp: Fingerprint | None, timeout: float,
                     warm: bool) -> ParseServiceResult:
     bag = DiagnosticBag()
@@ -306,6 +349,56 @@ class ParseService:
             self.metrics.incr("internal_errors")
             return None, False, _internal_error_result(text)
         return entry, warm, None
+
+    def translate(
+        self, sql: str, source_dialect: str, target_dialect: str
+    ) -> TranslateServiceResult:
+        """Translate one query between preset dialects — never raises.
+
+        Wraps :func:`repro.transpile.translate` in the service's result
+        discipline: parse/feature-gap/render failures become diagnostics
+        on the returned :class:`TranslateServiceResult`, counters
+        (``translates``/``renders``/``translate_errors``) and the
+        ``translate`` latency histogram are recorded, and unexpected
+        failures degrade to an ``E0000`` diagnostic instead of a crash.
+        """
+        from ..errors import ReproError
+        from ..transpile import translate as _translate
+
+        self.metrics.incr("translates")
+        timer = self.metrics.time("translate")
+        outcome = TranslateServiceResult(
+            source_sql=sql,
+            source_dialect=source_dialect,
+            target_dialect=target_dialect,
+        )
+        try:
+            with timer:
+                result = _translate(sql, source_dialect, target_dialect)
+        except ReproError as error:
+            self.metrics.incr("translate_errors")
+            outcome.diagnostics.add(error.to_diagnostic())
+            outcome.seconds = timer.seconds
+            return outcome
+        except Exception:
+            self.metrics.incr("translate_errors")
+            self.metrics.incr("internal_errors")
+            outcome.diagnostics.add(
+                Diagnostic(
+                    message="internal transpiler error; nothing was translated",
+                    severity=Severity.ERROR,
+                    code=GENERIC_ERROR,
+                    hints=("check `repro health` and the server logs",),
+                )
+            )
+            outcome.seconds = timer.seconds
+            return outcome
+        self.metrics.incr("renders")
+        outcome.sql = result.sql
+        outcome.rewrites = result.rewrites
+        outcome.result = result
+        outcome.seconds = timer.seconds
+        return outcome
 
     # -- batch requests -----------------------------------------------------
 

@@ -13,7 +13,7 @@ parsable dialect still round-trips through the builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 # ---------------------------------------------------------------------------
@@ -116,6 +116,8 @@ class WindowSpec:
     partition_by: tuple[Expression, ...] = ()
     order_by: tuple["SortSpec", ...] = ()
     frame: str | None = None
+    #: Named window this specification inherits from.
+    existing: str | None = None
 
 
 @dataclass(frozen=True)
@@ -131,6 +133,9 @@ class CaseExpr(Expression):
 class Cast(Expression):
     operand: Expression
     type_name: str
+    #: Full target-type spec (parameters, source text); ``type_name`` keeps
+    #: the normalized head for the engine's coercions.
+    type_spec: "TypeSpec | None" = None
 
 
 @dataclass(frozen=True)
@@ -167,6 +172,8 @@ class Like(Expression):
     pattern: Expression
     escape: Expression | None = None
     negated: bool = False
+    #: True for ``x SIMILAR TO p`` (§8.6) instead of ``x LIKE p``.
+    similar: bool = False
 
 
 @dataclass(frozen=True)
@@ -210,6 +217,24 @@ class BooleanIs(Expression):
     negated: bool = False
 
 
+@dataclass(frozen=True)
+class Match(Expression):
+    """x MATCH [UNIQUE] [SIMPLE|PARTIAL|FULL] (subquery) (§8.14)."""
+
+    operand: Expression
+    query: "Query"
+    unique: bool = False
+    option: str | None = None  # "SIMPLE" / "PARTIAL" / "FULL"
+
+
+@dataclass(frozen=True)
+class AtTimeZone(Expression):
+    """x AT TIME ZONE zone / x AT LOCAL (§6.32); ``zone=None`` = LOCAL."""
+
+    operand: Expression
+    zone: Expression | None = None
+
+
 # ---------------------------------------------------------------------------
 # queries
 # ---------------------------------------------------------------------------
@@ -235,6 +260,7 @@ class NamedTable:
 class DerivedTable:
     query: "Query"
     alias: str
+    lateral: bool = False
 
 
 @dataclass(frozen=True)
@@ -254,6 +280,21 @@ class SortSpec:
     expression: Expression
     descending: bool = False
     nulls_last: bool | None = None
+    #: COLLATE <chain> on the sort key (empty = no collation).
+    collation: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class GroupingElement:
+    """One structured GROUP BY element: ROLLUP/CUBE/GROUPING SETS/().
+
+    ``kind`` is "rollup", "cube", "grouping sets" or "empty"; for
+    "grouping sets" the ``elements`` are nested ``GroupingElement`` or
+    plain expressions, otherwise they are the grouped expressions.
+    """
+
+    kind: str
+    elements: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -278,6 +319,13 @@ class Select:
     sample_period: int | None = None
     epoch_duration: int | None = None
     lifetime: int | None = None
+    output_action: str | None = None
+    #: SELECT ... INTO target list (embedded-SQL style).
+    into: tuple[str, ...] = ()
+    #: Structured GROUP BY elements preserving ROLLUP/CUBE/GROUPING SETS
+    #: shape and element boundaries; ``group_by``/``grouping_kind`` keep
+    #: the flattened view the engine evaluates.
+    grouping: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -286,6 +334,8 @@ class SetOperation:
     quantifier: str | None
     left: "QueryBody"
     right: "QueryBody"
+    corresponding: bool = False
+    corresponding_by: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -318,6 +368,10 @@ class Query:
     order_by: tuple[SortSpec, ...] = ()
     limit: int | None = None
     offset: int | None = None
+    #: Surface syntax the limit came from: "limit" or "fetch" (FETCH FIRST
+    #: ... ROWS ONLY).  Lets the renderer keep the source form when the
+    #: target dialect supports it and degrade losslessly when it doesn't.
+    limit_style: str | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -341,6 +395,7 @@ class Insert(Statement):
     table: tuple[str, ...]
     columns: tuple[str, ...] = ()
     source: Union[Values, Query, None] = None  # None = DEFAULT VALUES
+    overriding: str | None = None  # "USER" / "SYSTEM"
 
 
 @dataclass(frozen=True)
@@ -348,12 +403,16 @@ class Update(Statement):
     table: tuple[str, ...]
     assignments: tuple[tuple[str, Expression], ...]
     where: Expression | None = None
+    #: WHERE CURRENT OF <cursor> (positioned update).
+    current_of: str | None = None
 
 
 @dataclass(frozen=True)
 class Delete(Statement):
     table: tuple[str, ...]
     where: Expression | None = None
+    #: WHERE CURRENT OF <cursor> (positioned delete).
+    current_of: str | None = None
 
 
 @dataclass(frozen=True)
@@ -371,6 +430,10 @@ class Merge(Statement):
 class TypeSpec:
     name: str  # normalized: "integer", "varchar", "boolean", ...
     parameters: tuple[int, ...] = ()
+    #: Source text of the full type spec (qualifiers, charset, time zone)
+    #: for faithful re-rendering; excluded from equality so semantically
+    #: identical specs spelled differently still compare equal.
+    text: str | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -383,6 +446,8 @@ class ColumnDef:
     unique: bool = False
     references: tuple[str, ...] | None = None
     check: Expression | None = None
+    #: GENERATED ... AS IDENTITY: "always" or "by default".
+    identity: str | None = None
 
 
 @dataclass(frozen=True)
@@ -401,6 +466,8 @@ class CreateTable(Statement):
     name: tuple[str, ...]
     columns: tuple[ColumnDef, ...]
     constraints: tuple[TableConstraint, ...] = ()
+    scope: str | None = None  # "global temporary" / "local temporary"
+    on_commit: str | None = None  # "preserve" / "delete"
 
 
 @dataclass(frozen=True)
@@ -408,6 +475,8 @@ class CreateView(Statement):
     name: tuple[str, ...]
     columns: tuple[str, ...]
     query: Query
+    recursive: bool = False
+    check_option: bool = False
 
 
 @dataclass(frozen=True)

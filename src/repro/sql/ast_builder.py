@@ -76,9 +76,12 @@ class AstBuilder:
         recursive = False
         with_node = node.child("with_clause")
         if with_node is not None:
+            # only this clause's direct elements: find_all would descend
+            # into nested WITH clauses inside the CTE bodies
+            with_list = with_node.child("with_list") or with_node
             ctes = tuple(
                 self._build_with_element(e)
-                for e in with_node.find_all("with_list_element")
+                for e in with_list.children_named("with_list_element")
             )
             recursive = with_node.has_token("RECURSIVE")
         body = self.build(node.child("query_expression_body"))
@@ -86,16 +89,18 @@ class AstBuilder:
         ob = node.child("order_by_clause")
         if ob is not None:
             order_by = self._build_order_by(ob)
-        limit = offset = None
+        limit = offset = limit_style = None
         limit_node = node.child("limit_clause")
         if limit_node is not None:
             limit = int(limit_node.token("UNSIGNED_INTEGER").text)
+            limit_style = "limit"
         offset_node = node.child("offset_clause")
         if offset_node is not None:
             offset = int(offset_node.token("UNSIGNED_INTEGER").text)
         fetch_node = node.child("fetch_first_clause")
         if fetch_node is not None:
             limit = int(fetch_node.token("UNSIGNED_INTEGER").text)
+            limit_style = "fetch"
         return ast.Query(
             body=body,
             ctes=ctes,
@@ -103,6 +108,7 @@ class AstBuilder:
             order_by=order_by,
             limit=limit,
             offset=offset,
+            limit_style=limit_style,
         )
 
     def _build_with_element(self, node: Node) -> ast.CommonTableExpr:
@@ -124,6 +130,8 @@ class AstBuilder:
         result: ast.QueryBody | None = None
         pending_op: str | None = None
         pending_quant: str | None = None
+        pending_corr = False
+        pending_corr_by: tuple[str, ...] = ()
         for child in node.children:
             if isinstance(child, Token):
                 if child.type == "INTERSECT":
@@ -135,6 +143,10 @@ class AstBuilder:
             if child.name == "set_op_quantifier":
                 pending_quant = child.text().upper()
                 continue
+            if child.name == "corresponding_spec":
+                pending_corr = True
+                pending_corr_by = self._column_list(child.child("column_list"))
+                continue
             operand = self.build(child)
             if result is None:
                 result = operand
@@ -144,8 +156,11 @@ class AstBuilder:
                     quantifier=pending_quant,
                     left=result,
                     right=operand,
+                    corresponding=pending_corr,
+                    corresponding_by=pending_corr_by,
                 )
                 pending_op = pending_quant = None
+                pending_corr, pending_corr_by = False, ()
         assert result is not None
         return result
 
@@ -169,6 +184,7 @@ class AstBuilder:
         where = having = None
         group_by: tuple = ()
         grouping_kind = None
+        grouping: tuple = ()
         windows: tuple = ()
         if te is not None:
             from_tables = self._build_from(te.child("from_clause"))
@@ -177,7 +193,7 @@ class AstBuilder:
                 where = self.build(wc.child("search_condition"))
             gb = te.child("group_by_clause")
             if gb is not None:
-                group_by, grouping_kind = self._build_group_by(gb)
+                group_by, grouping_kind, grouping = self._build_group_by(gb)
             hv = te.child("having_clause")
             if hv is not None:
                 having = self.build(hv.child("search_condition"))
@@ -197,6 +213,14 @@ class AstBuilder:
                 return None
             return int(clause.token("UNSIGNED_INTEGER").text)
 
+        into: tuple[str, ...] = ()
+        into_node = node.child("into_clause")
+        if into_node is not None:
+            into = tuple(i.text() for i in into_node.children_named("identifier"))
+        output_action = None
+        oa = node.child("output_action_clause")
+        if oa is not None:
+            output_action = oa.child("identifier").text()
         return ast.Select(
             items=items,
             from_tables=from_tables,
@@ -209,6 +233,9 @@ class AstBuilder:
             sample_period=_int_clause("sample_period_clause"),
             epoch_duration=_int_clause("epoch_duration_clause"),
             lifetime=_int_clause("lifetime_clause"),
+            output_action=output_action,
+            into=into,
+            grouping=grouping,
         )
 
     def _build_select_list(self, node: Node) -> tuple:
@@ -252,7 +279,9 @@ class AstBuilder:
         sub = node.child("table_subquery")
         if sub is not None:
             return ast.DerivedTable(
-                query=self.build(sub.child("query_expression")), alias=alias or "?"
+                query=self.build(sub.child("query_expression")),
+                alias=alias or "?",
+                lateral=node.has_token("LATERAL"),
             )
         return ast.NamedTable(self._chain(node.child("table_name")), alias=alias)
 
@@ -278,46 +307,63 @@ class AstBuilder:
                 using = self._column_list(spec.child("column_list"))
         return ast.Join(kind=kind, left=left, right=right, on=on, using=using)
 
-    def _build_group_by(self, node: Node) -> tuple[tuple, str | None]:
+    def _build_group_by(self, node: Node) -> tuple[tuple, str | None, tuple]:
         gel = node.child("grouping_element_list")
-        exprs = []
+        exprs: list = []
         kind = None
+        structured = []
         for element in gel.children_named("grouping_element"):
-            tokens = _token_texts(element)
-            if "ROLLUP" in tokens:
-                kind = "rollup"
-                exprs.extend(
-                    self.build(c)
-                    for c in element.child("column_reference_list").children_named(
-                        "column_reference"
-                    )
-                )
-            elif "CUBE" in tokens:
-                kind = "cube"
-                exprs.extend(
-                    self.build(c)
-                    for c in element.child("column_reference_list").children_named(
-                        "column_reference"
-                    )
-                )
-            elif "GROUPING" in tokens:
-                kind = "grouping sets"
-                inner_exprs, __ = self._build_group_by_like(element)
-                exprs.extend(inner_exprs)
-            elif element.child("column_reference") is not None:
-                exprs.append(self.build(element.child("column_reference")))
-            # "( )" empty grouping set contributes no expressions
-        return tuple(exprs), kind
+            built = self._build_grouping_element(element)
+            structured.append(built)
+            if isinstance(built, ast.GroupingElement):
+                if built.kind == "empty":
+                    continue  # "( )" contributes no expressions
+                kind = built.kind
+                exprs.extend(self._flatten_grouping(built))
+            else:
+                exprs.append(built)
+        return tuple(exprs), kind, tuple(structured)
 
-    def _build_group_by_like(self, element: Node) -> tuple[list, None]:
-        exprs = [
-            self.build(c) for c in element.find_all("column_reference")
-        ]
-        return exprs, None
+    def _build_grouping_element(self, element: Node):
+        tokens = _token_texts(element)
+        if "ROLLUP" in tokens or "CUBE" in tokens:
+            cols = tuple(
+                self.build(c)
+                for c in element.child("column_reference_list").children_named(
+                    "column_reference"
+                )
+            )
+            return ast.GroupingElement(
+                "rollup" if "ROLLUP" in tokens else "cube", cols
+            )
+        if "GROUPING" in tokens:
+            inner = tuple(
+                self._build_grouping_element(e)
+                for e in element.child("grouping_element_list").children_named(
+                    "grouping_element"
+                )
+            )
+            return ast.GroupingElement("grouping sets", inner)
+        cr = element.child("column_reference")
+        if cr is not None:
+            return self.build(cr)
+        return ast.GroupingElement("empty")
+
+    def _flatten_grouping(self, element: ast.GroupingElement) -> list:
+        out: list = []
+        for sub in element.elements:
+            if isinstance(sub, ast.GroupingElement):
+                out.extend(self._flatten_grouping(sub))
+            else:
+                out.append(sub)
+        return out
 
     def _build_order_by(self, node: Node) -> tuple[ast.SortSpec, ...]:
         specs = []
-        for spec in node.find_all("sort_specification"):
+        # only this clause's direct sort keys: find_all would descend into
+        # subqueries inside the key expressions and collect their ORDER BYs
+        spec_list = node.child("sort_specification_list") or node
+        for spec in spec_list.children_named("sort_specification"):
             descending = False
             direction = spec.child("ordering_specification")
             if direction is not None:
@@ -326,11 +372,16 @@ class AstBuilder:
             nulls = spec.child("null_ordering")
             if nulls is not None:
                 nulls_last = nulls.has_token("LAST")
+            collation: tuple[str, ...] = ()
+            collate = spec.child("collate_clause")
+            if collate is not None:
+                collation = self._chain(collate.child("identifier_chain"))
             specs.append(
                 ast.SortSpec(
                     expression=self.build(spec.child("value_expression")),
                     descending=descending,
                     nulls_last=nulls_last,
+                    collation=collation,
                 )
             )
         return tuple(specs)
@@ -353,7 +404,13 @@ class AstBuilder:
         fc = node.child("frame_clause")
         if fc is not None:
             frame = fc.text()
-        return ast.WindowSpec(partition_by=partition, order_by=order_by, frame=frame)
+        existing = None
+        ewn = node.child("existing_window_name")
+        if ewn is not None:
+            existing = ewn.text()
+        return ast.WindowSpec(
+            partition_by=partition, order_by=order_by, frame=frame, existing=existing
+        )
 
     def _build_table_value_constructor(self, node: Node) -> ast.Values:
         rows = []
@@ -445,8 +502,22 @@ class AstBuilder:
         if "OVERLAPS" in tokens:
             right = self.build(suffix.child("common_value_expression"))
             return ast.BinaryOp("OVERLAPS", operand, right)
+        if "SIMILAR" in tokens:
+            pattern = self.build(suffix.child("common_value_expression"))
+            return ast.Like(operand, pattern, negated=negated, similar=True)
+        if "MATCH" in tokens:
+            option_node = suffix.child("match_option")
+            return ast.Match(
+                operand=operand,
+                query=self._subquery(suffix.child("table_subquery")),
+                unique="UNIQUE" in tokens,
+                option=option_node.text().upper() if option_node is not None else None,
+            )
         # comparison / quantified comparison
-        op = suffix.child("comp_op").text()
+        comp = suffix.child("comp_op")
+        if comp is None:
+            raise NotImplementedError(f"predicate suffix with tokens {tokens!r}")
+        op = comp.text()
         quant = suffix.child("quantifier")
         if quant is not None:
             return ast.Quantified(
@@ -469,6 +540,12 @@ class AstBuilder:
 
     def _build_factor(self, node: Node):
         inner = self.build(node.node_children()[0])
+        tz = node.child("at_time_zone")
+        if tz is not None:
+            zone = tz.child("value_expression_primary")
+            inner = ast.AtTimeZone(
+                inner, self.build(zone) if zone is not None else None
+            )
         if node.has_token("MINUS"):
             return ast.UnaryOp("-", inner)
         if node.has_token("PLUS"):
@@ -503,7 +580,7 @@ class AstBuilder:
             else:
                 operand = self.build(operand_node.node_children()[0])
             type_spec = self._build_data_type(node.child("data_type"))
-            return ast.Cast(operand, type_spec.name)
+            return ast.Cast(operand, type_spec.name, type_spec=type_spec)
         if head in _FUNCTION_HEADS:
             return self._build_head_function(node, tokens)
         if head == "NEXT":
@@ -512,14 +589,23 @@ class AstBuilder:
                 (ast.ColumnRef(self._chain(node.child("identifier_chain"))),),
             )
         kids = node.node_children()
-        if kids:
+        if kids and head is None:
             return self.build(kids[0])
+        # keyword-headed form nobody claimed: refuse loudly instead of
+        # silently returning the first operand (the statement degrades to
+        # a GenericStatement upstream).
         raise NotImplementedError(f"primary with tokens {tokens!r}")
 
     def _build_head_function(self, node: Node, tokens: list[str]):
         head = tokens[0]
         if head in ("CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
                     "LOCALTIME", "LOCALTIMESTAMP"):
+            tp = node.child("time_precision")
+            if tp is not None:
+                precision = int(tp.token("UNSIGNED_INTEGER").text)
+                return ast.FunctionCall(head, (ast.Literal(precision, "integer"),))
+            return ast.FunctionCall(head)
+        if head in _ZERO_ARG_HEADS:
             return ast.FunctionCall(head)
         if head == "EXTRACT":
             field = node.child("extract_field").text().upper()
@@ -529,10 +615,25 @@ class AstBuilder:
             )
         if head == "TRIM":
             operands = node.child("trim_operands")
-            exprs = tuple(
+            exprs: tuple[ast.Expression, ...] = tuple(
                 self.build(c) for c in operands.children_named("value_expression")
             )
+            spec = operands.child("trim_specification")
+            if spec is not None:
+                exprs = (ast.Literal(spec.text().upper(), "trim_spec"), *exprs)
             return ast.FunctionCall("TRIM", exprs)
+        if head in ("TRANSLATE", "CONVERT"):
+            return ast.FunctionCall(
+                head,
+                (
+                    self.build(node.child("value_expression")),
+                    ast.ColumnRef(self._chain(node.child("identifier_chain"))),
+                ),
+            )
+        if head == "GROUPING":
+            return ast.FunctionCall(
+                "GROUPING", (self.build(node.child("column_reference")),)
+            )
         if head in ("CEILING", "CEIL"):
             head = "CEILING"
         if head in ("CHAR_LENGTH", "CHARACTER_LENGTH"):
@@ -565,6 +666,12 @@ class AstBuilder:
             return ast.Literal(float(text), "numeric")
         if kind == "STRING_LITERAL":
             return ast.Literal(text[1:-1].replace("''", "'"), "string")
+        if kind == "NATIONAL_STRING_LITERAL":
+            return ast.Literal(text[2:-1].replace("''", "'"), "nstring")
+        if kind == "BINARY_STRING_LITERAL":
+            return ast.Literal(text[2:-1], "binary")
+        if kind == "UNICODE_STRING_LITERAL":
+            return ast.Literal(text[3:-1].replace("''", "'"), "ustring")
         if kind in ("TRUE", "FALSE"):
             return ast.Literal(kind == "TRUE", "boolean")
         if kind == "UNKNOWN":
@@ -655,13 +762,25 @@ class AstBuilder:
         table = self._chain(node.child("table_name"))
         source_node = node.child("insert_columns_and_source")
         columns = self._column_list(source_node.child("column_list"))
+        overriding = None
+        oc = source_node.child("overriding_clause")
+        if oc is not None:
+            overriding = "USER" if oc.has_token("USER") else "SYSTEM"
         if source_node.has_token("DEFAULT"):
-            return ast.Insert(table, columns, None)
+            return ast.Insert(table, columns, None, overriding=overriding)
         tvc = source_node.child("table_value_constructor")
         if tvc is not None:
-            return ast.Insert(table, columns, self._build_table_value_constructor(tvc))
+            return ast.Insert(
+                table,
+                columns,
+                self._build_table_value_constructor(tvc),
+                overriding=overriding,
+            )
         return ast.Insert(
-            table, columns, self.build(source_node.child("query_expression"))
+            table,
+            columns,
+            self.build(source_node.child("query_expression")),
+            overriding=overriding,
         )
 
     def _build_update_statement(self, node: Node) -> ast.Update:
@@ -673,7 +792,14 @@ class AstBuilder:
             table=self._chain(node.child("table_name")),
             assignments=self._assignments(node.child("set_clause_list")),
             where=where,
+            current_of=self._current_of(node),
         )
+
+    def _current_of(self, node: Node) -> str | None:
+        wcc = node.child("where_current_clause")
+        if wcc is None:
+            return None
+        return wcc.child("identifier").text()
 
     def _assignments(self, node: Node) -> tuple:
         result = []
@@ -693,7 +819,11 @@ class AstBuilder:
         wc = node.child("where_clause")
         if wc is not None:
             where = self.build(wc.child("search_condition"))
-        return ast.Delete(self._chain(node.child("table_name")), where)
+        return ast.Delete(
+            self._chain(node.child("table_name")),
+            where,
+            current_of=self._current_of(node),
+        )
 
     def _build_merge_statement(self, node: Node) -> ast.Merge:
         alias = None
@@ -734,10 +864,20 @@ class AstBuilder:
                 constraints.append(
                     self._build_table_constraint(element.child("table_constraint"))
                 )
+        scope = None
+        scope_node = node.child("table_scope")
+        if scope_node is not None:
+            scope = scope_node.text().lower()
+        on_commit = None
+        oc = node.child("on_commit_clause")
+        if oc is not None:
+            on_commit = "preserve" if oc.has_token("PRESERVE") else "delete"
         return ast.CreateTable(
             name=self._chain(node.child("table_name")),
             columns=tuple(columns),
             constraints=tuple(constraints),
+            scope=scope,
+            on_commit=on_commit,
         )
 
     def _build_column_definition(self, node: Node) -> ast.ColumnDef:
@@ -764,6 +904,10 @@ class AstBuilder:
                 references = self._chain(constraint.child("table_name"))
             elif "CHECK" in tokens:
                 check = self.build(constraint.child("search_condition"))
+        identity = None
+        id_node = node.child("identity_spec")
+        if id_node is not None:
+            identity = "always" if id_node.has_token("ALWAYS") else "by default"
         return ast.ColumnDef(
             name=node.child("column_name").text(),
             type=self._build_data_type(node.child("data_type")),
@@ -773,6 +917,7 @@ class AstBuilder:
             unique=unique,
             references=references,
             check=check,
+            identity=identity,
         )
 
     def _build_table_constraint(self, node: Node) -> ast.TableConstraint:
@@ -842,13 +987,15 @@ class AstBuilder:
             for t in node.tokens()
             if t.type == "UNSIGNED_INTEGER"
         )
-        return ast.TypeSpec(name=name, parameters=params)
+        return ast.TypeSpec(name=name, parameters=params, text=node.text())
 
     def _build_view_definition(self, node: Node) -> ast.CreateView:
         return ast.CreateView(
             name=self._chain(node.child("table_name")),
             columns=self._column_list(node.child("column_list")),
             query=self.build(node.child("query_expression")),
+            recursive=node.has_token("RECURSIVE"),
+            check_option=node.child("check_option") is not None,
         )
 
     def _build_drop_table_statement(self, node: Node) -> ast.DropStatement:
@@ -920,13 +1067,24 @@ class AstBuilder:
         return tuple(c.text() for c in node.children_named("column_name"))
 
 
+#: Parameterless special-value heads (USER, CURRENT_ROLE, ...; §6.4).
+_ZERO_ARG_HEADS = frozenset(
+    {
+        "USER", "CURRENT_USER", "SESSION_USER", "SYSTEM_USER",
+        "CURRENT_ROLE", "CURRENT_PATH",
+    }
+)
+
 #: Keyword-headed primaries handled by :meth:`AstBuilder._build_head_function`.
 _FUNCTION_HEADS = frozenset(
     {
         "ABS", "MOD", "LN", "EXP", "POWER", "SQRT", "FLOOR", "CEILING", "CEIL",
         "SUBSTRING", "UPPER", "LOWER", "TRIM", "CHAR_LENGTH", "CHARACTER_LENGTH",
-        "OCTET_LENGTH", "POSITION", "EXTRACT",
+        "OCTET_LENGTH", "POSITION", "EXTRACT", "OVERLAY",
+        "TRANSLATE", "CONVERT", "NORMALIZE", "CARDINALITY", "WIDTH_BUCKET",
+        "GROUPING",
         "CURRENT_DATE", "CURRENT_TIME", "CURRENT_TIMESTAMP",
         "LOCALTIME", "LOCALTIMESTAMP",
     }
+    | _ZERO_ARG_HEADS
 )

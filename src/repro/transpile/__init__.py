@@ -1,0 +1,35 @@
+"""Cross-dialect transpilation: render, analyze, translate.
+
+Public API::
+
+    from repro.transpile import (
+        RenderOptions, SqlRenderer, render_sql, UnrenderableNodeError,
+        Requirement, CapabilityReport, analyze,
+        TranspileError, TranslationResult, translate,
+    )
+"""
+
+from .analyze import CapabilityReport, Requirement, analyze
+from .render import RenderOptions, SqlRenderer, UnrenderableNodeError, render_sql
+from .translate import (
+    REPORT_KIND,
+    REPORT_VERSION,
+    TranslationResult,
+    TranspileError,
+    translate,
+)
+
+__all__ = [
+    "CapabilityReport",
+    "REPORT_KIND",
+    "REPORT_VERSION",
+    "RenderOptions",
+    "Requirement",
+    "SqlRenderer",
+    "TranslationResult",
+    "TranspileError",
+    "UnrenderableNodeError",
+    "analyze",
+    "render_sql",
+    "translate",
+]

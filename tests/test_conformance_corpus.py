@@ -117,7 +117,7 @@ class TestParseCaseFile:
             parse("case: x\ndialects: alpha\nexpect: accept\n")
 
     def test_diagnostic_keys_on_accept_case_rejected(self):
-        with pytest.raises(CorpusError, match="only apply to rejections"):
+        with pytest.raises(CorpusError, match="only apply to failures"):
             parse(
                 "case: x\ndialects: alpha\nexpect: accept\ncode: E0201\n\nSQL\n"
             )
@@ -183,4 +183,58 @@ class TestShippedCorpus:
         for dialect in ("scql", "tinysql", "core", "analytics", "full"):
             cases = corpus.for_dialect(dialect)
             expects = {c.expect for c in cases}
-            assert expects == {"accept", "reject"}, dialect
+            assert {"accept", "reject"} <= expects, dialect
+        # and the corpus exercises both translation outcomes
+        expects = {c.expect for c in corpus}
+        assert {"translates-to", "untranslatable"} <= expects
+
+
+class TestTranslationCases:
+    def test_translates_to_case(self):
+        (case,) = parse(
+            "case: x\ndialects: alpha\nexpect: translates-to\nto: beta\n"
+            "output: SELECT 1\nrewrite: degraded\n\nSELECT 1\n"
+        )
+        assert case.is_translation
+        assert case.expect == "translates-to"
+        assert case.to == "beta"
+        assert case.output == "SELECT 1"
+        assert case.rewrite == "degraded"
+
+    def test_untranslatable_case_with_assertions(self):
+        (case,) = parse(
+            "case: x\ndialects: alpha\nexpect: untranslatable\nto: beta\n"
+            "code: E0401\nhint: enable feature 'X'\n\nSELECT 1\n"
+        )
+        assert case.is_translation
+        assert case.code == "E0401"
+        assert case.hint == "enable feature 'X'"
+
+    def test_translation_case_requires_target(self):
+        with pytest.raises(CorpusError, match="no 'to:' target dialect"):
+            parse("case: x\ndialects: alpha\nexpect: translates-to\n\nSQL\n")
+
+    def test_unknown_target_dialect_rejected(self):
+        with pytest.raises(CorpusError, match="unknown target dialect"):
+            parse(
+                "case: x\ndialects: alpha\nexpect: untranslatable\n"
+                "to: delta\n\nSQL\n"
+            )
+
+    def test_target_on_plain_case_rejected(self):
+        with pytest.raises(CorpusError, match="only\\s+applies to translation"):
+            parse("case: x\ndialects: alpha\nexpect: accept\nto: beta\n\nSQL\n")
+
+    def test_output_on_untranslatable_rejected(self):
+        with pytest.raises(CorpusError, match="only applies to 'translates-to'"):
+            parse(
+                "case: x\ndialects: alpha\nexpect: untranslatable\nto: beta\n"
+                "output: SELECT 1\n\nSQL\n"
+            )
+
+    def test_diagnostic_keys_on_translates_to_rejected(self):
+        with pytest.raises(CorpusError, match="only apply to failures"):
+            parse(
+                "case: x\ndialects: alpha\nexpect: translates-to\nto: beta\n"
+                "code: E0401\n\nSQL\n"
+            )

@@ -11,7 +11,7 @@ from repro.conformance import (
     Corpus,
     run_conformance,
 )
-from repro.conformance.runner import GENERATED, INTERPRETER
+from repro.conformance.runner import GENERATED, INTERPRETER, TRANSPILER
 
 
 def case(name="probe", dialects=("scql",), expect="accept",
@@ -34,9 +34,9 @@ class TestShippedCorpus:
         counts = report.counts()
         assert counts["failed"] == 0
         assert counts["checks"] == len(report.results)
-        # both backends ran for every applicable case
+        # both parse backends ran, plus the transpiler for translation cases
         backends = {r.backend for r in report.results}
-        assert backends == {INTERPRETER, GENERATED}
+        assert backends == {INTERPRETER, GENERATED, TRANSPILER}
 
     def test_collect_coverage_keeps_collectors(self):
         report, runner = run_conformance(
@@ -151,3 +151,54 @@ class TestReportShape:
         ).run()
         text = report.render(max_failures=2)
         assert "+3 more failures" in text
+
+
+class TestTranslationChecks:
+    def run_case(self, **kwargs):
+        corpus = Corpus(cases=[case(**kwargs)])
+        report = ConformanceRunner(
+            corpus=corpus, backends=(INTERPRETER,)
+        ).run()
+        (result,) = report.results
+        assert result.backend == TRANSPILER
+        return result
+
+    def test_translates_to_passes_with_exact_output(self):
+        result = self.run_case(
+            dialects=("full",), expect="translates-to", to="core",
+            sql="SELECT a FROM t INNER JOIN u ON a = b",
+            output="SELECT a FROM t JOIN u ON a = b",
+        )
+        assert result.passed, result.failures
+
+    def test_translates_to_fails_on_wrong_output(self):
+        result = self.run_case(
+            dialects=("core",), expect="translates-to", to="core",
+            sql="SELECT a FROM t", output="SELECT b FROM t",
+        )
+        assert not result.passed
+        assert any("expected output" in f for f in result.failures)
+
+    def test_translates_to_fails_when_refused(self):
+        result = self.run_case(
+            dialects=("core",), expect="translates-to", to="scql",
+            sql="SELECT t.a FROM t",
+        )
+        assert not result.passed
+        assert any("E0401" in f for f in result.failures)
+
+    def test_untranslatable_passes_with_code_and_hint(self):
+        result = self.run_case(
+            dialects=("core",), expect="untranslatable", to="scql",
+            sql="SELECT t.a FROM t", code="E0401",
+            hint="enable feature 'QualifiedNames'",
+        )
+        assert result.passed, result.failures
+
+    def test_untranslatable_fails_when_translation_succeeds(self):
+        result = self.run_case(
+            dialects=("core",), expect="untranslatable", to="analytics",
+            sql="SELECT a FROM t",
+        )
+        assert not result.passed
+        assert any("refused" in f for f in result.failures)

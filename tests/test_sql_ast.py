@@ -146,7 +146,9 @@ class TestExpressions:
 
     def test_cast(self, full):
         cast = select_of(full, "SELECT CAST(a AS INTEGER) FROM t").items[0].expression
-        assert cast == ast.Cast(ast.ColumnRef(("a",)), "integer")
+        assert cast == ast.Cast(
+            ast.ColumnRef(("a",)), "integer", ast.TypeSpec("integer")
+        )
 
     def test_aggregates(self, full):
         s = select_of(full, "SELECT COUNT(*), SUM(DISTINCT x) FROM t")

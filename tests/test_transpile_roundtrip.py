@@ -1,0 +1,389 @@
+"""Cross-dialect transpilation: round-trip, precedence, gaps, translation.
+
+The tentpole property: for every preset dialect, ``parse ∘ render ∘
+parse`` is the identity on the AST over seeded coverage-guided
+workloads, and rendering is a fixpoint (rendering the re-parsed AST
+reproduces the same text).  The renderer never emits SQL the dialect's
+own parser rejects; when a construct has no spelling it raises a
+structured error naming the missing feature units.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ParseService
+from repro.sql import build_ast, build_dialect, dialect_names
+from repro.transpile import (
+    REPORT_KIND,
+    REPORT_VERSION,
+    RenderOptions,
+    SqlRenderer,
+    TranspileError,
+    UnrenderableNodeError,
+    analyze,
+    render_sql,
+    translate,
+)
+from repro.workloads import generate_workload
+
+ROUNDTRIP_SENTENCES = 120
+ROUNDTRIP_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def full_product():
+    return build_dialect("full")
+
+
+@pytest.fixture(scope="module")
+def full_parser(full_product):
+    return full_product.parser()
+
+
+@pytest.fixture(scope="module")
+def full_options(full_product):
+    return RenderOptions.for_product(full_product)
+
+
+def _selected(dialect: str) -> frozenset:
+    return frozenset(build_dialect(dialect).configuration.selected)
+
+
+# ---------------------------------------------------------------------------
+# the round-trip property
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dialect", dialect_names())
+def test_roundtrip_identity_per_dialect(dialect):
+    """parse∘render∘parse is the identity; render is a fixpoint."""
+    product = build_dialect(dialect)
+    parser = product.parser()
+    options = RenderOptions.for_product(product)
+    sentences = generate_workload(
+        dialect, count=ROUNDTRIP_SENTENCES, seed=ROUNDTRIP_SEED,
+        mode="coverage",
+    )
+    assert sentences, "coverage workload must produce sentences"
+    for sql in sentences:
+        original = build_ast(parser.parse(sql))
+        rendered = render_sql(original, options)
+        reparsed = build_ast(parser.parse(rendered))
+        assert reparsed == original, (
+            f"round-trip changed the AST for {sql!r} (rendered {rendered!r})"
+        )
+        assert render_sql(reparsed, options) == rendered, (
+            f"rendering is not a fixpoint for {sql!r}"
+        )
+
+
+def test_workload_is_deterministic():
+    first = generate_workload("core", count=10, seed=11, mode="coverage")
+    second = generate_workload("core", count=10, seed=11, mode="coverage")
+    assert first == second
+
+
+# ---------------------------------------------------------------------------
+# precedence-driven parenthesization
+# ---------------------------------------------------------------------------
+
+
+class TestPrecedence:
+    @pytest.fixture(autouse=True)
+    def _setup(self, full_parser, full_options):
+        self.parser = full_parser
+        self.options = full_options
+
+    def rt(self, sql: str) -> str:
+        return render_sql(build_ast(self.parser.parse(sql)), self.options)
+
+    def test_tighter_operand_needs_no_parens(self):
+        assert self.rt("SELECT a + b * c FROM t") == "SELECT a + b * c FROM t"
+
+    def test_looser_operand_keeps_parens(self):
+        assert (
+            self.rt("SELECT (a + b) * c FROM t")
+            == "SELECT (a + b) * c FROM t"
+        )
+
+    def test_right_operand_of_left_assoc_keeps_parens(self):
+        assert (
+            self.rt("SELECT a - (b - c) FROM t")
+            == "SELECT a - (b - c) FROM t"
+        )
+
+    def test_redundant_left_assoc_parens_dropped(self):
+        assert self.rt("SELECT (a - b) - c FROM t") == "SELECT a - b - c FROM t"
+
+    def test_or_under_and_keeps_parens(self):
+        sql = "SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3"
+        assert self.rt(sql) == sql
+
+    def test_not_over_comparison_drops_parens(self):
+        assert (
+            self.rt("SELECT * FROM t WHERE NOT (a = 1)")
+            == "SELECT * FROM t WHERE NOT a = 1"
+        )
+
+    def test_not_over_or_keeps_parens(self):
+        sql = "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)"
+        assert self.rt(sql) == sql
+
+    def test_concatenation_chain_is_flat(self):
+        assert self.rt("SELECT a || b || c FROM t") == "SELECT a || b || c FROM t"
+
+    def test_unary_minus_over_sum_keeps_parens(self):
+        assert self.rt("SELECT - (a + b) FROM t") == "SELECT - (a + b) FROM t"
+
+
+# ---------------------------------------------------------------------------
+# feature-gated rendering: degradations and refusals
+# ---------------------------------------------------------------------------
+
+
+class TestFeatureGating:
+    def _options(self, full_product, drop=(), base=None):
+        features = (
+            base if base is not None
+            else frozenset(full_product.configuration.selected)
+        )
+        keywords = frozenset(
+            t.name for t in full_product.grammar.tokens if t.kind == "keyword"
+        )
+        return RenderOptions(features=features - frozenset(drop),
+                             keywords=keywords)
+
+    def _render(self, full_parser, options, sql):
+        renderer = SqlRenderer(options)
+        return renderer.render(build_ast(full_parser.parse(sql))), renderer
+
+    def test_fetch_degrades_to_limit(self, full_product, full_parser):
+        options = self._options(full_product, drop={"FetchFirst"})
+        out, renderer = self._render(
+            full_parser, options, "SELECT a FROM t FETCH FIRST 5 ROWS ONLY"
+        )
+        assert out == "SELECT a FROM t LIMIT 5"
+        assert any("degraded to LIMIT" in note for note in renderer.rewrites)
+
+    def test_limit_promotes_to_fetch(self, full_product, full_parser):
+        options = self._options(full_product, drop={"Limit"})
+        out, renderer = self._render(
+            full_parser, options, "SELECT a FROM t LIMIT 5"
+        )
+        assert out == "SELECT a FROM t FETCH FIRST 5 ROWS ONLY"
+        assert any("FETCH FIRST" in note for note in renderer.rewrites)
+
+    def test_some_rewrites_to_any(self, full_product, full_parser):
+        options = self._options(full_product, drop={"SomeQuantifier"})
+        out, renderer = self._render(
+            full_parser, options,
+            "SELECT a FROM t WHERE a = SOME (SELECT b FROM u)",
+        )
+        assert "= ANY" in out
+        assert any("SOME" in note for note in renderer.rewrites)
+
+    def test_any_rewrites_to_some(self, full_product, full_parser):
+        options = self._options(full_product, drop={"AnyQuantifier"})
+        out, _ = self._render(
+            full_parser, options,
+            "SELECT a FROM t WHERE a = ANY (SELECT b FROM u)",
+        )
+        assert "= SOME" in out
+
+    def test_missing_join_units_raise_structured_error(
+        self, full_product, full_parser
+    ):
+        options = self._options(full_product, drop={"LeftJoin", "OuterJoin"})
+        with pytest.raises(UnrenderableNodeError) as excinfo:
+            self._render(
+                full_parser, options, "SELECT a FROM t LEFT JOIN u ON a = b"
+            )
+        error = excinfo.value
+        assert error.code == "E0402"
+        assert any("enable feature 'LeftJoin'" in hint for hint in error.hints)
+
+    def test_default_options_render_everything(self, full_parser):
+        # features=None means "no gating" — the renderer emits full syntax
+        out = render_sql(
+            build_ast(full_parser.parse("SELECT a FROM t LEFT JOIN u ON a = b"))
+        )
+        assert out == "SELECT a FROM t LEFT JOIN u ON a = b"
+
+
+# ---------------------------------------------------------------------------
+# capability analysis
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzer:
+    def test_core_query_gaps_against_scql(self):
+        product = build_dialect("core")
+        tree = product.parser().parse(
+            "SELECT t.a FROM t LEFT JOIN u ON t.a = u.b"
+        )
+        report = analyze(build_ast(tree), source_product=product)
+        gaps = report.gaps(_selected("scql"))
+        primaries = {gap.primary for gap in gaps}
+        assert {"QualifiedNames", "LeftJoin", "OnCondition"} <= primaries
+
+    def test_window_query_gaps_against_tinysql(self):
+        product = build_dialect("analytics")
+        tree = product.parser().parse("SELECT RANK() OVER (ORDER BY a) FROM t")
+        report = analyze(build_ast(tree), source_product=product)
+        gaps = report.gaps(_selected("tinysql"))
+        assert "WindowFunctions" in {gap.primary for gap in gaps}
+
+    def test_no_gaps_against_own_dialect(self):
+        for dialect in dialect_names():
+            product = build_dialect(dialect)
+            sentences = generate_workload(
+                dialect, count=10, seed=3, mode="coverage"
+            )
+            selected = frozenset(product.configuration.selected)
+            for sql in sentences:
+                script = build_ast(product.parser().parse(sql))
+                report = analyze(script, source_product=product)
+                assert report.gaps(selected) == (), (
+                    f"{dialect}: {sql!r} reported gaps against its own dialect"
+                )
+
+    def test_payload_shape(self):
+        product = build_dialect("core")
+        script = build_ast(product.parser().parse("SELECT a FROM t WHERE a = 1"))
+        payload = analyze(script, source_product=product).to_payload()
+        assert isinstance(payload, list)
+        for entry in payload:
+            assert set(entry) == {"construct", "features"}
+
+
+# ---------------------------------------------------------------------------
+# translation end to end
+# ---------------------------------------------------------------------------
+
+
+class TestTranslate:
+    def test_full_to_core_normalizes_inner_join(self):
+        result = translate(
+            "SELECT a FROM t INNER JOIN u ON a = b", "full", "core"
+        )
+        assert result.sql == "SELECT a FROM t JOIN u ON a = b"
+        assert result.source_dialect == "full"
+        assert result.target_dialect == "core"
+
+    def test_report_envelope(self):
+        result = translate("SELECT a FROM t WHERE a = 1", "core", "analytics")
+        report = result.report()
+        assert report["kind"] == REPORT_KIND
+        assert report["version"] == REPORT_VERSION
+        assert report["verified"] is True
+        assert report["source"]["dialect"] == "core"
+        assert report["target"]["sql"] == result.sql
+
+    def test_feature_gap_raises_e0401_with_hints(self):
+        with pytest.raises(TranspileError) as excinfo:
+            translate("SELECT t.a FROM t LEFT JOIN u ON t.a = u.b",
+                      "core", "scql")
+        error = excinfo.value
+        assert error.code == "E0401"
+        assert error.source_dialect == "core"
+        assert error.target_dialect == "scql"
+        assert {gap.primary for gap in error.gaps} >= {
+            "QualifiedNames", "LeftJoin", "OnCondition"
+        }
+        assert any(
+            "enable feature 'LeftJoin' in dialect 'scql'" in hint
+            for hint in error.hints
+        )
+
+    def test_row_limiting_gap(self):
+        with pytest.raises(TranspileError):
+            translate("SELECT a FROM t FETCH FIRST 5 ROWS ONLY", "full", "core")
+
+    def test_translated_output_verifies_in_target(self):
+        # every successful translation must parse in the target dialect
+        target = build_dialect("analytics").parser()
+        result = translate(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+            "core", "analytics",
+        )
+        target.parse(result.sql)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# service integration
+# ---------------------------------------------------------------------------
+
+
+class TestServiceTranslate:
+    def test_success_records_metrics(self):
+        service = ParseService()
+        service.metrics.reset()
+        result = service.translate("SELECT a FROM t", "core", "core")
+        assert result.ok
+        assert result.sql == "SELECT a FROM t"
+        counters = service.metrics.snapshot()["counters"]
+        assert counters["translates"] == 1
+        assert counters["renders"] == 1
+        assert counters["translate_errors"] == 0
+        assert service.metrics.snapshot()["latency"]["translate"]["count"] == 1
+
+    def test_feature_gap_becomes_diagnostic(self):
+        service = ParseService()
+        service.metrics.reset()
+        result = service.translate("SELECT t.a FROM t", "core", "scql")
+        assert not result.ok
+        assert result.sql is None
+        codes = {d.code for d in result.diagnostics}
+        assert "E0401" in codes
+        assert service.metrics.snapshot()["counters"]["translate_errors"] == 1
+
+    def test_source_syntax_error_becomes_diagnostic(self):
+        service = ParseService()
+        result = service.translate("SELECT FROM WHERE", "core", "core")
+        assert not result.ok
+        assert result.diagnostics.has_errors
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_translate_success(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "translate", "--from", "full", "--to", "core",
+            "SELECT a FROM t INNER JOIN u ON a = b",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SELECT a FROM t JOIN u ON a = b" in out
+
+    def test_translate_gap_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "translate", "--from", "core", "--to", "scql",
+            "SELECT t.a FROM t",
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "E0401" in captured.err
+        assert "enable feature 'QualifiedNames'" in captured.err
+
+    def test_translate_json_report(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        code = main([
+            "translate", "--json", "--from", "core", "--to", "core",
+            "SELECT a FROM t",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == REPORT_KIND
+        assert report["verified"] is True
