@@ -36,7 +36,7 @@ from .diagnostics import render_diagnostic, render_diagnostics
 from .engine import Database
 from .errors import InvalidConfigurationError, ReproError
 from .features import render_feature
-from .parsing import SentenceGenerator
+from .parsing import SentenceGenerator, backend_names
 from .service import ParseService
 from .sql import (
     build_dialect,
@@ -162,6 +162,25 @@ def _cmd_ir(args: argparse.Namespace) -> int:
     features, name = _selection(args)
     entry = service.registry.get(features)
     program = service.registry.parse_program(entry)
+    if args.artifacts:
+        print(f"fingerprint: {entry.fingerprint.digest}")
+        if service.registry.cache_dir is None:
+            print("artifact cache: disabled (pass --cache DIR)")
+        for item in service.registry.artifact_inventory(entry):
+            if item["path"] is None:
+                print(f"  {item['kind']:8} (no cache directory)")
+                continue
+            if not item["exists"]:
+                state = "missing"
+            elif item["stale"]:
+                state = "stale"
+            else:
+                state = "fresh"
+            if item["quarantined"]:
+                state += ", quarantined copy present"
+            size = f"{item['size']:>8} B" if item["exists"] else " " * 10
+            print(f"  {item['kind']:8} {size}  {state}  {item['path']}")
+        return 0
     if args.rule:
         rule_id = program.rule_id(args.rule)
         if rule_id is None:
@@ -207,10 +226,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
     import json as _json
 
     service = _service(args)
+    # keep stdout pure JSON under --json: the warm preamble goes to stderr
+    warm_out = sys.stderr if args.json else sys.stdout
     for dialect in args.warm or []:
         entry, warm = service.registry.acquire(dialect_features(dialect))
         state = "warm" if warm else "cold"
-        print(f"warmed dialect {dialect!r} ({state}): {entry.product.name}")
+        print(
+            f"warmed dialect {dialect!r} ({state}): {entry.product.name}",
+            file=warm_out,
+        )
     health = service.health()
     if args.json:
         print(_json.dumps(health, indent=2, sort_keys=True))
@@ -220,11 +244,15 @@ def _cmd_health(args: argparse.Namespace) -> int:
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
-    """Run the conformance corpus: every case, both backends."""
+    """Run the conformance corpus: every case, every registered backend."""
     from .conformance import ConformanceRunner, load_corpus
 
     corpus = load_corpus(args.corpus)
-    runner = ConformanceRunner(corpus=corpus, dialects=args.dialect or None)
+    runner = ConformanceRunner(
+        corpus=corpus,
+        dialects=args.dialect or None,
+        backends=tuple(args.backend) if args.backend else None,
+    )
     report = runner.run()
     if args.json:
         print(report.to_json())
@@ -474,6 +502,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
     ir.add_argument("--cache", metavar="DIR",
                     help="on-disk artifact cache directory (stores the "
                          "program as <digest>.ir.json)")
+    ir.add_argument("--artifacts", action="store_true",
+                    help="list every artifact kind for the selection's "
+                         "fingerprint (source/IR/closures) with size and "
+                         "staleness instead of the IR listing")
     ir.set_defaults(fn=_cmd_ir)
 
     sample = sub.add_parser("sample", help="random sentences of a dialect")
@@ -520,12 +552,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     conformance = sub.add_parser(
         "conformance",
-        help="run the conformance corpus (interpreter + generated backends)",
+        help="run the conformance corpus (every registered parse backend)",
     )
     conformance.add_argument("--dialect", action="append",
                              choices=dialect_names(), metavar="DIALECT",
                              help="restrict to a preset dialect (repeatable; "
                                   "default: every dialect the corpus names)")
+    conformance.add_argument("--backend", action="append",
+                             choices=backend_names(), metavar="BACKEND",
+                             help="restrict to one parse backend (repeatable; "
+                                  "default: every registered backend)")
     conformance.add_argument("--corpus", metavar="DIR",
                              help="corpus directory (default: the in-repo "
                                   "corpus/)")

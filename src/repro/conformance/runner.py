@@ -1,12 +1,14 @@
-"""Drive the conformance corpus through every preset dialect.
+"""Drive the conformance corpus through every registered parse backend.
 
 The runner is the differential half of the conformance subsystem: each
-case's SQL is pushed through the *interpreting* parser (where
-diagnostic assertions — code, message, hint — can be checked against
-:meth:`~repro.parsing.parser.Parser.parse_with_diagnostics`) and through
-the *generated-code* backend (accept/reject only, via the standalone
-module's ``accepts``).  A dialect disagreement between the two backends
-is itself a conformance failure, independent of what the case expected.
+case's SQL runs through every backend in the
+:mod:`repro.parsing.backends` registry.  Backends carrying the full
+diagnostics surface (interpreter, compiled) get the case's diagnostic
+assertions — code, message, hint — checked against
+:meth:`~repro.parsing.parser.Parser.parse_with_diagnostics`; the
+generated standalone module checks the accept/reject boundary only.  A
+dialect disagreement between any two backends is itself a conformance
+failure, independent of what the case expected.
 
 With ``collect_coverage`` on, the interpreter runs instrumented and the
 per-dialect :class:`~repro.parsing.coverage.CoverageCollector`s are kept
@@ -20,13 +22,18 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..parsing.backends import (
+    COMPILED,
+    GENERATED,
+    INTERPRETER,
+    backend_names,
+    get_backend,
+)
 from .corpus import ConformanceCase, Corpus, load_corpus
 
 #: JSON schema version for conformance reports.
 CONFORMANCE_REPORT_VERSION = 1
 
-INTERPRETER = "interpreter"
-GENERATED = "generated"
 #: Backend label for translation cases (they run through the transpiler
 #: pipeline, not a raw parse).
 TRANSPILER = "transpiler"
@@ -114,15 +121,17 @@ class ConformanceReport:
 
 
 class ConformanceRunner:
-    """Run a corpus against preset dialects, both backends.
+    """Run a corpus against preset dialects, every registered backend.
 
     Args:
         corpus: The cases to run (defaults to the in-repo ``corpus/``).
         dialects: Preset dialect names to drive (defaults to every
             preset the corpus mentions, in preset order).
-        backends: Which backends to check; diagnostic assertions only
-            apply on the interpreter, the generated backend checks the
-            accept/reject boundary.
+        backends: Which backends to check (defaults to every backend in
+            the :mod:`repro.parsing.backends` registry).  Diagnostic
+            assertions apply on backends with the full diagnostics
+            surface (interpreter, compiled); the generated backend
+            checks the accept/reject boundary.
         collect_coverage: Run the interpreter instrumented and keep the
             per-dialect collectors on :attr:`collectors`.
     """
@@ -131,7 +140,7 @@ class ConformanceRunner:
         self,
         corpus: Corpus | None = None,
         dialects: Sequence[str] | None = None,
-        backends: Iterable[str] = (INTERPRETER, GENERATED),
+        backends: Iterable[str] | None = None,
         collect_coverage: bool = False,
     ) -> None:
         from ..sql import dialect_names
@@ -149,6 +158,17 @@ class ConformanceRunner:
                     f"(presets: {', '.join(presets)})"
                 )
         self.dialects = tuple(dialects)
+        if backends is None:
+            backends = backend_names()
+        else:
+            backends = tuple(backends)
+            known = backend_names()
+            unknown = [name for name in backends if name not in known]
+            if unknown:
+                raise ValueError(
+                    f"unknown backends {unknown!r} "
+                    f"(registered: {', '.join(known)})"
+                )
         self.backends = tuple(backends)
         self.collect_coverage = collect_coverage
         #: dialect -> ComposedProduct, populated by :meth:`run`.
@@ -170,22 +190,23 @@ class ConformanceRunner:
     # -- per-dialect machinery ---------------------------------------------
 
     def _run_dialect(self, dialect: str, report: ConformanceReport) -> None:
-        from ..parsing.codegen import load_generated_parser
         from ..sql import build_dialect
 
         product = build_dialect(dialect)
         self.products[dialect] = product
         program = product.program()
         self.programs[dialect] = program
-        parser = product.parser(hints=True, program=program)
-        if self.collect_coverage:
-            self.collectors[dialect] = parser.enable_coverage()
-        module = None
+        parser = None
+        if INTERPRETER in self.backends or self.collect_coverage:
+            parser = get_backend(INTERPRETER).build(product, program=program)
+            if self.collect_coverage:
+                self.collectors[dialect] = parser.enable_coverage()
+        compiled = None
+        if COMPILED in self.backends:
+            compiled = get_backend(COMPILED).build(product, program=program)
+        generated = None
         if GENERATED in self.backends:
-            module = load_generated_parser(
-                product.generate_source(program=program),
-                module_name=f"conformance_{dialect}",
-            )
+            generated = get_backend(GENERATED).build(product, program=program)
         for case in self.corpus.for_dialect(dialect):
             if case.is_translation:
                 # translation cases assert on the transpiler pipeline
@@ -198,16 +219,25 @@ class ConformanceRunner:
                 continue
             if INTERPRETER in self.backends:
                 report.results.append(
-                    self._check_interpreter(case, dialect, parser)
+                    self._check_diagnostics(
+                        case, dialect, parser, INTERPRETER
+                    )
                 )
-            if module is not None:
+            if compiled is not None:
+                # the compiled backend carries the full diagnostics
+                # surface, so it faces the same assertions as the
+                # interpreter — not just the accept/reject boundary
                 report.results.append(
-                    self._check_generated(case, dialect, module)
+                    self._check_diagnostics(case, dialect, compiled, COMPILED)
+                )
+            if generated is not None:
+                report.results.append(
+                    self._check_generated(case, dialect, generated)
                 )
 
     @staticmethod
-    def _check_interpreter(
-        case: ConformanceCase, dialect: str, parser
+    def _check_diagnostics(
+        case: ConformanceCase, dialect: str, parser, backend: str
     ) -> CaseResult:
         outcome = parser.parse_with_diagnostics(case.sql)
         accepted = outcome.ok
@@ -242,7 +272,7 @@ class ConformanceRunner:
         return CaseResult(
             case=case.name,
             dialect=dialect,
-            backend=INTERPRETER,
+            backend=backend,
             expect=case.expect,
             passed=not failures,
             failures=tuple(failures),

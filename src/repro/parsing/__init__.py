@@ -8,9 +8,31 @@ Public API::
         Parser, Node,
         CoverageMap, CoverageCollector,
         ParserCodeGenerator, generate_parser_source, load_generated_parser,
+        ParseBackend, get_backend, backend_names,
+        ClosureParser, compile_closure_program,
     )
 """
 
+from .backends import (
+    COMPILED,
+    GENERATED,
+    INTERPRETER,
+    CompiledBackend,
+    GeneratedBackend,
+    InterpreterBackend,
+    ParseBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from .closures import (
+    ClosureParser,
+    ClosureProgram,
+    CompiledScanner,
+    closure_fingerprint,
+    compile_closure_program,
+    generate_closure_source,
+)
 from .codegen import (
     ParserCodeGenerator,
     generate_parser_source,
@@ -31,22 +53,38 @@ from .sentences import SentenceGenerator, generate_sentences
 from .tree import Node
 
 __all__ = [
+    "COMPILED",
+    "ClosureParser",
+    "ClosureProgram",
+    "CompiledBackend",
+    "CompiledScanner",
     "CoverageCollector",
     "CoverageMap",
+    "GENERATED",
+    "GeneratedBackend",
     "GrammarAnalysis",
+    "INTERPRETER",
     "IR_VERSION",
+    "InterpreterBackend",
     "LLConflict",
     "LLTable",
     "Node",
+    "ParseBackend",
     "ParseOutcome",
     "ParseProgram",
     "Parser",
     "ParserCodeGenerator",
     "SentenceGenerator",
+    "backend_names",
+    "closure_fingerprint",
+    "compile_closure_program",
     "compile_program",
+    "generate_closure_source",
     "generate_parser_source",
     "generate_sentences",
+    "get_backend",
     "load_generated_parser",
     "program_fingerprint",
+    "register_backend",
     "source_fingerprint",
 ]

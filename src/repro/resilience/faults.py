@@ -31,8 +31,11 @@ SITES = (
     "artifact.read.ir",       # parse-program IR artifact read (registry)
     "artifact.write.source",  # generated-source artifact publish (registry)
     "artifact.write.ir",      # parse-program IR artifact publish (registry)
+    "artifact.read.closures",   # closure artifact read (registry)
+    "artifact.write.closures",  # closure artifact publish (registry)
     "compose",                # grammar composition (registry build lock)
     "program.compile",        # ParseProgram compilation (registry entry)
+    "closure.compile",        # closure-backend compilation (registry entry)
     "hints.build",            # feature-hint provider construction (entry)
     "backend.parse",          # the primary backend parse (service)
     "worker.execute",         # the whole per-request worker body (service)

@@ -99,6 +99,10 @@ class ServiceMetrics:
         "ir_disk_hits",    # parse program served from the artifact cache
         "ir_disk_misses",  # IR artifact cache had no (valid) file
         "ir_disk_invalidations",  # IR artifact fingerprint mismatched
+        "closure_compiles",  # closure-backend artifact compilations
+        "closure_disk_hits",   # closure artifact served from the disk cache
+        "closure_disk_misses",  # closure artifact cache had no (valid) file
+        "closure_disk_invalidations",  # closure artifact fp mismatched
         "parses",          # parse requests served
         "parse_errors",    # parses whose outcome carried error diagnostics
         "timeouts",        # batch requests that exceeded their deadline
@@ -107,6 +111,7 @@ class ServiceMetrics:
         # -- resilience ----------------------------------------------------
         "ir_corrupt",      # IR artifacts found corrupt (not merely stale)
         "source_corrupt",  # generated-source artifacts found corrupt
+        "closure_corrupt",  # closure artifacts found corrupt
         "quarantined",     # corrupt artifacts renamed aside (.bad)
         "retries",         # transient artifact-I/O attempts retried
         "breaker_trips",   # circuit breakers that tripped open
@@ -124,11 +129,21 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters = {name: 0 for name in self.COUNTERS}
+        #: name of the backend the owning service serves with (set by
+        #: ParseService; None for a registry used standalone)
+        self.backend: str | None = None
         self._histograms = {
             "compose": LatencyHistogram(),
             "compile": LatencyHistogram(),
             "ir_compile": LatencyHistogram(),
+            "closure_compile": LatencyHistogram(),
             "parse": LatencyHistogram(),
+            # per-backend parse series: "parse" stays the aggregate the
+            # dashboards already read; these make a compiled→interpreter
+            # degradation visible as traffic shifting between series
+            "parse_compiled": LatencyHistogram(),
+            "parse_generated": LatencyHistogram(),
+            "parse_interpreter": LatencyHistogram(),
             "lint": LatencyHistogram(),
             # timed-out parses, recorded separately so the main parse
             # series is not polluted while p99 still reflects reality
@@ -168,6 +183,7 @@ class ServiceMetrics:
         with self._lock:
             total = self._counters["hits"] + self._counters["misses"]
             return {
+                "backend": self.backend,
                 "counters": dict(self._counters),
                 "hit_rate": (
                     round(self._counters["hits"] / total, 4) if total else 0.0
@@ -181,6 +197,8 @@ class ServiceMetrics:
         """Human-readable snapshot for ``repro stats`` / the shell."""
         snap = self.snapshot()
         lines = ["parse service stats"]
+        if snap["backend"]:
+            lines.append(f"  backend: {snap['backend']}")
         counters = snap["counters"]
         lines.append(
             f"  cache: {counters['hits']} hits / {counters['misses']} misses "
@@ -195,6 +213,12 @@ class ServiceMetrics:
             f"{counters['ir_disk_hits']} disk hits / "
             f"{counters['ir_disk_misses']} misses, "
             f"{counters['ir_disk_invalidations']} invalidated"
+        )
+        lines.append(
+            f"  closure: {counters['closure_compiles']} compiles, "
+            f"{counters['closure_disk_hits']} disk hits / "
+            f"{counters['closure_disk_misses']} misses, "
+            f"{counters['closure_disk_invalidations']} invalidated"
         )
         lines.append(
             f"  work:  {counters['composes']} composes, {counters['compiles']} "
@@ -224,6 +248,15 @@ class ServiceMetrics:
                 continue
             lines.append(
                 f"  {name:7}: n={h['count']} mean={h['mean_ms']:.2f}ms "
+                f"p50={h['p50_ms']:.2f}ms p90={h['p90_ms']:.2f}ms "
+                f"max={h['max_ms']:.2f}ms"
+            )
+        for name in ("parse_compiled", "parse_generated", "parse_interpreter"):
+            h = snap["latency"][name]
+            if not h["count"]:
+                continue  # only series that saw traffic
+            lines.append(
+                f"  {name}: n={h['count']} mean={h['mean_ms']:.2f}ms "
                 f"p50={h['p50_ms']:.2f}ms p90={h['p90_ms']:.2f}ms "
                 f"max={h['max_ms']:.2f}ms"
             )

@@ -17,10 +17,11 @@ Three cache layers, cheapest first:
    generated source are built on first use and shared by every parser of
    the entry.  Interpreting parsers carry per-parse mutable state, so the
    entry hands out one parser per thread.
-3. **On-disk artifact cache** (optional): two artifact kinds are
+3. **On-disk artifact cache** (optional): three artifact kinds are
    persisted under ``cache_dir`` — generated parser source as
-   ``<digest>.py`` and the compiled parse-program IR as
-   ``<digest>.ir.json``.  Both embed their fingerprint; a mismatch
+   ``<digest>.py``, the compiled parse-program IR as
+   ``<digest>.ir.json``, and the closure-backend source as
+   ``<digest>.closures.py``.  All embed their fingerprint; a mismatch
    (stale or corrupted artifact) is detected and the file rebuilt, and a
    changed selection or sub-grammar changes the digest — automatic
    invalidation.
@@ -91,6 +92,7 @@ class RegistryEntry:
         self._coverage_map = None
         self._source: str | None = None
         self._module = None
+        self._closure = None
 
     # -- shared immutable artifacts ---------------------------------------
 
@@ -342,6 +344,41 @@ class RegistryEntry:
             self._tls.coverage_parser = parser
         return parser
 
+    def compiled_parser(self, hints: bool = True, cache_dir: Path | None = None):
+        """A fresh closure-backend parser over this entry's shared artifact."""
+        from ..parsing.closures import ClosureParser
+
+        analysis, table, scanner = self._compiled()
+        return ClosureParser(
+            self.product.grammar,
+            self.closure_program(cache_dir),
+            scanner=scanner,
+            hint_provider=self.hint_provider() if hints else None,
+            analysis=analysis,
+            table=table,
+        )
+
+    def thread_compiled_parser(self, cache_dir: Path | None = None):
+        """The calling thread's closure-backend parser (created on demand)."""
+        parser = getattr(self._tls, "compiled_parser", None)
+        if parser is None:
+            parser = self.compiled_parser(cache_dir=cache_dir)
+            self._tls.compiled_parser = parser
+        return parser
+
+    def thread_compiled_coverage_parser(self, cache_dir: Path | None = None):
+        """Per-thread *instrumented* closure-backend parser.
+
+        Separate from :meth:`thread_compiled_parser` for the same
+        ``__class__``-flip de-optimization reason as the interpreting
+        pair above.
+        """
+        parser = getattr(self._tls, "compiled_coverage_parser", None)
+        if parser is None:
+            parser = self.compiled_parser(cache_dir=cache_dir)
+            self._tls.compiled_coverage_parser = parser
+        return parser
+
     # -- generated-code artifacts ------------------------------------------
 
     def generated_source(self, cache_dir: Path | None = None) -> str:
@@ -419,6 +456,143 @@ class RegistryEntry:
         self._write_artifact_text(
             self._artifact_path(cache_dir), source, "artifact.write.source"
         )
+
+    # -- closure-backend artifacts -----------------------------------------
+
+    def closure_program(self, cache_dir: Path | None = None):
+        """The exec-compiled closure artifact, shared across threads.
+
+        Loaded from ``<digest>.closures.py`` (fingerprint-validated)
+        when a disk cache is configured; a cached file that passes the
+        fingerprint scan but does not exec into a rule table matching
+        the program is quarantined and rebuilt, exactly like the other
+        two artifact kinds.
+        """
+        if self._closure is not None:
+            return self._closure
+        with self._lock:
+            if self._closure is not None:
+                return self._closure
+            from ..parsing.closures import (
+                ClosureProgram,
+                generate_closure_source,
+            )
+
+            directory = (
+                Path(cache_dir) if cache_dir is not None else self._cache_dir
+            )
+            program = self.program(cache_dir)
+            closure = None
+            if directory is not None:
+                source = self._load_closure_artifact(directory)
+                if source is not None:
+                    try:
+                        closure = ClosureProgram(program, source)
+                    except Exception:
+                        # fingerprint matched but the text does not exec
+                        # to this program's rule table: corrupt
+                        self._quarantine(
+                            self._closure_artifact_path(directory),
+                            "closure_corrupt",
+                        )
+                        closure = None
+            if closure is None:
+                self._metrics.incr("closure_compiles")
+                self._fault("closure.compile")
+                with self._metrics.time("closure_compile"):
+                    source = generate_closure_source(
+                        program, self.fingerprint.digest
+                    )
+                    closure = ClosureProgram(program, source)
+                if directory is not None:
+                    self._store_closure_artifact(directory, source)
+            self._closure = closure
+            return closure
+
+    def _closure_artifact_path(self, cache_dir: Path) -> Path:
+        return cache_dir / f"{self.fingerprint.digest}.closures.py"
+
+    def _load_closure_artifact(self, cache_dir: Path) -> str | None:
+        from ..parsing.closures import closure_fingerprint
+
+        path = self._closure_artifact_path(cache_dir)
+        try:
+            source = self._read_artifact_text(path, "artifact.read.closures")
+        except FileNotFoundError:
+            self._metrics.incr("closure_disk_misses")
+            return None
+        except Exception:
+            self._metrics.incr("closure_disk_misses")
+            self._quarantine(path, "closure_corrupt")
+            return None
+        embedded = closure_fingerprint(source)
+        if embedded != self.fingerprint.digest:
+            self._metrics.incr("closure_disk_invalidations")
+            self._metrics.incr("closure_disk_misses")
+            self._quarantine(
+                path, "closure_corrupt" if embedded is None else None
+            )
+            return None
+        self._metrics.incr("closure_disk_hits")
+        return source
+
+    def _store_closure_artifact(self, cache_dir: Path, source: str) -> None:
+        self._write_artifact_text(
+            self._closure_artifact_path(cache_dir),
+            source,
+            "artifact.write.closures",
+        )
+
+    # -- artifact inventory -------------------------------------------------
+
+    def artifacts(self, cache_dir: Path | None = None) -> list[dict]:
+        """Inventory of every on-disk artifact kind for this fingerprint.
+
+        One dict per kind (``ir`` / ``source`` / ``closures``) with the
+        path, whether it exists, its size, whether its embedded
+        fingerprint is stale, and whether a quarantined ``.bad`` sibling
+        is lying next to it.  With no cache directory the listing still
+        names the kinds (``path`` is None) so callers can render a
+        uniform table.
+        """
+        from ..parsing.closures import closure_fingerprint
+        from ..parsing.codegen import source_fingerprint
+        from ..parsing.program import program_fingerprint
+
+        directory = (
+            Path(cache_dir) if cache_dir is not None else self._cache_dir
+        )
+        kinds = (
+            ("ir", ".ir.json", program_fingerprint),
+            ("source", ".py", source_fingerprint),
+            ("closures", ".closures.py", closure_fingerprint),
+        )
+        listing = []
+        for kind, suffix, extract in kinds:
+            info: dict = {
+                "kind": kind,
+                "path": None,
+                "exists": False,
+                "size": 0,
+                "stale": False,
+                "quarantined": False,
+            }
+            if directory is not None:
+                path = directory / f"{self.fingerprint.digest}{suffix}"
+                info["path"] = str(path)
+                info["quarantined"] = path.with_name(
+                    path.name + QUARANTINE_SUFFIX
+                ).exists()
+                try:
+                    text = path.read_text()
+                except OSError:
+                    pass
+                else:
+                    info["exists"] = True
+                    info["size"] = len(text.encode())
+                    info["stale"] = extract(text) != self.fingerprint.digest
+            listing.append(info)
+        return listing
 
     def __repr__(self) -> str:
         return f"<RegistryEntry {self.product.name!r} fp={self.fingerprint.short}>"
@@ -647,6 +821,14 @@ class ParserRegistry:
     def parse_program(self, entry: RegistryEntry):
         """Entry's compiled parse program through this registry's disk cache."""
         return entry.program(self.cache_dir)
+
+    def closure_program(self, entry: RegistryEntry):
+        """Entry's closure-backend artifact through this registry's disk cache."""
+        return entry.closure_program(self.cache_dir)
+
+    def artifact_inventory(self, entry: RegistryEntry) -> list[dict]:
+        """Per-kind artifact listing for ``entry`` (see ``RegistryEntry.artifacts``)."""
+        return entry.artifacts(self.cache_dir)
 
     # -- maintenance --------------------------------------------------------
 

@@ -221,10 +221,14 @@ class ParseService:
         max_queue: Admission-control bound: maximum requests in flight
             (queued + executing) before new ones are shed with an E0204
             result.  Defaults to ``max(256, max_workers * 32)``.
-        backend: ``"interpreter"`` (default) parses with the shared-IR
-            interpreting parser; ``"generated"`` parses with the
-            generated standalone module, falling back to the interpreter
-            (and recording ``degraded_backend``) if the module fails.
+        backend: Which registered parse backend serves traffic.
+            ``"compiled"`` (default) parses with the closure-compiled
+            threaded code; ``"interpreter"`` with the shared-IR
+            interpreting parser; ``"generated"`` with the generated
+            standalone module.  Whatever the primary, an unexpected
+            failure degrades down the ladder — compiled/generated fall
+            to the shared interpreter, and that falls to the clean-room
+            interpreter — recording ``degraded_backend`` each time.
         fault_plan: Optional deterministic
             :class:`~repro.resilience.faults.FaultPlan` for chaos
             testing; threaded into a registry constructed here, and
@@ -239,13 +243,13 @@ class ParseService:
         cache_dir: str | os.PathLike | None = None,
         max_workers: int = DEFAULT_WORKERS,
         max_queue: int | None = None,
-        backend: str = "interpreter",
+        backend: str = "compiled",
         fault_plan: FaultPlan | None = None,
     ) -> None:
-        if backend not in ("interpreter", "generated"):
+        if backend not in ("compiled", "interpreter", "generated"):
             raise ValueError(
                 f"unknown backend {backend!r} "
-                "(expected 'interpreter' or 'generated')"
+                "(expected 'compiled', 'interpreter' or 'generated')"
             )
         if registry is not None:
             self.registry = registry
@@ -263,6 +267,7 @@ class ParseService:
         self.metrics: ServiceMetrics = self.registry.metrics
         self.max_workers = max(1, max_workers)
         self.backend = backend
+        self.metrics.backend = backend
         # never mutate a caller-provided registry's plan; the service's
         # own sites use whichever plan is in effect
         self._faults = fault_plan if fault_plan is not None else self.registry.faults
@@ -552,14 +557,15 @@ class ParseService:
             name: counters[name]
             for name in (
                 "quarantined", "ir_corrupt", "source_corrupt",
-                "degraded_backend", "degraded_hints", "internal_errors",
-                "shed", "breaker_fast_fails", "retries",
+                "closure_corrupt", "degraded_backend", "degraded_hints",
+                "internal_errors", "shed", "breaker_fast_fails", "retries",
             )
             if counters[name]
         }
         status = "ok" if not degradation and not open_breakers else "degraded"
         return {
             "status": status,
+            "backend": self.backend,
             "breakers": {
                 "tracked": len(breakers),
                 "open": open_breakers,
@@ -585,6 +591,7 @@ class ParseService:
         """Human-readable :meth:`health` (the ``repro health`` output)."""
         health = self.health()
         lines = [f"parse service health: {health['status']}"]
+        lines.append(f"  backend: {health['backend']}")
         queue = health["queue"]
         lines.append(
             f"  queue: {queue['in_flight']}/{queue['limit']} in flight, "
@@ -724,10 +731,14 @@ class ParseService:
     ) -> ParseServiceResult:
         """One parse through the degradation ladder.
 
-        Primary backend (interpreter, or the generated module when
-        configured) first; if it *raises* — as opposed to returning a
-        result with diagnostics — the clean-room fallback interpreter
-        answers and the result is marked ``degraded=("backend",)``.
+        The configured primary backend (compiled by default) runs first;
+        if it *raises* — as opposed to returning a result with
+        diagnostics — the shared interpreter answers, and if that also
+        raises, the clean-room fallback interpreter does.  Every rung
+        taken marks the result ``degraded=("backend",)`` and bumps
+        ``degraded_backend``, and each backend times into its own
+        ``parse_<backend>`` latency series, so a fleet silently shifting
+        from compiled to interpreter is visible in ``repro stats``.
         """
         self.metrics.incr("parses")
         degraded: list[str] = []
@@ -738,19 +749,50 @@ class ParseService:
             # count into a per-call private collector on the dedicated
             # instrumented parser and merge at the end: the caller's
             # collector may be shared across workers, and the plain
-            # thread parser must never be flipped into coverage mode
-            parser = entry.thread_coverage_parser()
+            # thread parser must never be flipped into coverage mode.
+            # Coverage runs on the serving backend (the CI gate must
+            # cover what production executes), degrading to the
+            # instrumented interpreter if the compiled artifact fails.
+            parser = None
+            series = "parse_interpreter"
+            if self.backend == "compiled":
+                try:
+                    parser = entry.thread_compiled_coverage_parser(
+                        self.registry.cache_dir
+                    )
+                    series = "parse_compiled"
+                except Exception:
+                    degraded.append("backend")
+                    self.metrics.incr("degraded_backend")
+            if parser is None:
+                parser = entry.thread_coverage_parser()
             private = entry.coverage_collector()
             parser.enable_coverage(private)
             try:
                 outcome, seconds = self._interpret(
-                    parser, text, start, max_errors, max_steps, deadline
+                    parser, text, start, max_errors, max_steps, deadline,
+                    series=series,
                 )
             finally:
                 parser.disable_coverage()
                 coverage.merge(private)
         else:
-            if self.backend == "generated":
+            if self.backend == "compiled":
+                try:
+                    if self._faults is not None:
+                        self._faults.check("backend.parse")
+                    parser = entry.thread_compiled_parser(
+                        self.registry.cache_dir
+                    )
+                    outcome, seconds = self._interpret(
+                        parser, text, start, max_errors, max_steps, deadline,
+                        series="parse_compiled",
+                    )
+                except Exception:
+                    degraded.append("backend")
+                    self.metrics.incr("degraded_backend")
+                    outcome = None
+            elif self.backend == "generated":
                 try:
                     outcome, seconds = self._parse_generated(
                         entry, text, start, max_errors
@@ -761,15 +803,16 @@ class ParseService:
                     outcome = None
             if outcome is None:
                 try:
-                    if self.backend != "generated" and self._faults is not None:
-                        # the generated path already checked this site
+                    if self.backend == "interpreter" and self._faults is not None:
+                        # primary-only site: the compiled/generated paths
+                        # already checked it
                         self._faults.check("backend.parse")
                     parser = entry.thread_parser()
                     outcome, seconds = self._interpret(
                         parser, text, start, max_errors, max_steps, deadline
                     )
                 except Exception:
-                    # primary interpreter path failed unexpectedly:
+                    # shared-interpreter rung failed unexpectedly:
                     # last rung before the never-crash guard — the
                     # clean-room parser shares nothing with the cache
                     if "backend" not in degraded:
@@ -802,13 +845,17 @@ class ParseService:
         )
 
     def _interpret(
-        self, parser, text, start, max_errors, max_steps, deadline
+        self, parser, text, start, max_errors, max_steps, deadline,
+        series: str = "parse_interpreter",
     ):
         with self.metrics.time("parse") as timer:
             outcome = parser.parse_with_diagnostics(
                 text, start=start, max_errors=max_errors,
                 max_steps=max_steps, deadline=deadline,
             )
+        # "parse" stays the aggregate; the per-backend series shows which
+        # rung of the ladder actually served
+        self.metrics.observe(series, timer.seconds)
         return outcome, timer.seconds
 
     def _parse_generated(self, entry, text, start, max_errors):
@@ -832,6 +879,7 @@ class ParseService:
                 tree = module.parse(text, start=start)
             except ReproError as error:
                 bag.add(error.to_diagnostic())
+        self.metrics.observe("parse_generated", timer.seconds)
         return ParseOutcome(tree, bag, text), timer.seconds
 
     def _collect(

@@ -11,7 +11,12 @@ from repro.conformance import (
     Corpus,
     run_conformance,
 )
-from repro.conformance.runner import GENERATED, INTERPRETER, TRANSPILER
+from repro.conformance.runner import (
+    COMPILED,
+    GENERATED,
+    INTERPRETER,
+    TRANSPILER,
+)
 
 
 def case(name="probe", dialects=("scql",), expect="accept",
@@ -25,7 +30,7 @@ def case(name="probe", dialects=("scql",), expect="accept",
 class TestShippedCorpus:
     def test_every_check_passes(self):
         """The repo's own corpus is green on every preset dialect,
-        through the interpreting and the generated-code backend."""
+        through every registered parse backend."""
         report, runner = run_conformance()
         assert set(runner.dialects) == {
             "scql", "tinysql", "core", "analytics", "full"
@@ -34,9 +39,9 @@ class TestShippedCorpus:
         counts = report.counts()
         assert counts["failed"] == 0
         assert counts["checks"] == len(report.results)
-        # both parse backends ran, plus the transpiler for translation cases
+        # every parse backend ran, plus the transpiler for translation cases
         backends = {r.backend for r in report.results}
-        assert backends == {INTERPRETER, GENERATED, TRANSPILER}
+        assert backends == {INTERPRETER, COMPILED, GENERATED, TRANSPILER}
 
     def test_collect_coverage_keeps_collectors(self):
         report, runner = run_conformance(
@@ -61,14 +66,16 @@ class TestRunnerMechanics:
                 corpus=Corpus(cases=[case()]), dialects=["nope"]
             )
 
-    def test_wrong_accept_expectation_fails_both_backends(self):
+    def test_wrong_accept_expectation_fails_every_backend(self):
         corpus = Corpus(
             cases=[case(expect="reject", sql="SELECT a FROM t")]
         )
         report = ConformanceRunner(corpus=corpus).run()
         assert not report.ok
         failed = report.failed()
-        assert {r.backend for r in failed} == {INTERPRETER, GENERATED}
+        assert {r.backend for r in failed} == {
+            INTERPRETER, COMPILED, GENERATED,
+        }
         assert any(
             "expected rejection" in f for r in failed for f in r.failures
         )

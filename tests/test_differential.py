@@ -1,9 +1,10 @@
-"""Differential equivalence: IR-driven interpreter vs generated parser.
+"""Differential equivalence across every registered parse backend.
 
-Both backends print/execute the *same* compiled
-:class:`~repro.parsing.program.ParseProgram`, so for every preset
-dialect, over a grammar-guided fuzz corpus (valid sentences, workload
-queries, and mutated/invalid inputs) they must agree exactly:
+All backends in the :mod:`repro.parsing.backends` registry —
+interpreter, closure-compiled, generated source — execute the *same*
+compiled :class:`~repro.parsing.program.ParseProgram`, so for every
+preset dialect, over a grammar-guided fuzz corpus (valid sentences,
+workload queries, and mutated/invalid inputs) they must agree exactly:
 
 * on accepted inputs, identical s-expression parse trees;
 * on rejected inputs, identical error line/column and identical
@@ -18,8 +19,7 @@ import random
 
 import pytest
 
-from repro.errors import ParseError, ScanError
-from repro.parsing import SentenceGenerator, load_generated_parser
+from repro.parsing import SentenceGenerator, backend_names, get_backend
 from repro.sql import build_dialect, dialect_names
 from repro.workloads.generator import generate_workload
 
@@ -41,15 +41,14 @@ REJECTED_FIXED = [
 
 @pytest.fixture(scope="module", params=dialect_names())
 def backends(request):
-    """(dialect, interpreter parser, generated module, corpus) per dialect."""
+    """(dialect, {backend name: parser}, corpus) per preset dialect."""
     dialect = request.param
     product = build_dialect(dialect)
     program = product.program()
-    parser = product.parser(hints=False, program=program)
-    module = load_generated_parser(
-        product.generate_source(program=program),
-        f"differential_{dialect}",
-    )
+    parsers = {
+        name: get_backend(name).build(product, program=program, hints=False)
+        for name in backend_names()
+    }
     rng = random.Random(SEED)
     corpus = list(generate_workload(dialect, 25, seed=11))
     corpus += SentenceGenerator(product.grammar, seed=SEED).sentences(
@@ -57,39 +56,30 @@ def backends(request):
     )
     corpus += [mutate(s, rng) for s in corpus[:ITERATIONS]]
     corpus += REJECTED_FIXED + GARBAGE
-    return dialect, parser, module, corpus
-
-
-def interpreter_outcome(parser, text):
-    try:
-        return ("ok", parser.parse(text).to_sexpr())
-    except ScanError:
-        return ("scan-error", None)
-    except ParseError as error:
-        return ("error", (error.line, error.column, error.expected))
-
-
-def generated_outcome(module, text):
-    try:
-        return ("ok", module.parse(text).to_sexpr())
-    except module.ScanError:
-        return ("scan-error", None)
-    except module.ParseError as error:
-        return ("error", (error.line, error.column, error.expected))
+    return dialect, parsers, corpus
 
 
 class TestDifferentialEquivalence:
     def test_backends_agree_on_whole_corpus(self, backends):
-        dialect, parser, module, corpus = backends
+        dialect, parsers, corpus = backends
+        reference_name = "interpreter"
+        reference = parsers[reference_name]
+        others = {
+            name: parser
+            for name, parser in parsers.items()
+            if name != reference_name
+        }
+        assert others, "the backend registry must hold more than the reference"
         accepted = rejected = 0
         for text in corpus:
-            expected = interpreter_outcome(parser, text)
-            actual = generated_outcome(module, text)
-            assert actual == expected, (
-                f"[{dialect}] backends disagree on {text!r}:\n"
-                f"  interpreter: {expected}\n"
-                f"  generated:   {actual}"
-            )
+            expected = get_backend(reference_name).outcome(reference, text)
+            for name, parser in others.items():
+                actual = get_backend(name).outcome(parser, text)
+                assert actual == expected, (
+                    f"[{dialect}] backends disagree on {text!r}:\n"
+                    f"  {reference_name}: {expected}\n"
+                    f"  {name}: {actual}"
+                )
             if expected[0] == "ok":
                 accepted += 1
             else:
@@ -98,8 +88,8 @@ class TestDifferentialEquivalence:
         assert accepted > 0, f"[{dialect}] corpus had no accepted inputs"
         assert rejected > 0, f"[{dialect}] corpus had no rejected inputs"
 
-    def test_workload_fully_accepted_by_both(self, backends):
-        dialect, parser, module, _ = backends
+    def test_workload_fully_accepted_by_all(self, backends):
+        dialect, parsers, _ = backends
         for query in generate_workload(dialect, 25, seed=77):
-            assert parser.accepts(query), f"[{dialect}] interpreter: {query!r}"
-            assert module.accepts(query), f"[{dialect}] generated: {query!r}"
+            for name, parser in parsers.items():
+                assert parser.accepts(query), f"[{dialect}] {name}: {query!r}"

@@ -186,7 +186,10 @@ class TestLifecycleAndStats:
     def test_stats_snapshot_shape(self, service):
         service.parse("SELECT a FROM t", ["Query"])
         snap = service.stats()
-        assert set(snap) == {"counters", "hit_rate", "latency", "registry"}
+        assert set(snap) == {
+            "backend", "counters", "hit_rate", "latency", "registry",
+        }
+        assert snap["backend"] == "compiled"
         assert snap["counters"]["parses"] == 1
         assert snap["registry"]["entries"] == 1
         assert snap["registry"]["capacity"] == service.registry.capacity
