@@ -1,0 +1,102 @@
+"""Diff two BENCH_service.json artifacts and warn on regressions.
+
+Usage: bench_trajectory.py PREVIOUS CURRENT
+
+Compares the headline numbers of the saturation benchmark (E12) between
+the previous trajectory point (restored from the actions cache) and the
+current run.  Emits a ``::warning::`` workflow annotation for any
+headline metric that regressed by more than ``SLOWDOWN_THRESHOLD`` —
+throughput dropping or tail latency rising.  The diff never fails the
+job: the hard floor is the 1.8x saturation gate inside the benchmark
+itself; the trajectory exists to catch slow drift before it trips that
+gate.
+"""
+
+import json
+import sys
+
+#: Fractional regression that triggers a workflow warning.
+SLOWDOWN_THRESHOLD = 0.15
+
+#: headline key -> True when larger is better (qps), False when smaller
+#: is better (latency).
+HEADLINE_METRICS = {
+    "warm_thread_qps": True,
+    "warm_process_qps": True,
+    "process_speedup": True,
+    "warm_process_p99_ms": False,
+}
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as exc:
+        print(f"::notice::could not read {path}: {exc}")
+        return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[2])
+        return 2
+    previous, current = load(argv[1]), load(argv[2])
+    if current is None:
+        print(f"::notice::no current benchmark at {argv[2]}; nothing to diff")
+        return 0
+    if previous is None:
+        print(
+            f"::notice::no previous benchmark at {argv[1]} "
+            "(first run, or cache evicted); trajectory starts here"
+        )
+        return 0
+    if previous.get("version") != current.get("version"):
+        print(
+            "::notice::benchmark schema changed "
+            f"(v{previous.get('version')} -> v{current.get('version')}); "
+            "skipping diff"
+        )
+        return 0
+    if previous.get("seed") != current.get("seed"):
+        print(
+            "::notice::benchmark seed changed "
+            f"({previous.get('seed')} -> {current.get('seed')}); "
+            "skipping diff — workloads are not comparable"
+        )
+        return 0
+
+    old_head = previous.get("headline", {})
+    new_head = current.get("headline", {})
+    regressions = 0
+    for metric, larger_is_better in HEADLINE_METRICS.items():
+        old = old_head.get(metric)
+        new = new_head.get(metric)
+        if not isinstance(old, (int, float)) or not isinstance(
+            new, (int, float)
+        ):
+            continue
+        if old <= 0:
+            continue
+        if larger_is_better:
+            change = (old - new) / old  # positive = got slower
+        else:
+            change = (new - old) / old  # positive = got slower
+        arrow = f"{metric}: {old} -> {new} ({change:+.1%} regression axis)"
+        if change > SLOWDOWN_THRESHOLD:
+            regressions += 1
+            print(
+                f"::warning title=saturation benchmark slowdown::{arrow} "
+                f"exceeds the {SLOWDOWN_THRESHOLD:.0%} drift threshold"
+            )
+        else:
+            print(arrow)
+    if regressions == 0:
+        print("trajectory ok: no headline metric drifted > 15%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -89,8 +89,17 @@ def _cmd_features(args: argparse.Namespace) -> int:
 
 
 def _service(args: argparse.Namespace) -> ParseService:
-    """The command's parse service over the shared SQL registry."""
-    return ParseService(cache_dir=getattr(args, "cache", None))
+    """The command's parse service over the shared SQL registry.
+
+    Commands use it as a context manager so both executor kinds are
+    drained on the way out (the ISSUE-10 close path).
+    """
+    kwargs: dict = {"cache_dir": getattr(args, "cache", None)}
+    if getattr(args, "executor", None):
+        kwargs["executor"] = args.executor
+    if getattr(args, "workers", None):
+        kwargs["max_workers"] = args.workers
+    return ParseService(**kwargs)
 
 
 def _selection(args: argparse.Namespace) -> tuple[list[str], str | None]:
@@ -114,93 +123,98 @@ def _resolve_product(args: argparse.Namespace, service: ParseService | None = No
     path that composes it — dialing up a shell, ``configure_sql`` …)
     share one composed product per fingerprint.
     """
-    service = service if service is not None else _service(args)
     features, name = _selection(args)
-    product = service.registry.get(features).product
+    if service is None:
+        with _service(args) as service:
+            product = service.registry.get(features).product
+    else:
+        product = service.registry.get(features).product
     if name is not None and product.name != name:
         product = dataclasses.replace(product, name=name)
     return product
 
 
 def _cmd_compose(args: argparse.Namespace) -> int:
-    service = _service(args)
-    features, name = _selection(args)
-    entry = service.registry.get(features)
-    product = entry.product
-    if name is not None and product.name != name:
-        product = dataclasses.replace(product, name=name)
-    print(f"composed {product.name}: {product.size()}")
-    print(f"fingerprint: {entry.fingerprint.digest}")
-    print(f"sequence: {' -> '.join(product.sequence)}")
-    print(f"trace: {product.trace.summary()}")
-    if args.emit:
-        # disk-cache aware: with --cache, an unchanged fingerprint reuses
-        # the generated source from a previous process
-        source = service.registry.generated_source(entry)
-        with open(args.emit, "w") as handle:
-            handle.write(source)
-        print(f"wrote generated parser: {args.emit} "
-              f"({len(source.splitlines())} lines)")
-    status = 0
-    if args.query:
-        result = service.parse(args.query, features, max_errors=args.max_errors)
-        if result.ok:
-            print("accepted:")
-            print(result.tree.pretty())
-        else:
-            print("rejected:")
-            print(result.render(filename="<query>"))
-            status = 1
-    if args.cache:
-        print(service.render_stats())
-    return status
+    with _service(args) as service:
+        features, name = _selection(args)
+        entry = service.registry.get(features)
+        product = entry.product
+        if name is not None and product.name != name:
+            product = dataclasses.replace(product, name=name)
+        print(f"composed {product.name}: {product.size()}")
+        print(f"fingerprint: {entry.fingerprint.digest}")
+        print(f"sequence: {' -> '.join(product.sequence)}")
+        print(f"trace: {product.trace.summary()}")
+        if args.emit:
+            # disk-cache aware: with --cache, an unchanged fingerprint
+            # reuses the generated source from a previous process
+            source = service.registry.generated_source(entry)
+            with open(args.emit, "w") as handle:
+                handle.write(source)
+            print(f"wrote generated parser: {args.emit} "
+                  f"({len(source.splitlines())} lines)")
+        status = 0
+        if args.query:
+            result = service.parse(
+                args.query, features, max_errors=args.max_errors
+            )
+            if result.ok:
+                print("accepted:")
+                print(result.tree.pretty())
+            else:
+                print("rejected:")
+                print(result.render(filename="<query>"))
+                status = 1
+        if args.cache:
+            print(service.render_stats())
+        return status
 
 
 def _cmd_ir(args: argparse.Namespace) -> int:
     """Dump a product's compiled parse program as a readable listing."""
-    service = _service(args)
-    features, name = _selection(args)
-    entry = service.registry.get(features)
-    program = service.registry.parse_program(entry)
-    if args.artifacts:
-        print(f"fingerprint: {entry.fingerprint.digest}")
-        if service.registry.cache_dir is None:
-            print("artifact cache: disabled (pass --cache DIR)")
-        for item in service.registry.artifact_inventory(entry):
-            if item["path"] is None:
-                print(f"  {item['kind']:8} (no cache directory)")
-                continue
-            if not item["exists"]:
-                state = "missing"
-            elif item["stale"]:
-                state = "stale"
-            else:
-                state = "fresh"
-            if item["quarantined"]:
-                state += ", quarantined copy present"
-            size = f"{item['size']:>8} B" if item["exists"] else " " * 10
-            print(f"  {item['kind']:8} {size}  {state}  {item['path']}")
+    with _service(args) as service:
+        features, name = _selection(args)
+        entry = service.registry.get(features)
+        program = service.registry.parse_program(entry)
+        if args.artifacts:
+            print(f"fingerprint: {entry.fingerprint.digest}")
+            if service.registry.cache_dir is None:
+                print("artifact cache: disabled (pass --cache DIR)")
+            for item in service.registry.artifact_inventory(entry):
+                if item["path"] is None:
+                    print(f"  {item['kind']:8} (no cache directory)")
+                    continue
+                if not item["exists"]:
+                    state = "missing"
+                elif item["stale"]:
+                    state = "stale"
+                else:
+                    state = "fresh"
+                if item["quarantined"]:
+                    state += ", quarantined copy present"
+                size = f"{item['size']:>8} B" if item["exists"] else " " * 10
+                print(f"  {item['kind']:8} {size}  {state}  {item['path']}")
+            return 0
+        if args.rule:
+            rule_id = program.rule_id(args.rule)
+            if rule_id is None:
+                print(f"no such rule: {args.rule!r}", file=sys.stderr)
+                return 1
+            # print the program header plus just the requested rule's block
+            lines = program.listing().splitlines()
+            keep: list[str] = []
+            collecting = False
+            for line in lines:
+                if line.startswith("rule #"):
+                    collecting = line.startswith(f"rule #{rule_id} ")
+                if collecting and line.strip():
+                    keep.append(line)
+            print("\n".join(lines[:5]))
+            print()
+            print("\n".join(keep))
+        else:
+            print(program.listing())
         return 0
-    if args.rule:
-        rule_id = program.rule_id(args.rule)
-        if rule_id is None:
-            print(f"no such rule: {args.rule!r}", file=sys.stderr)
-            return 1
-        # print the program header plus just the requested rule's block
-        lines = program.listing().splitlines()
-        keep: list[str] = []
-        collecting = False
-        for line in lines:
-            if line.startswith("rule #"):
-                collecting = line.startswith(f"rule #{rule_id} ")
-            if collecting and line.strip():
-                keep.append(line)
-        print("\n".join(lines[:5]))
-        print()
-        print("\n".join(keep))
-    else:
-        print(program.listing())
-    return 0
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
@@ -212,12 +226,12 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    service = _service(args)
-    for dialect in args.warm or []:
-        entry, warm = service.registry.acquire(dialect_features(dialect))
-        state = "warm" if warm else "cold"
-        print(f"warmed dialect {dialect!r} ({state}): {entry.product.name}")
-    print(service.render_stats())
+    with _service(args) as service:
+        for dialect in args.warm or []:
+            entry, warm = service.registry.acquire(dialect_features(dialect))
+            state = "warm" if warm else "cold"
+            print(f"warmed dialect {dialect!r} ({state}): {entry.product.name}")
+        print(service.render_stats())
     return 0
 
 
@@ -225,21 +239,21 @@ def _cmd_health(args: argparse.Namespace) -> int:
     """Service health: breaker states, degradation counters, queue, timeouts."""
     import json as _json
 
-    service = _service(args)
-    # keep stdout pure JSON under --json: the warm preamble goes to stderr
-    warm_out = sys.stderr if args.json else sys.stdout
-    for dialect in args.warm or []:
-        entry, warm = service.registry.acquire(dialect_features(dialect))
-        state = "warm" if warm else "cold"
-        print(
-            f"warmed dialect {dialect!r} ({state}): {entry.product.name}",
-            file=warm_out,
-        )
-    health = service.health()
-    if args.json:
-        print(_json.dumps(health, indent=2, sort_keys=True))
-    else:
-        print(service.render_health())
+    with _service(args) as service:
+        # keep stdout pure JSON under --json: warm preamble goes to stderr
+        warm_out = sys.stderr if args.json else sys.stdout
+        for dialect in args.warm or []:
+            entry, warm = service.registry.acquire(dialect_features(dialect))
+            state = "warm" if warm else "cold"
+            print(
+                f"warmed dialect {dialect!r} ({state}): {entry.product.name}",
+                file=warm_out,
+            )
+        health = service.health()
+        if args.json:
+            print(_json.dumps(health, indent=2, sort_keys=True))
+        else:
+            print(service.render_health())
     return 0 if health["status"] == "ok" else 1
 
 
@@ -252,6 +266,7 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
         corpus=corpus,
         dialects=args.dialect or None,
         backends=tuple(args.backend) if args.backend else None,
+        cache_dir=getattr(args, "cache", None),
     )
     report = runner.run()
     if args.json:
@@ -285,6 +300,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         dialects=args.dialect or None,
         backends=(INTERPRETER,),
         collect_coverage=True,
+        cache_dir=getattr(args, "cache", None),
     )
     runner.run()
     reports = []
@@ -377,11 +393,11 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     """
     import json as _json
 
-    service = _service(args)
-    sql = args.sql
-    if sql == "-":
-        sql = sys.stdin.read()
-    result = service.translate(sql, args.source, args.target)
+    with _service(args) as service:
+        sql = args.sql
+        if sql == "-":
+            sql = sys.stdin.read()
+        result = service.translate(sql, args.source, args.target)
     if not result.ok:
         print(result.render(filename="<translate>"), file=sys.stderr)
         return 1
@@ -395,7 +411,11 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_shell(args: argparse.Namespace) -> int:
-    service = _service(args)
+    with _service(args) as service:
+        return _shell_loop(args, service)
+
+
+def _shell_loop(args: argparse.Namespace, service: ParseService) -> int:
     features = dialect_features(args.dialect)
     db = Database(args.dialect)
     print(f"repro SQL shell — dialect {args.dialect!r} "
@@ -567,6 +587,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                   "corpus/)")
     conformance.add_argument("--json", action="store_true",
                              help="emit the versioned JSON report")
+    conformance.add_argument("--cache", metavar="DIR",
+                             help="on-disk artifact cache directory; reuses "
+                                  "ir/closure artifacts across runs (the CI "
+                                  "per-backend matrix stops recomposing)")
     conformance.set_defaults(fn=_cmd_conformance)
 
     coverage = sub.add_parser(
@@ -589,6 +613,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
                                "generation")
     coverage.add_argument("--seed", type=int, default=0,
                           help="seed for the coverage-guided generator")
+    coverage.add_argument("--cache", metavar="DIR",
+                          help="on-disk artifact cache directory shared with "
+                               "`repro conformance`")
     coverage.set_defaults(fn=_cmd_coverage)
 
     translate = sub.add_parser(
@@ -617,6 +644,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             "repeat the same dialect to see a cache hit)")
     stats.add_argument("--cache", metavar="DIR",
                        help="on-disk artifact cache directory")
+    stats.add_argument("--executor", choices=("thread", "process"),
+                       help="batch executor kind the service reports on")
+    stats.add_argument("--workers", type=int, metavar="N",
+                       help="worker-pool width")
     stats.set_defaults(fn=_cmd_stats)
 
     health = sub.add_parser(
@@ -631,6 +662,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="compose a preset dialect first (repeatable)")
     health.add_argument("--cache", metavar="DIR",
                         help="on-disk artifact cache directory")
+    health.add_argument("--executor", choices=("thread", "process"),
+                        help="batch executor kind the service reports on")
+    health.add_argument("--workers", type=int, metavar="N",
+                        help="worker-pool width")
     health.set_defaults(fn=_cmd_health)
 
     return parser

@@ -134,6 +134,12 @@ class ConformanceRunner:
             checks the accept/reject boundary.
         collect_coverage: Run the interpreter instrumented and keep the
             per-dialect collectors on :attr:`collectors`.
+        cache_dir: On-disk artifact cache directory.  When set, dialects
+            resolve through a fingerprint-keyed registry so the parse
+            program, closure source, and generated module are *loaded*
+            from ``<digest>.*`` artifacts when fresh instead of being
+            recompiled — this is what lets CI's per-backend conformance
+            matrix share one composition per dialect across steps.
     """
 
     def __init__(
@@ -142,6 +148,7 @@ class ConformanceRunner:
         dialects: Sequence[str] | None = None,
         backends: Iterable[str] | None = None,
         collect_coverage: bool = False,
+        cache_dir: str | None = None,
     ) -> None:
         from ..sql import dialect_names
 
@@ -171,6 +178,15 @@ class ConformanceRunner:
                 )
         self.backends = tuple(backends)
         self.collect_coverage = collect_coverage
+        self.cache_dir = cache_dir
+        self._registry = None
+        if cache_dir is not None:
+            from ..service.registry import ParserRegistry
+            from ..sql.product_line import build_sql_product_line
+
+            self._registry = ParserRegistry(
+                build_sql_product_line(), cache_dir=cache_dir
+            )
         #: dialect -> ComposedProduct, populated by :meth:`run`.
         self.products: dict[str, object] = {}
         #: dialect -> compiled ParseProgram (coverage collectors are
@@ -192,9 +208,20 @@ class ConformanceRunner:
     def _run_dialect(self, dialect: str, report: ConformanceReport) -> None:
         from ..sql import build_dialect
 
-        product = build_dialect(dialect)
+        entry = None
+        if self._registry is not None:
+            # artifact-cached path: an unchanged fingerprint loads the
+            # parse program (and below, closures / generated source)
+            # from disk instead of recompiling it
+            from ..sql import dialect_features
+
+            entry = self._registry.get(dialect_features(dialect))
+            product = entry.product
+            program = self._registry.parse_program(entry)
+        else:
+            product = build_dialect(dialect)
+            program = product.program()
         self.products[dialect] = product
-        program = product.program()
         self.programs[dialect] = program
         parser = None
         if INTERPRETER in self.backends or self.collect_coverage:
@@ -203,10 +230,26 @@ class ConformanceRunner:
                 self.collectors[dialect] = parser.enable_coverage()
         compiled = None
         if COMPILED in self.backends:
-            compiled = get_backend(COMPILED).build(product, program=program)
+            if entry is not None:
+                compiled = entry.thread_compiled_parser(
+                    self._registry.cache_dir
+                )
+            else:
+                compiled = get_backend(COMPILED).build(
+                    product, program=program
+                )
         generated = None
         if GENERATED in self.backends:
-            generated = get_backend(GENERATED).build(product, program=program)
+            if entry is not None:
+                from ..parsing.backends import GeneratedParser
+
+                generated = GeneratedParser(
+                    self._registry.generated_module(entry)
+                )
+            else:
+                generated = get_backend(GENERATED).build(
+                    product, program=program
+                )
         for case in self.corpus.for_dialect(dialect):
             if case.is_translation:
                 # translation cases assert on the transpiler pipeline

@@ -33,12 +33,15 @@ SITES = (
     "artifact.write.ir",      # parse-program IR artifact publish (registry)
     "artifact.read.closures",   # closure artifact read (registry)
     "artifact.write.closures",  # closure artifact publish (registry)
+    "artifact.read.lex",      # lexicon artifact read (worker bootstrap)
+    "artifact.write.lex",     # lexicon artifact publish (registry)
     "compose",                # grammar composition (registry build lock)
     "program.compile",        # ParseProgram compilation (registry entry)
     "closure.compile",        # closure-backend compilation (registry entry)
     "hints.build",            # feature-hint provider construction (entry)
     "backend.parse",          # the primary backend parse (service)
     "worker.execute",         # the whole per-request worker body (service)
+    "worker.spawn",           # process-pool creation/health (service)
 )
 
 #: Error types a randomized chaos plan draws from.  ``OSError`` exercises

@@ -20,12 +20,18 @@ Layers:
   with single-flight composition and an on-disk artifact cache for
   generated parser source.
 * :mod:`repro.service.service` — :class:`ParseService`:
-  ``parse``/``parse_many``/``batch`` over a worker pool, per-request
-  timeout and fuel budgets, diagnostics instead of exceptions.
+  ``parse``/``parse_many``/``batch`` over a worker pool (thread- or
+  process-backed via ``executor=``), per-request timeout and fuel
+  budgets, diagnostics instead of exceptions.
+* :mod:`repro.service.workers` — the process-pool protocol: workers
+  bootstrap parsers from on-disk artifacts, no recomposition.
+* :mod:`repro.service.async_service` — :class:`AsyncParseService`:
+  asyncio front-end with request coalescing and backpressure.
 * :mod:`repro.service.metrics` — hit/miss counters and latency
   histograms behind ``repro stats``.
 """
 
+from .async_service import AsyncParseService
 from .fingerprint import (
     Fingerprint,
     configuration_fingerprint,
@@ -39,8 +45,10 @@ from .service import (
     ParseServiceResult,
     TranslateServiceResult,
 )
+from .workers import WorkerReply, WorkerTask
 
 __all__ = [
+    "AsyncParseService",
     "Fingerprint",
     "LatencyHistogram",
     "ParseRequest",
@@ -50,6 +58,8 @@ __all__ = [
     "RegistryEntry",
     "ServiceMetrics",
     "TranslateServiceResult",
+    "WorkerReply",
+    "WorkerTask",
     "configuration_fingerprint",
     "product_fingerprint",
 ]

@@ -82,6 +82,40 @@ class LatencyHistogram:
         }
 
 
+class DepthGauge:
+    """Queue-depth series: how deep was the queue each time we looked?
+
+    Observed at every admission, per executor kind, so saturation shows
+    up as a rising mean/max even before anything is shed.  Not
+    thread-safe on its own — :class:`ServiceMetrics` serializes access.
+    """
+
+    __slots__ = ("count", "total", "max", "last")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self.last = 0
+
+    def observe(self, depth: int) -> None:
+        self.count += 1
+        self.total += depth
+        self.last = depth
+        if depth > self.max:
+            self.max = depth
+
+    def snapshot(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": round(self.total / self.count, 2),
+            "max": self.max,
+            "last": self.last,
+        }
+
+
 class ServiceMetrics:
     """Thread-safe counters + histograms for one registry/service pair."""
 
@@ -120,6 +154,15 @@ class ServiceMetrics:
         "degraded_backend",  # parses served by the fallback interpreter
         "degraded_hints",  # hint-provider failures (served hint-less)
         "internal_errors",  # unexpected worker failures turned into E0000
+        # -- multi-process / async serving ---------------------------------
+        "worker_tasks",    # parse tasks shipped to pool workers (process)
+        "worker_bootstraps",  # parsers bootstrapped from artifacts in workers
+        "worker_bootstrap_failures",  # worker could not bootstrap (corrupt)
+        "worker_republishes",  # parent force-rewrote artifacts for a worker
+        "worker_crashes",  # pool workers that died / pool breakage events
+        "executor_degraded",  # process→thread executor fallbacks
+        "coalesced",       # async requests served by an in-flight duplicate
+        "async_parses",    # requests admitted through AsyncParseService
         # -- transpilation -------------------------------------------------
         "renders",         # AST-to-SQL renders performed
         "translates",      # cross-dialect translations served
@@ -150,6 +193,15 @@ class ServiceMetrics:
             "timeouts": LatencyHistogram(),
             "render": LatencyHistogram(),
             "translate": LatencyHistogram(),
+            # per-executor end-to-end series (submission -> collected),
+            # so thread vs process scaling is visible side by side
+            "executor_thread": LatencyHistogram(),
+            "executor_process": LatencyHistogram(),
+        }
+        self._depths = {
+            "thread": DepthGauge(),
+            "process": DepthGauge(),
+            "async": DepthGauge(),
         }
 
     # -- recording --------------------------------------------------------
@@ -165,6 +217,11 @@ class ServiceMetrics:
     def time(self, histogram: str):
         """Context manager: time a block into one histogram."""
         return _Timer(self, histogram)
+
+    def observe_depth(self, kind: str, depth: int) -> None:
+        """Record the queue depth seen at admission for one executor kind."""
+        with self._lock:
+            self._depths[kind].observe(depth)
 
     # -- reading ----------------------------------------------------------
 
@@ -190,6 +247,9 @@ class ServiceMetrics:
                 ),
                 "latency": {
                     name: h.snapshot() for name, h in self._histograms.items()
+                },
+                "queue_depth": {
+                    name: g.snapshot() for name, g in self._depths.items()
                 },
             }
 
@@ -241,6 +301,27 @@ class ServiceMetrics:
                 resilience_bits.append(f"{counters[name]} {label}")
         if resilience_bits:
             lines.append("  resil: " + ", ".join(resilience_bits))
+        executor_bits = []
+        for name, label in (
+            ("worker_tasks", "worker tasks"),
+            ("worker_bootstraps", "bootstraps"),
+            ("worker_bootstrap_failures", "bootstrap failures"),
+            ("worker_republishes", "republishes"),
+            ("worker_crashes", "worker crashes"),
+            ("executor_degraded", "executor degraded"),
+            ("coalesced", "coalesced"),
+            ("async_parses", "async parses"),
+        ):
+            if counters[name]:
+                executor_bits.append(f"{counters[name]} {label}")
+        if executor_bits:
+            lines.append("  exec:  " + ", ".join(executor_bits))
+        for kind, gauge in snap["queue_depth"].items():
+            if gauge["count"]:
+                lines.append(
+                    f"  queue[{kind}]: mean={gauge['mean']} "
+                    f"max={gauge['max']} last={gauge['last']}"
+                )
         for name in ("compose", "compile", "parse", "timeouts"):
             h = snap["latency"][name]
             if not h["count"]:
@@ -251,7 +332,10 @@ class ServiceMetrics:
                 f"p50={h['p50_ms']:.2f}ms p90={h['p90_ms']:.2f}ms "
                 f"max={h['max_ms']:.2f}ms"
             )
-        for name in ("parse_compiled", "parse_generated", "parse_interpreter"):
+        for name in (
+            "parse_compiled", "parse_generated", "parse_interpreter",
+            "executor_thread", "executor_process",
+        ):
             h = snap["latency"][name]
             if not h["count"]:
                 continue  # only series that saw traffic
@@ -268,6 +352,8 @@ class ServiceMetrics:
                 self._counters[name] = 0
             for name in self._histograms:
                 self._histograms[name] = LatencyHistogram()
+            for name in self._depths:
+                self._depths[name] = DepthGauge()
 
 
 class _Timer:

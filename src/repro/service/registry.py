@@ -17,11 +17,13 @@ Three cache layers, cheapest first:
    generated source are built on first use and shared by every parser of
    the entry.  Interpreting parsers carry per-parse mutable state, so the
    entry hands out one parser per thread.
-3. **On-disk artifact cache** (optional): three artifact kinds are
+3. **On-disk artifact cache** (optional): four artifact kinds are
    persisted under ``cache_dir`` — generated parser source as
    ``<digest>.py``, the compiled parse-program IR as
-   ``<digest>.ir.json``, and the closure-backend source as
-   ``<digest>.closures.py``.  All embed their fingerprint; a mismatch
+   ``<digest>.ir.json``, the closure-backend source as
+   ``<digest>.closures.py``, and the lexicon (token definitions +
+   start rule, for process-pool worker bootstrap) as
+   ``<digest>.lex.json``.  All embed their fingerprint; a mismatch
    (stale or corrupted artifact) is detected and the file rebuilt, and a
    changed selection or sub-grammar changes the digest — automatic
    invalidation.
@@ -543,12 +545,87 @@ class RegistryEntry:
             "artifact.write.closures",
         )
 
+    # -- lexicon artifact + worker publication ------------------------------
+
+    def _lexicon_artifact_path(self, cache_dir: Path) -> Path:
+        return cache_dir / f"{self.fingerprint.digest}.lex.json"
+
+    def lexicon_source(self) -> str:
+        """The ``<digest>.lex.json`` artifact text for this product."""
+        from .workers import render_lexicon
+
+        grammar = self.product.grammar
+        return render_lexicon(
+            grammar.tokens,
+            self.fingerprint.digest,
+            grammar.name,
+            grammar.start,
+        )
+
+    def _artifact_fresh(self, path: Path, extract) -> bool:
+        """Does ``path`` hold an artifact embedding this entry's digest?"""
+        try:
+            text = path.read_text()
+        except OSError:
+            return False
+        return extract(text) == self.fingerprint.digest
+
+    def publish_worker_artifacts(
+        self,
+        cache_dir: str | os.PathLike,
+        backend: str = "compiled",
+        force: bool = False,
+    ) -> None:
+        """Ensure every artifact a process-pool worker bootstraps from is fresh.
+
+        Called by the parent before shipping
+        :class:`~repro.service.workers.WorkerTask`\\ s: the IR program,
+        the lexicon, and the backend artifact (closures or generated
+        source) are written — idempotently, skipping files whose embedded
+        fingerprint already matches — so workers never recompose.
+        ``force=True`` rewrites unconditionally; it is the parent's
+        answer to a worker-reported corrupt/quarantined artifact (the
+        "rebuild request" of the bootstrap protocol).
+        """
+        from ..parsing.closures import closure_fingerprint
+        from ..parsing.codegen import source_fingerprint
+        from ..parsing.program import program_fingerprint
+        from .workers import lexicon_fingerprint
+
+        directory = Path(cache_dir)
+        program = self.program(directory)
+        if force or not self._artifact_fresh(
+            self._program_artifact_path(directory), program_fingerprint
+        ):
+            self._store_program_artifact(directory, program)
+        if force or not self._artifact_fresh(
+            self._lexicon_artifact_path(directory), lexicon_fingerprint
+        ):
+            self._write_artifact_text(
+                self._lexicon_artifact_path(directory),
+                self.lexicon_source(),
+                "artifact.write.lex",
+            )
+        if backend == "compiled":
+            closure = self.closure_program(directory)
+            if force or not self._artifact_fresh(
+                self._closure_artifact_path(directory), closure_fingerprint
+            ):
+                self._store_closure_artifact(directory, closure.source)
+        elif backend == "generated":
+            source = self.generated_source(directory)
+            if force or not self._artifact_fresh(
+                self._artifact_path(directory), source_fingerprint
+            ):
+                self._store_artifact(directory, source)
+
     # -- artifact inventory -------------------------------------------------
 
     def artifacts(self, cache_dir: Path | None = None) -> list[dict]:
         """Inventory of every on-disk artifact kind for this fingerprint.
 
-        One dict per kind (``ir`` / ``source`` / ``closures``) with the
+        One dict per kind (``ir`` / ``source`` / ``closures`` / ``lex``)
+        with the
         path, whether it exists, its size, whether its embedded
         fingerprint is stale, and whether a quarantined ``.bad`` sibling
         is lying next to it.  With no cache directory the listing still
@@ -558,6 +635,7 @@ class RegistryEntry:
         from ..parsing.closures import closure_fingerprint
         from ..parsing.codegen import source_fingerprint
         from ..parsing.program import program_fingerprint
+        from .workers import lexicon_fingerprint
 
         directory = (
             Path(cache_dir) if cache_dir is not None else self._cache_dir
@@ -566,6 +644,7 @@ class RegistryEntry:
             ("ir", ".ir.json", program_fingerprint),
             ("source", ".py", source_fingerprint),
             ("closures", ".closures.py", closure_fingerprint),
+            ("lex", ".lex.json", lexicon_fingerprint),
         )
         listing = []
         for kind, suffix, extract in kinds:

@@ -22,10 +22,18 @@ returns the snapshot that ``repro stats`` renders.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import tempfile
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor, TimeoutError as _FutureTimeout
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as _FutureTimeout,
+)
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Sequence
 
 from ..diagnostics.model import (
@@ -40,9 +48,21 @@ from ..resilience.faults import FaultPlan
 from .fingerprint import Fingerprint
 from .metrics import ServiceMetrics
 from .registry import DEFAULT_CAPACITY, ParserRegistry, RegistryEntry
+from .workers import WorkerTask, execute_batch
 
 #: Default worker-pool width for batch APIs.
 DEFAULT_WORKERS = min(8, (os.cpu_count() or 2))
+
+#: Worker-crash events (broken pool, failed spawn) tolerated before the
+#: resilience ladder permanently degrades process -> thread executor.
+WORKER_CRASH_THRESHOLD = 2
+
+#: Batch chunks submitted per process-pool worker.  Chunking amortizes
+#: the per-task pipe cost (pickle + queue round-trip) across many texts
+#: — without it, sub-millisecond parses spend more time in IPC than in
+#: parsing; a couple of chunks per worker still keeps the pool balanced
+#: when chunk costs vary.
+CHUNKS_PER_WORKER = 2
 
 #: Extra seconds :meth:`ParseService._collect` waits past a request's
 #: deadline before giving up on the worker.  The cooperative deadline
@@ -221,6 +241,18 @@ class ParseService:
         max_queue: Admission-control bound: maximum requests in flight
             (queued + executing) before new ones are shed with an E0204
             result.  Defaults to ``max(256, max_workers * 32)``.
+        executor: ``"thread"`` (default) fans batches out over a
+            :class:`~concurrent.futures.ThreadPoolExecutor` — fine for
+            latency hiding, GIL-bound for throughput.  ``"process"``
+            fans homogeneous batches out over a spawned
+            :class:`~concurrent.futures.ProcessPoolExecutor` whose
+            workers bootstrap parsers from the on-disk artifacts (see
+            :mod:`repro.service.workers`); requires an artifact cache
+            directory (a private temporary one is created when
+            ``cache_dir`` is not given).  Repeated worker crashes
+            degrade process back to thread permanently
+            (``executor_degraded``); single :meth:`parse` calls and
+            coverage-collecting batches always run in-parent/thread.
         backend: Which registered parse backend serves traffic.
             ``"compiled"`` (default) parses with the closure-compiled
             threaded code; ``"interpreter"`` with the shared-IR
@@ -244,12 +276,18 @@ class ParseService:
         max_workers: int = DEFAULT_WORKERS,
         max_queue: int | None = None,
         backend: str = "compiled",
+        executor: str = "thread",
         fault_plan: FaultPlan | None = None,
     ) -> None:
         if backend not in ("compiled", "interpreter", "generated"):
             raise ValueError(
                 f"unknown backend {backend!r} "
                 "(expected 'compiled', 'interpreter' or 'generated')"
+            )
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                "(expected 'thread' or 'process')"
             )
         if registry is not None:
             self.registry = registry
@@ -282,6 +320,18 @@ class ParseService:
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
         self._closed = False
+        self.executor = executor
+        self._executor_effective = executor
+        self._proc_pool: ProcessPoolExecutor | None = None
+        self._proc_crashes = 0
+        self._owned_cache_dir: tempfile.TemporaryDirectory | None = None
+        if executor == "process" and self.registry.cache_dir is None:
+            # workers bootstrap purely from disk artifacts, so a process
+            # service without a cache directory gets a private one
+            self._owned_cache_dir = tempfile.TemporaryDirectory(
+                prefix="repro-artifacts-", ignore_cleanup_errors=True
+            )
+            self.registry.set_cache_dir(self._owned_cache_dir.name)
 
     # -- single requests ----------------------------------------------------
 
@@ -457,6 +507,14 @@ class ParseService:
                 )
                 for text in texts
             ]
+        if self._executor_effective == "process" and coverage is None:
+            # coverage collectors cannot cross the pipe: those batches
+            # stay on the thread path below
+            proc_results = self._parse_many_process(
+                entry, texts, warm, start, max_errors, max_steps, timeout
+            )
+            if proc_results is not None:
+                return proc_results
         pool = self._ensure_pool()
         results: list[ParseServiceResult | None] = [None] * len(texts)
         submitted = []
@@ -464,6 +522,7 @@ class ParseService:
             if not self._admit():
                 results[i] = self._shed_result(text)
                 continue
+            self.metrics.observe_depth("thread", self.in_flight)
             # the deadline starts at submission: queueing time counts
             deadline = Deadline.after(timeout) if timeout is not None else None
             future = pool.submit(
@@ -471,11 +530,12 @@ class ParseService:
                 max_errors, max_steps, coverage, deadline,
             )
             future.add_done_callback(lambda _f: self._release_admission())
-            submitted.append((i, text, future, deadline))
-        for i, text, future, deadline in submitted:
+            submitted.append((i, text, future, deadline, time.perf_counter()))
+        for i, text, future, deadline, t0 in submitted:
             results[i] = self._collect(
                 future, text, entry.fingerprint, timeout, True, deadline
             )
+            self.metrics.observe("executor_thread", time.perf_counter() - t0)
         # the batch's first result reports whether the *batch* was warm
         results[0].warm = warm
         return results
@@ -500,6 +560,7 @@ class ParseService:
             if not self._admit():
                 results[i] = self._shed_result(req.text)
                 continue
+            self.metrics.observe_depth("thread", self.in_flight)
             effective = req.timeout if req.timeout is not None else timeout
             deadline = (
                 Deadline.after(effective) if effective is not None else None
@@ -518,6 +579,7 @@ class ParseService:
     def stats(self) -> dict:
         """Snapshot of cache counters and latency histograms."""
         snapshot = self.metrics.snapshot()
+        snapshot["executor"] = self._executor_snapshot()
         snapshot["registry"] = {
             "entries": len(self.registry),
             "capacity": self.registry.capacity,
@@ -527,10 +589,36 @@ class ParseService:
         }
         return snapshot
 
+    def _executor_snapshot(self) -> dict:
+        """Executor kind + utilization for stats/health payloads."""
+        with self._pool_lock:
+            effective = self._executor_effective
+            crashes = self._proc_crashes
+        in_flight = self.in_flight
+        return {
+            "kind": self.executor,
+            "effective": effective,
+            "workers": self.max_workers,
+            "in_flight": in_flight,
+            "utilization": round(
+                min(in_flight, self.max_workers) / self.max_workers, 3
+            ),
+            "crash_events": crashes,
+        }
+
     def render_stats(self) -> str:
         """Human-readable :meth:`stats` (the ``repro stats`` output)."""
-        reg = self.stats()["registry"]
+        snap = self.stats()
+        reg = snap["registry"]
+        ex = snap["executor"]
         lines = [self.metrics.render()]
+        lines.append(
+            f"  executor: {ex['kind']}"
+            + (f" (effective {ex['effective']})"
+               if ex["effective"] != ex["kind"] else "")
+            + f", {ex['workers']} workers, "
+            f"utilization {ex['utilization']:.0%}"
+        )
         lines.append(
             f"  registry: {reg['entries']}/{reg['capacity']} products cached, "
             f"disk cache {reg['disk_cache'] or 'off'}"
@@ -559,6 +647,8 @@ class ParseService:
                 "quarantined", "ir_corrupt", "source_corrupt",
                 "closure_corrupt", "degraded_backend", "degraded_hints",
                 "internal_errors", "shed", "breaker_fast_fails", "retries",
+                "worker_bootstrap_failures", "worker_crashes",
+                "executor_degraded",
             )
             if counters[name]
         }
@@ -566,6 +656,10 @@ class ParseService:
         return {
             "status": status,
             "backend": self.backend,
+            "executor": {
+                **self._executor_snapshot(),
+                "queue_depth": snap["queue_depth"],
+            },
             "breakers": {
                 "tracked": len(breakers),
                 "open": open_breakers,
@@ -592,6 +686,14 @@ class ParseService:
         health = self.health()
         lines = [f"parse service health: {health['status']}"]
         lines.append(f"  backend: {health['backend']}")
+        ex = health["executor"]
+        lines.append(
+            f"  executor: {ex['kind']}"
+            + (f" (degraded to {ex['effective']})"
+               if ex["effective"] != ex["kind"] else "")
+            + f", {ex['workers']} workers, "
+            f"utilization {ex['utilization']:.0%}"
+        )
         queue = health["queue"]
         lines.append(
             f"  queue: {queue['in_flight']}/{queue['limit']} in flight, "
@@ -626,12 +728,24 @@ class ParseService:
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down both executor kinds and owned resources (idempotent).
+
+        Drains the thread pool and the process pool (cancelling queued
+        work), then removes the service-owned temporary artifact
+        directory, if one was created.  Safe to call repeatedly; any
+        batch API raises ``RuntimeError`` afterwards.
+        """
         with self._pool_lock:
             self._closed = True
             if self._pool is not None:
                 self._pool.shutdown(wait=True, cancel_futures=True)
                 self._pool = None
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown(wait=True, cancel_futures=True)
+                self._proc_pool = None
+        if self._owned_cache_dir is not None:
+            self._owned_cache_dir.cleanup()
+            self._owned_cache_dir = None
 
     def __enter__(self) -> "ParseService":
         return self
@@ -912,3 +1026,297 @@ class ParseService:
             self.metrics.incr("timeouts")
             self.metrics.observe("timeouts", timeout)
             return _timeout_result(text, fp, timeout, warm)
+
+    # -- process executor ----------------------------------------------------
+
+    @property
+    def effective_executor(self) -> str:
+        """The executor actually serving batches (after any degradation)."""
+        with self._pool_lock:
+            return self._executor_effective
+
+    def _ensure_process_pool(self) -> ProcessPoolExecutor:
+        """The lazily-spawned process pool (``worker.spawn`` fault site).
+
+        Spawn (not fork): the parent is multithreaded, and spawn
+        propagates ``sys.path`` so workers import the same tree.
+        """
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("ParseService is closed")
+            if self._proc_pool is None:
+                if self._faults is not None:
+                    self._faults.check("worker.spawn")
+                self._proc_pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._proc_pool
+
+    def _note_worker_crash(self) -> None:
+        """Count one pool-breakage event; degrade to threads past the cap.
+
+        The degradation is permanent for this service instance — a
+        machine that cannot keep worker processes alive should not be
+        asked to respawn them on every batch.
+        """
+        self.metrics.incr("worker_crashes")
+        with self._pool_lock:
+            self._proc_crashes += 1
+            if self._proc_pool is not None:
+                self._proc_pool.shutdown(wait=False, cancel_futures=True)
+                self._proc_pool = None
+            if (
+                self._proc_crashes >= WORKER_CRASH_THRESHOLD
+                and self._executor_effective == "process"
+            ):
+                self._executor_effective = "thread"
+                self.metrics.incr("executor_degraded")
+
+    def _parse_many_process(
+        self, entry, texts, warm, start, max_errors, max_steps, timeout
+    ) -> list[ParseServiceResult] | None:
+        """Fan one homogeneous batch out over the process pool.
+
+        Returns ``None`` when the process path is unavailable (artifact
+        publish failed, pool would not spawn) — the caller falls back to
+        the thread pool for this batch; repeated spawn failures degrade
+        the executor permanently via :meth:`_note_worker_crash`.
+        """
+        cache_dir = self.registry.cache_dir
+        if cache_dir is None:
+            return None
+        try:
+            entry.publish_worker_artifacts(cache_dir, backend=self.backend)
+        except Exception:
+            # cannot stage artifacts -> workers cannot bootstrap
+            return None
+        try:
+            pool = self._ensure_process_pool()
+        except Exception:
+            self._note_worker_crash()
+            return None
+        digest = entry.fingerprint.digest
+        results: list[ParseServiceResult | None] = [None] * len(texts)
+        # chunking: few pipe round-trips, every worker kept busy
+        n_chunks = min(len(texts), self.max_workers * CHUNKS_PER_WORKER)
+        chunk_size = -(-len(texts) // n_chunks)
+        submitted = []
+        for lo in range(0, len(texts), chunk_size):
+            indices: list[int] = []
+            chunk_texts: list[str] = []
+            for i in range(lo, min(lo + chunk_size, len(texts))):
+                if not self._admit():
+                    results[i] = self._shed_result(texts[i])
+                    continue
+                indices.append(i)
+                chunk_texts.append(texts[i])
+            if not indices:
+                continue
+            self.metrics.observe_depth("process", self.in_flight)
+            # the deadline starts at submission: queueing time counts
+            deadline = Deadline.after(timeout) if timeout is not None else None
+            task = WorkerTask(
+                digest=digest,
+                cache_dir=str(cache_dir),
+                backend=self.backend,
+                text="",
+                texts=tuple(chunk_texts),
+                start=start,
+                max_errors=max_errors,
+                max_steps=max_steps,
+                deadline_remaining=(
+                    deadline.remaining() if deadline is not None else None
+                ),
+            )
+            try:
+                future = pool.submit(execute_batch, task)
+            except Exception:
+                self._release_many(len(indices))
+                self._note_worker_crash()
+                for i in indices:
+                    results[i] = self._in_parent_fallback(
+                        entry, task, texts[i], deadline
+                    )
+                continue
+            future.add_done_callback(
+                lambda _f, n=len(indices): self._release_many(n)
+            )
+            self.metrics.incr("worker_tasks")
+            submitted.append((indices, future, deadline, task,
+                              time.perf_counter()))
+        for indices, future, deadline, task, t0 in submitted:
+            chunk_results = self._collect_chunk(
+                entry, future, task, timeout, deadline
+            )
+            for i, result in zip(indices, chunk_results):
+                results[i] = result
+            self.metrics.observe("executor_process", time.perf_counter() - t0)
+        if results and results[0] is not None:
+            # the batch's first result reports whether the *batch* was warm
+            results[0].warm = warm
+        return results
+
+    def _release_many(self, n: int) -> None:
+        for _ in range(n):
+            self._release_admission()
+
+    def _collect_chunk(
+        self, entry, future, task, timeout, deadline
+    ) -> list[ParseServiceResult]:
+        """Await one chunk's replies and map them to service results.
+
+        Bootstrap failures follow the republish protocol (once), worker
+        crashes and internal errors fall back in-parent — the pool never
+        deadlocks on a bad artifact and the caller never sees a raise.
+        """
+        texts = task.texts
+        try:
+            if timeout is None:
+                replies = future.result()
+            else:
+                # the worker budgets each text separately, so the hard
+                # backstop for a chunk is the sum of the per-text budgets
+                wait = timeout * len(texts) + COLLECT_GRACE
+                reply_budget = (
+                    deadline.remaining() if deadline is not None else timeout
+                )
+                replies = future.result(
+                    timeout=max(0.0, max(wait, reply_budget + COLLECT_GRACE))
+                )
+        except _FutureTimeout:
+            future.cancel()
+            self.metrics.incr("timeouts", len(texts))
+            for _ in texts:
+                self.metrics.observe("timeouts", timeout)
+            return [
+                _timeout_result(text, entry.fingerprint, timeout, True)
+                for text in texts
+            ]
+        except Exception:
+            # BrokenProcessPool and friends: the worker died mid-chunk
+            self._note_worker_crash()
+            return [
+                self._in_parent_fallback(entry, task, text, deadline)
+                for text in texts
+            ]
+        if len(replies) == 1 and replies[0].bootstrap_failed:
+            self.metrics.incr("worker_bootstrap_failures")
+            if replies[0].quarantined:
+                self.metrics.incr("quarantined", len(replies[0].quarantined))
+            retried = self._retry_after_republish(entry, task, deadline)
+            if retried is not None:
+                replies = retried
+            else:
+                return [
+                    self._in_parent_fallback(entry, task, text, deadline)
+                    for text in texts
+                ]
+        results = []
+        for text, reply in zip(texts, replies):
+            if reply.internal_error:
+                self.metrics.incr("internal_errors")
+                results.append(
+                    self._in_parent_fallback(entry, task, text, deadline)
+                )
+            else:
+                results.append(self._reply_to_result(entry, reply, text))
+        return results
+
+    def _retry_after_republish(self, entry, task, deadline) -> list | None:
+        """Force-republish artifacts and retry one chunk, once.
+
+        A worker that quarantined a corrupt artifact asks the parent to
+        rebuild it; the parent rewrites from its in-memory entry and
+        resubmits the whole chunk.  Returns the replies, or ``None``
+        when the retry also failed (the caller parses in-parent).
+        """
+        try:
+            entry.publish_worker_artifacts(
+                self.registry.cache_dir, backend=self.backend, force=True
+            )
+            self.metrics.incr("worker_republishes")
+        except Exception:
+            return None
+        try:
+            pool = self._ensure_process_pool()
+            remaining = (
+                deadline.remaining() if deadline is not None else None
+            )
+            retry = replace(task, deadline_remaining=remaining)
+            future = pool.submit(execute_batch, retry)
+            self.metrics.incr("worker_tasks")
+            wait = (
+                None if remaining is None
+                else max(0.0, remaining * len(task.texts) + COLLECT_GRACE)
+            )
+            replies = future.result(timeout=wait)
+        except Exception:
+            # includes the future timeout: give up on the worker path
+            self._note_worker_crash()
+            return None
+        if len(replies) == 1 and replies[0].bootstrap_failed:
+            self.metrics.incr("worker_bootstrap_failures")
+            return None
+        if len(replies) != len(task.texts):
+            return None
+        return replies
+
+    def _in_parent_fallback(
+        self, entry, task, text, deadline
+    ) -> ParseServiceResult:
+        """Last rung for a process-path request: parse in the parent.
+
+        Marks the result with the ``"worker"`` degradation rung so fleet
+        dashboards can tell "the worker protocol failed" apart from "a
+        backend failed".
+        """
+        result = self._parse_entry(
+            entry, text, True, task.start, task.max_errors,
+            task.max_steps, None, deadline,
+        )
+        if "worker" not in result.degraded:
+            result.degraded = ("worker", *result.degraded)
+        return result
+
+    def _reply_to_result(self, entry, reply, text) -> ParseServiceResult:
+        """Convert one healthy :class:`WorkerReply`, recording metrics.
+
+        Workers do not share the parent's metrics object, so the parent
+        records parse counters/latency on collection — the ``repro
+        stats`` series stay complete whichever executor served.
+        """
+        self.metrics.incr("parses")
+        if reply.bootstrapped:
+            self.metrics.incr("worker_bootstraps")
+        degraded: list[str] = []
+        if reply.degraded_backend:
+            degraded.append("backend")
+            self.metrics.incr("degraded_backend")
+        series = {
+            "compiled": "parse_compiled",
+            "generated": "parse_generated",
+            "interpreter": "parse_interpreter",
+        }[self.backend]
+        self.metrics.observe("parse", reply.seconds)
+        self.metrics.observe(series, reply.seconds)
+        bag = (
+            reply.diagnostics if reply.diagnostics is not None
+            else DiagnosticBag()
+        )
+        if bag.has_errors:
+            self.metrics.incr("parse_errors")
+        timed_out = any(d.code == PARSE_TIMEOUT for d in bag)
+        if timed_out:
+            self.metrics.incr("timeouts")
+            self.metrics.observe("timeouts", reply.seconds)
+        return ParseServiceResult(
+            text=text,
+            fingerprint=entry.fingerprint,
+            tree=reply.tree,
+            diagnostics=bag,
+            warm=True,
+            seconds=reply.seconds,
+            timed_out=timed_out,
+            degraded=tuple(degraded),
+        )

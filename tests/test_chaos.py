@@ -179,6 +179,38 @@ class TestChaosCampaign:
             ) as service:
                 assert_never_crashes_never_lies(service, clean_trees, rounds=4)
 
+    def test_worker_spawn_campaign(self, tmp_path, clean_trees):
+        """Spawn faults on the process executor: the crash ladder must
+        degrade process -> thread (never crash, never a wrong tree) and
+        record the degradation instead of hiding it."""
+        plan = FaultPlan.chaos(
+            SEED + 2000, sites=("worker.spawn",), max_latency=0.001
+        )
+        with transcript_on_failure(plan):
+            with ParseService(
+                line=make_line(),
+                cache_dir=tmp_path,
+                fault_plan=plan,
+                executor="process",
+                max_workers=2,
+            ) as service:
+                for _ in range(4):
+                    results = service.parse_many(list(CORPUS), FULL)
+                    for i, text in enumerate(CORPUS):
+                        result = results[i]
+                        assert isinstance(result, ParseServiceResult)
+                        if result.ok:
+                            assert (
+                                result.tree.to_sexpr() == clean_trees[text]
+                            )
+                counters = service.metrics.snapshot()["counters"]
+                if service.effective_executor == "thread":
+                    # enough spawn faults fired to cross the threshold:
+                    # the ladder must say so, loudly
+                    assert counters["executor_degraded"] == 1
+                    assert counters["worker_crashes"] >= 2
+                    assert service.health()["status"] == "degraded"
+
     def test_pooled_campaign(self, tmp_path, clean_trees):
         """Chaos under concurrency: the pooled path with shared entries."""
         plan = FaultPlan.chaos(SEED + 1000, max_latency=0.001)

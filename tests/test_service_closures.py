@@ -112,7 +112,7 @@ class TestClosureDiskCache:
         assert artifact.with_name(artifact.name + ".bad").exists()
         assert entry2.compiled_parser(cache_dir=tmp_path).accepts(ACCEPTED)
 
-    def test_artifact_inventory_lists_all_three_kinds(self, tmp_path):
+    def test_artifact_inventory_lists_all_four_kinds(self, tmp_path):
         registry = make_registry(cache_dir=tmp_path)
         entry = registry.get(FEATURES)
         registry.parse_program(entry)
@@ -121,7 +121,7 @@ class TestClosureDiskCache:
         inventory = {
             item["kind"]: item for item in registry.artifact_inventory(entry)
         }
-        assert set(inventory) == {"ir", "source", "closures"}
+        assert set(inventory) == {"ir", "lex", "source", "closures"}
         assert inventory["ir"]["exists"] and not inventory["ir"]["stale"]
         assert inventory["closures"]["exists"]
         assert inventory["closures"]["size"] > 0
@@ -146,7 +146,7 @@ class TestClosureDiskCache:
         entry = registry.get(FEATURES)
         inventory = registry.artifact_inventory(entry)
         assert [item["kind"] for item in inventory] == [
-            "ir", "source", "closures",
+            "ir", "source", "closures", "lex",
         ]
         assert all(item["path"] is None for item in inventory)
 

@@ -188,8 +188,11 @@ class TestLifecycleAndStats:
         snap = service.stats()
         assert set(snap) == {
             "backend", "counters", "hit_rate", "latency", "registry",
+            "executor", "queue_depth",
         }
         assert snap["backend"] == "compiled"
+        assert snap["executor"]["kind"] == "thread"
+        assert snap["executor"]["effective"] == "thread"
         assert snap["counters"]["parses"] == 1
         assert snap["registry"]["entries"] == 1
         assert snap["registry"]["capacity"] == service.registry.capacity
